@@ -1,0 +1,111 @@
+// EXP-F1 — Figure 1: the combined-complexity landscape of XPath fragments.
+// Classifies a corpus of queries (hand-written + random per fragment) into
+// the paper's taxonomy and demonstrates the landscape empirically: each
+// fragment is evaluated with the engine matching its complexity class, and
+// per-fragment timings on a fixed document are reported.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "eval/core_linear_evaluator.hpp"
+#include "eval/cvt_evaluator.hpp"
+#include "eval/engine.hpp"
+#include "xml/generator.hpp"
+#include "xpath/generator.hpp"
+#include "xpath/parser.hpp"
+#include "xpath/printer.hpp"
+
+namespace gkx {
+namespace {
+
+using xpath::Classify;
+using xpath::Fragment;
+using xpath::FragmentComplexity;
+using xpath::FragmentName;
+
+void RunCorpusClassification() {
+  const char* corpus[] = {
+      "/descendant::a/child::b",
+      "a/b | c/d",
+      "child::a[descendant::c]",
+      "a[b and c or d]",
+      "child::a[not(following-sibling::d)]",
+      "a[b][c]",
+      "child::a[position() + 1 = last()]",
+      "a[2]",
+      "a[not(position() = 2)]",
+      "a[position() = 1][last() = 2]",
+      "a[boolean(child::b)]",
+      "a[concat('x', 'y') = 'xy']",
+      "a[count(child::b) = 2]",
+      "a[not(string(b) = 'x')]",
+  };
+  bench::Table table({"query", "smallest fragment", "combined complexity"});
+  for (const char* text : corpus) {
+    xpath::Query query = xpath::MustParse(text);
+    Fragment smallest = Classify(query).smallest;
+    table.AddRow({text, std::string(FragmentName(smallest)),
+                  std::string(FragmentComplexity(smallest))});
+  }
+  table.Print();
+}
+
+void RunRandomCensusAndTiming() {
+  Rng rng(2003);
+  xml::RandomDocumentOptions doc_options;
+  doc_options.node_count = 400;
+  xml::Document doc = xml::RandomDocument(&rng, doc_options);
+
+  bench::Table table({"generated fragment", "queries", "dispatched engine",
+                      "total eval ms", "classification agrees"});
+  constexpr Fragment kFragments[] = {
+      Fragment::kPF,  Fragment::kPositiveCore, Fragment::kCore,
+      Fragment::kPWF, Fragment::kWF,           Fragment::kPXPath,
+      Fragment::kFullXPath,
+  };
+  eval::Engine engine;
+  for (Fragment fragment : kFragments) {
+    xpath::RandomQueryOptions query_options;
+    query_options.fragment = fragment;
+    int agree = 0;
+    constexpr int kQueries = 40;
+    double total_seconds = 0;
+    std::map<std::string, int> engine_census;
+    for (int i = 0; i < kQueries; ++i) {
+      xpath::Query query = xpath::RandomQuery(&rng, query_options);
+      if (Classify(query).Contains(fragment)) ++agree;
+      Stopwatch sw;
+      auto answer = engine.Run(doc, query, eval::RootContext(doc));
+      total_seconds += sw.ElapsedSeconds();
+      GKX_CHECK(answer.ok());
+      ++engine_census[answer->evaluator];
+    }
+    // Generated queries may land in a smaller fragment than requested (e.g.
+    // a WF query without arithmetic is Core) — show the dispatch census.
+    std::string dispatched;
+    for (const auto& [name, count] : engine_census) {
+      if (!dispatched.empty()) dispatched += ", ";
+      dispatched += name + " x" + std::to_string(count);
+    }
+    table.AddRow({std::string(FragmentName(fragment)), bench::Num(kQueries),
+                  dispatched, bench::Millis(total_seconds),
+                  bench::Num(agree) + "/" + bench::Num(kQueries)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace gkx
+
+int main() {
+  gkx::bench::PrintHeader(
+      "EXP-F1 (Figure 1): fragment landscape",
+      "PF ⊂ pos.Core ⊂ {Core, pWF} ⊂ {WF, pXPath} ⊂ XPath; complexities "
+      "NL-c / LOGCFL-c / P-c as labeled in Figure 1",
+      "classification of a corpus + generated-per-fragment census, with the "
+      "engine dispatch and timings for each fragment");
+  gkx::RunCorpusClassification();
+  gkx::RunRandomCensusAndTiming();
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark): axis primitives, bitset sweeps, the
+// XPath lexer+parser, and the four sequential engines on a fixed mixed
+// workload. These are the operation-level costs underlying the experiment
+// tables.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/core_linear_evaluator.hpp"
+#include "eval/cvt_evaluator.hpp"
+#include "eval/pda_evaluator.hpp"
+#include "eval/recursive_base.hpp"
+#include "xml/generator.hpp"
+#include "xml/parser.hpp"
+#include "xml/serializer.hpp"
+#include "xpath/parser.hpp"
+
+namespace gkx {
+namespace {
+
+const xml::Document& Doc() {
+  static const xml::Document* doc = [] {
+    Rng rng(1);
+    xml::RandomDocumentOptions options;
+    options.node_count = 1000;
+    return new xml::Document(xml::RandomDocument(&rng, options));
+  }();
+  return *doc;
+}
+
+void BM_AxisDescendantEnumeration(benchmark::State& state) {
+  const xml::Document& doc = Doc();
+  const eval::ResolvedTest any{xpath::NodeTest::Kind::kAny, xml::kNoName};
+  for (auto _ : state) {
+    auto nodes = eval::AxisNodes(doc, 0, xpath::Axis::kDescendant, any);
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_AxisDescendantEnumeration);
+
+void BM_AxisPrecedingEnumeration(benchmark::State& state) {
+  const xml::Document& doc = Doc();
+  const eval::ResolvedTest any{xpath::NodeTest::Kind::kAny, xml::kNoName};
+  for (auto _ : state) {
+    auto nodes =
+        eval::AxisNodes(doc, doc.size() - 1, xpath::Axis::kPreceding, any);
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_AxisPrecedingEnumeration);
+
+void BM_AxisImageDescendant(benchmark::State& state) {
+  const xml::Document& doc = Doc();
+  eval::NodeBitset input(doc.size());
+  for (int32_t v = 0; v < doc.size(); v += 7) input.Set(v);
+  for (auto _ : state) {
+    auto image = eval::AxisImage(doc, xpath::Axis::kDescendant, input);
+    benchmark::DoNotOptimize(image);
+  }
+}
+BENCHMARK(BM_AxisImageDescendant);
+
+void BM_AxisImageFollowingSibling(benchmark::State& state) {
+  const xml::Document& doc = Doc();
+  eval::NodeBitset input(doc.size());
+  for (int32_t v = 0; v < doc.size(); v += 5) input.Set(v);
+  for (auto _ : state) {
+    auto image = eval::AxisImage(doc, xpath::Axis::kFollowingSibling, input);
+    benchmark::DoNotOptimize(image);
+  }
+}
+BENCHMARK(BM_AxisImageFollowingSibling);
+
+void BM_XmlParse(benchmark::State& state) {
+  Rng rng(3);
+  xml::RandomDocumentOptions options;
+  options.node_count = 2000;
+  options.text_probability = 0.5;
+  options.max_extra_labels = 1;
+  static const std::string kXml =
+      xml::SerializeDocument(xml::RandomDocument(&rng, options));
+  for (auto _ : state) {
+    auto doc = xml::ParseDocument(kXml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kXml.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_XmlSerialize(benchmark::State& state) {
+  Rng rng(3);
+  xml::RandomDocumentOptions options;
+  options.node_count = 2000;
+  options.text_probability = 0.5;
+  static const xml::Document doc = xml::RandomDocument(&rng, options);
+  for (auto _ : state) {
+    std::string xml_text = xml::SerializeDocument(doc);
+    benchmark::DoNotOptimize(xml_text);
+  }
+}
+BENCHMARK(BM_XmlSerialize);
+
+void BM_ParseQuery(benchmark::State& state) {
+  constexpr std::string_view kText =
+      "/descendant::a/child::b[descendant::c and not(following-sibling::d)]"
+      "/child::*[position() + 1 = last()] | //e[f = 'x']";
+  for (auto _ : state) {
+    auto query = xpath::ParseQuery(kText);
+    benchmark::DoNotOptimize(query);
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+constexpr std::string_view kWorkload =
+    "/descendant::t1[child::t2 and not(child::t3)]/descendant-or-self::*"
+    "[following-sibling::t0]";
+
+void BM_NaiveEvaluator(benchmark::State& state) {
+  const xml::Document& doc = Doc();
+  xpath::Query query = xpath::MustParse(kWorkload);
+  eval::NaiveEvaluator engine;
+  for (auto _ : state) {
+    auto value = engine.EvaluateAtRoot(doc, query);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_NaiveEvaluator);
+
+void BM_CvtEvaluator(benchmark::State& state) {
+  const xml::Document& doc = Doc();
+  xpath::Query query = xpath::MustParse(kWorkload);
+  eval::CvtEvaluator engine;
+  for (auto _ : state) {
+    auto value = engine.EvaluateAtRoot(doc, query);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_CvtEvaluator);
+
+void BM_CoreLinearEvaluator(benchmark::State& state) {
+  const xml::Document& doc = Doc();
+  xpath::Query query = xpath::MustParse(kWorkload);
+  eval::CoreLinearEvaluator engine;
+  for (auto _ : state) {
+    auto value = engine.EvaluateAtRoot(doc, query);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_CoreLinearEvaluator);
+
+void BM_PdaEvaluatorPwf(benchmark::State& state) {
+  Rng rng(2);
+  xml::RandomDocumentOptions options;
+  options.node_count = 150;  // the PDA engine is the deliberately slow one
+  static const xml::Document doc = xml::RandomDocument(&rng, options);
+  xpath::Query query =
+      xpath::MustParse("/descendant::t1[position() = last()]/child::*");
+  eval::PdaEvaluator engine;
+  for (auto _ : state) {
+    auto value = engine.EvaluateAtRoot(doc, query);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_PdaEvaluatorPwf);
+
+}  // namespace
+}  // namespace gkx
+
+BENCHMARK_MAIN();

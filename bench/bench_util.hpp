@@ -1,0 +1,88 @@
+// Shared experiment-harness helpers: the "paper says / we measure" header
+// and a column-aligned table printer. Header-only (every bench_*.cpp is its
+// own binary).
+
+#ifndef GKX_BENCH_BENCH_UTIL_HPP_
+#define GKX_BENCH_BENCH_UTIL_HPP_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/stopwatch.hpp"
+#include "base/string_util.hpp"
+
+namespace gkx::bench {
+
+/// Prints the experiment banner: what the paper claims, what this binary
+/// measures, and how to read the shape.
+inline void PrintHeader(const std::string& experiment_id,
+                        const std::string& paper_claim,
+                        const std::string& measurement) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment_id.c_str());
+  std::printf("  paper:    %s\n", paper_claim.c_str());
+  std::printf("  measured: %s\n", measurement.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    GKX_CHECK_EQ(row.size(), headers_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    std::printf("  %s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Num(int64_t v) { return std::to_string(v); }
+
+inline std::string Millis(double seconds, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, seconds * 1e3);
+  return std::string(buf);
+}
+
+inline std::string Ratio(double value, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return std::string(buf);
+}
+
+inline std::string PassFail(bool ok) { return ok ? "ok" : "MISMATCH"; }
+
+}  // namespace gkx::bench
+
+#endif  // GKX_BENCH_BENCH_UTIL_HPP_

@@ -1,0 +1,37 @@
+// Internal invariant checking. GKX_CHECK aborts with a diagnostic when an
+// invariant is violated; it is always on (benchmarks measure algorithmic
+// shape, not branch-free micro-latency, so the cost is acceptable and the
+// safety is worth it in a reference implementation).
+
+#ifndef GKX_BASE_CHECK_HPP_
+#define GKX_BASE_CHECK_HPP_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gkx {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "GKX_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace gkx
+
+#define GKX_CHECK(expr)                                         \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::gkx::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                           \
+  } while (false)
+
+#define GKX_CHECK_GE(a, b) GKX_CHECK((a) >= (b))
+#define GKX_CHECK_GT(a, b) GKX_CHECK((a) > (b))
+#define GKX_CHECK_LE(a, b) GKX_CHECK((a) <= (b))
+#define GKX_CHECK_LT(a, b) GKX_CHECK((a) < (b))
+#define GKX_CHECK_EQ(a, b) GKX_CHECK((a) == (b))
+#define GKX_CHECK_NE(a, b) GKX_CHECK((a) != (b))
+
+#endif  // GKX_BASE_CHECK_HPP_

@@ -1,0 +1,57 @@
+// Deterministic, seedable pseudo-random generator (xoshiro256** core) used by
+// every workload generator so experiments are reproducible across runs and
+// platforms (std::mt19937 distributions are not cross-stdlib stable).
+
+#ifndef GKX_BASE_RNG_HPP_
+#define GKX_BASE_RNG_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace gkx {
+
+/// Reproducible RNG. Same seed => same sequence everywhere.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator (SplitMix64 expansion of the seed).
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniformly picks an element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    GKX_CHECK(!items.empty());
+    return items[static_cast<size_t>(UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace gkx
+
+#endif  // GKX_BASE_RNG_HPP_

@@ -1,0 +1,131 @@
+// Error handling without exceptions, in the style of absl::Status /
+// absl::StatusOr. A Status is OK or carries (code, message); a Result<T>
+// carries either a value or a non-OK Status.
+
+#ifndef GKX_BASE_STATUS_HPP_
+#define GKX_BASE_STATUS_HPP_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "base/check.hpp"
+
+namespace gkx {
+
+/// Coarse error taxonomy; the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad XML, bad XPath syntax, ...)
+  kUnsupported,       // valid input outside the feature set of a component
+  kOutOfRange,        // index/position out of range
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// OK-or-error discriminated result of an operation that returns no value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    GKX_CHECK(code != StatusCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status UnsupportedError(std::string message) {
+  return Status(StatusCode::kUnsupported, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+/// Value-or-error. Construction from T or from a non-OK Status; access to the
+/// value via value()/operator* checks ok() with GKX_CHECK.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    GKX_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    GKX_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    GKX_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    GKX_CHECK(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace gkx
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define GKX_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::gkx::Status gkx_status__ = (expr);     \
+    if (!gkx_status__.ok()) return gkx_status__; \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (declare lhs yourself).
+#define GKX_ASSIGN_OR_RETURN(lhs, expr)                  \
+  do {                                                   \
+    auto gkx_result__ = (expr);                          \
+    if (!gkx_result__.ok()) return gkx_result__.status(); \
+    lhs = std::move(gkx_result__).value();               \
+  } while (false)
+
+#endif  // GKX_BASE_STATUS_HPP_

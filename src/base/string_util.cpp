@@ -1,0 +1,130 @@
+#include "base/string_util.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace gkx {
+namespace {
+
+bool IsXmlSpace(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '.' || c == '-';
+}
+
+}  // namespace
+
+std::string Join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      pieces.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && IsXmlSpace(text[begin])) ++begin;
+  while (end > begin && IsXmlSpace(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string NormalizeSpace(std::string_view text) {
+  std::string out;
+  bool pending_space = false;
+  for (char c : text) {
+    if (IsXmlSpace(c)) {
+      pending_space = !out.empty();
+    } else {
+      if (pending_space) out += ' ';
+      pending_space = false;
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatXPathNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "Infinity" : "-Infinity";
+  if (value == 0.0) return "0";  // covers -0
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    // Integer-valued: no decimal point, no exponent.
+    char buf[32];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                   static_cast<int64_t>(value));
+    (void)ec;
+    return std::string(buf, ptr);
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+double ParseXPathNumber(std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) return std::nan("");
+  size_t i = 0;
+  if (s[i] == '-') ++i;
+  size_t digits_begin = i;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+  size_t int_digits = i - digits_begin;
+  size_t frac_digits = 0;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    size_t frac_begin = i;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+    frac_digits = i - frac_begin;
+  }
+  if (i != s.size() || (int_digits == 0 && frac_digits == 0)) return std::nan("");
+  double out = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nan("");
+  return out;
+}
+
+std::string EscapeXml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool IsValidXmlName(std::string_view name) {
+  if (name.empty() || !IsNameStart(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace gkx

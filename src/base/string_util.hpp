@@ -1,0 +1,44 @@
+// Small string helpers shared across modules, including the XPath 1.0 number
+// lexical forms (number() parsing and string() formatting).
+
+#ifndef GKX_BASE_STRING_UTIL_HPP_
+#define GKX_BASE_STRING_UTIL_HPP_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gkx {
+
+/// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+/// Splits on a single character; keeps empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips leading/trailing XML whitespace (space, tab, CR, LF).
+std::string_view StripWhitespace(std::string_view text);
+
+/// Collapses whitespace runs to single spaces and strips ends
+/// (XPath normalize-space()).
+std::string NormalizeSpace(std::string_view text);
+
+/// Formats a double following XPath 1.0 string(number) rules: "NaN",
+/// "Infinity"/"-Infinity", integers without a decimal point, otherwise the
+/// shortest decimal form that round-trips. "-0" is formatted as "0".
+std::string FormatXPathNumber(double value);
+
+/// Parses per XPath 1.0 number(string): optional whitespace, optional '-',
+/// digits with optional fraction. Anything else yields NaN.
+double ParseXPathNumber(std::string_view text);
+
+/// Escapes &, <, >, ", ' for XML output.
+std::string EscapeXml(std::string_view text);
+
+/// True if `name` is a valid (namespace-free) XML element name for our
+/// parser: [A-Za-z_][A-Za-z0-9._-]*.
+bool IsValidXmlName(std::string_view name);
+
+}  // namespace gkx
+
+#endif  // GKX_BASE_STRING_UTIL_HPP_

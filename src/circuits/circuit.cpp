@@ -1,0 +1,138 @@
+#include "circuits/circuit.hpp"
+
+#include <algorithm>
+
+namespace gkx::circuits {
+
+std::string_view GateKindName(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput: return "input";
+    case GateKind::kAnd: return "and";
+    case GateKind::kOr: return "or";
+  }
+  GKX_CHECK(false);
+  return {};
+}
+
+int32_t Circuit::AddInput() {
+  GKX_CHECK_EQ(num_inputs_, size());  // inputs must precede logic gates
+  gates_.push_back(Gate{GateKind::kInput, {}});
+  return num_inputs_++;
+}
+
+int32_t Circuit::AddAnd(std::vector<int32_t> inputs) {
+  GKX_CHECK(!inputs.empty());
+  for (int32_t in : inputs) GKX_CHECK(in >= 0 && in < size());
+  gates_.push_back(Gate{GateKind::kAnd, std::move(inputs)});
+  return size() - 1;
+}
+
+int32_t Circuit::AddOr(std::vector<int32_t> inputs) {
+  GKX_CHECK(!inputs.empty());
+  for (int32_t in : inputs) GKX_CHECK(in >= 0 && in < size());
+  gates_.push_back(Gate{GateKind::kOr, std::move(inputs)});
+  return size() - 1;
+}
+
+void Circuit::SetOutput(int32_t gate) {
+  GKX_CHECK(gate >= 0 && gate < size());
+  output_ = gate;
+}
+
+Status Circuit::Validate() const {
+  if (size() == 0) return InvalidArgumentError("circuit has no gates");
+  if (num_inputs_ == 0) return InvalidArgumentError("circuit has no inputs");
+  if (output() < 0 || output() >= size()) {
+    return InvalidArgumentError("output gate out of range");
+  }
+  for (int32_t i = 0; i < size(); ++i) {
+    const Gate& g = gate(i);
+    const bool is_input = i < num_inputs_;
+    if (is_input != (g.kind == GateKind::kInput)) {
+      return InvalidArgumentError("inputs must be exactly the first M gates");
+    }
+    if (g.kind == GateKind::kInput) {
+      if (!g.inputs.empty()) {
+        return InvalidArgumentError("input gate with feeds");
+      }
+      continue;
+    }
+    if (g.inputs.empty()) return InvalidArgumentError("logic gate with fan-in 0");
+    for (int32_t in : g.inputs) {
+      if (in < 0 || in >= i) {
+        return InvalidArgumentError(
+            "gate " + std::to_string(i) + " feeds from gate " +
+            std::to_string(in) + " violating the topological order");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool Circuit::IsSemiUnbounded() const {
+  for (const Gate& g : gates_) {
+    if (g.kind == GateKind::kAnd && g.inputs.size() > 2) return false;
+  }
+  return true;
+}
+
+int32_t Circuit::Depth() const {
+  std::vector<int32_t> depth(static_cast<size_t>(size()), 0);
+  for (int32_t i = 0; i < size(); ++i) {
+    for (int32_t in : gate(i).inputs) {
+      depth[static_cast<size_t>(i)] =
+          std::max(depth[static_cast<size_t>(i)], depth[static_cast<size_t>(in)] + 1);
+    }
+  }
+  return depth[static_cast<size_t>(output())];
+}
+
+std::vector<bool> Circuit::EvaluateAll(const std::vector<bool>& assignment) const {
+  GKX_CHECK_EQ(static_cast<int32_t>(assignment.size()), num_inputs_);
+  std::vector<bool> value(static_cast<size_t>(size()), false);
+  for (int32_t i = 0; i < size(); ++i) {
+    const Gate& g = gate(i);
+    switch (g.kind) {
+      case GateKind::kInput:
+        value[static_cast<size_t>(i)] = assignment[static_cast<size_t>(i)];
+        break;
+      case GateKind::kAnd: {
+        bool v = true;
+        for (int32_t in : g.inputs) v = v && value[static_cast<size_t>(in)];
+        value[static_cast<size_t>(i)] = v;
+        break;
+      }
+      case GateKind::kOr: {
+        bool v = false;
+        for (int32_t in : g.inputs) v = v || value[static_cast<size_t>(in)];
+        value[static_cast<size_t>(i)] = v;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+bool Circuit::Evaluate(const std::vector<bool>& assignment) const {
+  return EvaluateAll(assignment)[static_cast<size_t>(output())];
+}
+
+std::string Circuit::ToDot() const {
+  std::string out = "digraph circuit {\n  rankdir=BT;\n";
+  for (int32_t i = 0; i < size(); ++i) {
+    const Gate& g = gate(i);
+    out += "  g" + std::to_string(i) + " [label=\"G" + std::to_string(i + 1);
+    if (g.kind == GateKind::kAnd) out += " AND";
+    if (g.kind == GateKind::kOr) out += " OR";
+    out += "\"";
+    if (i == output()) out += ", shape=doublecircle";
+    out += "];\n";
+    for (int32_t in : g.inputs) {
+      out += "  g" + std::to_string(in) + " -> g" + std::to_string(i) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace gkx::circuits

@@ -1,0 +1,79 @@
+// Monotone boolean circuits (§3) and their semi-unbounded (SAC1) restriction
+// (§2.1): AND/OR gates over input gates, stored in the exact form the
+// Theorem 3.2 reduction consumes — gates G1..G(M+N) numbered so that no gate
+// depends on a later gate, inputs first, output last by convention.
+
+#ifndef GKX_CIRCUITS_CIRCUIT_HPP_
+#define GKX_CIRCUITS_CIRCUIT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace gkx::circuits {
+
+enum class GateKind { kInput, kAnd, kOr };
+
+std::string_view GateKindName(GateKind kind);
+
+struct Gate {
+  GateKind kind = GateKind::kInput;
+  /// Indices of feeding gates; empty for inputs. Unbounded fan-in (>= 1).
+  std::vector<int32_t> inputs;
+};
+
+/// A monotone circuit in topological gate order. Build with AddInput /
+/// AddAnd / AddOr (which enforce the ordering), then Validate().
+class Circuit {
+ public:
+  /// Appends an input gate; all inputs must be added before any logic gate.
+  int32_t AddInput();
+
+  /// Appends an AND/OR gate fed by existing gates (indices < current size).
+  int32_t AddAnd(std::vector<int32_t> inputs);
+  int32_t AddOr(std::vector<int32_t> inputs);
+
+  /// Marks the output gate (defaults to the last gate).
+  void SetOutput(int32_t gate);
+
+  int32_t size() const { return static_cast<int32_t>(gates_.size()); }
+  int32_t num_inputs() const { return num_inputs_; }
+  /// Non-input gate count N (paper notation: gates are G1..G(M+N)).
+  int32_t num_logic_gates() const { return size() - num_inputs_; }
+  int32_t output() const { return output_ < 0 ? size() - 1 : output_; }
+
+  const Gate& gate(int32_t index) const {
+    GKX_CHECK(index >= 0 && index < size());
+    return gates_[static_cast<size_t>(index)];
+  }
+
+  /// Structural checks: inputs before logic gates, topological feed order,
+  /// fan-in >= 1, output in range.
+  Status Validate() const;
+
+  /// True if every AND gate has fan-in <= 2 (semi-unbounded / SAC circuits).
+  bool IsSemiUnbounded() const;
+
+  /// Longest path from any input to the output (inputs have depth 0).
+  int32_t Depth() const;
+
+  /// Evaluates the output for an input assignment (size == num_inputs()).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// Values of all gates under an assignment.
+  std::vector<bool> EvaluateAll(const std::vector<bool>& assignment) const;
+
+  /// Graphviz rendering (for documentation/examples).
+  std::string ToDot() const;
+
+ private:
+  std::vector<Gate> gates_;
+  int32_t num_inputs_ = 0;
+  int32_t output_ = -1;
+};
+
+}  // namespace gkx::circuits
+
+#endif  // GKX_CIRCUITS_CIRCUIT_HPP_

@@ -1,0 +1,126 @@
+#include "circuits/generators.hpp"
+
+#include <algorithm>
+
+namespace gkx::circuits {
+
+Circuit CarryCircuit(int32_t bits) {
+  GKX_CHECK_GE(bits, 1);
+  Circuit circuit;
+  // Figure 2 input order for b=2: G1=a1, G2=b1, G3=a0, G4=b0 — i.e. most
+  // significant digit first. a_k is input 2*(bits-1-k), b_k is that +1.
+  std::vector<int32_t> a(static_cast<size_t>(bits));
+  std::vector<int32_t> b(static_cast<size_t>(bits));
+  for (int32_t k = bits - 1; k >= 0; --k) {
+    a[static_cast<size_t>(k)] = circuit.AddInput();
+    b[static_cast<size_t>(k)] = circuit.AddInput();
+  }
+  // c0 = a0 ∧ b0; ck = (ak∧bk) ∨ (ak∧c(k-1)) ∨ (bk∧c(k-1)).
+  int32_t carry = circuit.AddAnd({a[0], b[0]});
+  for (int32_t k = 1; k < bits; ++k) {
+    int32_t ab = circuit.AddAnd({a[static_cast<size_t>(k)], b[static_cast<size_t>(k)]});
+    int32_t ac = circuit.AddAnd({a[static_cast<size_t>(k)], carry});
+    int32_t bc = circuit.AddAnd({b[static_cast<size_t>(k)], carry});
+    carry = circuit.AddOr({ab, ac, bc});
+  }
+  circuit.SetOutput(carry);
+  GKX_CHECK(circuit.Validate().ok());
+  return circuit;
+}
+
+bool CarryGroundTruth(int32_t bits, const std::vector<bool>& assignment) {
+  GKX_CHECK_EQ(static_cast<int32_t>(assignment.size()), 2 * bits);
+  // Inputs were added most-significant-first: assignment[2i] = a_(bits-1-i).
+  uint64_t a = 0;
+  uint64_t b = 0;
+  for (int32_t i = 0; i < bits; ++i) {
+    const int32_t k = bits - 1 - i;  // digit index
+    if (assignment[static_cast<size_t>(2 * i)]) a |= uint64_t{1} << k;
+    if (assignment[static_cast<size_t>(2 * i + 1)]) b |= uint64_t{1} << k;
+  }
+  return (a + b) >> bits != 0;
+}
+
+Circuit RandomMonotone(Rng* rng, const RandomMonotoneOptions& options) {
+  GKX_CHECK_GE(options.num_inputs, 1);
+  GKX_CHECK_GE(options.num_gates, 1);
+  GKX_CHECK_GE(options.max_fanin, 1);
+  Circuit circuit;
+  for (int32_t i = 0; i < options.num_inputs; ++i) circuit.AddInput();
+  for (int32_t g = 0; g < options.num_gates; ++g) {
+    const int32_t pool = circuit.size();
+    int64_t fanin = rng->UniformInt(1, options.max_fanin);
+    std::vector<int32_t> inputs;
+    for (int64_t i = 0; i < fanin; ++i) {
+      // Bias toward recent gates: pick from the last half with prob 1/2.
+      int32_t in;
+      if (pool > 2 && rng->Bernoulli(0.5)) {
+        in = static_cast<int32_t>(rng->UniformInt(pool / 2, pool - 1));
+      } else {
+        in = static_cast<int32_t>(rng->UniformInt(0, pool - 1));
+      }
+      inputs.push_back(in);
+    }
+    std::sort(inputs.begin(), inputs.end());
+    inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+    if (rng->Bernoulli(options.and_probability)) {
+      circuit.AddAnd(std::move(inputs));
+    } else {
+      circuit.AddOr(std::move(inputs));
+    }
+  }
+  GKX_CHECK(circuit.Validate().ok());
+  return circuit;
+}
+
+Circuit RandomSac(Rng* rng, const RandomSacOptions& options) {
+  GKX_CHECK_GE(options.num_inputs, 1);
+  GKX_CHECK_GE(options.layers, 1);
+  GKX_CHECK_GE(options.width, 1);
+  Circuit circuit;
+  for (int32_t i = 0; i < options.num_inputs; ++i) circuit.AddInput();
+  std::vector<int32_t> previous;
+  for (int32_t i = 0; i < options.num_inputs; ++i) previous.push_back(i);
+
+  for (int32_t layer = 0; layer < options.layers; ++layer) {
+    const bool and_layer = layer % 2 == 0;
+    std::vector<int32_t> current;
+    for (int32_t w = 0; w < options.width; ++w) {
+      if (and_layer) {
+        // Semi-unbounded: AND fan-in exactly 2.
+        int32_t lhs = rng->Pick(previous);
+        int32_t rhs = rng->Pick(previous);
+        current.push_back(lhs == rhs ? circuit.AddAnd({lhs})
+                                     : circuit.AddAnd({lhs, rhs}));
+      } else {
+        int64_t fanin = rng->UniformInt(1, options.max_or_fanin);
+        std::vector<int32_t> inputs;
+        for (int64_t i = 0; i < fanin; ++i) inputs.push_back(rng->Pick(previous));
+        std::sort(inputs.begin(), inputs.end());
+        inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+        current.push_back(circuit.AddOr(std::move(inputs)));
+      }
+    }
+    previous = std::move(current);
+  }
+  circuit.SetOutput(previous.back());
+  GKX_CHECK(circuit.Validate().ok());
+  GKX_CHECK(circuit.IsSemiUnbounded());
+  return circuit;
+}
+
+std::vector<std::vector<bool>> AllAssignments(int32_t n) {
+  GKX_CHECK(n >= 0 && n <= 20);
+  std::vector<std::vector<bool>> out;
+  out.reserve(size_t{1} << n);
+  for (uint32_t mask = 0; mask < (uint32_t{1} << n); ++mask) {
+    std::vector<bool> assignment(static_cast<size_t>(n));
+    for (int32_t i = 0; i < n; ++i) {
+      assignment[static_cast<size_t>(i)] = (mask >> i) & 1;
+    }
+    out.push_back(std::move(assignment));
+  }
+  return out;
+}
+
+}  // namespace gkx::circuits

@@ -1,0 +1,54 @@
+// Circuit workload generators: the paper's Figure 2 carry-bit adder circuit
+// (generalized to b bits), random monotone circuits for the Theorem 3.2
+// sweeps, and random semi-unbounded log-depth (SAC1-shaped) circuits for
+// Theorem 4.2.
+
+#ifndef GKX_CIRCUITS_GENERATORS_HPP_
+#define GKX_CIRCUITS_GENERATORS_HPP_
+
+#include "base/rng.hpp"
+#include "circuits/circuit.hpp"
+
+namespace gkx::circuits {
+
+/// The carry-bit circuit of Figure 2, generalized: inputs a0..a(b-1),
+/// b0..b(b-1) (in the gate order a(b-1), b(b-1), ..., a0, b0 matching the
+/// figure for b=2); output = carry of the b-bit addition a + b.
+/// For bits=2 this is exactly the paper's 9-gate example:
+///   c0 = a0 ∧ b0,  c1 = (a1∧b1) ∨ (a1∧c0) ∨ (b1∧c0).
+Circuit CarryCircuit(int32_t bits);
+
+/// Expected carry bit of a + b for CarryCircuit's input convention —
+/// assignment[2k] = a_(bits-1-k)... i.e. pass the assignment you gave
+/// Evaluate(); used to cross-check the circuit itself.
+bool CarryGroundTruth(int32_t bits, const std::vector<bool>& assignment);
+
+struct RandomMonotoneOptions {
+  int32_t num_inputs = 4;
+  int32_t num_gates = 8;   // logic gates (N)
+  int32_t max_fanin = 3;   // >= 1
+  double and_probability = 0.5;
+};
+
+/// Random monotone circuit in topological order; every gate feeds from
+/// uniformly random earlier gates (biased toward recent gates so deep
+/// circuits arise); output = last gate.
+Circuit RandomMonotone(Rng* rng, const RandomMonotoneOptions& options = {});
+
+struct RandomSacOptions {
+  int32_t num_inputs = 4;
+  int32_t layers = 4;          // alternating OR (unbounded) / AND (fan-in 2)
+  int32_t width = 4;           // gates per layer
+  int32_t max_or_fanin = 4;
+};
+
+/// Random semi-unbounded layered circuit (AND fan-in 2, OR unbounded) —
+/// the SAC1 shape of Theorem 4.2 for small depths.
+Circuit RandomSac(Rng* rng, const RandomSacOptions& options = {});
+
+/// All 2^n assignments of n bits (n <= 20), in lexicographic order.
+std::vector<std::vector<bool>> AllAssignments(int32_t n);
+
+}  // namespace gkx::circuits
+
+#endif  // GKX_CIRCUITS_GENERATORS_HPP_

@@ -1,0 +1,71 @@
+#include "eval/axes.hpp"
+
+namespace gkx::eval {
+
+using xpath::Axis;
+
+bool AxisContains(const xml::Document& doc, xml::NodeId origin, Axis axis,
+                  xml::NodeId target) {
+  const xml::Node& o = doc.node(origin);
+  switch (axis) {
+    case Axis::kSelf:
+      return target == origin;
+    case Axis::kChild:
+      return doc.node(target).parent == origin;
+    case Axis::kParent:
+      return o.parent == target;
+    case Axis::kDescendant:
+      return target > origin && target < origin + o.subtree_size;
+    case Axis::kDescendantOrSelf:
+      return target >= origin && target < origin + o.subtree_size;
+    case Axis::kAncestor:
+      return target != origin && doc.IsAncestorOrSelf(target, origin);
+    case Axis::kAncestorOrSelf:
+      return doc.IsAncestorOrSelf(target, origin);
+    case Axis::kFollowing:
+      return target >= origin + o.subtree_size;
+    case Axis::kFollowingSibling:
+      return target != origin && doc.node(target).parent == o.parent &&
+             o.parent != xml::kNullNode && target > origin;
+    case Axis::kPreceding:
+      return target + doc.node(target).subtree_size <= origin;
+    case Axis::kPrecedingSibling:
+      return target != origin && doc.node(target).parent == o.parent &&
+             o.parent != xml::kNullNode && target < origin;
+  }
+  GKX_CHECK(false);
+  return false;
+}
+
+std::vector<xml::NodeId> AxisNodes(const xml::Document& doc, xml::NodeId origin,
+                                   Axis axis, const ResolvedTest& test) {
+  std::vector<xml::NodeId> out;
+  ForEachOnAxis(doc, origin, axis, [&](xml::NodeId v) {
+    if (test.Matches(doc, v)) out.push_back(v);
+    return true;
+  });
+  return out;
+}
+
+bool AxisPositionOf(const xml::Document& doc, xml::NodeId origin, Axis axis,
+                    const ResolvedTest& test, xml::NodeId target,
+                    int64_t* position, int64_t* size) {
+  if (!AxisContains(doc, origin, axis, target) || !test.Matches(doc, target)) {
+    return false;
+  }
+  int64_t rank = 0;
+  int64_t count = 0;
+  ForEachOnAxis(doc, origin, axis, [&](xml::NodeId v) {
+    if (test.Matches(doc, v)) {
+      ++count;
+      if (v == target) rank = count;
+    }
+    return true;
+  });
+  GKX_CHECK_GT(rank, 0);
+  *position = rank;
+  *size = count;
+  return true;
+}
+
+}  // namespace gkx::eval

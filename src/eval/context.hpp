@@ -1,0 +1,42 @@
+// The XPath evaluation context: a ⟨node, position, size⟩ triple (§2.2 of the
+// paper). position/size are 1-based; the initial context is
+// ⟨root, 1, 1⟩.
+
+#ifndef GKX_EVAL_CONTEXT_HPP_
+#define GKX_EVAL_CONTEXT_HPP_
+
+#include <cstdint>
+
+#include "xml/document.hpp"
+
+namespace gkx::eval {
+
+struct Context {
+  xml::NodeId node = 0;
+  int64_t position = 1;
+  int64_t size = 1;
+
+  bool operator==(const Context& other) const {
+    return node == other.node && position == other.position && size == other.size;
+  }
+};
+
+/// Initial context for a document (⟨root, 1, 1⟩).
+inline Context RootContext(const xml::Document& doc) {
+  return Context{doc.root(), 1, 1};
+}
+
+/// Packs a context into a 64-bit memo key. Limits: |D| < 2^24 nodes and
+/// positions/sizes < 2^20 — far beyond any workload here (checked).
+inline uint64_t PackContext(const Context& ctx) {
+  GKX_CHECK(ctx.node >= 0 && ctx.node < (1 << 24));
+  GKX_CHECK(ctx.position >= 0 && ctx.position < (1 << 20));
+  GKX_CHECK(ctx.size >= 0 && ctx.size < (1 << 20));
+  return (static_cast<uint64_t>(ctx.node) << 40) |
+         (static_cast<uint64_t>(ctx.position) << 20) |
+         static_cast<uint64_t>(ctx.size);
+}
+
+}  // namespace gkx::eval
+
+#endif  // GKX_EVAL_CONTEXT_HPP_

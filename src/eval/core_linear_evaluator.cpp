@@ -1,0 +1,293 @@
+#include "eval/core_linear_evaluator.hpp"
+
+#include <utility>
+
+#include "xpath/fragment.hpp"
+
+namespace gkx::eval {
+
+using xpath::Axis;
+using xpath::BinaryOp;
+using xpath::Expr;
+using xpath::Function;
+using xpath::PathExpr;
+using xpath::Step;
+
+Axis InverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf: return Axis::kSelf;
+    case Axis::kChild: return Axis::kParent;
+    case Axis::kParent: return Axis::kChild;
+    case Axis::kDescendant: return Axis::kAncestor;
+    case Axis::kAncestor: return Axis::kDescendant;
+    case Axis::kDescendantOrSelf: return Axis::kAncestorOrSelf;
+    case Axis::kAncestorOrSelf: return Axis::kDescendantOrSelf;
+    case Axis::kFollowing: return Axis::kPreceding;
+    case Axis::kPreceding: return Axis::kFollowing;
+    case Axis::kFollowingSibling: return Axis::kPrecedingSibling;
+    case Axis::kPrecedingSibling: return Axis::kFollowingSibling;
+  }
+  GKX_CHECK(false);
+  return Axis::kSelf;
+}
+
+NodeBitset AxisImage(const xml::Document& doc, Axis axis,
+                     const NodeBitset& input) {
+  const int32_t n = doc.size();
+  GKX_CHECK_EQ(input.universe(), n);
+  NodeBitset out(n);
+  switch (axis) {
+    case Axis::kSelf:
+      out = input;
+      return out;
+    case Axis::kChild:
+      // y is a child of some x in input iff parent(y) ∈ input.
+      for (xml::NodeId v = 1; v < n; ++v) {
+        if (input.Test(doc.node(v).parent)) out.Set(v);
+      }
+      return out;
+    case Axis::kParent:
+      for (xml::NodeId v = 0; v < n; ++v) {
+        if (input.Test(v) && doc.node(v).parent != xml::kNullNode) {
+          out.Set(doc.node(v).parent);
+        }
+      }
+      return out;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      // Subtrees are contiguous preorder ranges: difference-array sweep.
+      std::vector<int32_t> diff(static_cast<size_t>(n) + 1, 0);
+      for (xml::NodeId v = 0; v < n; ++v) {
+        if (!input.Test(v)) continue;
+        const int32_t lo = axis == Axis::kDescendant ? v + 1 : v;
+        const int32_t hi = v + doc.node(v).subtree_size;
+        ++diff[static_cast<size_t>(lo)];
+        --diff[static_cast<size_t>(hi)];
+      }
+      int32_t active = 0;
+      for (xml::NodeId v = 0; v < n; ++v) {
+        active += diff[static_cast<size_t>(v)];
+        if (active > 0) out.Set(v);
+      }
+      return out;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // subtree_count[v] = |input ∩ subtree(v)|, by a reverse (bottom-up)
+      // sweep; y is an ancestor of some input node iff its subtree minus
+      // itself contains one.
+      std::vector<int32_t> count(static_cast<size_t>(n), 0);
+      for (xml::NodeId v = n - 1; v >= 0; --v) {
+        if (input.Test(v)) ++count[static_cast<size_t>(v)];
+        if (v > 0) {
+          count[static_cast<size_t>(doc.node(v).parent)] +=
+              count[static_cast<size_t>(v)];
+        }
+      }
+      for (xml::NodeId v = 0; v < n; ++v) {
+        const int32_t below =
+            count[static_cast<size_t>(v)] - (input.Test(v) ? 1 : 0);
+        if (axis == Axis::kAncestor ? below > 0
+                                    : count[static_cast<size_t>(v)] > 0) {
+          out.Set(v);
+        }
+      }
+      return out;
+    }
+    case Axis::kFollowing: {
+      // following(x) = [x + size(x), n); the union over input is the suffix
+      // from the minimal cutoff (note a descendant of an input node can have
+      // a smaller cutoff than the input node itself).
+      int32_t cutoff = n;
+      for (xml::NodeId v = 0; v < n; ++v) {
+        if (input.Test(v)) {
+          cutoff = std::min(cutoff, v + doc.node(v).subtree_size);
+        }
+      }
+      for (xml::NodeId v = cutoff; v < n; ++v) out.Set(v);
+      return out;
+    }
+    case Axis::kPreceding: {
+      // y ∈ preceding(x) iff y + size(y) <= x; take the maximal input x.
+      int32_t max_input = -1;
+      for (xml::NodeId v = n - 1; v >= 0; --v) {
+        if (input.Test(v)) {
+          max_input = v;
+          break;
+        }
+      }
+      if (max_input < 0) return out;
+      for (xml::NodeId v = 0; v < n; ++v) {
+        if (v + doc.node(v).subtree_size <= max_input) out.Set(v);
+      }
+      return out;
+    }
+    case Axis::kFollowingSibling:
+      // Recurrence along sibling chains in increasing id order:
+      // y qualifies iff its previous sibling is in input or qualifies.
+      for (xml::NodeId v = 0; v < n; ++v) {
+        const xml::NodeId prev = doc.node(v).prev_sibling;
+        if (prev != xml::kNullNode && (input.Test(prev) || out.Test(prev))) {
+          out.Set(v);
+        }
+      }
+      return out;
+    case Axis::kPrecedingSibling:
+      // Mirror recurrence in decreasing id order.
+      for (xml::NodeId v = n - 1; v >= 0; --v) {
+        const xml::NodeId next = doc.node(v).next_sibling;
+        if (next != xml::kNullNode && (input.Test(next) || out.Test(next))) {
+          out.Set(v);
+        }
+      }
+      return out;
+  }
+  GKX_CHECK(false);
+  return out;
+}
+
+Result<Value> CoreLinearEvaluator::Evaluate(const xml::Document& doc,
+                                            const xpath::Query& query,
+                                            const Context& ctx) {
+  if (doc.empty()) return InvalidArgumentError("empty document");
+  xpath::FragmentReport report = xpath::Classify(query);
+  if (!report.in_core) {
+    return UnsupportedError(
+        "core-linear evaluates Core XPath only (Def 2.5); query is outside");
+  }
+  doc_ = &doc;
+  condition_cache_.clear();
+
+  NodeBitset start(doc.size());
+  start.Set(ctx.node);
+
+  auto result = EvalNodeSetForward(query.root(), start);
+  if (!result.ok()) return result.status();
+  return Value::Nodes(result->ToNodeSet());
+}
+
+Result<NodeBitset> CoreLinearEvaluator::EvalNodeSetForward(
+    const Expr& expr, const NodeBitset& start) {
+  if (expr.kind() == Expr::Kind::kUnion) {
+    const auto& u = expr.As<xpath::UnionExpr>();
+    NodeBitset merged(doc_->size());
+    for (size_t i = 0; i < u.branch_count(); ++i) {
+      auto branch = EvalNodeSetForward(u.branch(i), start);
+      if (!branch.ok()) return branch.status();
+      merged |= *branch;
+    }
+    return merged;
+  }
+  return EvalPathForward(expr.As<PathExpr>(), start);
+}
+
+NodeBitset CoreLinearEvaluator::TestSet(const Step& step) {
+  const xml::Document& doc = *doc_;
+  NodeBitset out(doc.size());
+  ResolvedTest test = ResolvedTest::Resolve(doc, step.test);
+  for (xml::NodeId v = 0; v < doc.size(); ++v) {
+    if (test.Matches(doc, v)) out.Set(v);
+  }
+  return out;
+}
+
+Result<NodeBitset> CoreLinearEvaluator::EvalPathForward(const PathExpr& path,
+                                                        const NodeBitset& start) {
+  const xml::Document& doc = *doc_;
+  NodeBitset current(doc.size());
+  if (path.absolute()) {
+    current.Set(doc.root());
+  } else {
+    current = start;
+  }
+  for (size_t s = 0; s < path.step_count(); ++s) {
+    const Step& step = path.step(s);
+    current = AxisImage(doc, step.axis, current);
+    current &= TestSet(step);
+    for (const xpath::ExprPtr& predicate : step.predicates) {
+      auto cond = ConditionSet(*predicate);
+      if (!cond.ok()) return cond.status();
+      current &= *cond;
+    }
+    if (current.Empty()) break;
+  }
+  return current;
+}
+
+Result<NodeBitset> CoreLinearEvaluator::PathOriginSet(const PathExpr& path) {
+  const xml::Document& doc = *doc_;
+  // Right-to-left: R = nodes from which the remaining steps can match.
+  NodeBitset reach(doc.size());
+  reach.SetAll();
+  for (size_t s = path.step_count(); s-- > 0;) {
+    const Step& step = path.step(s);
+    NodeBitset target = std::move(reach);
+    target &= TestSet(step);
+    for (const xpath::ExprPtr& predicate : step.predicates) {
+      auto cond = ConditionSet(*predicate);
+      if (!cond.ok()) return cond.status();
+      target &= *cond;
+    }
+    reach = AxisImage(doc, InverseAxis(step.axis), target);
+  }
+  if (path.absolute()) {
+    // The path matches from anywhere iff it matches from the root.
+    NodeBitset out(doc.size());
+    if (reach.Test(doc.root())) out.SetAll();
+    return out;
+  }
+  return reach;
+}
+
+Result<NodeBitset> CoreLinearEvaluator::ConditionSet(const Expr& expr) {
+  auto cached = condition_cache_.find(expr.id());
+  if (cached != condition_cache_.end()) return cached->second;
+
+  Result<NodeBitset> result = [&]() -> Result<NodeBitset> {
+    switch (expr.kind()) {
+      case Expr::Kind::kBinary: {
+        const auto& binary = expr.As<xpath::BinaryExpr>();
+        auto lhs = ConditionSet(binary.lhs());
+        if (!lhs.ok()) return lhs.status();
+        auto rhs = ConditionSet(binary.rhs());
+        if (!rhs.ok()) return rhs.status();
+        NodeBitset out = *lhs;
+        if (binary.op() == BinaryOp::kAnd) {
+          out &= *rhs;
+        } else {
+          GKX_CHECK(binary.op() == BinaryOp::kOr);
+          out |= *rhs;
+        }
+        return out;
+      }
+      case Expr::Kind::kFunctionCall: {
+        const auto& call = expr.As<xpath::FunctionCall>();
+        GKX_CHECK(call.function() == Function::kNot);
+        auto arg = ConditionSet(call.arg(0));
+        if (!arg.ok()) return arg.status();
+        NodeBitset out = *arg;
+        out.Complement();
+        return out;
+      }
+      case Expr::Kind::kPath:
+        return PathOriginSet(expr.As<PathExpr>());
+      case Expr::Kind::kUnion: {
+        const auto& u = expr.As<xpath::UnionExpr>();
+        NodeBitset out(doc_->size());
+        for (size_t i = 0; i < u.branch_count(); ++i) {
+          auto branch = ConditionSet(u.branch(i));
+          if (!branch.ok()) return branch.status();
+          out |= *branch;
+        }
+        return out;
+      }
+      default:
+        return UnsupportedError("non-Core condition in core-linear evaluator");
+    }
+  }();
+
+  if (result.ok()) condition_cache_.emplace(expr.id(), *result);
+  return result;
+}
+
+}  // namespace gkx::eval

@@ -1,0 +1,60 @@
+// The O(|D|·|Q|) Core XPath evaluator of Gottlob–Koch–Pichler [3]
+// (Prop 2.7). Set-at-a-time: conditions are evaluated bottom-up as *sets of
+// nodes satisfying them* (bitsets), location paths as set-to-set axis images;
+// every axis image is computed by an O(|D|) tree sweep, so total time is
+// O(|D|·|Q|). Supports exactly Core XPath (Def 2.5): paths, predicates with
+// and/or/not, union — anything else returns kUnsupported.
+
+#ifndef GKX_EVAL_CORE_LINEAR_EVALUATOR_HPP_
+#define GKX_EVAL_CORE_LINEAR_EVALUATOR_HPP_
+
+#include <unordered_map>
+
+#include "eval/evaluator.hpp"
+
+namespace gkx::eval {
+
+/// Computes the image of `input` under `axis`: { y : ∃x ∈ input, y ∈ axis(x) }.
+/// One O(|D|) sweep per call (document order / subtree-range / sibling-chain
+/// recurrences — see the implementation notes).
+NodeBitset AxisImage(const xml::Document& doc, xpath::Axis axis,
+                     const NodeBitset& input);
+
+/// The axis χ' with y ∈ χ'(x) iff x ∈ χ(y) (child↔parent, descendant↔ancestor,
+/// following↔preceding, self↔self, ...-sibling mirrored).
+xpath::Axis InverseAxis(xpath::Axis axis);
+
+class CoreLinearEvaluator : public Evaluator {
+ public:
+  std::string_view name() const override { return "core-linear"; }
+
+  Result<Value> Evaluate(const xml::Document& doc, const xpath::Query& query,
+                         const Context& ctx) override;
+
+ private:
+  /// Set of nodes where the Core XPath condition holds (bexpr of Def 2.5).
+  Result<NodeBitset> ConditionSet(const xpath::Expr& expr);
+
+  /// Set of nodes from which the path (suffix starting at `step_index`)
+  /// selects at least one node — computed right-to-left via inverse axes.
+  Result<NodeBitset> PathOriginSet(const xpath::PathExpr& path);
+
+  /// Forward evaluation: image of `start` under the whole path.
+  Result<NodeBitset> EvalPathForward(const xpath::PathExpr& path,
+                                     const NodeBitset& start);
+
+  /// Forward evaluation of a path-or-union expression.
+  Result<NodeBitset> EvalNodeSetForward(const xpath::Expr& expr,
+                                        const NodeBitset& start);
+
+  NodeBitset TestSet(const xpath::Step& step);
+
+  const xml::Document* doc_ = nullptr;
+  // Condition sets are shared across all uses of a subexpression (the query
+  // is processed as a DAG of conditions), keyed by expression id.
+  std::unordered_map<int, NodeBitset> condition_cache_;
+};
+
+}  // namespace gkx::eval
+
+#endif  // GKX_EVAL_CORE_LINEAR_EVALUATOR_HPP_

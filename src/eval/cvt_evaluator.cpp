@@ -1,0 +1,87 @@
+#include "eval/cvt_evaluator.hpp"
+
+namespace gkx::eval {
+
+using xpath::ContextDependence;
+using xpath::Expr;
+
+Status CvtEvaluator::Prepare() {
+  analysis_ = xpath::Analyze(query());
+  const size_t n = static_cast<size_t>(query().num_exprs());
+  constant_.assign(n, std::nullopt);
+  by_node_.assign(n, {});
+  by_context_.assign(n, {});
+  table_entries_ = 0;
+
+  if (options_.eager) {
+    // Bottom-up pass: expression ids are preorder, so reverse id order
+    // visits children before parents. Fill the full context-value table of
+    // every node-dependent subexpression; position-dependent tables fill
+    // with their meaningful contexts as side effects of predicate loops.
+    for (int id = query().num_exprs() - 1; id >= 0; --id) {
+      const Expr& expr = query().expr(id);
+      switch (analysis_.traits(expr).dependence) {
+        case ContextDependence::kNone: {
+          auto value = Eval(expr, RootContext(doc()));
+          if (!value.ok()) return value.status();
+          break;
+        }
+        case ContextDependence::kNode: {
+          for (xml::NodeId v = 0; v < doc().size(); ++v) {
+            auto value = Eval(expr, Context{v, 1, 1});
+            if (!value.ok()) return value.status();
+          }
+          break;
+        }
+        case ContextDependence::kFull:
+          break;  // demand-filled
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool CvtEvaluator::LookupMemo(const Expr& expr, const Context& ctx, Value* out) {
+  const size_t id = static_cast<size_t>(expr.id());
+  switch (analysis_.traits(expr).dependence) {
+    case ContextDependence::kNone: {
+      if (!constant_[id].has_value()) return false;
+      *out = *constant_[id];
+      return true;
+    }
+    case ContextDependence::kNode: {
+      auto it = by_node_[id].find(ctx.node);
+      if (it == by_node_[id].end()) return false;
+      *out = it->second;
+      return true;
+    }
+    case ContextDependence::kFull: {
+      auto it = by_context_[id].find(PackContext(ctx));
+      if (it == by_context_[id].end()) return false;
+      *out = it->second;
+      return true;
+    }
+  }
+  GKX_CHECK(false);
+  return false;
+}
+
+void CvtEvaluator::StoreMemo(const Expr& expr, const Context& ctx,
+                             const Value& value) {
+  const size_t id = static_cast<size_t>(expr.id());
+  ++table_entries_;
+  switch (analysis_.traits(expr).dependence) {
+    case ContextDependence::kNone:
+      constant_[id] = value;
+      return;
+    case ContextDependence::kNode:
+      by_node_[id].emplace(ctx.node, value);
+      return;
+    case ContextDependence::kFull:
+      by_context_[id].emplace(PackContext(ctx), value);
+      return;
+  }
+  GKX_CHECK(false);
+}
+
+}  // namespace gkx::eval

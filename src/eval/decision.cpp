@@ -1,0 +1,60 @@
+#include "eval/decision.hpp"
+
+namespace gkx::eval {
+
+Status ValidateInstance(const SingletonSuccessInstance& instance) {
+  if (instance.doc == nullptr || instance.query == nullptr) {
+    return InvalidArgumentError("instance needs a document and a query");
+  }
+  const ValueType query_type = xpath::StaticType(instance.query->root());
+  if (instance.value.type() != query_type) {
+    return InvalidArgumentError(
+        "value type does not match the query's static type (Definition 5.3)");
+  }
+  switch (query_type) {
+    case ValueType::kBoolean:
+      if (!instance.value.boolean()) {
+        return InvalidArgumentError(
+            "boolean results can only be checked for true (Definition 5.3; "
+            "false goes through the complement, Prop 2.4)");
+      }
+      break;
+    case ValueType::kNodeSet:
+      if (instance.value.nodes().size() != 1) {
+        return InvalidArgumentError(
+            "node-set instances take a single node v (Definition 5.3)");
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::Ok();
+}
+
+Result<bool> DecideSingletonSuccess(const SingletonSuccessInstance& instance,
+                                    Evaluator* engine) {
+  GKX_CHECK(engine != nullptr);
+  GKX_RETURN_IF_ERROR(ValidateInstance(instance));
+  auto value = engine->Evaluate(*instance.doc, *instance.query, instance.context);
+  if (!value.ok()) return value.status();
+  if (value->is_node_set()) {
+    return SetContains(value->nodes(), instance.value.nodes().front());
+  }
+  return value->Equals(instance.value);
+}
+
+Result<bool> DecideSingletonSuccessPda(const SingletonSuccessInstance& instance,
+                                       PdaEvaluator::Options options) {
+  GKX_RETURN_IF_ERROR(ValidateInstance(instance));
+  PdaEvaluator pda(options);
+  if (xpath::StaticType(instance.query->root()) == ValueType::kNodeSet) {
+    return pda.CheckCandidate(*instance.doc, *instance.query, instance.context,
+                              instance.value.nodes().front());
+  }
+  auto value =
+      pda.Evaluate(*instance.doc, *instance.query, instance.context);
+  if (!value.ok()) return value.status();
+  return value->Equals(instance.value);
+}
+
+}  // namespace gkx::eval

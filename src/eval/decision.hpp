@@ -1,0 +1,47 @@
+// The Singleton-Success decision problem, exactly as in Definition 5.3:
+//
+//   Input: (D, Q, c⃗, v) — a document, a query, a context triple, and a
+//   value v (a number/string if Q has that type, `true` if Q is boolean, a
+//   single node if Q is node-set typed).
+//   Question: does Q on (D, c⃗) evaluate to v — resp. to a node set
+//   containing v?
+//
+// Two deciders are provided: the NAuxPDA simulation (the Lemma 5.4
+// algorithm, applicable to pWF/pXPath inputs) and a reference decider on
+// top of any Evaluator. The equivalence of the two on pWF is asserted by
+// the test suite — it is the content of Lemma 5.4.
+
+#ifndef GKX_EVAL_DECISION_HPP_
+#define GKX_EVAL_DECISION_HPP_
+
+#include "eval/evaluator.hpp"
+#include "eval/pda_evaluator.hpp"
+
+namespace gkx::eval {
+
+/// An instance of the Definition 5.3 problem. For node-set queries, `value`
+/// must be a singleton node-set.
+struct SingletonSuccessInstance {
+  const xml::Document* doc = nullptr;
+  const xpath::Query* query = nullptr;
+  Context context;
+  Value value;
+};
+
+/// Validates the instance's typing rules from Definition 5.3 (booleans may
+/// only be checked for `true`; node-set values must be singletons; the
+/// value type must match the query's static type).
+Status ValidateInstance(const SingletonSuccessInstance& instance);
+
+/// Reference decider: evaluates Q with `engine` and compares.
+Result<bool> DecideSingletonSuccess(const SingletonSuccessInstance& instance,
+                                    Evaluator* engine);
+
+/// The Lemma 5.4 decider: NAuxPDA simulation, pWF/pXPath only (returns
+/// kUnsupported outside). Never materializes node sets.
+Result<bool> DecideSingletonSuccessPda(const SingletonSuccessInstance& instance,
+                                       PdaEvaluator::Options options = {});
+
+}  // namespace gkx::eval
+
+#endif  // GKX_EVAL_DECISION_HPP_

@@ -1,0 +1,31 @@
+#include "eval/engine.hpp"
+
+#include <utility>
+
+namespace gkx::eval {
+
+Result<Engine::Answer> Engine::Run(const xml::Document& doc,
+                                   std::string_view query_text) {
+  auto query = xpath::ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  return Run(doc, *query, RootContext(doc));
+}
+
+Result<Engine::Answer> Engine::Run(const xml::Document& doc,
+                                   const xpath::Query& query,
+                                   const Context& ctx) {
+  Answer answer;
+  answer.fragment = xpath::Classify(query);
+  Evaluator& engine = answer.fragment.in_pf
+                          ? static_cast<Evaluator&>(pf_)
+                          : answer.fragment.in_core
+                                ? static_cast<Evaluator&>(linear_)
+                                : static_cast<Evaluator&>(cvt_);
+  answer.evaluator = std::string(engine.name());
+  auto value = engine.Evaluate(doc, query, ctx);
+  if (!value.ok()) return value.status();
+  answer.value = std::move(value).value();
+  return answer;
+}
+
+}  // namespace gkx::eval

@@ -1,0 +1,46 @@
+// The user-facing facade: classify the query against the paper's fragment
+// taxonomy (Figure 1) and dispatch to the cheapest sound engine —
+//   PF (paths only, NL)                   -> pf-frontier bitset sweeps
+//   Core XPath (incl. positive Core)      -> core-linear, O(|D|·|Q|)
+//   anything else                         -> context-value tables, polynomial
+
+#ifndef GKX_EVAL_ENGINE_HPP_
+#define GKX_EVAL_ENGINE_HPP_
+
+#include <memory>
+#include <string>
+
+#include "eval/core_linear_evaluator.hpp"
+#include "eval/cvt_evaluator.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/pf_evaluator.hpp"
+#include "eval/recursive_base.hpp"
+#include "xpath/fragment.hpp"
+#include "xpath/parser.hpp"
+
+namespace gkx::eval {
+
+class Engine {
+ public:
+  struct Answer {
+    Value value;
+    xpath::FragmentReport fragment;
+    std::string evaluator;  // engine that produced the value
+  };
+
+  /// Parses and runs a query from the root context.
+  Result<Answer> Run(const xml::Document& doc, std::string_view query_text);
+
+  /// Runs a parsed query from a given context.
+  Result<Answer> Run(const xml::Document& doc, const xpath::Query& query,
+                     const Context& ctx);
+
+ private:
+  PfEvaluator pf_;
+  CoreLinearEvaluator linear_;
+  CvtEvaluator cvt_;
+};
+
+}  // namespace gkx::eval
+
+#endif  // GKX_EVAL_ENGINE_HPP_

@@ -1,0 +1,48 @@
+#include "eval/evaluator.hpp"
+
+#include <utility>
+
+namespace gkx::eval {
+
+Result<NodeSet> Evaluator::EvaluateNodeSet(const xml::Document& doc,
+                                           const xpath::Query& query) {
+  auto value = EvaluateAtRoot(doc, query);
+  if (!value.ok()) return value.status();
+  if (!value->is_node_set()) {
+    return InvalidArgumentError(
+        "query does not evaluate to a node-set (got " +
+        std::string(xpath::ValueTypeName(value->type())) + ")");
+  }
+  return std::move(value).value().TakeNodes();
+}
+
+bool PredicateTruth(const Value& value, const Context& ctx) {
+  if (value.type() == ValueType::kNumber) {
+    return value.number() == static_cast<double>(ctx.position);
+  }
+  return value.ToBoolean();
+}
+
+Status ApplyStep(const xml::Document& doc, const xpath::Step& step,
+                 const ResolvedTest& test, xml::NodeId origin,
+                 const PredicateFn& eval_predicate,
+                 std::vector<xml::NodeId>* out) {
+  std::vector<xml::NodeId> candidates = AxisNodes(doc, origin, step.axis, test);
+  for (const xpath::ExprPtr& predicate : step.predicates) {
+    if (candidates.empty()) break;
+    std::vector<xml::NodeId> survivors;
+    survivors.reserve(candidates.size());
+    const int64_t size = static_cast<int64_t>(candidates.size());
+    for (int64_t i = 0; i < size; ++i) {
+      Context ctx{candidates[static_cast<size_t>(i)], i + 1, size};
+      auto keep = eval_predicate(*predicate, ctx);
+      if (!keep.ok()) return keep.status();
+      if (*keep) survivors.push_back(ctx.node);
+    }
+    candidates = std::move(survivors);  // re-ranked for the next predicate
+  }
+  out->insert(out->end(), candidates.begin(), candidates.end());
+  return Status::Ok();
+}
+
+}  // namespace gkx::eval

@@ -1,0 +1,68 @@
+// The evaluator interface shared by the five engines of this repository
+// (naive, context-value-table, Core-XPath-linear, NAuxPDA, parallel), plus
+// the step-application machinery common to the recursive engines: axis
+// enumeration in axis order, predicate chains with position re-ranking
+// between iterated predicates, and the numeric-predicate coercion
+// ([2] == [position()=2]).
+
+#ifndef GKX_EVAL_EVALUATOR_HPP_
+#define GKX_EVAL_EVALUATOR_HPP_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hpp"
+#include "eval/axes.hpp"
+#include "eval/context.hpp"
+#include "eval/value.hpp"
+#include "xpath/ast.hpp"
+
+namespace gkx::eval {
+
+/// Common interface. Evaluators are stateful per call but reusable; they are
+/// not thread-safe unless documented otherwise.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Short identifier ("naive", "cvt-lazy", "core-linear", "pda", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Evaluates `query` on `doc` in context `ctx`. Returns kUnsupported if the
+  /// query falls outside this engine's fragment.
+  virtual Result<Value> Evaluate(const xml::Document& doc,
+                                 const xpath::Query& query,
+                                 const Context& ctx) = 0;
+
+  /// Evaluate in the initial context ⟨root, 1, 1⟩.
+  Result<Value> EvaluateAtRoot(const xml::Document& doc,
+                               const xpath::Query& query) {
+    return Evaluate(doc, query, RootContext(doc));
+  }
+
+  /// Evaluate at root and require a node-set result.
+  Result<NodeSet> EvaluateNodeSet(const xml::Document& doc,
+                                  const xpath::Query& query);
+};
+
+/// Truth of a predicate value in a context: numbers are implicit position
+/// tests ([2] means [position()=2]); everything else is boolean().
+bool PredicateTruth(const Value& value, const Context& ctx);
+
+/// Evaluation of a predicate expression in a context: Result<bool>.
+using PredicateFn =
+    std::function<Result<bool>(const xpath::Expr&, const Context&)>;
+
+/// Applies one location step from `origin`: enumerates axis::test candidates
+/// in axis order, filters through the predicate chain (positions re-ranked
+/// among survivors between consecutive predicates), and appends the
+/// survivors to *out in axis order.
+Status ApplyStep(const xml::Document& doc, const xpath::Step& step,
+                 const ResolvedTest& test, xml::NodeId origin,
+                 const PredicateFn& eval_predicate,
+                 std::vector<xml::NodeId>* out);
+
+}  // namespace gkx::eval
+
+#endif  // GKX_EVAL_EVALUATOR_HPP_

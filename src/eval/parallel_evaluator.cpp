@@ -1,0 +1,70 @@
+#include "eval/parallel_evaluator.hpp"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace gkx::eval {
+
+Result<Value> ParallelPdaEvaluator::Evaluate(const xml::Document& doc,
+                                             const xpath::Query& query,
+                                             const Context& ctx) {
+  if (xpath::StaticType(query.root()) != ValueType::kNodeSet) {
+    // Scalar results have nothing to fan out over; delegate.
+    PdaEvaluator sequential(options_.pda);
+    return sequential.Evaluate(doc, query, ctx);
+  }
+
+  int threads = options_.threads > 0
+                    ? options_.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  const int32_t n = doc.size();
+  if (threads > n) threads = n;
+
+  // One flag per candidate; workers claim candidates via an atomic cursor
+  // (dynamic load balancing — candidate costs are highly skewed).
+  std::vector<uint8_t> selected(static_cast<size_t>(n), 0);
+  std::vector<Status> failures(static_cast<size_t>(threads), Status::Ok());
+  std::atomic<int32_t> cursor{0};
+  constexpr int32_t kChunk = 16;
+
+  auto worker = [&](int thread_index) {
+    PdaEvaluator pda(options_.pda);
+    while (true) {
+      const int32_t begin = cursor.fetch_add(kChunk);
+      if (begin >= n) return;
+      const int32_t end = begin + kChunk < n ? begin + kChunk : n;
+      for (int32_t v = begin; v < end; ++v) {
+        auto in = pda.CheckCandidate(doc, query, ctx, v);
+        if (!in.ok()) {
+          failures[static_cast<size_t>(thread_index)] = in.status();
+          return;
+        }
+        selected[static_cast<size_t>(v)] = *in ? 1 : 0;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const Status& status : failures) {
+    if (!status.ok()) return status;
+  }
+  NodeSet out;
+  for (int32_t v = 0; v < n; ++v) {
+    if (selected[static_cast<size_t>(v)]) out.push_back(v);
+  }
+  return Value::Nodes(std::move(out));
+}
+
+}  // namespace gkx::eval

@@ -1,0 +1,37 @@
+// Multi-threaded realization of Remark 5.6: because pWF/pXPath evaluation is
+// in LOGCFL ⊆ NC2, the per-candidate Singleton-Success checks of Theorem 5.5
+// are independent and can run in parallel. This engine partitions the
+// candidate result nodes over a thread pool, each thread running its own
+// PdaEvaluator instance (memo tables are thread-local). Results are
+// deterministic and identical to the sequential engines.
+
+#ifndef GKX_EVAL_PARALLEL_EVALUATOR_HPP_
+#define GKX_EVAL_PARALLEL_EVALUATOR_HPP_
+
+#include "eval/pda_evaluator.hpp"
+
+namespace gkx::eval {
+
+class ParallelPdaEvaluator : public Evaluator {
+ public:
+  struct Options {
+    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    int threads = 0;
+    PdaEvaluator::Options pda;
+  };
+
+  ParallelPdaEvaluator() = default;
+  explicit ParallelPdaEvaluator(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "parallel-pda"; }
+
+  Result<Value> Evaluate(const xml::Document& doc, const xpath::Query& query,
+                         const Context& ctx) override;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace gkx::eval
+
+#endif  // GKX_EVAL_PARALLEL_EVALUATOR_HPP_

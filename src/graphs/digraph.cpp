@@ -1,0 +1,72 @@
+#include "graphs/digraph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace gkx::graphs {
+
+void Digraph::AddEdge(int32_t u, int32_t v) {
+  GKX_CHECK(u >= 0 && u < num_vertices());
+  GKX_CHECK(v >= 0 && v < num_vertices());
+  auto& out = adjacency_[static_cast<size_t>(u)];
+  if (std::find(out.begin(), out.end(), v) == out.end()) {
+    out.push_back(v);
+    ++num_edges_;
+  }
+}
+
+bool Digraph::HasEdge(int32_t u, int32_t v) const {
+  GKX_CHECK(u >= 0 && u < num_vertices());
+  const auto& out = adjacency_[static_cast<size_t>(u)];
+  return std::find(out.begin(), out.end(), v) != out.end();
+}
+
+void Digraph::AddSelfLoops() {
+  for (int32_t v = 0; v < num_vertices(); ++v) AddEdge(v, v);
+}
+
+std::vector<bool> ReachableFrom(const Digraph& graph, int32_t src) {
+  GKX_CHECK(src >= 0 && src < graph.num_vertices());
+  std::vector<bool> seen(static_cast<size_t>(graph.num_vertices()), false);
+  std::deque<int32_t> queue = {src};
+  seen[static_cast<size_t>(src)] = true;
+  while (!queue.empty()) {
+    int32_t u = queue.front();
+    queue.pop_front();
+    for (int32_t v : graph.OutEdges(u)) {
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+bool IsReachable(const Digraph& graph, int32_t src, int32_t dst) {
+  return ReachableFrom(graph, src)[static_cast<size_t>(dst)];
+}
+
+Digraph RandomDigraph(Rng* rng, int32_t n, double edge_probability) {
+  Digraph graph(n);
+  for (int32_t u = 0; u < n; ++u) {
+    for (int32_t v = 0; v < n; ++v) {
+      if (u != v && rng->Bernoulli(edge_probability)) graph.AddEdge(u, v);
+    }
+  }
+  return graph;
+}
+
+Digraph PathGraph(int32_t n) {
+  Digraph graph(n);
+  for (int32_t v = 0; v + 1 < n; ++v) graph.AddEdge(v, v + 1);
+  return graph;
+}
+
+Digraph CycleGraph(int32_t n) {
+  Digraph graph(n);
+  for (int32_t v = 0; v < n; ++v) graph.AddEdge(v, (v + 1) % n);
+  return graph;
+}
+
+}  // namespace gkx::graphs

@@ -1,0 +1,61 @@
+// Directed graphs and BFS reachability — the substrate and ground truth for
+// the Theorem 4.3 / Figure 5 reduction (graph reachability -> PF queries).
+
+#ifndef GKX_GRAPHS_DIGRAPH_HPP_
+#define GKX_GRAPHS_DIGRAPH_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.hpp"
+#include "base/rng.hpp"
+
+namespace gkx::graphs {
+
+class Digraph {
+ public:
+  explicit Digraph(int32_t num_vertices) {
+    GKX_CHECK_GE(num_vertices, 1);
+    adjacency_.resize(static_cast<size_t>(num_vertices));
+  }
+
+  int32_t num_vertices() const { return static_cast<int32_t>(adjacency_.size()); }
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Adds u -> v (duplicates ignored).
+  void AddEdge(int32_t u, int32_t v);
+
+  bool HasEdge(int32_t u, int32_t v) const;
+
+  const std::vector<int32_t>& OutEdges(int32_t u) const {
+    GKX_CHECK(u >= 0 && u < num_vertices());
+    return adjacency_[static_cast<size_t>(u)];
+  }
+
+  /// Adds a self-loop to every vertex (the paper's trick to reduce
+  /// reachability to fixed-length path existence).
+  void AddSelfLoops();
+
+ private:
+  std::vector<std::vector<int32_t>> adjacency_;
+  int64_t num_edges_ = 0;
+};
+
+/// BFS reachability set from src.
+std::vector<bool> ReachableFrom(const Digraph& graph, int32_t src);
+
+/// BFS reachability test (src reaches dst; trivially true for src == dst).
+bool IsReachable(const Digraph& graph, int32_t src, int32_t dst);
+
+/// G(n, p) random digraph (no self-loops unless added explicitly).
+Digraph RandomDigraph(Rng* rng, int32_t n, double edge_probability);
+
+/// Simple path 0 -> 1 -> ... -> n-1.
+Digraph PathGraph(int32_t n);
+
+/// Directed cycle over n vertices.
+Digraph CycleGraph(int32_t n);
+
+}  // namespace gkx::graphs
+
+#endif  // GKX_GRAPHS_DIGRAPH_HPP_

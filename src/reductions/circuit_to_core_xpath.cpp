@@ -1,0 +1,132 @@
+#include "reductions/circuit_to_core_xpath.hpp"
+
+#include <string>
+#include <utility>
+
+#include "xml/builder.hpp"
+#include "xpath/build.hpp"
+
+namespace gkx::reductions {
+
+using circuits::Circuit;
+using circuits::GateKind;
+using xml::BuildNodeId;
+using xml::TreeBuilder;
+using xpath::Axis;
+using xpath::ExprPtr;
+using xpath::NodeTest;
+namespace build = xpath::build;
+
+namespace {
+
+std::string ILabel(int32_t k) { return "I" + std::to_string(k); }
+std::string OLabel(int32_t k) { return "O" + std::to_string(k); }
+
+/// πk = ancestor-or-self::*[T(G) and ϕ(k-1)] — or the Corollary 3.3 variant
+/// descendant-or-self::*/parent::*[T(G) and ϕ(k-1)].
+ExprPtr BuildPi(ExprPtr phi_prev, bool corollary33) {
+  ExprPtr condition = build::And(build::LabelTest("G"), std::move(phi_prev));
+  std::vector<ExprPtr> preds;
+  preds.push_back(std::move(condition));
+  if (!corollary33) {
+    return build::StepPath(build::AnyStep(Axis::kAncestorOrSelf, std::move(preds)));
+  }
+  std::vector<xpath::Step> steps;
+  steps.push_back(build::AnyStep(Axis::kDescendantOrSelf));
+  steps.push_back(build::AnyStep(Axis::kParent, std::move(preds)));
+  return build::Path(/*absolute=*/false, std::move(steps));
+}
+
+}  // namespace
+
+CircuitReduction CircuitToCoreXPath(const Circuit& circuit,
+                                    const std::vector<bool>& assignment,
+                                    const CircuitReductionOptions& options) {
+  GKX_CHECK(circuit.Validate().ok());
+  GKX_CHECK_EQ(circuit.output(), circuit.size() - 1);
+  const int32_t m = circuit.num_inputs();
+  const int32_t n = circuit.num_logic_gates();
+  GKX_CHECK_EQ(static_cast<int32_t>(assignment.size()), m);
+  GKX_CHECK_GE(n, 1);
+
+  // ---- Document -----------------------------------------------------------
+  TreeBuilder builder("root");
+  std::vector<BuildNodeId> v(static_cast<size_t>(m + n));
+  std::vector<BuildNodeId> vp(static_cast<size_t>(m + n));
+  for (int32_t i = 0; i < m + n; ++i) {
+    v[static_cast<size_t>(i)] = builder.AddChild(builder.root(), "n");
+    builder.AddLabel(v[static_cast<size_t>(i)], "G");
+    vp[static_cast<size_t>(i)] =
+        builder.AddChild(v[static_cast<size_t>(i)], "n");
+  }
+  // Input truth values.
+  for (int32_t i = 0; i < m; ++i) {
+    builder.AddLabel(v[static_cast<size_t>(i)],
+                     assignment[static_cast<size_t>(i)] ? "T1" : "T0");
+  }
+  // Wiring: gate G(M+k) (paper 1-based k; circuit index m+k-1) reading gate
+  // Gi (circuit index i-1) puts I<k> on v(i).
+  for (int32_t k = 1; k <= n; ++k) {
+    const circuits::Gate& gate = circuit.gate(m + k - 1);
+    for (int32_t in : gate.inputs) {
+      builder.AddLabel(v[static_cast<size_t>(in)], ILabel(k));
+    }
+    builder.AddLabel(v[static_cast<size_t>(m + k - 1)], OLabel(k));
+  }
+  builder.AddLabel(v[static_cast<size_t>(m + n - 1)], "R");
+  // v'i labels: inputs carry everything; v'(M+j) carries {I,O}<k> for k >= j.
+  for (int32_t i = 0; i < m + n; ++i) {
+    const int32_t from_k = i < m ? 1 : i - m + 1;
+    for (int32_t k = from_k; k <= n; ++k) {
+      builder.AddLabel(vp[static_cast<size_t>(i)], ILabel(k));
+      builder.AddLabel(vp[static_cast<size_t>(i)], OLabel(k));
+    }
+  }
+
+  // ---- Query --------------------------------------------------------------
+  ExprPtr phi = build::LabelTest("T1");  // ϕ0 = T(1)
+  for (int32_t k = 1; k <= n; ++k) {
+    ExprPtr pi = BuildPi(std::move(phi), options.corollary33_axes);
+    const bool is_and = circuit.gate(m + k - 1).kind == GateKind::kAnd;
+    ExprPtr psi;
+    if (is_and) {
+      // ψk = not(child::*[T(Ik) and not(πk)]).
+      ExprPtr inner = build::And(build::LabelTest(ILabel(k)),
+                                 build::Not(std::move(pi)));
+      std::vector<ExprPtr> preds;
+      preds.push_back(std::move(inner));
+      psi = build::Not(
+          build::StepPath(build::AnyStep(Axis::kChild, std::move(preds))));
+    } else {
+      // ψk = child::*[T(Ik) and πk].
+      ExprPtr inner = build::And(build::LabelTest(ILabel(k)), std::move(pi));
+      std::vector<ExprPtr> preds;
+      preds.push_back(std::move(inner));
+      psi = build::StepPath(build::AnyStep(Axis::kChild, std::move(preds)));
+    }
+    // ϕk = descendant-or-self::*[T(Ok) and parent::*[ψk]].
+    std::vector<ExprPtr> parent_preds;
+    parent_preds.push_back(std::move(psi));
+    ExprPtr parent_path =
+        build::StepPath(build::AnyStep(Axis::kParent, std::move(parent_preds)));
+    ExprPtr condition =
+        build::And(build::LabelTest(OLabel(k)), std::move(parent_path));
+    std::vector<ExprPtr> preds;
+    preds.push_back(std::move(condition));
+    phi = build::StepPath(
+        build::AnyStep(Axis::kDescendantOrSelf, std::move(preds)));
+  }
+
+  // /descendant-or-self::*[T(R) and ϕN].
+  std::vector<ExprPtr> root_preds;
+  root_preds.push_back(build::And(build::LabelTest("R"), std::move(phi)));
+  std::vector<xpath::Step> steps;
+  steps.push_back(build::AnyStep(Axis::kDescendantOrSelf, std::move(root_preds)));
+
+  CircuitReduction out{std::move(builder).Build(),
+                       xpath::Query::Create(
+                           build::Path(/*absolute=*/true, std::move(steps)))};
+  return out;
+}
+
+}  // namespace gkx::reductions

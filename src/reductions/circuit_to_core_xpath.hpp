@@ -1,0 +1,53 @@
+// Theorem 3.2: the P-hardness reduction from the monotone circuit value
+// problem to Core XPath evaluation, implemented exactly as in the paper.
+//
+// Document (depth 2, multi-label nodes per Remark 3.1): a root v0 with
+// children v1..v(M+N), each vi having one child v'i. Labels:
+//   * vi: G; input vi (i<=M): T1/T0 per the assignment; vi: I<k> iff gate
+//     G(M+k) reads gate Gi; v(M+k): O<k>; v(M+N): R.
+//   * v'i (i<=M): all of I1..IN, O1..ON; v'(M+j): { I<k>, O<k> : j <= k <= N }.
+// Query (linear in the circuit size; T(l) emitted as the condition self::l):
+//   /descendant-or-self::*[T(R) and ϕN]
+//   ϕk = descendant-or-self::*[T(Ok) and parent::*[ψk]]
+//   ψk = not(child::*[T(Ik) and not(πk)])        for ∧-gates
+//   ψk = child::*[T(Ik) and πk]                  for ∨-gates
+//   πk = ancestor-or-self::*[T(G) and ϕ(k-1)],   ϕ0 = T(1)
+//
+// Corollary 3.3 mode replaces ancestor-or-self::* in πk by
+// descendant-or-self::*/parent::*, so only the axes child, parent and
+// descendant-or-self occur.
+//
+// Guarantee (verified by the property tests): the query result is non-empty
+// iff the circuit evaluates to true.
+
+#ifndef GKX_REDUCTIONS_CIRCUIT_TO_CORE_XPATH_HPP_
+#define GKX_REDUCTIONS_CIRCUIT_TO_CORE_XPATH_HPP_
+
+#include <vector>
+
+#include "circuits/circuit.hpp"
+#include "xml/document.hpp"
+#include "xpath/ast.hpp"
+
+namespace gkx::reductions {
+
+struct CircuitReduction {
+  xml::Document doc;
+  xpath::Query query;
+};
+
+struct CircuitReductionOptions {
+  /// Use the Corollary 3.3 axis set {child, parent, descendant-or-self}.
+  bool corollary33_axes = false;
+};
+
+/// Builds (document, Core XPath query) for a monotone circuit and input
+/// assignment. The circuit must Validate(); the output gate must be the last
+/// gate (paper convention G(M+N)).
+CircuitReduction CircuitToCoreXPath(const circuits::Circuit& circuit,
+                                    const std::vector<bool>& assignment,
+                                    const CircuitReductionOptions& options = {});
+
+}  // namespace gkx::reductions
+
+#endif  // GKX_REDUCTIONS_CIRCUIT_TO_CORE_XPATH_HPP_

@@ -1,0 +1,134 @@
+#include "reductions/circuit_to_iterated_pwf.hpp"
+
+#include <string>
+#include <utility>
+
+#include "xml/builder.hpp"
+#include "xpath/build.hpp"
+
+namespace gkx::reductions {
+
+using circuits::Circuit;
+using circuits::GateKind;
+using xml::BuildNodeId;
+using xml::TreeBuilder;
+using xpath::Axis;
+using xpath::BinaryOp;
+using xpath::ExprPtr;
+namespace build = xpath::build;
+
+namespace {
+
+std::string ILabel(int32_t k) { return "I" + std::to_string(k); }
+std::string OLabel(int32_t k) { return "O" + std::to_string(k); }
+
+/// π'k = ancestor-or-self::*[(T(G) and ϕ'(k-1)) or T(A)], with an extra
+/// predicate appended to the (single) step: [last() = 1] or [last() > 1].
+ExprPtr BuildPiWithLastTest(ExprPtr phi_prev, bool last_equals_one) {
+  ExprPtr condition =
+      build::Or(build::And(build::LabelTest("G"), std::move(phi_prev)),
+                build::LabelTest("A"));
+  ExprPtr last_test = build::Binary(
+      last_equals_one ? BinaryOp::kEq : BinaryOp::kGt, build::Last(),
+      build::Number(1));
+  std::vector<ExprPtr> preds;
+  preds.push_back(std::move(condition));
+  preds.push_back(std::move(last_test));  // iterated predicate
+  return build::StepPath(build::AnyStep(Axis::kAncestorOrSelf, std::move(preds)));
+}
+
+}  // namespace
+
+CircuitReduction CircuitToIteratedPwf(const Circuit& circuit,
+                                      const std::vector<bool>& assignment) {
+  GKX_CHECK(circuit.Validate().ok());
+  GKX_CHECK_EQ(circuit.output(), circuit.size() - 1);
+  const int32_t m = circuit.num_inputs();
+  const int32_t n = circuit.num_logic_gates();
+  GKX_CHECK_EQ(static_cast<int32_t>(assignment.size()), m);
+  GKX_CHECK_GE(n, 1);
+
+  // ---- Document D' --------------------------------------------------------
+  TreeBuilder builder("root");
+  builder.AddLabel(builder.root(), "A");
+  std::vector<BuildNodeId> v(static_cast<size_t>(m + n));
+  std::vector<BuildNodeId> vp(static_cast<size_t>(m + n));
+  for (int32_t i = 0; i < m + n; ++i) {
+    v[static_cast<size_t>(i)] = builder.AddChild(builder.root(), "n");
+    builder.AddLabel(v[static_cast<size_t>(i)], "G");
+    vp[static_cast<size_t>(i)] = builder.AddChild(v[static_cast<size_t>(i)], "n");
+  }
+  for (int32_t i = 0; i < m; ++i) {
+    builder.AddLabel(v[static_cast<size_t>(i)],
+                     assignment[static_cast<size_t>(i)] ? "T1" : "T0");
+  }
+  for (int32_t k = 1; k <= n; ++k) {
+    const circuits::Gate& gate = circuit.gate(m + k - 1);
+    for (int32_t in : gate.inputs) {
+      builder.AddLabel(v[static_cast<size_t>(in)], ILabel(k));
+    }
+    builder.AddLabel(v[static_cast<size_t>(m + k - 1)], OLabel(k));
+  }
+  builder.AddLabel(v[static_cast<size_t>(m + n - 1)], "R");
+  for (int32_t i = 0; i < m + n; ++i) {
+    const int32_t from_k = i < m ? 1 : i - m + 1;
+    for (int32_t k = from_k; k <= n; ++k) {
+      builder.AddLabel(vp[static_cast<size_t>(i)], ILabel(k));
+      builder.AddLabel(vp[static_cast<size_t>(i)], OLabel(k));
+    }
+  }
+  // The W children: one per vi (right-most), plus w0 under the root.
+  for (int32_t i = 0; i < m + n; ++i) {
+    BuildNodeId w = builder.AddChild(v[static_cast<size_t>(i)], "n");
+    builder.AddLabel(w, "W");
+  }
+  BuildNodeId w0 = builder.AddChild(builder.root(), "n");
+  builder.AddLabel(w0, "W");
+
+  // ---- Query (negation-free, predicate chains of length <= 2) -------------
+  ExprPtr phi = build::LabelTest("T1");
+  for (int32_t k = 1; k <= n; ++k) {
+    const bool is_and = circuit.gate(m + k - 1).kind == GateKind::kAnd;
+    ExprPtr psi;
+    if (is_and) {
+      // ψ'k = child::*[(T(Ik) and π'k[last()=1]) or T(W)][last()=1].
+      ExprPtr pi = BuildPiWithLastTest(std::move(phi), /*last_equals_one=*/true);
+      ExprPtr first =
+          build::Or(build::And(build::LabelTest(ILabel(k)), std::move(pi)),
+                    build::LabelTest("W"));
+      ExprPtr second = build::Binary(BinaryOp::kEq, build::Last(), build::Number(1));
+      std::vector<ExprPtr> preds;
+      preds.push_back(std::move(first));
+      preds.push_back(std::move(second));
+      psi = build::StepPath(build::AnyStep(Axis::kChild, std::move(preds)));
+    } else {
+      // ψ'k = child::*[T(Ik) and π'k[last()>1]].
+      ExprPtr pi = BuildPiWithLastTest(std::move(phi), /*last_equals_one=*/false);
+      ExprPtr condition = build::And(build::LabelTest(ILabel(k)), std::move(pi));
+      std::vector<ExprPtr> preds;
+      preds.push_back(std::move(condition));
+      psi = build::StepPath(build::AnyStep(Axis::kChild, std::move(preds)));
+    }
+    std::vector<ExprPtr> parent_preds;
+    parent_preds.push_back(std::move(psi));
+    ExprPtr parent_path =
+        build::StepPath(build::AnyStep(Axis::kParent, std::move(parent_preds)));
+    ExprPtr condition =
+        build::And(build::LabelTest(OLabel(k)), std::move(parent_path));
+    std::vector<ExprPtr> preds;
+    preds.push_back(std::move(condition));
+    phi = build::StepPath(
+        build::AnyStep(Axis::kDescendantOrSelf, std::move(preds)));
+  }
+
+  std::vector<ExprPtr> root_preds;
+  root_preds.push_back(build::And(build::LabelTest("R"), std::move(phi)));
+  std::vector<xpath::Step> steps;
+  steps.push_back(build::AnyStep(Axis::kDescendantOrSelf, std::move(root_preds)));
+
+  return CircuitReduction{
+      std::move(builder).Build(),
+      xpath::Query::Create(build::Path(/*absolute=*/true, std::move(steps)))};
+}
+
+}  // namespace gkx::reductions

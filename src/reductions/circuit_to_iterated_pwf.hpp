@@ -1,0 +1,35 @@
+// Theorem 5.7 / Corollary 5.8: pWF plus iterated predicates is P-complete.
+// Negation is *encoded* with predicate sequences of length 2 and last():
+//
+// Document D' = the Theorem 3.2 document extended with one extra child wi
+// (labeled W, right-most) under every vi including the root v0, and label A
+// on v0. Query:
+//   /descendant-or-self::*[T(R) and ϕ'N]
+//   ϕ'k = descendant-or-self::*[T(Ok) and parent::*[ψ'k]]
+//   ψ'k = child::*[(T(Ik) and π'k[last()=1]) or T(W)][last()=1]   (∧-gates)
+//   ψ'k = child::*[T(Ik) and π'k[last()>1]]                       (∨-gates)
+//   π'k = ancestor-or-self::*[(T(G) and ϕ'(k-1)) or T(A)]
+//   ϕ'0 = T(1)
+// π'k always matches the A-labeled root plus — exactly when the paper's πk
+// would match — one more node, so [last()=1] tests "πk empty" (i.e. not(πk))
+// and [last()>1] tests "πk non-empty". The query is negation-free, uses only
+// predicate sequences of length <= 2, and selects a non-empty result iff the
+// circuit accepts.
+
+#ifndef GKX_REDUCTIONS_CIRCUIT_TO_ITERATED_PWF_HPP_
+#define GKX_REDUCTIONS_CIRCUIT_TO_ITERATED_PWF_HPP_
+
+#include <vector>
+
+#include "circuits/circuit.hpp"
+#include "reductions/circuit_to_core_xpath.hpp"
+
+namespace gkx::reductions {
+
+/// Builds the Theorem 5.7 instance for a monotone circuit + assignment.
+CircuitReduction CircuitToIteratedPwf(const circuits::Circuit& circuit,
+                                      const std::vector<bool>& assignment);
+
+}  // namespace gkx::reductions
+
+#endif  // GKX_REDUCTIONS_CIRCUIT_TO_ITERATED_PWF_HPP_

@@ -1,0 +1,85 @@
+#include "reductions/reach_to_pf.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xml/builder.hpp"
+#include "xpath/build.hpp"
+
+namespace gkx::reductions {
+
+using graphs::Digraph;
+using xml::BuildNodeId;
+using xml::TreeBuilder;
+using xpath::Axis;
+using xpath::NodeTest;
+namespace build = xpath::build;
+
+namespace {
+
+std::string VertexLabel(int32_t v) { return "u" + std::to_string(v + 1); }
+
+}  // namespace
+
+xml::Document ReachabilityDocument(const Digraph& graph_with_loops) {
+  const int32_t n = graph_with_loops.num_vertices();
+  TreeBuilder builder("root");
+
+  // Spine p1..p(2n); p_d at depth d.
+  std::vector<BuildNodeId> spine(static_cast<size_t>(2 * n));
+  BuildNodeId current = builder.root();
+  for (int32_t d = 1; d <= 2 * n; ++d) {
+    current = builder.AddChild(current, "p");
+    spine[static_cast<size_t>(d - 1)] = current;
+    if (d <= n) builder.AddLabel(current, VertexLabel(d - 1));
+  }
+
+  // Adjacency bundles: lower port p_(n+i) gets one `c` child; per edge (i,j)
+  // a chain of `x` nodes with an `e` tip at absolute depth 3n+j+1.
+  for (int32_t i = 1; i <= n; ++i) {
+    BuildNodeId c = builder.AddChild(spine[static_cast<size_t>(n + i - 1)], "c");
+    // depth(c) = n + i + 1.
+    for (int32_t j0 : graph_with_loops.OutEdges(i - 1)) {
+      const int32_t j = j0 + 1;
+      const int32_t tip_depth = 3 * n + j + 1;
+      const int32_t chain_length = tip_depth - (n + i + 1);
+      GKX_CHECK_GE(chain_length, 1);
+      BuildNodeId node = c;
+      for (int32_t step = 1; step < chain_length; ++step) {
+        node = builder.AddChild(node, "x");
+      }
+      builder.AddChild(node, "e");
+    }
+  }
+  return std::move(builder).Build();
+}
+
+xpath::Query ReachabilityQuery(int32_t n, int32_t src, int32_t dst) {
+  GKX_CHECK(src >= 0 && src < n);
+  GKX_CHECK(dst >= 0 && dst < n);
+  std::vector<xpath::Step> steps;
+  steps.push_back(build::NamedStep(Axis::kDescendant, VertexLabel(src)));
+  for (int32_t hop = 0; hop < n; ++hop) {
+    // E := child::*^n / child::c / descendant::e / parent::*^(3n+1).
+    for (int32_t i = 0; i < n; ++i) steps.push_back(build::AnyStep(Axis::kChild));
+    steps.push_back(build::NamedStep(Axis::kChild, "c"));
+    steps.push_back(build::NamedStep(Axis::kDescendant, "e"));
+    for (int32_t i = 0; i < 3 * n + 1; ++i) {
+      steps.push_back(build::AnyStep(Axis::kParent));
+    }
+  }
+  steps.push_back(build::NamedStep(Axis::kSelf, VertexLabel(dst)));
+  return xpath::Query::Create(build::Path(/*absolute=*/true, std::move(steps)));
+}
+
+ReachabilityReduction ReachabilityToPf(const Digraph& graph, int32_t src,
+                                       int32_t dst) {
+  Digraph with_loops = graph;
+  with_loops.AddSelfLoops();
+  return ReachabilityReduction{
+      ReachabilityDocument(with_loops),
+      ReachabilityQuery(graph.num_vertices(), src, dst)};
+}
+
+}  // namespace gkx::reductions

@@ -1,0 +1,53 @@
+// Theorem 4.3 / Figure 5: NL-hardness of PF (predicate-free location paths)
+// via an L-reduction from directed-graph reachability.
+//
+// The paper gives the reduction by example; the figure's exact chain lengths
+// are not recoverable from the text, so we use the same ingredients with
+// constants we can prove correct (see DESIGN.md §3.4):
+//
+//   * a spine p1..p(2n) (node p_d at depth d, all labeled `p`); p_j (j <= n)
+//     additionally carries the vertex label `u<j>` ("upper port" of vertex
+//     j); p_(n+j) is vertex j's "lower port";
+//   * each lower port p_(n+i) has exactly one child labeled `c`, under which
+//     one unary chain of `x` nodes hangs per edge (i,j), ending in a tip
+//     labeled `e` at absolute depth 3n+j+1 (the target is unary-encoded in
+//     the tip's depth);
+//   * the edge-traversal path is
+//       E := child::*^n / child::c / descendant::e / parent::*^(3n+1)
+//     mapping the upper port of i to exactly the upper ports of i's
+//     out-neighbours (junk branches die at child::c; the tip's depth-j
+//     ancestor is always the spine node p_j because j <= n < n+i);
+//   * with self-loops added (the paper's trick), reachability becomes
+//       /descendant::u<src> / E^n / self::u<dst>  non-empty.
+//
+// Everything is PF: the 4 axes child/parent/descendant/self, no predicates.
+
+#ifndef GKX_REDUCTIONS_REACH_TO_PF_HPP_
+#define GKX_REDUCTIONS_REACH_TO_PF_HPP_
+
+#include "graphs/digraph.hpp"
+#include "xml/document.hpp"
+#include "xpath/ast.hpp"
+
+namespace gkx::reductions {
+
+struct ReachabilityReduction {
+  xml::Document doc;
+  xpath::Query query;
+};
+
+/// Builds (document, PF query) deciding "dst reachable from src in `graph`".
+/// Self-loops are added internally; the input graph is not modified.
+/// Vertices are 0-based.
+ReachabilityReduction ReachabilityToPf(const graphs::Digraph& graph,
+                                       int32_t src, int32_t dst);
+
+/// The document alone (shared across queries about the same graph).
+xml::Document ReachabilityDocument(const graphs::Digraph& graph_with_loops);
+
+/// The query alone (for a given vertex count n = graph.num_vertices()).
+xpath::Query ReachabilityQuery(int32_t n, int32_t src, int32_t dst);
+
+}  // namespace gkx::reductions
+
+#endif  // GKX_REDUCTIONS_REACH_TO_PF_HPP_

@@ -1,0 +1,131 @@
+#include "reductions/sac_to_positive_core.hpp"
+
+#include <string>
+#include <utility>
+
+#include "xml/builder.hpp"
+#include "xpath/build.hpp"
+
+namespace gkx::reductions {
+
+using circuits::Circuit;
+using circuits::GateKind;
+using xml::BuildNodeId;
+using xml::TreeBuilder;
+using xpath::Axis;
+using xpath::ExprPtr;
+namespace build = xpath::build;
+
+namespace {
+
+std::string I1Label(int32_t k) { return "Ia" + std::to_string(k); }
+std::string I2Label(int32_t k) { return "Ib" + std::to_string(k); }
+std::string ILabel(int32_t k) { return "I" + std::to_string(k); }
+std::string OLabel(int32_t k) { return "O" + std::to_string(k); }
+
+ExprPtr BuildPi(ExprPtr phi_prev) {
+  ExprPtr condition = build::And(build::LabelTest("G"), std::move(phi_prev));
+  std::vector<ExprPtr> preds;
+  preds.push_back(std::move(condition));
+  return build::StepPath(build::AnyStep(Axis::kAncestorOrSelf, std::move(preds)));
+}
+
+ExprPtr ChildCondition(const std::string& label, ExprPtr pi) {
+  ExprPtr inner = build::And(build::LabelTest(label), std::move(pi));
+  std::vector<ExprPtr> preds;
+  preds.push_back(std::move(inner));
+  return build::StepPath(build::AnyStep(Axis::kChild, std::move(preds)));
+}
+
+}  // namespace
+
+CircuitReduction SacToPositiveCoreXPath(const Circuit& circuit,
+                                        const std::vector<bool>& assignment) {
+  GKX_CHECK(circuit.Validate().ok());
+  GKX_CHECK(circuit.IsSemiUnbounded());
+  GKX_CHECK_EQ(circuit.output(), circuit.size() - 1);
+  const int32_t m = circuit.num_inputs();
+  const int32_t n = circuit.num_logic_gates();
+  GKX_CHECK_EQ(static_cast<int32_t>(assignment.size()), m);
+  GKX_CHECK_GE(n, 1);
+
+  // ---- Document -----------------------------------------------------------
+  TreeBuilder builder("root");
+  std::vector<BuildNodeId> v(static_cast<size_t>(m + n));
+  std::vector<BuildNodeId> vp(static_cast<size_t>(m + n));
+  for (int32_t i = 0; i < m + n; ++i) {
+    v[static_cast<size_t>(i)] = builder.AddChild(builder.root(), "n");
+    builder.AddLabel(v[static_cast<size_t>(i)], "G");
+    vp[static_cast<size_t>(i)] = builder.AddChild(v[static_cast<size_t>(i)], "n");
+  }
+  for (int32_t i = 0; i < m; ++i) {
+    builder.AddLabel(v[static_cast<size_t>(i)],
+                     assignment[static_cast<size_t>(i)] ? "T1" : "T0");
+  }
+  for (int32_t k = 1; k <= n; ++k) {
+    const circuits::Gate& gate = circuit.gate(m + k - 1);
+    if (gate.kind == GateKind::kAnd) {
+      // First feed gets I1<k>, second feed I2<k> (fan-in 1: both).
+      builder.AddLabel(v[static_cast<size_t>(gate.inputs.front())], I1Label(k));
+      builder.AddLabel(v[static_cast<size_t>(gate.inputs.back())], I2Label(k));
+    } else {
+      for (int32_t in : gate.inputs) {
+        builder.AddLabel(v[static_cast<size_t>(in)], ILabel(k));
+      }
+    }
+    builder.AddLabel(v[static_cast<size_t>(m + k - 1)], OLabel(k));
+  }
+  builder.AddLabel(v[static_cast<size_t>(m + n - 1)], "R");
+  for (int32_t i = 0; i < m + n; ++i) {
+    const int32_t from_k = i < m ? 1 : i - m + 1;
+    for (int32_t k = from_k; k <= n; ++k) {
+      if (circuit.gate(m + k - 1).kind == GateKind::kAnd) {
+        // Dummy input lines carry both ∧-labels.
+        builder.AddLabel(vp[static_cast<size_t>(i)], I1Label(k));
+        builder.AddLabel(vp[static_cast<size_t>(i)], I2Label(k));
+      } else {
+        builder.AddLabel(vp[static_cast<size_t>(i)], ILabel(k));
+      }
+      builder.AddLabel(vp[static_cast<size_t>(i)], OLabel(k));
+    }
+  }
+
+  // ---- Query (negation-free) ---------------------------------------------
+  ExprPtr phi = build::LabelTest("T1");
+  for (int32_t k = 1; k <= n; ++k) {
+    const bool is_and = circuit.gate(m + k - 1).kind == GateKind::kAnd;
+    ExprPtr psi;
+    if (is_and) {
+      // ψk = child::*[T(I1k) and πk] and child::*[T(I2k) and πk] — the πk
+      // subtree is duplicated (this is the paper's exponential-in-depth
+      // growth; acceptable for SAC1's logarithmic depth).
+      ExprPtr pi_first = BuildPi(build::CloneExpr(*phi));
+      ExprPtr pi_second = BuildPi(std::move(phi));
+      psi = build::And(ChildCondition(I1Label(k), std::move(pi_first)),
+                       ChildCondition(I2Label(k), std::move(pi_second)));
+    } else {
+      psi = ChildCondition(ILabel(k), BuildPi(std::move(phi)));
+    }
+    std::vector<ExprPtr> parent_preds;
+    parent_preds.push_back(std::move(psi));
+    ExprPtr parent_path =
+        build::StepPath(build::AnyStep(Axis::kParent, std::move(parent_preds)));
+    ExprPtr condition =
+        build::And(build::LabelTest(OLabel(k)), std::move(parent_path));
+    std::vector<ExprPtr> preds;
+    preds.push_back(std::move(condition));
+    phi = build::StepPath(
+        build::AnyStep(Axis::kDescendantOrSelf, std::move(preds)));
+  }
+
+  std::vector<ExprPtr> root_preds;
+  root_preds.push_back(build::And(build::LabelTest("R"), std::move(phi)));
+  std::vector<xpath::Step> steps;
+  steps.push_back(build::AnyStep(Axis::kDescendantOrSelf, std::move(root_preds)));
+
+  return CircuitReduction{
+      std::move(builder).Build(),
+      xpath::Query::Create(build::Path(/*absolute=*/true, std::move(steps)))};
+}
+
+}  // namespace gkx::reductions

@@ -1,0 +1,33 @@
+// Theorem 4.2: LOGCFL-hardness of positive Core XPath, by reduction from
+// SAC1 circuit value. The Theorem 3.2 construction is reused with two
+// changes (negation-free):
+//   * every ∧-layer k gets two input labels I1<k>, I2<k>; the real gate's
+//     first/second feed carries one each, and each dummy's single input line
+//     v'i carries both;
+//   * for ∧-gates, ψk = child::*[T(I1k) and πk] and child::*[T(I2k) and πk]
+//     — the bounded (fan-in <= 2) "and" replaces the unbounded "for all" that
+//     negation provided, at the cost of duplicating πk, so the query grows by
+//     a factor 2 per ∧-gate in the tower (polynomial for log-depth circuits,
+//     which is exactly the SAC1 promise; keep the ∧-count small here).
+//
+// Guarantee: the (negation-free) query result is non-empty iff the circuit
+// accepts.
+
+#ifndef GKX_REDUCTIONS_SAC_TO_POSITIVE_CORE_HPP_
+#define GKX_REDUCTIONS_SAC_TO_POSITIVE_CORE_HPP_
+
+#include <vector>
+
+#include "circuits/circuit.hpp"
+#include "reductions/circuit_to_core_xpath.hpp"
+
+namespace gkx::reductions {
+
+/// Builds (document, positive Core XPath query) for a semi-unbounded
+/// monotone circuit (AND fan-in <= 2) and an input assignment.
+CircuitReduction SacToPositiveCoreXPath(const circuits::Circuit& circuit,
+                                        const std::vector<bool>& assignment);
+
+}  // namespace gkx::reductions
+
+#endif  // GKX_REDUCTIONS_SAC_TO_POSITIVE_CORE_HPP_

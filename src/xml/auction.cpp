@@ -1,0 +1,79 @@
+#include "xml/auction.hpp"
+
+#include <string>
+
+#include "xml/builder.hpp"
+
+namespace gkx::xml {
+namespace {
+
+std::string Id(const char* prefix, int64_t index) {
+  return std::string(prefix) + std::to_string(index);
+}
+
+}  // namespace
+
+Document AuctionDocument(Rng* rng, const AuctionOptions& options) {
+  GKX_CHECK_GE(options.categories, 1);
+  GKX_CHECK_GE(options.people, 1);
+  GKX_CHECK_GE(options.items, 1);
+  GKX_CHECK_GE(options.open_auctions, 0);
+  TreeBuilder b("site");
+
+  BuildNodeId categories = b.AddChild(b.root(), "categories");
+  for (int32_t c = 0; c < options.categories; ++c) {
+    BuildNodeId category = b.AddChild(categories, "category");
+    b.AddAttribute(category, "id", Id("cat", c));
+    BuildNodeId name = b.AddChild(category, "name");
+    b.SetText(name, "category " + std::to_string(c));
+  }
+
+  BuildNodeId people = b.AddChild(b.root(), "people");
+  for (int32_t p = 0; p < options.people; ++p) {
+    BuildNodeId person = b.AddChild(people, "person");
+    b.AddAttribute(person, "id", Id("person", p));
+    BuildNodeId name = b.AddChild(person, "name");
+    b.SetText(name, "person " + std::to_string(p));
+    if (rng->Bernoulli(0.7)) {
+      BuildNodeId city = b.AddChild(person, "city");
+      b.SetText(city, "city " + std::to_string(rng->UniformInt(0, 4)));
+    }
+  }
+
+  BuildNodeId items = b.AddChild(b.root(), "items");
+  for (int32_t i = 0; i < options.items; ++i) {
+    BuildNodeId item = b.AddChild(items, "item");
+    b.AddAttribute(item, "id", Id("item", i));
+    BuildNodeId name = b.AddChild(item, "name");
+    b.SetText(name, "item " + std::to_string(i));
+    BuildNodeId price = b.AddChild(item, "price");
+    b.SetText(price, std::to_string(rng->UniformInt(1, options.max_price)));
+    BuildNodeId seller = b.AddChild(item, "seller");
+    b.SetText(seller, std::to_string(rng->UniformInt(0, options.people - 1)));
+    BuildNodeId category = b.AddChild(item, "incategory");
+    b.SetText(category, std::to_string(rng->UniformInt(0, options.categories - 1)));
+  }
+
+  BuildNodeId auctions = b.AddChild(b.root(), "open_auctions");
+  for (int32_t a = 0; a < options.open_auctions; ++a) {
+    BuildNodeId auction = b.AddChild(auctions, "open_auction");
+    b.AddAttribute(auction, "id", Id("auction", a));
+    BuildNodeId itemref = b.AddChild(auction, "itemref");
+    b.SetText(itemref, std::to_string(rng->UniformInt(0, options.items - 1)));
+    const int64_t bids = rng->UniformInt(0, options.max_bids_per_auction);
+    int64_t current = rng->UniformInt(1, options.max_price / 2);
+    for (int64_t bid_index = 0; bid_index < bids; ++bid_index) {
+      BuildNodeId bid = b.AddChild(auction, "bid");
+      b.AddAttribute(bid, "bidder",
+                     Id("person", rng->UniformInt(0, options.people - 1)));
+      b.SetText(bid, std::to_string(current));
+      current += rng->UniformInt(1, 10);
+    }
+    BuildNodeId current_node = b.AddChild(auction, "current");
+    b.SetText(current_node, std::to_string(current));
+  }
+
+  return std::move(b).Build();
+}
+
+}  // namespace gkx::xml

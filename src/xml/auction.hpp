@@ -1,0 +1,41 @@
+// A small auction-site document generator in the spirit of the XMark XML
+// benchmark family — the kind of workload XPath was designed for and the
+// paper's introduction motivates (XQuery/XSLT/XML Schema all navigate such
+// documents with XPath). Element text is numeric where comparisons are
+// interesting (prices, bid amounts), so WF-style queries have bite.
+//
+// Shape:
+//   <site>
+//     <categories> <category> <name>..  </category>* </categories>
+//     <people>     <person>   <name>.. <city>..  </person>*      </people>
+//     <items>      <item>     <name>.. <price>.. <seller>.. <incategory>..
+//                  </item>*                                      </items>
+//     <open_auctions> <open_auction> <itemref>.. <bid>..* <current>..
+//                     </open_auction>*                   </open_auctions>
+//   </site>
+
+#ifndef GKX_XML_AUCTION_HPP_
+#define GKX_XML_AUCTION_HPP_
+
+#include "base/rng.hpp"
+#include "xml/document.hpp"
+
+namespace gkx::xml {
+
+struct AuctionOptions {
+  int32_t categories = 4;
+  int32_t people = 15;
+  int32_t items = 20;
+  int32_t open_auctions = 12;
+  int32_t max_bids_per_auction = 5;
+  int32_t max_price = 100;
+};
+
+/// Deterministic in (*rng) state. All cross-references (seller, itemref,
+/// bidder, incategory) are ids of existing entities, carried as attributes
+/// and as numeric text where queries need to compare them.
+Document AuctionDocument(Rng* rng, const AuctionOptions& options = {});
+
+}  // namespace gkx::xml
+
+#endif  // GKX_XML_AUCTION_HPP_

@@ -1,0 +1,112 @@
+#include "xml/builder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gkx::xml {
+
+TreeBuilder::TreeBuilder(std::string_view root_tag) {
+  nodes_.push_back(PendingNode{std::string(root_tag), {}, {}, {}, {}});
+}
+
+TreeBuilder::PendingNode& TreeBuilder::At(BuildNodeId id) {
+  GKX_CHECK(id >= 0 && id < size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+BuildNodeId TreeBuilder::AddChild(BuildNodeId parent, std::string_view tag) {
+  BuildNodeId id = size();
+  At(parent).children.push_back(id);
+  nodes_.push_back(PendingNode{std::string(tag), {}, {}, {}, {}});
+  return id;
+}
+
+BuildNodeId TreeBuilder::AddChain(BuildNodeId top, std::string_view tag,
+                                  int32_t length) {
+  GKX_CHECK_GE(length, 1);
+  BuildNodeId current = top;
+  for (int32_t i = 0; i < length; ++i) current = AddChild(current, tag);
+  return current;
+}
+
+void TreeBuilder::AddLabel(BuildNodeId node, std::string_view label) {
+  auto& labels = At(node).labels;
+  if (std::find(labels.begin(), labels.end(), label) == labels.end()) {
+    labels.emplace_back(label);
+  }
+}
+
+void TreeBuilder::SetText(BuildNodeId node, std::string_view text) {
+  At(node).text = std::string(text);
+}
+
+void TreeBuilder::AppendText(BuildNodeId node, std::string_view text) {
+  At(node).text += text;
+}
+
+void TreeBuilder::AddAttribute(BuildNodeId node, std::string_view name,
+                               std::string_view value) {
+  At(node).attributes.push_back(Attribute{std::string(name), std::string(value)});
+}
+
+Document TreeBuilder::Build() && {
+  Document doc;
+  doc.nodes_.reserve(nodes_.size());
+
+  // Iterative preorder DFS: documents can be deep chains (the reductions
+  // build Θ(n)-deep spines), so no recursion.
+  struct Frame {
+    BuildNodeId build_id;
+    NodeId parent;
+    int32_t depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, kNullNode, 0});
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    PendingNode& pending = nodes_[static_cast<size_t>(frame.build_id)];
+
+    NodeId id = static_cast<NodeId>(doc.nodes_.size());
+    doc.nodes_.emplace_back();
+    Node& node = doc.nodes_.back();
+    node.parent = frame.parent;
+    node.depth = frame.depth;
+    node.tag = doc.InternName(pending.tag);
+    node.text = std::move(pending.text);
+    node.attributes = std::move(pending.attributes);
+    for (const std::string& label : pending.labels) {
+      NameId name = doc.InternName(label);
+      if (name != node.tag) node.labels.push_back(name);
+    }
+    std::sort(node.labels.begin(), node.labels.end());
+    node.labels.erase(std::unique(node.labels.begin(), node.labels.end()),
+                      node.labels.end());
+
+    if (frame.parent != kNullNode) {
+      Node& parent = doc.nodes_[static_cast<size_t>(frame.parent)];
+      if (parent.first_child == kNullNode) {
+        parent.first_child = id;
+      } else {
+        doc.nodes_[static_cast<size_t>(parent.last_child)].next_sibling = id;
+        node.prev_sibling = parent.last_child;
+      }
+      parent.last_child = id;
+    }
+
+    // Push children in reverse so they pop in document order.
+    for (auto it = pending.children.rbegin(); it != pending.children.rend(); ++it) {
+      stack.push_back(Frame{*it, id, frame.depth + 1});
+    }
+  }
+
+  // subtree_size: children have larger preorder ids, so a reverse sweep
+  // accumulates sizes bottom-up.
+  for (NodeId v = static_cast<NodeId>(doc.nodes_.size()) - 1; v > 0; --v) {
+    doc.nodes_[static_cast<size_t>(doc.nodes_[static_cast<size_t>(v)].parent)]
+        .subtree_size += doc.nodes_[static_cast<size_t>(v)].subtree_size;
+  }
+  return doc;
+}
+
+}  // namespace gkx::xml

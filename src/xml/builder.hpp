@@ -1,0 +1,75 @@
+// Incremental tree construction. The builder accepts nodes in any order
+// (children appended to any existing node) and produces a preorder-numbered
+// immutable Document. Used by the XML parser, the workload generators, and
+// every hardness reduction.
+
+#ifndef GKX_XML_BUILDER_HPP_
+#define GKX_XML_BUILDER_HPP_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/document.hpp"
+
+namespace gkx::xml {
+
+/// Builder-local node handle (NOT a Document NodeId; preorder ids are
+/// assigned at Build() time).
+using BuildNodeId = int32_t;
+
+/// Builds Documents programmatically. Typical use:
+///   TreeBuilder b("root");
+///   BuildNodeId a = b.AddChild(b.root(), "a");
+///   b.AddLabel(a, "G");
+///   Document doc = std::move(b).Build();
+class TreeBuilder {
+ public:
+  /// Starts a document whose root element has the given tag.
+  explicit TreeBuilder(std::string_view root_tag);
+
+  /// Handle of the root element.
+  BuildNodeId root() const { return 0; }
+
+  /// Appends a new last child with the given tag; returns its handle.
+  BuildNodeId AddChild(BuildNodeId parent, std::string_view tag);
+
+  /// Appends a chain child/grandchild/... of `length` nodes all tagged `tag`
+  /// below `top`; returns the deepest node. Requires length >= 1.
+  BuildNodeId AddChain(BuildNodeId top, std::string_view tag, int32_t length);
+
+  /// Adds an extra label (Remark 3.1 multi-labels). Duplicates are ignored.
+  void AddLabel(BuildNodeId node, std::string_view label);
+
+  /// Sets the direct text content.
+  void SetText(BuildNodeId node, std::string_view text);
+
+  /// Appends to the direct text content.
+  void AppendText(BuildNodeId node, std::string_view text);
+
+  /// Appends an attribute.
+  void AddAttribute(BuildNodeId node, std::string_view name, std::string_view value);
+
+  /// Number of nodes added so far.
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+
+  /// Produces the preorder Document. The builder is consumed.
+  Document Build() &&;
+
+ private:
+  struct PendingNode {
+    std::string tag;
+    std::vector<std::string> labels;
+    std::vector<Attribute> attributes;
+    std::string text;
+    std::vector<BuildNodeId> children;
+  };
+
+  PendingNode& At(BuildNodeId id);
+
+  std::vector<PendingNode> nodes_;
+};
+
+}  // namespace gkx::xml
+
+#endif  // GKX_XML_BUILDER_HPP_

@@ -1,0 +1,98 @@
+#include "xml/document.hpp"
+
+#include <algorithm>
+
+namespace gkx::xml {
+
+NameId Document::FindName(std::string_view name) const {
+  auto it = name_ids_.find(std::string(name));
+  return it == name_ids_.end() ? kNoName : it->second;
+}
+
+NameId Document::InternName(std::string_view name) {
+  auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+bool Document::NodeHasName(NodeId id, NameId name) const {
+  const Node& n = node(id);
+  if (n.tag == name) return true;
+  return std::binary_search(n.labels.begin(), n.labels.end(), name);
+}
+
+std::string_view Document::AttributeValue(NodeId id, std::string_view name) const {
+  for (const Attribute& attr : node(id).attributes) {
+    if (attr.name == name) return attr.value;
+  }
+  return {};
+}
+
+std::vector<NodeId> Document::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId c = node(id).first_child; c != kNullNode; c = node(c).next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+int32_t Document::ChildCount(NodeId id) const {
+  int32_t count = 0;
+  for (NodeId c = node(id).first_child; c != kNullNode; c = node(c).next_sibling) {
+    ++count;
+  }
+  return count;
+}
+
+std::string Document::StringValue(NodeId id) const {
+  std::string out;
+  const NodeId end = id + node(id).subtree_size;
+  for (NodeId v = id; v < end; ++v) out += node(v).text;
+  return out;
+}
+
+DocumentStats Document::Stats() const {
+  DocumentStats stats;
+  stats.node_count = size();
+  for (const Node& n : nodes_) {
+    stats.max_depth = std::max(stats.max_depth, n.depth);
+    stats.label_count += static_cast<int64_t>(n.labels.size());
+  }
+  for (NodeId v = 0; v < size(); ++v) {
+    stats.max_fanout = std::max(stats.max_fanout, ChildCount(v));
+  }
+  return stats;
+}
+
+bool Document::StructurallyEquals(const Document& other) const {
+  if (size() != other.size()) return false;
+  for (NodeId v = 0; v < size(); ++v) {
+    const Node& a = node(v);
+    const Node& b = other.node(v);
+    if (a.parent != b.parent || a.text != b.text) return false;
+    if (TagName(v) != other.TagName(v)) return false;
+    if (a.labels.size() != b.labels.size()) return false;
+    // Labels are sorted by per-document NameId, whose order depends on
+    // interning history — compare as sets of names.
+    std::vector<std::string_view> a_names;
+    std::vector<std::string_view> b_names;
+    for (NameId name : a.labels) a_names.push_back(NameText(name));
+    for (NameId name : b.labels) b_names.push_back(other.NameText(name));
+    std::sort(a_names.begin(), a_names.end());
+    std::sort(b_names.begin(), b_names.end());
+    if (a_names != b_names) return false;
+    if (a.attributes.size() != b.attributes.size()) return false;
+    for (size_t i = 0; i < a.attributes.size(); ++i) {
+      if (a.attributes[i].name != b.attributes[i].name ||
+          a.attributes[i].value != b.attributes[i].value) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gkx::xml

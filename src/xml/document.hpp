@@ -1,0 +1,143 @@
+// The XML document substrate: an immutable tree of element nodes stored in
+// preorder. This is exactly the data model the paper works over ("dom" is the
+// set of element nodes, document order is preorder, and — per Remark 3.1 —
+// a node may carry several labels). NodeId equals preorder rank, so
+//   * descendants of v are the contiguous id range (v, v + subtree_size(v)),
+//   * following(v) is [v + subtree_size(v), size()),
+//   * document order is integer order on ids.
+
+#ifndef GKX_XML_DOCUMENT_HPP_
+#define GKX_XML_DOCUMENT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace gkx::xml {
+
+/// Preorder rank of a node within its Document.
+using NodeId = int32_t;
+
+/// Sentinel for "no node" (absent parent/sibling/child).
+inline constexpr NodeId kNullNode = -1;
+
+/// Interned name id (tags and extra labels share one pool per document).
+using NameId = int32_t;
+
+/// Sentinel for a name that is not interned in the document.
+inline constexpr NameId kNoName = -1;
+
+/// An XML attribute (name is not interned; attributes are payload, not
+/// navigation — the paper's fragments have no attribute axis).
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// One element node. All tree links are NodeIds into the owning Document.
+struct Node {
+  NodeId parent = kNullNode;
+  NodeId first_child = kNullNode;
+  NodeId last_child = kNullNode;
+  NodeId prev_sibling = kNullNode;
+  NodeId next_sibling = kNullNode;
+  /// Number of nodes in the subtree rooted here, including this node.
+  int32_t subtree_size = 1;
+  /// Root has depth 0.
+  int32_t depth = 0;
+  /// Primary tag (interned).
+  NameId tag = 0;
+  /// Extra labels (Remark 3.1), sorted ascending, disjoint from `tag`.
+  std::vector<NameId> labels;
+  std::vector<Attribute> attributes;
+  /// Direct text content (all text children concatenated).
+  std::string text;
+};
+
+/// Summary statistics used by experiment tables.
+struct DocumentStats {
+  int64_t node_count = 0;
+  int32_t max_depth = 0;
+  int32_t max_fanout = 0;
+  int64_t label_count = 0;  // extra labels across all nodes
+};
+
+/// An immutable preorder element tree. Construct via TreeBuilder or
+/// ParseDocument; Documents are movable and cheaply shareable by const ref.
+class Document {
+ public:
+  /// Root node id (always 0 for a non-empty document).
+  NodeId root() const { return 0; }
+
+  /// Number of element nodes.
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+
+  bool empty() const { return nodes_.empty(); }
+
+  const Node& node(NodeId id) const {
+    GKX_CHECK(id >= 0 && id < size());
+    return nodes_[static_cast<size_t>(id)];
+  }
+
+  /// Tag name of a node.
+  std::string_view TagName(NodeId id) const { return NameText(node(id).tag); }
+
+  /// Text of an interned name id.
+  std::string_view NameText(NameId name) const {
+    GKX_CHECK(name >= 0 && name < static_cast<NameId>(names_.size()));
+    return names_[static_cast<size_t>(name)];
+  }
+
+  /// Id of an interned name, or kNoName if this document never uses it.
+  NameId FindName(std::string_view name) const;
+
+  /// True if the node's tag or any extra label equals `name`.
+  bool NodeHasName(NodeId id, NameId name) const;
+
+  /// Convenience: NodeHasName by string (kNoName-safe).
+  bool NodeHasName(NodeId id, std::string_view name) const {
+    NameId n = FindName(name);
+    return n != kNoName && NodeHasName(id, n);
+  }
+
+  /// Attribute value or empty view if absent.
+  std::string_view AttributeValue(NodeId id, std::string_view name) const;
+
+  /// True if `ancestor` is an ancestor of `v` or v itself.
+  bool IsAncestorOrSelf(NodeId ancestor, NodeId v) const {
+    return ancestor <= v && v < ancestor + node(ancestor).subtree_size;
+  }
+
+  /// Children of a node in document order.
+  std::vector<NodeId> Children(NodeId id) const;
+
+  /// Number of children.
+  int32_t ChildCount(NodeId id) const;
+
+  /// XPath string-value: the node's direct text followed by the text of its
+  /// descendants in document order. (Text is attached to elements in this
+  /// model; see DESIGN.md for the approximation note.)
+  std::string StringValue(NodeId id) const;
+
+  DocumentStats Stats() const;
+
+  /// Structural equality: same shape, tags, labels, attributes, and text.
+  bool StructurallyEquals(const Document& other) const;
+
+ private:
+  friend class TreeBuilder;
+
+  NameId InternName(std::string_view name);
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> name_ids_;
+};
+
+}  // namespace gkx::xml
+
+#endif  // GKX_XML_DOCUMENT_HPP_

@@ -1,0 +1,91 @@
+#include "xml/generator.hpp"
+
+#include <string>
+#include <vector>
+
+#include "xml/builder.hpp"
+
+namespace gkx::xml {
+namespace {
+
+std::string TagName(int64_t index) { return "t" + std::to_string(index); }
+std::string LabelName(int64_t index) { return "l" + std::to_string(index); }
+
+}  // namespace
+
+Document RandomDocument(Rng* rng, const RandomDocumentOptions& options) {
+  GKX_CHECK_GE(options.node_count, 1);
+  GKX_CHECK_GE(options.tag_alphabet, 1);
+  TreeBuilder builder(TagName(rng->UniformInt(0, options.tag_alphabet - 1)));
+  std::vector<BuildNodeId> nodes = {builder.root()};
+
+  auto decorate = [&](BuildNodeId node) {
+    if (options.max_extra_labels > 0) {
+      int64_t label_count = rng->UniformInt(0, options.max_extra_labels);
+      for (int64_t i = 0; i < label_count; ++i) {
+        builder.AddLabel(node,
+                         LabelName(rng->UniformInt(0, options.label_alphabet - 1)));
+      }
+    }
+    if (rng->Bernoulli(options.text_probability)) {
+      builder.SetText(node, std::to_string(rng->UniformInt(0, 99)));
+    }
+  };
+  decorate(builder.root());
+
+  for (int32_t i = 1; i < options.node_count; ++i) {
+    BuildNodeId parent =
+        rng->Bernoulli(options.chain_bias)
+            ? nodes.back()
+            : nodes[static_cast<size_t>(
+                  rng->UniformInt(0, static_cast<int64_t>(nodes.size()) - 1))];
+    BuildNodeId node = builder.AddChild(
+        parent, TagName(rng->UniformInt(0, options.tag_alphabet - 1)));
+    decorate(node);
+    nodes.push_back(node);
+  }
+  return std::move(builder).Build();
+}
+
+Document BalancedDocument(int32_t fanout, int32_t depth, int32_t tag_alphabet) {
+  GKX_CHECK_GE(fanout, 1);
+  GKX_CHECK_GE(depth, 0);
+  GKX_CHECK_GE(tag_alphabet, 1);
+  TreeBuilder builder(TagName(0));
+  std::vector<BuildNodeId> frontier = {builder.root()};
+  for (int32_t level = 1; level <= depth; ++level) {
+    std::vector<BuildNodeId> next;
+    next.reserve(frontier.size() * static_cast<size_t>(fanout));
+    for (BuildNodeId parent : frontier) {
+      for (int32_t i = 0; i < fanout; ++i) {
+        next.push_back(builder.AddChild(parent, TagName(level % tag_alphabet)));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return std::move(builder).Build();
+}
+
+Document ChainDocument(int32_t length, int32_t tag_alphabet) {
+  GKX_CHECK_GE(length, 1);
+  GKX_CHECK_GE(tag_alphabet, 1);
+  TreeBuilder builder(TagName(0));
+  BuildNodeId current = builder.root();
+  for (int32_t i = 1; i < length; ++i) {
+    current = builder.AddChild(current, TagName(i % tag_alphabet));
+  }
+  return std::move(builder).Build();
+}
+
+Document WideShallowDocument(int32_t width, int32_t tag_alphabet) {
+  GKX_CHECK_GE(width, 0);
+  GKX_CHECK_GE(tag_alphabet, 1);
+  TreeBuilder builder("root");
+  for (int32_t i = 0; i < width; ++i) {
+    BuildNodeId child = builder.AddChild(builder.root(), TagName(i % tag_alphabet));
+    builder.AddChild(child, TagName((i + 1) % tag_alphabet));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace gkx::xml

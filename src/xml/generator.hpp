@@ -1,0 +1,46 @@
+// Synthetic document workloads for tests and experiments: uniformly random
+// recursive trees (with controllable depth bias, tag alphabet, labels, and
+// text), balanced b-ary trees, and chains.
+
+#ifndef GKX_XML_GENERATOR_HPP_
+#define GKX_XML_GENERATOR_HPP_
+
+#include "base/rng.hpp"
+#include "xml/document.hpp"
+
+namespace gkx::xml {
+
+struct RandomDocumentOptions {
+  /// Total number of element nodes (>= 1, including the root).
+  int32_t node_count = 50;
+  /// Tags are drawn from {t0, ..., t<alphabet-1>}.
+  int32_t tag_alphabet = 4;
+  /// Each node gets UniformInt(0, max_extra_labels) extra labels drawn from
+  /// {l0, ..., l<label_alphabet-1>}.
+  int32_t max_extra_labels = 0;
+  int32_t label_alphabet = 4;
+  /// Probability that a node carries a short numeric text payload.
+  double text_probability = 0.2;
+  /// 0.0 = attach each node to a uniformly random existing node (random
+  /// recursive tree, expected depth O(log n)); 1.0 = always attach to the
+  /// previously inserted node (a chain). Values in between interpolate.
+  double chain_bias = 0.0;
+};
+
+/// Random document; deterministic in (*rng) state.
+Document RandomDocument(Rng* rng, const RandomDocumentOptions& options = {});
+
+/// Complete `fanout`-ary tree of the given depth (depth 0 = root only).
+/// Tags cycle by depth: t0 at the root, t1 below, ...
+Document BalancedDocument(int32_t fanout, int32_t depth, int32_t tag_alphabet = 4);
+
+/// Chain of `length` nodes (length >= 1), tags cycling over the alphabet.
+Document ChainDocument(int32_t length, int32_t tag_alphabet = 4);
+
+/// The paper's Theorem 3.2 document *shape*: a root with `width` children,
+/// each child having exactly one grandchild (depth 2). Tags cycle.
+Document WideShallowDocument(int32_t width, int32_t tag_alphabet = 4);
+
+}  // namespace gkx::xml
+
+#endif  // GKX_XML_GENERATOR_HPP_

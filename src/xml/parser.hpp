@@ -1,0 +1,36 @@
+// A self-contained XML parser producing Documents. Supports the XML subset a
+// query-evaluation workload needs: elements, attributes, character data,
+// comments, CDATA sections, processing instructions, an optional prolog and
+// DOCTYPE, and the predefined + numeric character references. Namespaces are
+// not interpreted (colons are allowed in names and kept verbatim).
+//
+// Multi-label round-tripping: if `options.labels_attribute` is non-empty
+// (default "labels"), an attribute of that name is parsed as a
+// whitespace-separated list of extra node labels (Remark 3.1) instead of a
+// plain attribute. The serializer emits the same convention.
+
+#ifndef GKX_XML_PARSER_HPP_
+#define GKX_XML_PARSER_HPP_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.hpp"
+#include "xml/document.hpp"
+
+namespace gkx::xml {
+
+struct ParseOptions {
+  /// Attribute treated as the extra-label list; empty disables the convention.
+  std::string labels_attribute = "labels";
+  /// If true, text consisting only of whitespace is dropped.
+  bool strip_whitespace_text = true;
+};
+
+/// Parse error with 1-based position information baked into the message.
+Result<Document> ParseDocument(std::string_view xml,
+                               const ParseOptions& options = {});
+
+}  // namespace gkx::xml
+
+#endif  // GKX_XML_PARSER_HPP_

@@ -1,0 +1,107 @@
+#include "xml/serializer.hpp"
+
+#include <vector>
+
+#include "base/string_util.hpp"
+
+namespace gkx::xml {
+namespace {
+
+void Indent(std::string* out, int levels, int width) {
+  if (width <= 0) return;
+  out->append(static_cast<size_t>(levels) * static_cast<size_t>(width), ' ');
+}
+
+void Newline(std::string* out, int width) {
+  if (width > 0) out->push_back('\n');
+}
+
+void OpenTag(const Document& doc, NodeId id, const SerializeOptions& options,
+             bool self_close, std::string* out) {
+  const Node& node = doc.node(id);
+  out->push_back('<');
+  out->append(doc.TagName(id));
+  if (!options.labels_attribute.empty() && !node.labels.empty()) {
+    std::vector<std::string> labels;
+    labels.reserve(node.labels.size());
+    for (NameId label : node.labels) {
+      labels.emplace_back(doc.NameText(label));
+    }
+    out->push_back(' ');
+    out->append(options.labels_attribute);
+    out->append("=\"");
+    out->append(EscapeXml(Join(labels, " ")));
+    out->push_back('"');
+  }
+  for (const Attribute& attr : node.attributes) {
+    out->push_back(' ');
+    out->append(attr.name);
+    out->append("=\"");
+    out->append(EscapeXml(attr.value));
+    out->push_back('"');
+  }
+  out->append(self_close ? "/>" : ">");
+}
+
+}  // namespace
+
+std::string SerializeDocument(const Document& doc, const SerializeOptions& options) {
+  return SerializeSubtree(doc, doc.root(), options);
+}
+
+std::string SerializeSubtree(const Document& doc, NodeId root,
+                             const SerializeOptions& options) {
+  std::string out;
+  if (doc.empty()) return out;
+
+  // Iterative pre/post traversal — documents can be arbitrarily deep chains
+  // (the reductions build Θ(n)-deep spines), so no recursion.
+  struct Frame {
+    NodeId node;
+    bool closing;
+  };
+  std::vector<Frame> stack = {{root, false}};
+  const int base_depth = doc.node(root).depth;
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = doc.node(frame.node);
+    const int level = node.depth - base_depth;
+    if (frame.closing) {
+      Indent(&out, level, options.indent);
+      out.append("</");
+      out.append(doc.TagName(frame.node));
+      out.push_back('>');
+      Newline(&out, options.indent);
+      continue;
+    }
+
+    Indent(&out, level, options.indent);
+    if (node.text.empty() && node.first_child == kNullNode) {
+      OpenTag(doc, frame.node, options, /*self_close=*/true, &out);
+      Newline(&out, options.indent);
+      continue;
+    }
+    OpenTag(doc, frame.node, options, /*self_close=*/false, &out);
+    if (node.first_child == kNullNode) {
+      // Text-only element, kept on one line.
+      out.append(EscapeXml(node.text));
+      out.append("</");
+      out.append(doc.TagName(frame.node));
+      out.push_back('>');
+      Newline(&out, options.indent);
+      continue;
+    }
+    if (!node.text.empty()) out.append(EscapeXml(node.text));
+    Newline(&out, options.indent);
+    stack.push_back(Frame{frame.node, true});
+    // Children in reverse so they pop in document order.
+    std::vector<NodeId> children = doc.Children(frame.node);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(Frame{*it, false});
+    }
+  }
+  return out;
+}
+
+}  // namespace gkx::xml

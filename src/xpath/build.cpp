@@ -1,0 +1,137 @@
+#include "xpath/build.hpp"
+
+namespace gkx::xpath::build {
+
+ExprPtr Number(double value) { return std::make_unique<NumberLiteral>(value); }
+
+ExprPtr Str(std::string value) {
+  return std::make_unique<StringLiteral>(std::move(value));
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr And(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kEq, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs) {
+  return Binary(BinaryOp::kGt, std::move(lhs), std::move(rhs));
+}
+
+ExprPtr Negate(ExprPtr operand) {
+  return std::make_unique<NegateExpr>(std::move(operand));
+}
+
+ExprPtr Call(Function function, std::vector<ExprPtr> args) {
+  return std::make_unique<FunctionCall>(function, std::move(args));
+}
+
+ExprPtr Not(ExprPtr arg) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(arg));
+  return Call(Function::kNot, std::move(args));
+}
+
+ExprPtr Position() { return Call(Function::kPosition); }
+ExprPtr Last() { return Call(Function::kLast); }
+
+Step MakeStep(Axis axis, NodeTest test, std::vector<ExprPtr> predicates) {
+  Step step;
+  step.axis = axis;
+  step.test = std::move(test);
+  step.predicates = std::move(predicates);
+  return step;
+}
+
+Step NamedStep(Axis axis, std::string_view name, std::vector<ExprPtr> predicates) {
+  return MakeStep(axis, NodeTest::Name(name), std::move(predicates));
+}
+
+Step AnyStep(Axis axis, std::vector<ExprPtr> predicates) {
+  return MakeStep(axis, NodeTest::Any(), std::move(predicates));
+}
+
+ExprPtr Path(bool absolute, std::vector<Step> steps) {
+  return std::make_unique<PathExpr>(absolute, std::move(steps));
+}
+
+ExprPtr StepPath(Step step) {
+  std::vector<Step> steps;
+  steps.push_back(std::move(step));
+  return Path(/*absolute=*/false, std::move(steps));
+}
+
+ExprPtr LabelTest(std::string_view label) {
+  return StepPath(NamedStep(Axis::kSelf, label));
+}
+
+ExprPtr Union(std::vector<ExprPtr> branches) {
+  return std::make_unique<UnionExpr>(std::move(branches));
+}
+
+Step CloneStep(const Step& step) {
+  Step out;
+  out.axis = step.axis;
+  out.test = step.test;
+  out.predicates.reserve(step.predicates.size());
+  for (const ExprPtr& predicate : step.predicates) {
+    out.predicates.push_back(CloneExpr(*predicate));
+  }
+  return out;
+}
+
+ExprPtr CloneExpr(const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kNumberLiteral:
+      return Number(expr.As<NumberLiteral>().value());
+    case Expr::Kind::kStringLiteral:
+      return Str(expr.As<StringLiteral>().value());
+    case Expr::Kind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      return Binary(binary.op(), CloneExpr(binary.lhs()), CloneExpr(binary.rhs()));
+    }
+    case Expr::Kind::kNegate:
+      return Negate(CloneExpr(expr.As<NegateExpr>().operand()));
+    case Expr::Kind::kFunctionCall: {
+      const auto& call = expr.As<FunctionCall>();
+      std::vector<ExprPtr> args;
+      args.reserve(call.arg_count());
+      for (size_t i = 0; i < call.arg_count(); ++i) {
+        args.push_back(CloneExpr(call.arg(i)));
+      }
+      return Call(call.function(), std::move(args));
+    }
+    case Expr::Kind::kPath: {
+      const auto& path = expr.As<PathExpr>();
+      std::vector<Step> steps;
+      steps.reserve(path.step_count());
+      for (size_t i = 0; i < path.step_count(); ++i) {
+        steps.push_back(CloneStep(path.step(i)));
+      }
+      return Path(path.absolute(), std::move(steps));
+    }
+    case Expr::Kind::kUnion: {
+      const auto& u = expr.As<UnionExpr>();
+      std::vector<ExprPtr> branches;
+      branches.reserve(u.branch_count());
+      for (size_t i = 0; i < u.branch_count(); ++i) {
+        branches.push_back(CloneExpr(u.branch(i)));
+      }
+      return Union(std::move(branches));
+    }
+  }
+  GKX_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace gkx::xpath::build

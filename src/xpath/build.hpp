@@ -1,0 +1,56 @@
+// Programmatic AST construction helpers. Used by the parser, the random
+// query generator, and every hardness reduction (which synthesize the
+// paper's ϕ/ψ/π condition towers directly as ASTs).
+
+#ifndef GKX_XPATH_BUILD_HPP_
+#define GKX_XPATH_BUILD_HPP_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "xpath/ast.hpp"
+
+namespace gkx::xpath::build {
+
+ExprPtr Number(double value);
+ExprPtr Str(std::string value);
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Negate(ExprPtr operand);
+ExprPtr Call(Function function, std::vector<ExprPtr> args = {});
+ExprPtr Not(ExprPtr arg);
+ExprPtr Position();
+ExprPtr Last();
+
+/// A step with optional predicates.
+Step MakeStep(Axis axis, NodeTest test, std::vector<ExprPtr> predicates = {});
+
+/// Convenience: axis::name step, with optional predicates.
+Step NamedStep(Axis axis, std::string_view name, std::vector<ExprPtr> predicates = {});
+
+/// Convenience: axis::* step, with optional predicates.
+Step AnyStep(Axis axis, std::vector<ExprPtr> predicates = {});
+
+ExprPtr Path(bool absolute, std::vector<Step> steps);
+
+/// Single-step relative path — the usual form of a condition (e.g. self::G).
+ExprPtr StepPath(Step step);
+
+/// The label test T(l) of Remark 3.1, realized as the Core XPath condition
+/// `self::l` (true exactly on nodes carrying label l).
+ExprPtr LabelTest(std::string_view label);
+
+ExprPtr Union(std::vector<ExprPtr> branches);
+
+/// Deep copies (the Theorem 4.2 reduction duplicates subtrees).
+ExprPtr CloneExpr(const Expr& expr);
+Step CloneStep(const Step& step);
+
+}  // namespace gkx::xpath::build
+
+#endif  // GKX_XPATH_BUILD_HPP_

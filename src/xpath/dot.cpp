@@ -1,0 +1,118 @@
+#include "xpath/dot.hpp"
+
+#include "base/string_util.hpp"
+
+namespace gkx::xpath {
+namespace {
+
+std::string EscapeLabel(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+class DotWriter {
+ public:
+  std::string Run(const Query& query) {
+    out_ = "digraph query {\n  node [fontname=\"monospace\"];\n";
+    Visit(query.root());
+    out_ += "}\n";
+    return out_;
+  }
+
+ private:
+  std::string ExprNode(const Expr& expr) {
+    return "e" + std::to_string(expr.id());
+  }
+  std::string StepNode(const Step& step) { return "s" + std::to_string(step.id); }
+
+  void Emit(const std::string& node, const std::string& label,
+            const char* shape) {
+    out_ += "  " + node + " [label=\"" + EscapeLabel(label) + "\", shape=" +
+            shape + "];\n";
+  }
+
+  void Edge(const std::string& from, const std::string& to, bool dashed = false) {
+    out_ += "  " + from + " -> " + to + (dashed ? " [style=dashed]" : "") + ";\n";
+  }
+
+  void Visit(const Expr& expr) {
+    const std::string self = ExprNode(expr);
+    switch (expr.kind()) {
+      case Expr::Kind::kNumberLiteral:
+        Emit(self, FormatXPathNumber(expr.As<NumberLiteral>().value()), "ellipse");
+        return;
+      case Expr::Kind::kStringLiteral:
+        Emit(self, "'" + expr.As<StringLiteral>().value() + "'", "ellipse");
+        return;
+      case Expr::Kind::kBinary: {
+        const auto& binary = expr.As<BinaryExpr>();
+        Emit(self, std::string(BinaryOpName(binary.op())), "ellipse");
+        Visit(binary.lhs());
+        Visit(binary.rhs());
+        Edge(self, ExprNode(binary.lhs()));
+        Edge(self, ExprNode(binary.rhs()));
+        return;
+      }
+      case Expr::Kind::kNegate: {
+        const auto& negate = expr.As<NegateExpr>();
+        Emit(self, "unary -", "ellipse");
+        Visit(negate.operand());
+        Edge(self, ExprNode(negate.operand()));
+        return;
+      }
+      case Expr::Kind::kFunctionCall: {
+        const auto& call = expr.As<FunctionCall>();
+        Emit(self, std::string(FunctionName(call.function())) + "()", "ellipse");
+        for (size_t i = 0; i < call.arg_count(); ++i) {
+          Visit(call.arg(i));
+          Edge(self, ExprNode(call.arg(i)));
+        }
+        return;
+      }
+      case Expr::Kind::kPath: {
+        const auto& path = expr.As<PathExpr>();
+        Emit(self, path.absolute() ? "/path" : "path", "ellipse");
+        std::string previous = self;
+        for (size_t i = 0; i < path.step_count(); ++i) {
+          const Step& step = path.step(i);
+          const std::string node = StepNode(step);
+          Emit(node,
+               std::string(AxisName(step.axis)) + "::" + step.test.ToString(),
+               "box");
+          Edge(previous, node);
+          for (const ExprPtr& predicate : step.predicates) {
+            Visit(*predicate);
+            Edge(node, ExprNode(*predicate), /*dashed=*/true);
+          }
+          previous = node;
+        }
+        return;
+      }
+      case Expr::Kind::kUnion: {
+        const auto& u = expr.As<UnionExpr>();
+        Emit(self, "|", "ellipse");
+        for (size_t i = 0; i < u.branch_count(); ++i) {
+          Visit(u.branch(i));
+          Edge(self, ExprNode(u.branch(i)));
+        }
+        return;
+      }
+    }
+    GKX_CHECK(false);
+  }
+
+  std::string out_;
+};
+
+}  // namespace
+
+std::string ToDot(const Query& query) {
+  DotWriter writer;
+  return writer.Run(query);
+}
+
+}  // namespace gkx::xpath

@@ -1,0 +1,21 @@
+// Graphviz export of query trees — the query-tree traversal is the central
+// object of the NAuxPDA algorithm (Lemma 5.4), so being able to see TQ is
+// genuinely useful when studying the reductions' ϕ/ψ/π towers.
+
+#ifndef GKX_XPATH_DOT_HPP_
+#define GKX_XPATH_DOT_HPP_
+
+#include <string>
+
+#include "xpath/ast.hpp"
+
+namespace gkx::xpath {
+
+/// DOT rendering of the query tree TQ. Expression nodes are ellipses
+/// (labelled with their operator/value and expression id), steps are boxes
+/// (axis::test, step id); predicate edges are dashed.
+std::string ToDot(const Query& query);
+
+}  // namespace gkx::xpath
+
+#endif  // GKX_XPATH_DOT_HPP_

@@ -1,0 +1,236 @@
+#include "xpath/generator.hpp"
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "xpath/build.hpp"
+
+namespace gkx::xpath {
+namespace {
+
+using build::AnyStep;
+using build::MakeStep;
+using build::NamedStep;
+
+constexpr Axis kAllAxes[] = {
+    Axis::kSelf,          Axis::kChild,
+    Axis::kParent,        Axis::kDescendant,
+    Axis::kDescendantOrSelf, Axis::kAncestor,
+    Axis::kAncestorOrSelf, Axis::kFollowing,
+    Axis::kFollowingSibling, Axis::kPreceding,
+    Axis::kPrecedingSibling,
+};
+
+class Generator {
+ public:
+  Generator(Rng* rng, const RandomQueryOptions& options)
+      : rng_(*rng), options_(options) {
+    axes_ = options.axes;
+    if (axes_.empty()) {
+      axes_.assign(std::begin(kAllAxes), std::end(kAllAxes));
+    }
+  }
+
+  Query Run() {
+    ExprPtr root;
+    if (rng_.Bernoulli(options_.union_probability)) {
+      std::vector<ExprPtr> branches;
+      int64_t count = rng_.UniformInt(2, 3);
+      for (int64_t i = 0; i < count; ++i) {
+        branches.push_back(GenPath(options_.max_condition_depth));
+      }
+      root = build::Union(std::move(branches));
+    } else {
+      root = GenPath(options_.max_condition_depth);
+    }
+    return Query::Create(std::move(root));
+  }
+
+ private:
+  bool FragmentHasConditions() const {
+    return options_.fragment != Fragment::kPF;
+  }
+  bool FragmentHasNegation() const {
+    return options_.fragment == Fragment::kCore ||
+           options_.fragment == Fragment::kWF ||
+           options_.fragment == Fragment::kFullXPath;
+  }
+  bool FragmentHasArithmetic() const {
+    return options_.fragment == Fragment::kPWF ||
+           options_.fragment == Fragment::kWF ||
+           options_.fragment == Fragment::kPXPath ||
+           options_.fragment == Fragment::kFullXPath;
+  }
+  int MaxPredicatesPerStep() const {
+    // Iterated predicates are only inside Core XPath / WF / full XPath.
+    switch (options_.fragment) {
+      case Fragment::kPF:
+        return 0;
+      case Fragment::kPWF:
+      case Fragment::kPXPath:
+        return 1;
+      default:
+        return options_.max_predicates_per_step;
+    }
+  }
+
+  NodeTest GenTest() {
+    if (rng_.Bernoulli(options_.any_test_probability)) return NodeTest::Any();
+    return NodeTest::Name(
+        "t" + std::to_string(rng_.UniformInt(0, options_.tag_alphabet - 1)));
+  }
+
+  Step GenStep(int depth) {
+    Axis axis = rng_.Pick(axes_);
+    std::vector<ExprPtr> predicates;
+    if (FragmentHasConditions() && depth > 0) {
+      const int max_preds = MaxPredicatesPerStep();
+      for (int i = 0; i < max_preds; ++i) {
+        if (!rng_.Bernoulli(options_.predicate_probability)) break;
+        predicates.push_back(GenCondition(depth - 1));
+      }
+    }
+    return MakeStep(axis, GenTest(), std::move(predicates));
+  }
+
+  ExprPtr GenPath(int depth) {
+    bool absolute = rng_.Bernoulli(options_.absolute_probability);
+    int64_t num_steps = rng_.UniformInt(1, options_.max_path_steps);
+    std::vector<Step> steps;
+    steps.reserve(static_cast<size_t>(num_steps));
+    for (int64_t i = 0; i < num_steps; ++i) steps.push_back(GenStep(depth));
+    return build::Path(absolute, std::move(steps));
+  }
+
+  ExprPtr GenCondition(int depth) {
+    // Choice weights: plain path conditions dominate, mirroring practice.
+    if (depth > 0 && rng_.Bernoulli(0.35)) {
+      ExprPtr lhs = GenCondition(depth - 1);
+      ExprPtr rhs = GenCondition(depth - 1);
+      return rng_.Bernoulli(0.5) ? build::And(std::move(lhs), std::move(rhs))
+                                 : build::Or(std::move(lhs), std::move(rhs));
+    }
+    if (FragmentHasNegation() && depth > 0 && rng_.Bernoulli(0.3)) {
+      return build::Not(GenCondition(depth - 1));
+    }
+    if (FragmentHasArithmetic() && rng_.Bernoulli(options_.relop_probability)) {
+      return GenRelop(depth);
+    }
+    if (options_.fragment == Fragment::kPXPath && rng_.Bernoulli(0.15)) {
+      std::vector<ExprPtr> args;
+      args.push_back(GenPath(depth));
+      return build::Call(Function::kBoolean, std::move(args));
+    }
+    if (options_.fragment == Fragment::kFullXPath && rng_.Bernoulli(0.2)) {
+      return GenFullXPathCondition(depth);
+    }
+    return GenPath(depth);
+  }
+
+  ExprPtr GenRelop(int depth) {
+    static constexpr BinaryOp kRelops[] = {BinaryOp::kEq, BinaryOp::kNe,
+                                           BinaryOp::kLt, BinaryOp::kLe,
+                                           BinaryOp::kGt, BinaryOp::kGe};
+    BinaryOp op = kRelops[rng_.UniformInt(0, 5)];
+    return build::Binary(op, GenNexpr(options_.max_arith_depth, depth),
+                         GenNexpr(options_.max_arith_depth, depth));
+  }
+
+  ExprPtr GenNexpr(int arith_depth, int cond_depth) {
+    if (arith_depth > 0 && rng_.Bernoulli(0.35)) {
+      static constexpr BinaryOp kArith[] = {BinaryOp::kAdd, BinaryOp::kSub,
+                                            BinaryOp::kMul, BinaryOp::kMod};
+      BinaryOp op = kArith[rng_.UniformInt(0, 3)];
+      return build::Binary(op, GenNexpr(arith_depth - 1, cond_depth),
+                           GenNexpr(arith_depth - 1, cond_depth));
+    }
+    if (options_.fragment == Fragment::kFullXPath && rng_.Bernoulli(0.2)) {
+      std::vector<ExprPtr> args;
+      args.push_back(GenPath(cond_depth));
+      return build::Call(Function::kCount, std::move(args));
+    }
+    switch (rng_.UniformInt(0, 2)) {
+      case 0:
+        return build::Position();
+      case 1:
+        return build::Last();
+      default:
+        return build::Number(static_cast<double>(rng_.UniformInt(0, 4)));
+    }
+  }
+
+  ExprPtr GenFullXPathCondition(int depth) {
+    switch (rng_.UniformInt(0, 2)) {
+      case 0: {  // count(π) relop number
+        std::vector<ExprPtr> args;
+        args.push_back(GenPath(depth));
+        return build::Binary(
+            rng_.Bernoulli(0.5) ? BinaryOp::kGe : BinaryOp::kEq,
+            build::Call(Function::kCount, std::move(args)),
+            build::Number(static_cast<double>(rng_.UniformInt(0, 3))));
+      }
+      case 1: {  // string-valued comparison
+        std::vector<ExprPtr> args;
+        args.push_back(GenPath(depth));
+        return build::Eq(build::Call(Function::kString, std::move(args)),
+                         build::Str(std::to_string(rng_.UniformInt(0, 99))));
+      }
+      default: {  // starts-with(name(), 't')
+        std::vector<ExprPtr> args;
+        args.push_back(build::Call(Function::kName));
+        args.push_back(build::Str("t"));
+        return build::Call(Function::kStartsWith, std::move(args));
+      }
+    }
+  }
+
+  Rng& rng_;
+  const RandomQueryOptions& options_;
+  std::vector<Axis> axes_;
+};
+
+}  // namespace
+
+Query RandomQuery(Rng* rng, const RandomQueryOptions& options) {
+  Generator generator(rng, options);
+  return generator.Run();
+}
+
+Query NestedConditionQuery(int depth, int arms) {
+  GKX_CHECK_GE(depth, 0);
+  GKX_CHECK_GE(arms, 1);
+  // Build bottom-up: condition of level k wraps `arms` copies of level k-1.
+  std::function<ExprPtr(int)> condition = [&](int level) -> ExprPtr {
+    if (level == 0) {
+      return build::StepPath(NamedStep(Axis::kDescendant, "t0"));
+    }
+    ExprPtr conjunction;
+    for (int i = 0; i < arms; ++i) {
+      std::vector<ExprPtr> preds;
+      preds.push_back(condition(level - 1));
+      ExprPtr arm = build::StepPath(
+          NamedStep(Axis::kDescendant, "t0", std::move(preds)));
+      conjunction = conjunction == nullptr
+                        ? std::move(arm)
+                        : build::And(std::move(conjunction), std::move(arm));
+    }
+    return conjunction;
+  };
+  std::vector<ExprPtr> preds;
+  preds.push_back(condition(depth));
+  std::vector<Step> steps;
+  steps.push_back(
+      MakeStep(Axis::kDescendantOrSelf, NodeTest::Any(), std::move(preds)));
+  return Query::Create(build::Path(/*absolute=*/true, std::move(steps)));
+}
+
+Query ChildStarChainQuery(int steps) {
+  GKX_CHECK_GE(steps, 1);
+  std::vector<Step> chain;
+  chain.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) chain.push_back(AnyStep(Axis::kChild));
+  return Query::Create(build::Path(/*absolute=*/true, std::move(chain)));
+}
+
+}  // namespace gkx::xpath

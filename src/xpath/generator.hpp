@@ -1,0 +1,56 @@
+// Random query generation per fragment — the workload side of the
+// differential property tests (all evaluators must agree on random
+// query/document pairs) and of the experiment sweeps.
+
+#ifndef GKX_XPATH_GENERATOR_HPP_
+#define GKX_XPATH_GENERATOR_HPP_
+
+#include <vector>
+
+#include "base/rng.hpp"
+#include "xpath/ast.hpp"
+#include "xpath/fragment.hpp"
+
+namespace gkx::xpath {
+
+struct RandomQueryOptions {
+  /// Target fragment; the generated query is syntactically inside it.
+  Fragment fragment = Fragment::kCore;
+  /// Steps per generated path (1..max).
+  int max_path_steps = 3;
+  /// Nesting depth of conditions inside conditions.
+  int max_condition_depth = 2;
+  /// Predicates per step (only Fragment::kCore and kFullXPath may exceed 1).
+  int max_predicates_per_step = 1;
+  /// Node-test names are drawn from {t0, ..., t<alphabet-1>} — matching
+  /// xml::RandomDocument's tags.
+  int tag_alphabet = 4;
+  double any_test_probability = 0.3;
+  double absolute_probability = 0.3;
+  double union_probability = 0.15;
+  double predicate_probability = 0.6;
+  /// For arithmetic-capable fragments: probability that a condition is a
+  /// positional comparison, and the arithmetic nesting cap.
+  double relop_probability = 0.4;
+  int max_arith_depth = 2;
+  /// Axes to draw from; empty = all 11.
+  std::vector<Axis> axes;
+};
+
+/// Generates a random query inside the requested fragment.
+Query RandomQuery(Rng* rng, const RandomQueryOptions& options = {});
+
+/// The family of nested-descendant queries used by the "engines are
+/// exponential in |Q|" intro experiment:
+///   depth 0: descendant::t0
+///   depth k: descendant::t0[<query of depth k-1>] with branching `arms`.
+/// Positive Core XPath; |Q| = Θ(arms^depth) for arms >= 2, Θ(depth) for 1.
+Query NestedConditionQuery(int depth, int arms = 2);
+
+/// A chain of `steps` child::* steps (PF) — workload for the linear-scaling
+/// experiments.
+Query ChildStarChainQuery(int steps);
+
+}  // namespace gkx::xpath
+
+#endif  // GKX_XPATH_GENERATOR_HPP_

@@ -1,0 +1,205 @@
+#include "xpath/lexer.hpp"
+
+#include <cctype>
+
+#include "base/string_util.hpp"
+
+namespace gkx::xpath {
+namespace {
+
+bool IsNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '.' || c == '-';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// True if a token of this kind can end an operand, which by XPath §3.7
+/// forces the next '*'/and/or/div/mod to be an operator.
+bool EndsOperand(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kName:
+    case TokenKind::kNumber:
+    case TokenKind::kLiteral:
+    case TokenKind::kRParen:
+    case TokenKind::kRBracket:
+    case TokenKind::kDot:
+    case TokenKind::kDotDot:
+    case TokenKind::kStar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kName: return "name";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLiteral: return "string literal";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kDoubleSlash: return "'//'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDoubleColon: return "'::'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kMul: return "'*' (multiply)";
+    case TokenKind::kAnd: return "'and'";
+    case TokenKind::kOr: return "'or'";
+    case TokenKind::kDiv: return "'div'";
+    case TokenKind::kMod: return "'mod'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kDollar: return "'$'";
+  }
+  return "token";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  auto error = [&](std::string message) {
+    return InvalidArgumentError("XPath lex error at offset " +
+                                std::to_string(pos) + ": " + std::move(message));
+  };
+  auto push = [&](TokenKind kind, size_t offset, std::string text = {},
+                  double number = 0.0) {
+    tokens.push_back(Token{kind, std::move(text), number, offset});
+  };
+
+  while (pos < query.size()) {
+    char c = query[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    size_t start = pos;
+    bool operand_before = !tokens.empty() && EndsOperand(tokens.back().kind);
+
+    if (IsDigit(c) || (c == '.' && pos + 1 < query.size() && IsDigit(query[pos + 1]))) {
+      while (pos < query.size() && IsDigit(query[pos])) ++pos;
+      if (pos < query.size() && query[pos] == '.') {
+        ++pos;
+        while (pos < query.size() && IsDigit(query[pos])) ++pos;
+      }
+      double value = ParseXPathNumber(query.substr(start, pos - start));
+      push(TokenKind::kNumber, start, {}, value);
+      continue;
+    }
+    if (IsNameStart(c)) {
+      while (pos < query.size() && IsNameChar(query[pos])) ++pos;
+      std::string name(query.substr(start, pos - start));
+      if (operand_before) {
+        if (name == "and") { push(TokenKind::kAnd, start); continue; }
+        if (name == "or") { push(TokenKind::kOr, start); continue; }
+        if (name == "div") { push(TokenKind::kDiv, start); continue; }
+        if (name == "mod") { push(TokenKind::kMod, start); continue; }
+      }
+      push(TokenKind::kName, start, std::move(name));
+      continue;
+    }
+    switch (c) {
+      case '\'':
+      case '"': {
+        size_t end = query.find(c, pos + 1);
+        if (end == std::string_view::npos) {
+          return error("unterminated string literal");
+        }
+        push(TokenKind::kLiteral, start,
+             std::string(query.substr(pos + 1, end - pos - 1)));
+        pos = end + 1;
+        continue;
+      }
+      case '/':
+        if (pos + 1 < query.size() && query[pos + 1] == '/') {
+          push(TokenKind::kDoubleSlash, start);
+          pos += 2;
+        } else {
+          push(TokenKind::kSlash, start);
+          ++pos;
+        }
+        continue;
+      case '|': push(TokenKind::kPipe, start); ++pos; continue;
+      case '+': push(TokenKind::kPlus, start); ++pos; continue;
+      case '-': push(TokenKind::kMinus, start); ++pos; continue;
+      case '=': push(TokenKind::kEq, start); ++pos; continue;
+      case '!':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          push(TokenKind::kNe, start);
+          pos += 2;
+          continue;
+        }
+        return error("expected '=' after '!'");
+      case '<':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          push(TokenKind::kLe, start);
+          pos += 2;
+        } else {
+          push(TokenKind::kLt, start);
+          ++pos;
+        }
+        continue;
+      case '>':
+        if (pos + 1 < query.size() && query[pos + 1] == '=') {
+          push(TokenKind::kGe, start);
+          pos += 2;
+        } else {
+          push(TokenKind::kGt, start);
+          ++pos;
+        }
+        continue;
+      case '(': push(TokenKind::kLParen, start); ++pos; continue;
+      case ')': push(TokenKind::kRParen, start); ++pos; continue;
+      case '[': push(TokenKind::kLBracket, start); ++pos; continue;
+      case ']': push(TokenKind::kRBracket, start); ++pos; continue;
+      case ',': push(TokenKind::kComma, start); ++pos; continue;
+      case ':':
+        if (pos + 1 < query.size() && query[pos + 1] == ':') {
+          push(TokenKind::kDoubleColon, start);
+          pos += 2;
+          continue;
+        }
+        return error("namespace-qualified names are not supported");
+      case '.':
+        if (pos + 1 < query.size() && query[pos + 1] == '.') {
+          push(TokenKind::kDotDot, start);
+          pos += 2;
+        } else {
+          push(TokenKind::kDot, start);
+          ++pos;
+        }
+        continue;
+      case '*':
+        push(operand_before ? TokenKind::kMul : TokenKind::kStar, start);
+        ++pos;
+        continue;
+      case '@': push(TokenKind::kAt, start); ++pos; continue;
+      case '$': push(TokenKind::kDollar, start); ++pos; continue;
+      default:
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+  push(TokenKind::kEof, query.size());
+  return tokens;
+}
+
+}  // namespace gkx::xpath

@@ -1,0 +1,64 @@
+// XPath 1.0 tokenizer, including the spec §3.7 disambiguation rule: '*' and
+// the names and/or/div/mod are operators exactly when the preceding token can
+// end an operand; otherwise they are a wildcard / names.
+
+#ifndef GKX_XPATH_LEXER_HPP_
+#define GKX_XPATH_LEXER_HPP_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace gkx::xpath {
+
+enum class TokenKind {
+  kEof,
+  kName,       // NCName (tags, axis names, function names)
+  kNumber,     // XPath Number
+  kLiteral,    // 'string' or "string"
+  kSlash,
+  kDoubleSlash,
+  kPipe,
+  kPlus,
+  kMinus,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kDoubleColon,
+  kDot,
+  kDotDot,
+  kStar,       // wildcard
+  kMul,        // '*' as multiplication (after disambiguation)
+  kAnd,
+  kOr,
+  kDiv,
+  kMod,
+  kAt,         // '@' — recognized so the parser can reject it helpfully
+  kDollar,     // '$' — likewise
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // for kName / kLiteral
+  double number = 0.0;  // for kNumber
+  size_t offset = 0;    // byte offset in the input
+};
+
+/// Tokenizes a whole query; the last token is kEof.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace gkx::xpath
+
+#endif  // GKX_XPATH_LEXER_HPP_

@@ -1,0 +1,44 @@
+// Semantics-preserving query simplification — the standard rewrite layer of
+// an XPath engine. Everything here is justified by the axis algebra the
+// metamorphic test suite checks:
+//
+//   * step fusion:   descendant-or-self::node()/child::t[P]
+//                      -> descendant::t[P]          (the '//' idiom)
+//                    descendant-or-self::node()/descendant::t[P]
+//                      -> descendant::t[P]
+//                    self::node()                   -> dropped (when another
+//                                                      step remains)
+//   * trivial predicates dropped: [true()], [position() >= 1],
+//                    [position() <= last()]
+//   * empty-union collapse: single-branch unions unwrapped.
+//
+// Fusions are suppressed where positions are observable (a predicate on the
+// fused step that uses position()/last() or a numeric predicate counts
+// against the *merged* candidate list, which would change meaning).
+
+#ifndef GKX_XPATH_OPTIMIZE_HPP_
+#define GKX_XPATH_OPTIMIZE_HPP_
+
+#include "xpath/ast.hpp"
+
+namespace gkx::xpath {
+
+struct OptimizeStats {
+  int fused_steps = 0;
+  int dropped_self_steps = 0;
+  int dropped_predicates = 0;
+  int unwrapped_unions = 0;
+
+  int Total() const {
+    return fused_steps + dropped_self_steps + dropped_predicates +
+           unwrapped_unions;
+  }
+};
+
+/// Returns an equivalent, usually smaller query. `stats` (optional)
+/// receives rewrite counts.
+Query Optimize(const Query& query, OptimizeStats* stats = nullptr);
+
+}  // namespace gkx::xpath
+
+#endif  // GKX_XPATH_OPTIMIZE_HPP_

@@ -1,0 +1,27 @@
+// Recursive-descent parser for the XPath subset described in ast.hpp.
+// Abbreviations are expanded at parse time:
+//   //   ->  /descendant-or-self::node()/
+//   name ->  child::name          .  -> self::node()    .. -> parent::node()
+// Variables ($x), attribute (@/attribute::) and namespace axes are rejected
+// with targeted error messages (they fall outside every fragment the paper
+// analyses).
+
+#ifndef GKX_XPATH_PARSER_HPP_
+#define GKX_XPATH_PARSER_HPP_
+
+#include <string_view>
+
+#include "base/status.hpp"
+#include "xpath/ast.hpp"
+
+namespace gkx::xpath {
+
+/// Parses a complete XPath expression into a Query.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses and aborts on error — for tests and inline query constants.
+Query MustParse(std::string_view text);
+
+}  // namespace gkx::xpath
+
+#endif  // GKX_XPATH_PARSER_HPP_

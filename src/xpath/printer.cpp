@@ -1,0 +1,141 @@
+#include "xpath/printer.hpp"
+
+#include "base/string_util.hpp"
+
+namespace gkx::xpath {
+namespace {
+
+// Natural precedence of an expression node; higher binds tighter.
+// or=1 and=2 equality=3 relational=4 additive=5 multiplicative=6 unary=7
+// union=8 primary=9.
+int Precedence(const Expr& expr) {
+  switch (expr.kind()) {
+    case Expr::Kind::kBinary:
+      switch (expr.As<BinaryExpr>().op()) {
+        case BinaryOp::kOr: return 1;
+        case BinaryOp::kAnd: return 2;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe: return 3;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: return 4;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub: return 5;
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: return 6;
+      }
+      return 9;
+    case Expr::Kind::kNegate:
+      return 7;
+    case Expr::Kind::kUnion:
+      return 8;
+    default:
+      return 9;
+  }
+}
+
+void Print(const Expr& expr, std::string* out);
+
+void PrintChild(const Expr& child, int min_precedence, std::string* out) {
+  if (Precedence(child) < min_precedence) {
+    out->push_back('(');
+    Print(child, out);
+    out->push_back(')');
+  } else {
+    Print(child, out);
+  }
+}
+
+void PrintStep(const Step& step, std::string* out) {
+  out->append(AxisName(step.axis));
+  out->append("::");
+  out->append(step.test.ToString());
+  for (const ExprPtr& predicate : step.predicates) {
+    out->push_back('[');
+    Print(*predicate, out);
+    out->push_back(']');
+  }
+}
+
+void Print(const Expr& expr, std::string* out) {
+  switch (expr.kind()) {
+    case Expr::Kind::kNumberLiteral:
+      out->append(FormatXPathNumber(expr.As<NumberLiteral>().value()));
+      return;
+    case Expr::Kind::kStringLiteral: {
+      const std::string& value = expr.As<StringLiteral>().value();
+      // Pick the quote that does not occur in the value (XPath has no
+      // escaping inside literals).
+      char quote = value.find('\'') == std::string::npos ? '\'' : '"';
+      out->push_back(quote);
+      out->append(value);
+      out->push_back(quote);
+      return;
+    }
+    case Expr::Kind::kBinary: {
+      const auto& binary = expr.As<BinaryExpr>();
+      const int precedence = Precedence(expr);
+      // Left-associative: the left child may have equal precedence, the
+      // right child must bind strictly tighter.
+      PrintChild(binary.lhs(), precedence, out);
+      out->push_back(' ');
+      out->append(BinaryOpName(binary.op()));
+      out->push_back(' ');
+      PrintChild(binary.rhs(), precedence + 1, out);
+      return;
+    }
+    case Expr::Kind::kNegate:
+      out->push_back('-');
+      PrintChild(expr.As<NegateExpr>().operand(), 7, out);
+      return;
+    case Expr::Kind::kFunctionCall: {
+      const auto& call = expr.As<FunctionCall>();
+      out->append(FunctionName(call.function()));
+      out->push_back('(');
+      for (size_t i = 0; i < call.arg_count(); ++i) {
+        if (i > 0) out->append(", ");
+        Print(call.arg(i), out);
+      }
+      out->push_back(')');
+      return;
+    }
+    case Expr::Kind::kPath: {
+      const auto& path = expr.As<PathExpr>();
+      if (path.absolute()) out->push_back('/');
+      for (size_t i = 0; i < path.step_count(); ++i) {
+        if (i > 0) out->push_back('/');
+        PrintStep(path.step(i), out);
+      }
+      return;
+    }
+    case Expr::Kind::kUnion: {
+      const auto& u = expr.As<UnionExpr>();
+      for (size_t i = 0; i < u.branch_count(); ++i) {
+        if (i > 0) out->append(" | ");
+        PrintChild(u.branch(i), 9, out);  // parenthesize nested unions
+      }
+      return;
+    }
+  }
+  GKX_CHECK(false);
+}
+
+}  // namespace
+
+std::string ToXPathString(const Expr& expr) {
+  std::string out;
+  Print(expr, &out);
+  return out;
+}
+
+std::string ToXPathString(const Query& query) { return ToXPathString(query.root()); }
+
+std::string ToXPathString(const Step& step) {
+  std::string out;
+  PrintStep(step, &out);
+  return out;
+}
+
+}  // namespace gkx::xpath

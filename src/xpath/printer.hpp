@@ -1,0 +1,25 @@
+// AST -> XPath surface syntax, in canonical unabbreviated form (explicit
+// axes, minimal parentheses). Printing then re-parsing yields an identical
+// tree, which the round-trip tests assert.
+
+#ifndef GKX_XPATH_PRINTER_HPP_
+#define GKX_XPATH_PRINTER_HPP_
+
+#include <string>
+
+#include "xpath/ast.hpp"
+
+namespace gkx::xpath {
+
+/// Serializes an expression (sub)tree.
+std::string ToXPathString(const Expr& expr);
+
+/// Serializes a whole query.
+std::string ToXPathString(const Query& query);
+
+/// Serializes a single step (axis::test[preds]).
+std::string ToXPathString(const Step& step);
+
+}  // namespace gkx::xpath
+
+#endif  // GKX_XPATH_PRINTER_HPP_

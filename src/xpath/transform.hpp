@@ -1,0 +1,32 @@
+// Query-to-query rewrites used by the paper:
+//
+// * NormalizeIteratedPredicates — Remark 5.2: χ::t[e1]...[ek] is equivalent
+//   to χ::t[e1 and ... and ek] as long as the folded predicates do not use
+//   position()/last(). Folds every step where that side condition holds (the
+//   first predicate may be positional; later ones must not be, since folding
+//   drops the re-ranking).
+//
+// * PushNegationsDown — the first transformation step in the proof of
+//   Theorem 5.9: apply de Morgan's laws so that not() survives only directly
+//   in front of location paths (and in front of relational operators whose
+//   operands are not both numbers, cf. Theorem 6.3); number-number
+//   comparisons are negated by flipping the operator.
+
+#ifndef GKX_XPATH_TRANSFORM_HPP_
+#define GKX_XPATH_TRANSFORM_HPP_
+
+#include "xpath/ast.hpp"
+
+namespace gkx::xpath {
+
+/// Folds iterated predicates where semantically safe; returns a new Query.
+Query NormalizeIteratedPredicates(const Query& query);
+
+/// Pushes not() down by de Morgan; returns a new Query equivalent to the
+/// input. After the rewrite, every not() wraps a location path, a union, or
+/// a non-numeric comparison.
+Query PushNegationsDown(const Query& query);
+
+}  // namespace gkx::xpath
+
+#endif  // GKX_XPATH_TRANSFORM_HPP_

@@ -1,0 +1,169 @@
+// Axis engine tests: every axis is checked against a brute-force
+// implementation of its definition on randomized documents, including axis
+// order (document order for forward axes, reverse for reverse axes),
+// constant-time membership, and streaming position/size.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "eval/axes.hpp"
+#include "xml/builder.hpp"
+#include "xml/generator.hpp"
+
+namespace gkx::eval {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+using xpath::Axis;
+
+// Brute-force membership straight from the axis definitions.
+bool BruteContains(const Document& doc, NodeId origin, Axis axis, NodeId u) {
+  const bool is_descendant = doc.IsAncestorOrSelf(origin, u) && u != origin;
+  const bool is_ancestor = doc.IsAncestorOrSelf(u, origin) && u != origin;
+  const bool same_parent = doc.node(u).parent == doc.node(origin).parent &&
+                           doc.node(origin).parent != xml::kNullNode;
+  switch (axis) {
+    case Axis::kSelf: return u == origin;
+    case Axis::kChild: return doc.node(u).parent == origin;
+    case Axis::kParent: return doc.node(origin).parent == u;
+    case Axis::kDescendant: return is_descendant;
+    case Axis::kDescendantOrSelf: return is_descendant || u == origin;
+    case Axis::kAncestor: return is_ancestor;
+    case Axis::kAncestorOrSelf: return is_ancestor || u == origin;
+    case Axis::kFollowing:
+      return u > origin && !is_descendant;
+    case Axis::kPreceding:
+      return u < origin && !is_ancestor;
+    case Axis::kFollowingSibling: return same_parent && u > origin;
+    case Axis::kPrecedingSibling: return same_parent && u < origin;
+  }
+  return false;
+}
+
+std::vector<NodeId> BruteAxisNodes(const Document& doc, NodeId origin, Axis axis) {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < doc.size(); ++u) {
+    if (BruteContains(doc, origin, axis, u)) out.push_back(u);
+  }
+  if (xpath::IsReverseAxis(axis)) std::reverse(out.begin(), out.end());
+  return out;
+}
+
+constexpr Axis kAxes[] = {
+    Axis::kSelf,           Axis::kChild,
+    Axis::kParent,         Axis::kDescendant,
+    Axis::kDescendantOrSelf, Axis::kAncestor,
+    Axis::kAncestorOrSelf, Axis::kFollowing,
+    Axis::kFollowingSibling, Axis::kPreceding,
+    Axis::kPrecedingSibling,
+};
+
+class AxisPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AxisPropertyTest, MatchesBruteForceOnRandomDocuments) {
+  Rng rng(GetParam());
+  xml::RandomDocumentOptions options;
+  options.node_count = 1 + static_cast<int32_t>(GetParam() % 97);
+  options.chain_bias = (GetParam() % 7) / 7.0;
+  Document doc = xml::RandomDocument(&rng, options);
+  const ResolvedTest any{xpath::NodeTest::Kind::kAny, xml::kNoName};
+
+  for (NodeId origin = 0; origin < doc.size(); ++origin) {
+    for (Axis axis : kAxes) {
+      const std::vector<NodeId> expected = BruteAxisNodes(doc, origin, axis);
+      const std::vector<NodeId> actual = AxisNodes(doc, origin, axis, any);
+      ASSERT_EQ(actual, expected)
+          << "axis " << xpath::AxisName(axis) << " from " << origin;
+      // Membership agrees with enumeration.
+      for (NodeId u = 0; u < doc.size(); ++u) {
+        ASSERT_EQ(AxisContains(doc, origin, axis, u),
+                  BruteContains(doc, origin, axis, u))
+            << xpath::AxisName(axis) << " origin=" << origin << " u=" << u;
+      }
+      // Streaming positions agree with enumeration ranks.
+      for (size_t rank = 0; rank < actual.size(); ++rank) {
+        int64_t position = 0;
+        int64_t size = 0;
+        ASSERT_TRUE(AxisPositionOf(doc, origin, axis, any, actual[rank],
+                                   &position, &size));
+        EXPECT_EQ(position, static_cast<int64_t>(rank + 1));
+        EXPECT_EQ(size, static_cast<int64_t>(actual.size()));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxisPropertyTest,
+                         ::testing::Values(3, 17, 29, 41, 53, 67, 79));
+
+TEST(AxisOrderTest, ForwardAxesAscendReverseAxesDescend) {
+  Rng rng(5);
+  xml::RandomDocumentOptions options;
+  options.node_count = 80;
+  Document doc = xml::RandomDocument(&rng, options);
+  const ResolvedTest any{xpath::NodeTest::Kind::kAny, xml::kNoName};
+  for (NodeId origin = 0; origin < doc.size(); ++origin) {
+    for (Axis axis : kAxes) {
+      std::vector<NodeId> nodes = AxisNodes(doc, origin, axis, any);
+      for (size_t i = 1; i < nodes.size(); ++i) {
+        if (xpath::IsReverseAxis(axis)) {
+          EXPECT_LT(nodes[i], nodes[i - 1]);
+        } else {
+          EXPECT_GT(nodes[i], nodes[i - 1]);
+        }
+      }
+    }
+  }
+}
+
+TEST(AxisTest, EarlyStopEnumeration) {
+  Document doc = xml::BalancedDocument(3, 3);
+  int visited = 0;
+  ForEachOnAxis(doc, 0, Axis::kDescendant, [&](xml::NodeId) {
+    ++visited;
+    return visited < 5;
+  });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(ResolvedTestTest, NameMatchingIncludesLabels) {
+  xml::TreeBuilder builder("root");
+  xml::BuildNodeId v = builder.AddChild(builder.root(), "n");
+  builder.AddLabel(v, "G");
+  Document doc = std::move(builder).Build();
+
+  ResolvedTest g = ResolvedTest::Resolve(doc, xpath::NodeTest::Name("G"));
+  EXPECT_TRUE(g.Matches(doc, 1));
+  EXPECT_FALSE(g.Matches(doc, 0));
+
+  ResolvedTest missing = ResolvedTest::Resolve(doc, xpath::NodeTest::Name("Z"));
+  EXPECT_FALSE(missing.Matches(doc, 0));
+  EXPECT_FALSE(missing.Matches(doc, 1));
+
+  ResolvedTest any = ResolvedTest::Resolve(doc, xpath::NodeTest::Any());
+  EXPECT_TRUE(any.Matches(doc, 0));
+}
+
+TEST(AxisTest, PartitionOfDocument) {
+  // self ∪ ancestor ∪ descendant ∪ following ∪ preceding = dom, disjointly
+  // (the classic XPath axis partition).
+  Rng rng(23);
+  xml::RandomDocumentOptions options;
+  options.node_count = 60;
+  Document doc = xml::RandomDocument(&rng, options);
+  for (NodeId origin = 0; origin < doc.size(); ++origin) {
+    for (NodeId u = 0; u < doc.size(); ++u) {
+      int memberships = 0;
+      for (Axis axis : {Axis::kSelf, Axis::kAncestor, Axis::kDescendant,
+                        Axis::kFollowing, Axis::kPreceding}) {
+        if (AxisContains(doc, origin, axis, u)) ++memberships;
+      }
+      ASSERT_EQ(memberships, 1) << "origin=" << origin << " u=" << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gkx::eval

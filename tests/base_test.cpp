@@ -1,0 +1,184 @@
+// Unit tests for the base substrate: Status/Result, RNG determinism, and the
+// XPath 1.0 number/string lexical helpers.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "base/status.hpp"
+#include "base/string_util.hpp"
+
+namespace gkx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad thing");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::set<std::string_view> names = {
+      StatusCodeName(StatusCode::kOk),
+      StatusCodeName(StatusCode::kInvalidArgument),
+      StatusCodeName(StatusCode::kUnsupported),
+      StatusCodeName(StatusCode::kOutOfRange),
+      StatusCodeName(StatusCode::kFailedPrecondition),
+      StatusCodeName(StatusCode::kInternal),
+  };
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(UnsupportedError("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-2, 5);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all values hit over 1000 draws
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(3);
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StringUtilTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto pieces = Split("a b  c", ' ');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[2], "");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  \t x y \n"), "x y");
+  EXPECT_EQ(StripWhitespace("\r\n"), "");
+}
+
+TEST(StringUtilTest, NormalizeSpace) {
+  EXPECT_EQ(NormalizeSpace("  a\t b  \n c "), "a b c");
+  EXPECT_EQ(NormalizeSpace(""), "");
+  EXPECT_EQ(NormalizeSpace("   "), "");
+}
+
+TEST(XPathNumberFormatTest, Integers) {
+  EXPECT_EQ(FormatXPathNumber(0.0), "0");
+  EXPECT_EQ(FormatXPathNumber(-0.0), "0");
+  EXPECT_EQ(FormatXPathNumber(3.0), "3");
+  EXPECT_EQ(FormatXPathNumber(-17.0), "-17");
+  EXPECT_EQ(FormatXPathNumber(1e6), "1000000");
+}
+
+TEST(XPathNumberFormatTest, Specials) {
+  EXPECT_EQ(FormatXPathNumber(std::nan("")), "NaN");
+  EXPECT_EQ(FormatXPathNumber(INFINITY), "Infinity");
+  EXPECT_EQ(FormatXPathNumber(-INFINITY), "-Infinity");
+}
+
+TEST(XPathNumberFormatTest, Fractions) {
+  EXPECT_EQ(FormatXPathNumber(0.5), "0.5");
+  EXPECT_EQ(FormatXPathNumber(-2.25), "-2.25");
+}
+
+TEST(XPathNumberParseTest, ValidForms) {
+  EXPECT_DOUBLE_EQ(ParseXPathNumber("42"), 42.0);
+  EXPECT_DOUBLE_EQ(ParseXPathNumber("  -3.5 "), -3.5);
+  EXPECT_DOUBLE_EQ(ParseXPathNumber(".25"), 0.25);
+  EXPECT_DOUBLE_EQ(ParseXPathNumber("7."), 7.0);
+}
+
+TEST(XPathNumberParseTest, InvalidFormsAreNaN) {
+  EXPECT_TRUE(std::isnan(ParseXPathNumber("")));
+  EXPECT_TRUE(std::isnan(ParseXPathNumber("abc")));
+  EXPECT_TRUE(std::isnan(ParseXPathNumber("1e3")));  // no exponents in XPath
+  EXPECT_TRUE(std::isnan(ParseXPathNumber("1 2")));
+  EXPECT_TRUE(std::isnan(ParseXPathNumber("+5")));   // no leading plus
+  EXPECT_TRUE(std::isnan(ParseXPathNumber("-")));
+}
+
+TEST(XPathNumberParseTest, RoundTripWithFormat) {
+  for (double v : {0.0, 1.0, -4.0, 0.125, 123456.0, -0.75}) {
+    EXPECT_DOUBLE_EQ(ParseXPathNumber(FormatXPathNumber(v)), v);
+  }
+}
+
+TEST(StringUtilTest, EscapeXml) {
+  EXPECT_EQ(EscapeXml("a<b>&\"'c"), "a&lt;b&gt;&amp;&quot;&apos;c");
+  EXPECT_EQ(EscapeXml("plain"), "plain");
+}
+
+TEST(StringUtilTest, IsValidXmlName) {
+  EXPECT_TRUE(IsValidXmlName("foo"));
+  EXPECT_TRUE(IsValidXmlName("_a-b.c1"));
+  EXPECT_FALSE(IsValidXmlName(""));
+  EXPECT_FALSE(IsValidXmlName("1abc"));
+  EXPECT_FALSE(IsValidXmlName("a b"));
+}
+
+}  // namespace
+}  // namespace gkx

@@ -1,0 +1,166 @@
+// Circuit substrate tests: construction/validation invariants, evaluation,
+// the Figure 2 carry-bit circuit against arithmetic ground truth, random
+// generators, and SAC shape constraints.
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+
+namespace gkx::circuits {
+namespace {
+
+TEST(CircuitTest, BuildAndEvaluate) {
+  Circuit circuit;
+  int32_t a = circuit.AddInput();
+  int32_t b = circuit.AddInput();
+  int32_t g_and = circuit.AddAnd({a, b});
+  int32_t g_or = circuit.AddOr({a, g_and});
+  circuit.SetOutput(g_or);
+  ASSERT_TRUE(circuit.Validate().ok());
+  EXPECT_EQ(circuit.num_inputs(), 2);
+  EXPECT_EQ(circuit.num_logic_gates(), 2);
+  EXPECT_FALSE(circuit.Evaluate({false, false}));
+  EXPECT_TRUE(circuit.Evaluate({true, false}));
+  EXPECT_TRUE(circuit.Evaluate({true, true}));
+  EXPECT_FALSE(circuit.Evaluate({false, true}));
+}
+
+TEST(CircuitTest, EvaluateAllExposesGateValues) {
+  Circuit circuit;
+  int32_t a = circuit.AddInput();
+  int32_t b = circuit.AddInput();
+  circuit.AddAnd({a, b});
+  auto values = circuit.EvaluateAll({true, true});
+  EXPECT_EQ(values, (std::vector<bool>{true, true, true}));
+}
+
+TEST(CircuitTest, UnboundedFanIn) {
+  Circuit circuit;
+  std::vector<int32_t> inputs;
+  for (int i = 0; i < 6; ++i) inputs.push_back(circuit.AddInput());
+  circuit.AddOr(inputs);
+  EXPECT_TRUE(circuit.Evaluate({false, false, false, false, false, true}));
+  EXPECT_FALSE(circuit.Evaluate({false, false, false, false, false, false}));
+}
+
+TEST(CircuitTest, DepthComputation) {
+  Circuit circuit;
+  int32_t a = circuit.AddInput();
+  int32_t g1 = circuit.AddOr({a});
+  int32_t g2 = circuit.AddOr({g1});
+  circuit.AddAnd({g2, a});
+  EXPECT_EQ(circuit.Depth(), 3);
+}
+
+TEST(CircuitTest, SemiUnboundedCheck) {
+  Circuit circuit;
+  int32_t a = circuit.AddInput();
+  int32_t b = circuit.AddInput();
+  int32_t c = circuit.AddInput();
+  circuit.AddAnd({a, b});
+  EXPECT_TRUE(circuit.IsSemiUnbounded());
+  circuit.AddAnd({a, b, c});
+  EXPECT_FALSE(circuit.IsSemiUnbounded());
+  circuit.AddOr({a, b, c});  // unbounded OR is fine
+}
+
+TEST(CircuitTest, ValidateRejectsEmptyAndNoInput) {
+  Circuit empty;
+  EXPECT_FALSE(empty.Validate().ok());
+}
+
+TEST(CircuitTest, ToDotMentionsGates) {
+  Circuit circuit = CarryCircuit(1);
+  std::string dot = circuit.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("AND"), std::string::npos);
+}
+
+TEST(CarryCircuitTest, PaperExampleShape) {
+  // Figure 2: 4 inputs, 5 gates (4 AND + 1 OR), output G9.
+  Circuit circuit = CarryCircuit(2);
+  EXPECT_EQ(circuit.num_inputs(), 4);
+  EXPECT_EQ(circuit.num_logic_gates(), 5);
+  EXPECT_EQ(circuit.output(), circuit.size() - 1);
+  int ands = 0;
+  int ors = 0;
+  for (int32_t g = circuit.num_inputs(); g < circuit.size(); ++g) {
+    if (circuit.gate(g).kind == GateKind::kAnd) ++ands;
+    if (circuit.gate(g).kind == GateKind::kOr) ++ors;
+  }
+  EXPECT_EQ(ands, 4);
+  EXPECT_EQ(ors, 1);
+}
+
+class CarryTruthTableTest : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(CarryTruthTableTest, MatchesAddition) {
+  const int32_t bits = GetParam();
+  Circuit circuit = CarryCircuit(bits);
+  for (const auto& assignment : AllAssignments(2 * bits)) {
+    EXPECT_EQ(circuit.Evaluate(assignment), CarryGroundTruth(bits, assignment));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CarryTruthTableTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RandomMonotoneTest, ValidatesAndIsDeterministic) {
+  RandomMonotoneOptions options;
+  options.num_inputs = 6;
+  options.num_gates = 20;
+  Rng rng1(5);
+  Rng rng2(5);
+  Circuit a = RandomMonotone(&rng1, options);
+  Circuit b = RandomMonotone(&rng2, options);
+  ASSERT_TRUE(a.Validate().ok());
+  EXPECT_EQ(a.size(), 26);
+  // Determinism: same evaluation on all-true inputs and a few random ones.
+  Rng assign_rng(1);
+  for (int i = 0; i < 10; ++i) {
+    std::vector<bool> assignment;
+    for (int j = 0; j < 6; ++j) assignment.push_back(assign_rng.Bernoulli(0.5));
+    EXPECT_EQ(a.Evaluate(assignment), b.Evaluate(assignment));
+  }
+}
+
+TEST(RandomMonotoneTest, MonotonicityProperty) {
+  // Flipping any input from 0 to 1 can only raise the output.
+  Rng rng(77);
+  RandomMonotoneOptions options;
+  options.num_inputs = 5;
+  options.num_gates = 15;
+  for (int trial = 0; trial < 20; ++trial) {
+    Circuit circuit = RandomMonotone(&rng, options);
+    for (const auto& assignment : AllAssignments(5)) {
+      if (!circuit.Evaluate(assignment)) continue;
+      for (int i = 0; i < 5; ++i) {
+        std::vector<bool> raised = assignment;
+        raised[static_cast<size_t>(i)] = true;
+        EXPECT_TRUE(circuit.Evaluate(raised));
+      }
+    }
+  }
+}
+
+TEST(RandomSacTest, ShapeConstraints) {
+  Rng rng(9);
+  RandomSacOptions options;
+  options.num_inputs = 5;
+  options.layers = 6;
+  options.width = 4;
+  Circuit circuit = RandomSac(&rng, options);
+  ASSERT_TRUE(circuit.Validate().ok());
+  EXPECT_TRUE(circuit.IsSemiUnbounded());
+  EXPECT_LE(circuit.Depth(), 6);
+}
+
+TEST(AllAssignmentsTest, EnumeratesExhaustively) {
+  auto assignments = AllAssignments(3);
+  EXPECT_EQ(assignments.size(), 8u);
+  EXPECT_EQ(assignments[0], (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(assignments[7], (std::vector<bool>{true, true, true}));
+  EXPECT_EQ(AllAssignments(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace gkx::circuits

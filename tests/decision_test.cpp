@@ -1,0 +1,150 @@
+// Definition 5.3 (Singleton-Success) tests: instance validation rules, the
+// reference decider, the NAuxPDA decider, and their equivalence on random
+// pWF instances — which is the operational content of Lemma 5.4.
+
+#include <gtest/gtest.h>
+
+#include "eval/cvt_evaluator.hpp"
+#include "eval/decision.hpp"
+#include "eval/recursive_base.hpp"
+#include "xml/generator.hpp"
+#include "xpath/generator.hpp"
+#include "xpath/parser.hpp"
+#include "xpath/printer.hpp"
+
+namespace gkx::eval {
+namespace {
+
+using xpath::MustParse;
+
+xml::Document Doc() {
+  Rng rng(11);
+  xml::RandomDocumentOptions options;
+  options.node_count = 30;
+  return xml::RandomDocument(&rng, options);
+}
+
+TEST(SingletonSuccessTest, ValidationRules) {
+  xml::Document doc = Doc();
+  xpath::Query boolean_query = MustParse("child::t1 and child::t2");
+  xpath::Query node_query = MustParse("child::t1");
+
+  SingletonSuccessInstance instance;
+  instance.doc = &doc;
+  instance.query = &boolean_query;
+  instance.context = RootContext(doc);
+
+  // Boolean queries: only `true` may be asked (Definition 5.3).
+  instance.value = Value::Boolean(false);
+  EXPECT_FALSE(ValidateInstance(instance).ok());
+  instance.value = Value::Boolean(true);
+  EXPECT_TRUE(ValidateInstance(instance).ok());
+
+  // Type mismatch.
+  instance.value = Value::Number(1);
+  EXPECT_FALSE(ValidateInstance(instance).ok());
+
+  // Node-set queries need exactly one node.
+  instance.query = &node_query;
+  instance.value = Value::Nodes({1, 2});
+  EXPECT_FALSE(ValidateInstance(instance).ok());
+  instance.value = Value::Nodes({1});
+  EXPECT_TRUE(ValidateInstance(instance).ok());
+}
+
+TEST(SingletonSuccessTest, NodeMembership) {
+  xml::Document doc = Doc();
+  xpath::Query query = MustParse("/descendant-or-self::t1");
+  CvtEvaluator cvt;
+  auto expected = cvt.EvaluateNodeSet(doc, query);
+  ASSERT_TRUE(expected.ok());
+
+  NaiveEvaluator naive;
+  for (xml::NodeId v = 0; v < doc.size(); ++v) {
+    SingletonSuccessInstance instance;
+    instance.doc = &doc;
+    instance.query = &query;
+    instance.context = RootContext(doc);
+    instance.value = Value::Nodes({v});
+    auto reference = DecideSingletonSuccess(instance, &naive);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(*reference, SetContains(*expected, v));
+    auto pda = DecideSingletonSuccessPda(instance);
+    ASSERT_TRUE(pda.ok());
+    EXPECT_EQ(*pda, *reference) << "node " << v;
+  }
+}
+
+TEST(SingletonSuccessTest, ScalarInstances) {
+  xml::Document doc = Doc();
+  xpath::Query number_query = MustParse("2 + 3 * 4");
+  SingletonSuccessInstance instance;
+  instance.doc = &doc;
+  instance.query = &number_query;
+  instance.context = RootContext(doc);
+
+  NaiveEvaluator naive;
+  instance.value = Value::Number(14);
+  auto yes = DecideSingletonSuccess(instance, &naive);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  EXPECT_TRUE(*DecideSingletonSuccessPda(instance));
+
+  instance.value = Value::Number(15);
+  auto no = DecideSingletonSuccess(instance, &naive);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+  EXPECT_FALSE(*DecideSingletonSuccessPda(instance));
+}
+
+TEST(SingletonSuccessTest, PdaRejectsOutsideFragment) {
+  xml::Document doc = Doc();
+  xpath::Query query = MustParse("/descendant::*[not(child::t1)]");
+  SingletonSuccessInstance instance;
+  instance.doc = &doc;
+  instance.query = &query;
+  instance.context = RootContext(doc);
+  instance.value = Value::Nodes({0});
+  auto result = DecideSingletonSuccessPda(instance);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+// Lemma 5.4 as a property: the PDA decider equals the reference decider on
+// random pWF instances.
+class Lemma54Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma54Test, PdaDeciderMatchesReference) {
+  Rng rng(GetParam());
+  xml::RandomDocumentOptions doc_options;
+  doc_options.node_count = 25;
+  xpath::RandomQueryOptions query_options;
+  query_options.fragment = xpath::Fragment::kPWF;
+
+  NaiveEvaluator naive;
+  for (int trial = 0; trial < 12; ++trial) {
+    xml::Document doc = xml::RandomDocument(&rng, doc_options);
+    xpath::Query query = xpath::RandomQuery(&rng, query_options);
+    for (int probe = 0; probe < 6; ++probe) {
+      SingletonSuccessInstance instance;
+      instance.doc = &doc;
+      instance.query = &query;
+      instance.context = RootContext(doc);
+      instance.value = Value::Nodes(
+          {static_cast<xml::NodeId>(rng.UniformInt(0, doc.size() - 1))});
+      auto reference = DecideSingletonSuccess(instance, &naive);
+      ASSERT_TRUE(reference.ok()) << ToXPathString(query);
+      auto pda = DecideSingletonSuccessPda(instance);
+      ASSERT_TRUE(pda.ok()) << ToXPathString(query) << ": "
+                            << pda.status().ToString();
+      EXPECT_EQ(*pda, *reference)
+          << ToXPathString(query) << " candidate "
+          << instance.value.nodes().front();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma54Test, ::testing::Values(54, 55, 56, 57));
+
+}  // namespace
+}  // namespace gkx::eval

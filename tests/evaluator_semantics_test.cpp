@@ -1,0 +1,308 @@
+// XPath semantics battery, run against every engine that supports each
+// query: axis navigation, predicates (positional, iterated with re-ranking,
+// reverse-axis proximity), conditions with exists-semantics, boolean
+// connectives, arithmetic, functions, unions, and the worked examples from
+// the paper's §2.2.
+
+#include <gtest/gtest.h>
+
+#include "eval/core_linear_evaluator.hpp"
+#include "eval/cvt_evaluator.hpp"
+#include "eval/parallel_evaluator.hpp"
+#include "eval/pda_evaluator.hpp"
+#include "eval/recursive_base.hpp"
+#include "xml/builder.hpp"
+#include "xml/parser.hpp"
+#include "xpath/parser.hpp"
+
+namespace gkx::eval {
+namespace {
+
+using xml::Document;
+using xpath::MustParse;
+using xpath::Query;
+
+//        0:lib
+//        ├── 1:shelf
+//        │   ├── 2:book "10"
+//        │   │   └── 3:title "A"
+//        │   └── 4:book "20"
+//        │       └── 5:title "B"
+//        └── 6:shelf
+//            └── 7:book "30"
+Document LibraryDoc() {
+  xml::TreeBuilder b("lib");
+  auto shelf1 = b.AddChild(b.root(), "shelf");
+  auto book1 = b.AddChild(shelf1, "book");
+  b.SetText(book1, "10");
+  b.SetText(b.AddChild(book1, "title"), "A");
+  auto book2 = b.AddChild(shelf1, "book");
+  b.SetText(book2, "20");
+  b.SetText(b.AddChild(book2, "title"), "B");
+  auto shelf2 = b.AddChild(b.root(), "shelf");
+  auto book3 = b.AddChild(shelf2, "book");
+  b.SetText(book3, "30");
+  return std::move(b).Build();
+}
+
+// Evaluates with each engine; engines reporting kUnsupported are skipped,
+// but at least `min_engines` must answer and all answers must agree.
+NodeSet EvalAll(const Document& doc, std::string_view text, int min_engines = 2) {
+  Query query = MustParse(text);
+  NaiveEvaluator naive;
+  CvtEvaluator cvt_lazy;
+  CvtEvaluator cvt_eager{CvtEvaluator::Options{.eager = true}};
+  CoreLinearEvaluator linear;
+  PdaEvaluator pda{PdaEvaluator::Options{.max_not_depth = 4}};
+  ParallelPdaEvaluator parallel{
+      ParallelPdaEvaluator::Options{.threads = 3, .pda = {.max_not_depth = 4}}};
+  Evaluator* engines[] = {&naive, &cvt_lazy, &cvt_eager, &linear, &pda, &parallel};
+
+  bool have = false;
+  NodeSet result;
+  int answered = 0;
+  for (Evaluator* engine : engines) {
+    auto nodes = engine->EvaluateNodeSet(doc, query);
+    if (!nodes.ok()) {
+      EXPECT_EQ(nodes.status().code(), StatusCode::kUnsupported)
+          << engine->name() << ": " << nodes.status().ToString();
+      continue;
+    }
+    ++answered;
+    if (!have) {
+      result = *nodes;
+      have = true;
+    } else {
+      EXPECT_EQ(*nodes, result) << "engine " << engine->name() << " disagrees on "
+                                << text;
+    }
+  }
+  EXPECT_GE(answered, min_engines) << text;
+  EXPECT_TRUE(have) << text;
+  return result;
+}
+
+TEST(SemanticsTest, ChildAndDescendant) {
+  Document doc = LibraryDoc();
+  // Note: in this data model (as in the paper) the document element IS the
+  // root node, so "/" selects it and its children are reached directly.
+  EXPECT_EQ(EvalAll(doc, "/child::shelf"), (NodeSet{1, 6}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book"), (NodeSet{2, 4, 7}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::title"), (NodeSet{3, 5}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::zzz"), (NodeSet{}));
+}
+
+TEST(SemanticsTest, RelativePathsStartAtContext) {
+  Document doc = LibraryDoc();
+  // Root context: relative and absolute coincide.
+  EXPECT_EQ(EvalAll(doc, "child::shelf/child::book"), (NodeSet{2, 4, 7}));
+}
+
+TEST(SemanticsTest, ParentAndAncestors) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::title/parent::book"), (NodeSet{2, 4}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::title/ancestor::*"), (NodeSet{0, 1, 2, 4}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book/ancestor-or-self::book"),
+            (NodeSet{2, 4, 7}));
+}
+
+TEST(SemanticsTest, SiblingsAndDocumentOrderAxes) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::book/following-sibling::book"),
+            (NodeSet{4}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book/preceding-sibling::*"), (NodeSet{2}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::title/following::*"),
+            (NodeSet{4, 5, 6, 7}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf[preceding::book]"), (NodeSet{6}));
+}
+
+TEST(SemanticsTest, SelfAndNodeTests) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::*[self::book]"), (NodeSet{2, 4, 7}));
+  EXPECT_EQ(EvalAll(doc, "/descendant-or-self::node()"),
+            (NodeSet{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(EvalAll(doc, "/"), (NodeSet{0}));
+}
+
+TEST(SemanticsTest, ConditionsHaveExistsSemantics) {
+  Document doc = LibraryDoc();
+  // Footnote 3: a location path condition means "at least one match".
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[child::title]"), (NodeSet{2, 4}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf[child::book/child::title]"),
+            (NodeSet{1}));
+}
+
+TEST(SemanticsTest, BooleanConnectives) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[child::title or self::book]"),
+            (NodeSet{2, 4, 7}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[child::title and "
+                         "following-sibling::book]"),
+            (NodeSet{2}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[not(child::title)]"), (NodeSet{7}));
+}
+
+TEST(SemanticsTest, PositionalPredicates) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf/child::book[1]"), (NodeSet{2, 7}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf/child::book[2]"), (NodeSet{4}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf/child::book[last()]"),
+            (NodeSet{4, 7}));
+  EXPECT_EQ(EvalAll(doc, "child::shelf[position() = last()]"), (NodeSet{6}));
+  // The §2.2 example: position() + 1 = last() selects w(k) with k+1 = m.
+  EXPECT_EQ(EvalAll(doc, "/child::shelf/child::book[position() + 1 = last()]"),
+            (NodeSet{2}));
+}
+
+TEST(SemanticsTest, ReverseAxisProximityPositions) {
+  Document doc = LibraryDoc();
+  // ancestor::*[1] is the nearest ancestor (reverse document order).
+  EXPECT_EQ(EvalAll(doc, "/descendant::title/ancestor::*[1]"), (NodeSet{2, 4}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::title/ancestor::*[3]"), (NodeSet{0}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[2]/preceding-sibling::*[1]"),
+            (NodeSet{2}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::*[preceding::*[1][self::title]]"),
+            (NodeSet{4, 5, 6, 7}));
+}
+
+TEST(SemanticsTest, IteratedPredicatesReRank) {
+  Document doc = LibraryDoc();
+  // [position()=2][position()=1]: the survivor of the first filter is
+  // re-ranked, so the second filter keeps it.
+  EXPECT_EQ(EvalAll(doc, "/child::shelf[position() = 2][position() = 1]",
+                    /*min_engines=*/2),
+            (NodeSet{6}));
+  // Folding would give the empty set — proves re-ranking happens.
+  EXPECT_EQ(
+      EvalAll(doc, "/child::shelf[position() = 2 and position() = 1]"),
+      (NodeSet{}));
+  // [child::title][2]: second among title-bearing books.
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[child::title][2]"), (NodeSet{4}));
+}
+
+TEST(SemanticsTest, Unions) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::title | /descendant::shelf"),
+            (NodeSet{1, 3, 5, 6}));
+  EXPECT_EQ(EvalAll(doc, "child::shelf | self::lib"), (NodeSet{0, 1, 6}));
+}
+
+TEST(SemanticsTest, ComparisonsOnNodeSets) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[child::title = 'B']"), (NodeSet{4}));
+  // Existential numeric comparison on string-values. Note the books on
+  // shelf 1 have string-values "10A"/"20B" (text plus title text), which are
+  // NaN as numbers — only shelf 2's "30" compares.
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf[child::book > 15]"), (NodeSet{6}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf[child::book < 15]"), (NodeSet{}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[child::title > ''] "),
+            (NodeSet{}));  // order comparison on non-numeric strings is false
+}
+
+TEST(SemanticsTest, NumericFunctions) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf[count(child::book) = 2]",
+                    /*min_engines=*/2),
+            (NodeSet{1}));
+  // sum over shelf 1's books is NaN ("10A" + "20B"); only shelf 2 sums to 30.
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf[sum(child::book) = 30]",
+                    /*min_engines=*/2),
+            (NodeSet{6}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::shelf[sum(child::book/child::title) = "
+                         "0 - 1]",
+                    /*min_engines=*/2),
+            (NodeSet{}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[floor(position() div 2) = 1]",
+                    /*min_engines=*/2),
+            (NodeSet{4, 7}));
+}
+
+TEST(SemanticsTest, StringFunctions) {
+  Document doc = LibraryDoc();
+  EXPECT_EQ(EvalAll(doc, "/descendant::*[starts-with(name(), 'boo')]",
+                    /*min_engines=*/2),
+            (NodeSet{2, 4, 7}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::*[string-length(string(self::*)) = 3]",
+                    /*min_engines=*/2),
+            (NodeSet{2, 4}));  // "10A", "20B"
+  EXPECT_EQ(EvalAll(doc, "/descendant::title[concat('>', self::*) = '>A']",
+                    /*min_engines=*/2),
+            (NodeSet{3}));
+  EXPECT_EQ(EvalAll(doc, "/descendant::book[contains(self::*, '0')]",
+                    /*min_engines=*/2),
+            (NodeSet{2, 4, 7}));
+}
+
+TEST(SemanticsTest, PaperIntroExample) {
+  // /descendant::a/child::b[descendant::c and not(following-sibling::d)].
+  auto doc = xml::ParseDocument(
+      "<r><a><b><c/></b><b><x><c/></x></b><d/></a>"
+      "<a><b/><b><c/></b><d/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  // All b's have position before a d sibling => none pass not(); drop the d's
+  // to make some pass.
+  EXPECT_EQ(EvalAll(*doc, "/descendant::a/child::b[descendant::c]"),
+            (NodeSet{2, 4, 10}));
+  EXPECT_EQ(EvalAll(*doc, "/descendant::a/child::b[descendant::c and "
+                          "not(following-sibling::d)]"),
+            (NodeSet{}));
+  EXPECT_EQ(EvalAll(*doc, "/descendant::a/child::b[descendant::c and "
+                          "not(following-sibling::b)]"),
+            (NodeSet{4, 10}));
+}
+
+TEST(SemanticsTest, ScalarResults) {
+  Document doc = LibraryDoc();
+  NaiveEvaluator naive;
+  CvtEvaluator cvt;
+  PdaEvaluator pda;
+  for (Evaluator* engine : std::initializer_list<Evaluator*>{&naive, &cvt, &pda}) {
+    auto value = engine->EvaluateAtRoot(doc, MustParse("1 + 2 * 3"));
+    ASSERT_TRUE(value.ok()) << engine->name();
+    EXPECT_DOUBLE_EQ(value->number(), 7.0) << engine->name();
+  }
+  auto boolean = naive.EvaluateAtRoot(doc, MustParse("boolean(/descendant::book)"));
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_TRUE(boolean->boolean());
+  auto str = naive.EvaluateAtRoot(doc, MustParse("string(/descendant::title)"));
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(str->string(), "A");
+}
+
+TEST(SemanticsTest, NonRootContext) {
+  Document doc = LibraryDoc();
+  Query query = MustParse("child::book[last()]");
+  NaiveEvaluator naive;
+  CvtEvaluator cvt;
+  for (Evaluator* engine : std::initializer_list<Evaluator*>{&naive, &cvt}) {
+    auto value = engine->Evaluate(doc, query, Context{1, 1, 1});
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(value->nodes(), (NodeSet{4})) << engine->name();
+  }
+}
+
+TEST(SemanticsTest, EmptyDocumentRejected) {
+  Document empty;
+  NaiveEvaluator naive;
+  auto value = naive.EvaluateAtRoot(empty, MustParse("/"));
+  EXPECT_FALSE(value.ok());
+}
+
+TEST(SemanticsTest, NodeSetRequiredForCount) {
+  Document doc = LibraryDoc();
+  NaiveEvaluator naive;
+  auto value = naive.EvaluateAtRoot(doc, MustParse("count(1 + 2)"));
+  ASSERT_FALSE(value.ok());
+  EXPECT_EQ(value.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SemanticsTest, EvaluateNodeSetTypeChecks) {
+  Document doc = LibraryDoc();
+  NaiveEvaluator naive;
+  auto nodes = naive.EvaluateNodeSet(doc, MustParse("1 + 1"));
+  ASSERT_FALSE(nodes.ok());
+  EXPECT_NE(nodes.status().message().find("node-set"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gkx::eval

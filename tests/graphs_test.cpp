@@ -1,0 +1,85 @@
+// Digraph substrate tests: edges, BFS reachability, generators.
+
+#include <gtest/gtest.h>
+
+#include "graphs/digraph.hpp"
+
+namespace gkx::graphs {
+namespace {
+
+TEST(DigraphTest, EdgesAndDeduplication) {
+  Digraph graph(3);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(1, 2);
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_FALSE(graph.HasEdge(1, 0));
+  EXPECT_EQ(graph.OutEdges(0).size(), 1u);
+}
+
+TEST(DigraphTest, SelfLoops) {
+  Digraph graph(3);
+  graph.AddSelfLoops();
+  EXPECT_EQ(graph.num_edges(), 3);
+  EXPECT_TRUE(graph.HasEdge(2, 2));
+  graph.AddSelfLoops();  // idempotent
+  EXPECT_EQ(graph.num_edges(), 3);
+}
+
+TEST(ReachabilityTest, PathGraph) {
+  Digraph graph = PathGraph(5);
+  EXPECT_TRUE(IsReachable(graph, 0, 4));
+  EXPECT_FALSE(IsReachable(graph, 4, 0));
+  EXPECT_TRUE(IsReachable(graph, 2, 2));  // trivially reachable
+  auto reach = ReachableFrom(graph, 2);
+  EXPECT_EQ(reach, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST(ReachabilityTest, CycleGraph) {
+  Digraph graph = CycleGraph(4);
+  for (int32_t u = 0; u < 4; ++u) {
+    for (int32_t v = 0; v < 4; ++v) {
+      EXPECT_TRUE(IsReachable(graph, u, v));
+    }
+  }
+}
+
+TEST(ReachabilityTest, DisconnectedComponents) {
+  Digraph graph(4);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(2, 3);
+  EXPECT_TRUE(IsReachable(graph, 0, 1));
+  EXPECT_FALSE(IsReachable(graph, 0, 2));
+  EXPECT_FALSE(IsReachable(graph, 1, 0));
+}
+
+TEST(ReachabilityTest, TransitivityProperty) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    Digraph graph = RandomDigraph(&rng, 12, 0.15);
+    for (int32_t u = 0; u < 12; ++u) {
+      auto from_u = ReachableFrom(graph, u);
+      for (int32_t v = 0; v < 12; ++v) {
+        if (!from_u[static_cast<size_t>(v)]) continue;
+        auto from_v = ReachableFrom(graph, v);
+        for (int32_t w = 0; w < 12; ++w) {
+          if (from_v[static_cast<size_t>(w)]) {
+            EXPECT_TRUE(from_u[static_cast<size_t>(w)]);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomDigraphTest, EdgeProbabilityExtremes) {
+  Rng rng(3);
+  Digraph empty = RandomDigraph(&rng, 6, 0.0);
+  EXPECT_EQ(empty.num_edges(), 0);
+  Digraph full = RandomDigraph(&rng, 6, 1.0);
+  EXPECT_EQ(full.num_edges(), 30);  // no self-loops
+}
+
+}  // namespace
+}  // namespace gkx::graphs

@@ -1,0 +1,105 @@
+// Metamorphic property tests: pairs of syntactically different but
+// semantically equivalent queries must evaluate identically on random
+// documents. These identities are classical XPath algebra — several are the
+// exact rewrites the paper's proofs rely on (axis compositions mirroring
+// Corollary 3.3, predicate folding of Remark 5.2, negation laws of
+// Theorem 5.9).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/cvt_evaluator.hpp"
+#include "xml/generator.hpp"
+#include "xpath/parser.hpp"
+
+namespace gkx::eval {
+namespace {
+
+struct Identity {
+  const char* lhs;
+  const char* rhs;
+};
+
+// All identities hold for every context node, so we quantify over contexts.
+constexpr Identity kIdentities[] = {
+    // Axis decompositions.
+    {"descendant::t1", "child::node()/descendant-or-self::node()[self::t1]"},
+    {"descendant-or-self::t1", "descendant-or-self::node()[self::t1]"},
+    {"ancestor::t1", "parent::node()/ancestor-or-self::node()[self::t1]"},
+    {"ancestor-or-self::t2", "ancestor-or-self::node()[self::t2]"},
+    // The Corollary 3.3 rewrite restricted to non-root contexts is checked
+    // in the reduction tests; the general ancestor identity:
+    {"ancestor-or-self::*", "ancestor::* | self::*"},
+    // following/preceding in terms of siblings and subtrees.
+    {"following::t1",
+     "ancestor-or-self::node()/following-sibling::node()/"
+     "descendant-or-self::t1"},
+    {"preceding::t2",
+     "ancestor-or-self::node()/preceding-sibling::node()/"
+     "descendant-or-self::t2"},
+    // Predicate algebra (position-free).
+    {"child::t1[child::t2 and child::t3]", "child::t1[child::t2][child::t3]"},
+    {"child::t1[child::t2 or child::t3]",
+     "child::t1[child::t2] | child::t1[child::t3]"},
+    {"child::*[not(not(child::t1))]", "child::*[child::t1]"},
+    // Double negation over comparisons (Theorem 5.9's flip table).
+    {"child::*[not(position() = 2)]", "child::*[position() != 2]"},
+    {"child::*[not(position() < last())]", "child::*[position() >= last()]"},
+    // Union is commutative, associative, idempotent.
+    {"child::t1 | child::t2", "child::t2 | child::t1"},
+    {"child::t1 | (child::t2 | child::t3)",
+     "(child::t1 | child::t2) | child::t3"},
+    {"child::t1 | child::t1", "child::t1"},
+    // Trivially-true positional filters.
+    {"child::*[position() >= 1]", "child::*"},
+    {"child::*[position() <= last()]", "child::*"},
+    {"child::*[true()]", "child::*"},
+    // position()/last() symmetry.
+    {"child::*[position() = last()]", "child::*[last() = position()]"},
+    // Numeric predicate sugar.
+    {"child::*[2]", "child::*[position() = 2]"},
+    {"descendant::t0[last()]", "descendant::t0[position() = last()]"},
+    // self composition is identity.
+    {"child::t1/self::node()", "child::t1"},
+    {"self::node()/child::t1", "child::t1"},
+    // Path conditions: exists-semantics distributes over union.
+    {"child::*[child::t1 | child::t2]",
+     "child::*[child::t1 or child::t2]"},
+};
+
+class MetamorphicTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetamorphicTest, EquivalentQueriesAgreeEverywhere) {
+  Rng rng(GetParam());
+  xml::RandomDocumentOptions options;
+  options.node_count = 45;
+  options.tag_alphabet = 4;
+  options.chain_bias = (GetParam() % 3) / 3.0;
+  CvtEvaluator engine;
+  for (int trial = 0; trial < 4; ++trial) {
+    xml::Document doc = xml::RandomDocument(&rng, options);
+    for (const Identity& identity : kIdentities) {
+      xpath::Query lhs = xpath::MustParse(identity.lhs);
+      xpath::Query rhs = xpath::MustParse(identity.rhs);
+      for (xml::NodeId ctx_node = 0; ctx_node < doc.size(); ctx_node += 3) {
+        Context ctx{ctx_node, 1, 1};
+        auto left = engine.Evaluate(doc, lhs, ctx);
+        auto right = engine.Evaluate(doc, rhs, ctx);
+        ASSERT_TRUE(left.ok()) << identity.lhs;
+        ASSERT_TRUE(right.ok()) << identity.rhs;
+        EXPECT_TRUE(left->Equals(*right))
+            << identity.lhs << "  !=  " << identity.rhs << "  at node "
+            << ctx_node << "\n  lhs: " << left->DebugString()
+            << "\n  rhs: " << right->DebugString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetamorphicTest,
+                         ::testing::Values(881, 882, 883, 884, 885));
+
+}  // namespace
+}  // namespace gkx::eval

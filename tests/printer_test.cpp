@@ -1,0 +1,110 @@
+// Printer-focused tests: exhaustive precedence round-trips over all binary
+// operator pairs in both association orders (catches any parenthesization
+// bug in one sweep), DOT export sanity, and canonical forms.
+
+#include <gtest/gtest.h>
+
+#include "xpath/build.hpp"
+#include "xpath/dot.hpp"
+#include "xpath/parser.hpp"
+#include "xpath/printer.hpp"
+
+namespace gkx::xpath {
+namespace {
+
+namespace build = gkx::xpath::build;
+
+constexpr BinaryOp kAllOps[] = {
+    BinaryOp::kOr, BinaryOp::kAnd, BinaryOp::kEq,  BinaryOp::kNe,
+    BinaryOp::kLt, BinaryOp::kLe,  BinaryOp::kGt,  BinaryOp::kGe,
+    BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv,
+    BinaryOp::kMod,
+};
+
+// Structural tree equality for the precedence sweep.
+bool SameTree(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Expr::Kind::kNumberLiteral:
+      return a.As<NumberLiteral>().value() == b.As<NumberLiteral>().value();
+    case Expr::Kind::kBinary: {
+      const auto& ba = a.As<BinaryExpr>();
+      const auto& bb = b.As<BinaryExpr>();
+      return ba.op() == bb.op() && SameTree(ba.lhs(), bb.lhs()) &&
+             SameTree(ba.rhs(), bb.rhs());
+    }
+    case Expr::Kind::kNegate:
+      return SameTree(a.As<NegateExpr>().operand(), b.As<NegateExpr>().operand());
+    default:
+      return false;
+  }
+}
+
+TEST(PrinterPrecedenceTest, ExhaustiveBinaryPairsRoundTrip) {
+  // For every (op1, op2) and both association shapes, printing then parsing
+  // must reproduce the exact tree: (1 op1 2) op2 3 and 1 op1 (2 op2 3).
+  for (BinaryOp op1 : kAllOps) {
+    for (BinaryOp op2 : kAllOps) {
+      for (bool left_nested : {true, false}) {
+        ExprPtr tree;
+        if (left_nested) {
+          tree = build::Binary(
+              op2, build::Binary(op1, build::Number(1), build::Number(2)),
+              build::Number(3));
+        } else {
+          tree = build::Binary(
+              op1, build::Number(1),
+              build::Binary(op2, build::Number(2), build::Number(3)));
+        }
+        Query original = Query::Create(std::move(tree));
+        std::string printed = ToXPathString(original);
+        auto reparsed = ParseQuery(printed);
+        ASSERT_TRUE(reparsed.ok())
+            << printed << ": " << reparsed.status().ToString();
+        EXPECT_TRUE(SameTree(original.root(), reparsed->root()))
+            << "ops " << BinaryOpName(op1) << "/" << BinaryOpName(op2)
+            << (left_nested ? " left" : " right") << ": " << printed << " -> "
+            << ToXPathString(*reparsed);
+      }
+    }
+  }
+}
+
+TEST(PrinterPrecedenceTest, NegationUnderBinary) {
+  for (BinaryOp op : kAllOps) {
+    ExprPtr tree = build::Binary(op, build::Negate(build::Number(1)),
+                                 build::Negate(build::Number(2)));
+    Query original = Query::Create(std::move(tree));
+    std::string printed = ToXPathString(original);
+    auto reparsed = ParseQuery(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_TRUE(SameTree(original.root(), reparsed->root())) << printed;
+  }
+}
+
+TEST(DotExportTest, ContainsQueryStructure) {
+  Query query = MustParse(
+      "/descendant::a[child::b and position() = last()] | //c");
+  std::string dot = ToDot(query);
+  EXPECT_NE(dot.find("digraph query"), std::string::npos);
+  EXPECT_NE(dot.find("descendant::a"), std::string::npos);
+  EXPECT_NE(dot.find("position()"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // predicate edge
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);     // steps
+  // One node per expression and per step.
+  size_t nodes = 0;
+  for (size_t at = dot.find("label=\""); at != std::string::npos;
+       at = dot.find("label=\"", at + 1)) {
+    ++nodes;
+  }
+  EXPECT_EQ(nodes, static_cast<size_t>(query.num_exprs() + query.num_steps()));
+}
+
+TEST(DotExportTest, EscapesQuotes) {
+  Query query = MustParse("self::*[string(self::*) = '\"quoted\"']");
+  std::string dot = ToDot(query);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gkx::xpath

@@ -1,0 +1,123 @@
+// Theorem 4.2 property tests: the negation-free (positive Core XPath)
+// reduction from SAC circuit value agrees with direct circuit evaluation;
+// the query is genuinely negation-free; and the query size doubles per
+// ∧-gate in the tower (the paper's exponential-in-depth growth, polynomial
+// for SAC1's log depth).
+
+#include <gtest/gtest.h>
+
+#include "circuits/generators.hpp"
+#include "eval/core_linear_evaluator.hpp"
+#include "eval/pda_evaluator.hpp"
+#include "reductions/sac_to_positive_core.hpp"
+#include "xpath/fragment.hpp"
+
+namespace gkx::reductions {
+namespace {
+
+using circuits::AllAssignments;
+using circuits::Circuit;
+using circuits::RandomSac;
+using circuits::RandomSacOptions;
+using eval::CoreLinearEvaluator;
+
+bool ReductionAnswer(const CircuitReduction& instance) {
+  CoreLinearEvaluator linear;
+  auto nodes = linear.EvaluateNodeSet(instance.doc, instance.query);
+  EXPECT_TRUE(nodes.ok()) << nodes.status().ToString();
+  return !nodes->empty();
+}
+
+TEST(SacReductionTest, TinyAndOfTwoInputs) {
+  Circuit circuit;
+  int32_t a = circuit.AddInput();
+  int32_t b = circuit.AddInput();
+  circuit.AddAnd({a, b});
+  for (const auto& assignment : AllAssignments(2)) {
+    CircuitReduction instance = SacToPositiveCoreXPath(circuit, assignment);
+    EXPECT_EQ(ReductionAnswer(instance), circuit.Evaluate(assignment));
+  }
+}
+
+TEST(SacReductionTest, FanInOneAndGate) {
+  Circuit circuit;
+  int32_t a = circuit.AddInput();
+  circuit.AddInput();
+  circuit.AddAnd({a});  // single feed: both I-labels land on it
+  for (const auto& assignment : AllAssignments(2)) {
+    CircuitReduction instance = SacToPositiveCoreXPath(circuit, assignment);
+    EXPECT_EQ(ReductionAnswer(instance), circuit.Evaluate(assignment));
+  }
+}
+
+TEST(SacReductionTest, QueryIsPositiveCore) {
+  Rng rng(31);
+  RandomSacOptions options;
+  options.num_inputs = 4;
+  options.layers = 3;
+  options.width = 3;
+  Circuit circuit = RandomSac(&rng, options);
+  CircuitReduction instance =
+      SacToPositiveCoreXPath(circuit, {true, false, true, false});
+  xpath::FragmentReport report = xpath::Classify(instance.query);
+  EXPECT_TRUE(report.in_positive_core) << "must be negation-free Core XPath";
+}
+
+TEST(SacReductionTest, AndGatesDoubleQuerySize) {
+  // A pure chain of AND gates: |Q| grows ~2x per gate (the paper's
+  // "inserted twice at every ∧-step").
+  Circuit chain;
+  int32_t a = chain.AddInput();
+  int32_t b = chain.AddInput();
+  int32_t current = chain.AddAnd({a, b});
+  std::vector<int> sizes;
+  for (int depth = 0; depth < 4; ++depth) {
+    CircuitReduction instance = SacToPositiveCoreXPath(chain, {true, true});
+    sizes.push_back(instance.query.size());
+    current = chain.AddAnd({current, b});
+  }
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i], sizes[i - 1] * 3 / 2) << i;
+    EXPECT_LT(sizes[i], sizes[i - 1] * 3) << i;
+  }
+}
+
+class SacPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SacPropertyTest, AgreesWithDirectEvaluation) {
+  Rng rng(GetParam());
+  RandomSacOptions options;
+  options.num_inputs = 4;
+  options.layers = 4;  // 2 AND layers in the alternation
+  options.width = 3;
+  for (int trial = 0; trial < 4; ++trial) {
+    Circuit circuit = RandomSac(&rng, options);
+    for (const auto& assignment : AllAssignments(4)) {
+      CircuitReduction instance = SacToPositiveCoreXPath(circuit, assignment);
+      ASSERT_EQ(ReductionAnswer(instance), circuit.Evaluate(assignment))
+          << "seed=" << GetParam() << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SacPropertyTest, ::testing::Values(41, 43, 47));
+
+TEST(SacReductionTest, PdaEvaluatorHandlesPositiveReduction) {
+  // Positive Core XPath ⊆ pWF (Remark 5.2): the NAuxPDA engine must accept
+  // and agree.
+  Circuit circuit;
+  int32_t a = circuit.AddInput();
+  int32_t b = circuit.AddInput();
+  int32_t g = circuit.AddOr({a, b});
+  circuit.AddAnd({g, a});
+  for (const auto& assignment : AllAssignments(2)) {
+    CircuitReduction instance = SacToPositiveCoreXPath(circuit, assignment);
+    eval::PdaEvaluator pda;
+    auto nodes = pda.EvaluateNodeSet(instance.doc, instance.query);
+    ASSERT_TRUE(nodes.ok()) << nodes.status().ToString();
+    EXPECT_EQ(!nodes->empty(), circuit.Evaluate(assignment));
+  }
+}
+
+}  // namespace
+}  // namespace gkx::reductions

@@ -1,0 +1,100 @@
+// The XPath 1.0 string-function corner cases (§4.2 of the recommendation):
+// substring's round()-based character selection with NaN/∞ arguments,
+// substring-before/after, translate's mapping/dropping rules — checked on
+// the shared semantics kernel (naive and CVT agree by construction; both are
+// exercised).
+
+#include <gtest/gtest.h>
+
+#include "eval/cvt_evaluator.hpp"
+#include "eval/recursive_base.hpp"
+#include "xml/builder.hpp"
+#include "xpath/fragment.hpp"
+#include "xpath/parser.hpp"
+
+namespace gkx::eval {
+namespace {
+
+xml::Document Doc() {
+  xml::TreeBuilder builder("r");
+  builder.SetText(builder.root(), "12345");
+  return std::move(builder).Build();
+}
+
+std::string EvalString(std::string_view text) {
+  xml::Document doc = Doc();
+  NaiveEvaluator naive;
+  auto value = naive.EvaluateAtRoot(doc, xpath::MustParse(text));
+  EXPECT_TRUE(value.ok()) << text << ": " << value.status().ToString();
+  if (!value.ok()) return "<error>";
+  std::string result = value->ToString(doc);
+  CvtEvaluator cvt;
+  auto cvt_value = cvt.EvaluateAtRoot(doc, xpath::MustParse(text));
+  EXPECT_TRUE(cvt_value.ok());
+  EXPECT_EQ(cvt_value->ToString(doc), result) << text;
+  return result;
+}
+
+TEST(SubstringTest, BasicForms) {
+  EXPECT_EQ(EvalString("substring('12345', 2)"), "2345");
+  EXPECT_EQ(EvalString("substring('12345', 2, 3)"), "234");
+  EXPECT_EQ(EvalString("substring('12345', 1, 5)"), "12345");
+  EXPECT_EQ(EvalString("substring('', 1)"), "");
+}
+
+TEST(SubstringTest, SpecCornerCases) {
+  // The W3C recommendation's own examples.
+  EXPECT_EQ(EvalString("substring('12345', 1.5, 2.6)"), "234");
+  EXPECT_EQ(EvalString("substring('12345', 0, 3)"), "12");
+  EXPECT_EQ(EvalString("substring('12345', 0 div 0, 3)"), "");
+  EXPECT_EQ(EvalString("substring('12345', 1, 0 div 0)"), "");
+  EXPECT_EQ(EvalString("substring('12345', -42, 1 div 0)"), "12345");
+  EXPECT_EQ(EvalString("substring('12345', -1 div 0, 1 div 0)"), "");
+}
+
+TEST(SubstringTest, OutOfRange) {
+  EXPECT_EQ(EvalString("substring('abc', 10)"), "");
+  EXPECT_EQ(EvalString("substring('abc', 2, -1)"), "");
+  EXPECT_EQ(EvalString("substring('abc', -5)"), "abc");
+}
+
+TEST(SubstringBeforeAfterTest, Basics) {
+  EXPECT_EQ(EvalString("substring-before('1999/04/01', '/')"), "1999");
+  EXPECT_EQ(EvalString("substring-after('1999/04/01', '/')"), "04/01");
+  EXPECT_EQ(EvalString("substring-before('abc', 'x')"), "");
+  EXPECT_EQ(EvalString("substring-after('abc', 'x')"), "");
+  EXPECT_EQ(EvalString("substring-after('abc', '')"), "abc");
+  EXPECT_EQ(EvalString("substring-before('abc', '')"), "");
+}
+
+TEST(TranslateTest, MappingAndDropping) {
+  EXPECT_EQ(EvalString("translate('bar', 'abc', 'ABC')"), "BAr");
+  EXPECT_EQ(EvalString("translate('--aaa--', 'abc-', 'ABC')"), "AAA");
+  EXPECT_EQ(EvalString("translate('abc', '', 'xyz')"), "abc");
+  EXPECT_EQ(EvalString("translate('aabb', 'ab', 'b')"), "bb");
+}
+
+TEST(StringFunctionsTest, CoerceNodeSetArguments) {
+  // The context node's string-value is "12345".
+  EXPECT_EQ(EvalString("substring(self::r, 2, 2)"), "23");
+  EXPECT_EQ(EvalString("translate(self::r, '15', 'xy')"), "x234y");
+}
+
+TEST(StringFunctionsTest, ExcludedFromPXPath) {
+  for (const char* text :
+       {"substring('a', 1)", "substring-before('a', 'b')",
+        "substring-after('a', 'b')", "translate('a', 'b', 'c')"}) {
+    xpath::Query query = xpath::MustParse(std::string("r[") + text + " = 'q']");
+    EXPECT_FALSE(xpath::Classify(query).in_pxpath) << text;
+  }
+}
+
+TEST(StringFunctionsTest, ParserArity) {
+  EXPECT_FALSE(xpath::ParseQuery("substring('a')").ok());
+  EXPECT_FALSE(xpath::ParseQuery("substring('a', 1, 2, 3)").ok());
+  EXPECT_FALSE(xpath::ParseQuery("translate('a', 'b')").ok());
+  EXPECT_TRUE(xpath::ParseQuery("substring('a', 1, 2)").ok());
+}
+
+}  // namespace
+}  // namespace gkx::eval
