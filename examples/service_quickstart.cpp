@@ -1,0 +1,66 @@
+// The serving layer in five minutes: register documents, submit single
+// queries and a mixed batch, read the stats the service keeps for you.
+//
+//   ./example_service_quickstart
+
+#include <cstdio>
+
+#include "service/query_service.hpp"
+
+int main() {
+  gkx::service::QueryService service;
+
+  GKX_CHECK(service
+                .RegisterXml("store",
+                             "<inventory>"
+                             "  <book genre='cs'><title>AI</title></book>"
+                             "  <book genre='db'><title>XPath</title></book>"
+                             "  <cd><title>Goldberg</title></cd>"
+                             "</inventory>")
+                .ok());
+  GKX_CHECK(service
+                .RegisterXml("org",
+                             "<org><team><eng/><eng/></team>"
+                             "<team><eng/><sales/></team></org>")
+                .ok());
+
+  // Single submits. The first compiles and caches a plan; the repeat hits.
+  auto titles = service.Submit("store", "//book/child::title");
+  GKX_CHECK(titles.ok());
+  std::printf("//book/child::title -> %s via %s\n",
+              titles->value.DebugString().c_str(), titles->evaluator.c_str());
+  GKX_CHECK(service.Submit("store", "//book/child::title").ok());
+
+  // A mixed batch, fanned out over the shared thread pool. Requests fail
+  // independently: the bad key poisons nothing.
+  auto batch = service.SubmitBatch({
+      {"store", "//book/child::title"},
+      {"store", "/descendant::book[child::title]"},
+      {"org", "count(/descendant::eng)"},
+      {"nope", "//anything"},
+  });
+  for (size_t i = 0; i < batch.size(); ++i) {
+    std::printf("batch[%zu]: %s\n", i,
+                batch[i].ok() ? batch[i]->value.DebugString().c_str()
+                              : batch[i].status().ToString().c_str());
+  }
+
+  // Service-level observability.
+  gkx::service::ServiceStats stats = service.Stats();
+  std::printf("\nrequests=%lld failures=%lld documents=%zu\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.failures), stats.documents);
+  std::printf("plan cache: hits=%lld canonical=%lld misses=%lld (rate %.2f)\n",
+              static_cast<long long>(stats.plan_cache.hits),
+              static_cast<long long>(stats.plan_cache.canonical_hits),
+              static_cast<long long>(stats.plan_cache.misses),
+              stats.plan_cache.HitRate());
+  for (const auto& [evaluator, count] : stats.evaluator_counts) {
+    std::printf("  %-12s %lld answers\n", evaluator.c_str(),
+                static_cast<long long>(count));
+  }
+  std::printf("latency: p50=%.3fms p99=%.3fms over %lld requests\n",
+              stats.latency.p50_ms, stats.latency.p99_ms,
+              static_cast<long long>(stats.latency.count));
+  return 0;
+}

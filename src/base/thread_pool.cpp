@@ -1,0 +1,103 @@
+#include "base/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace gkx {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int tasks, const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  if (tasks == 1) {
+    fn(0);
+    return;
+  }
+
+  struct State {
+    std::atomic<int> done{0};
+    int total = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->total = tasks;
+
+  // fn is captured by pointer: ParallelFor blocks until every task has run,
+  // so the referent outlives all uses.
+  const std::function<void(int)>* fn_ptr = &fn;
+  for (int i = 0; i < tasks; ++i) {
+    Submit([this, state, fn_ptr, i] {
+      (*fn_ptr)(i);
+      if (state->done.fetch_add(1) + 1 == state->total) {
+        // Wake the ParallelFor caller (it waits on the pool cv).
+        std::lock_guard<std::mutex> lock(mu_);
+        cv_.notify_all();
+      }
+    });
+  }
+
+  // Help: run queued tasks (ours or anybody's) until all our tasks are done.
+  // This guarantees progress even when every pool thread is itself blocked
+  // inside a nested ParallelFor.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (state->done.load() < state->total) {
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+    } else {
+      cv_.wait(lock, [this, &state] {
+        return state->done.load() >= state->total || !queue_.empty();
+      });
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(0);  // leaked: outlives all users
+  return *pool;
+}
+
+}  // namespace gkx

@@ -4,21 +4,55 @@
 
 namespace gkx::eval {
 
-Result<Engine::Answer> Engine::Run(const xml::Document& doc,
-                                   std::string_view query_text) {
-  auto query = xpath::ParseQuery(query_text);
-  if (!query.ok()) return query.status();
-  return Run(doc, *query, RootContext(doc));
+namespace {
+
+Engine::Choice Dispatch(const xpath::FragmentReport& fragment) {
+  if (fragment.in_pf) return Engine::Choice::kPfFrontier;
+  if (fragment.in_core) return Engine::Choice::kCoreLinear;
+  return Engine::Choice::kCvt;
 }
 
-Result<Engine::Answer> Engine::Run(const xml::Document& doc,
-                                   const xpath::Query& query,
-                                   const Context& ctx) {
+}  // namespace
+
+std::string_view Engine::EvaluatorName(Choice choice) {
+  // Name-only instances: the engines carry no construction-time state, and
+  // routing through their name() keeps this in lockstep with the strings
+  // RunDispatched reports.
+  static const PfEvaluator pf_names;
+  static const CoreLinearEvaluator linear_names;
+  static const CvtEvaluator cvt_names;
+  switch (choice) {
+    case Choice::kPfFrontier:
+      return pf_names.name();
+    case Choice::kCoreLinear:
+      return linear_names.name();
+    case Choice::kCvt:
+      return cvt_names.name();
+  }
+  GKX_CHECK(false);
+  return "";
+}
+
+Result<Engine::Plan> Engine::Compile(std::string_view query_text) {
+  auto query = xpath::ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  return CompileParsed(std::move(query).value());
+}
+
+Engine::Plan Engine::CompileParsed(xpath::Query query) {
+  xpath::FragmentReport fragment = xpath::Classify(query);
+  Choice choice = Dispatch(fragment);
+  return Plan{std::move(query), std::move(fragment), choice};
+}
+
+Result<Engine::Answer> Engine::RunDispatched(
+    const xml::Document& doc, const xpath::Query& query,
+    const xpath::FragmentReport& fragment, Choice choice, const Context& ctx) {
   Answer answer;
-  answer.fragment = xpath::Classify(query);
-  Evaluator& engine = answer.fragment.in_pf
+  answer.fragment = fragment;
+  Evaluator& engine = choice == Choice::kPfFrontier
                           ? static_cast<Evaluator&>(pf_)
-                          : answer.fragment.in_core
+                          : choice == Choice::kCoreLinear
                                 ? static_cast<Evaluator&>(linear_)
                                 : static_cast<Evaluator&>(cvt_);
   answer.evaluator = std::string(engine.name());
@@ -26,6 +60,26 @@ Result<Engine::Answer> Engine::Run(const xml::Document& doc,
   if (!value.ok()) return value.status();
   answer.value = std::move(value).value();
   return answer;
+}
+
+Result<Engine::Answer> Engine::RunPlan(const xml::Document& doc,
+                                       const Plan& plan, const Context& ctx) {
+  return RunDispatched(doc, plan.query, plan.fragment, plan.choice, ctx);
+}
+
+Result<Engine::Answer> Engine::Run(const xml::Document& doc,
+                                   std::string_view query_text) {
+  auto plan = Compile(query_text);
+  if (!plan.ok()) return plan.status();
+  return RunPlan(doc, *plan, RootContext(doc));
+}
+
+Result<Engine::Answer> Engine::Run(const xml::Document& doc,
+                                   const xpath::Query& query,
+                                   const Context& ctx) {
+  xpath::FragmentReport fragment = xpath::Classify(query);
+  Choice choice = Dispatch(fragment);
+  return RunDispatched(doc, query, fragment, choice, ctx);
 }
 
 }  // namespace gkx::eval

@@ -28,6 +28,42 @@ class Engine {
     std::string evaluator;  // engine that produced the value
   };
 
+  /// Which of the three engines a plan dispatches to.
+  enum class Choice { kPfFrontier, kCoreLinear, kCvt };
+
+  /// Name of the evaluator a Choice dispatches to (taken from the engines'
+  /// own name() strings, so it cannot drift from Answer.evaluator).
+  static std::string_view EvaluatorName(Choice choice);
+
+  /// A compiled query: the parse + classification + dispatch work that is
+  /// identical across every document the query runs against. Plans are
+  /// immutable after Compile and safe to share across threads (evaluators
+  /// only read the Query).
+  struct Plan {
+    xpath::Query query;
+    xpath::FragmentReport fragment;
+    Choice choice = Choice::kCvt;
+
+    /// Name of the evaluator `choice` dispatches to.
+    std::string_view evaluator_name() const { return EvaluatorName(choice); }
+  };
+
+  /// Parses and classifies a query into a reusable Plan. Running a Plan via
+  /// RunPlan gives byte-identical Answers to Run(doc, query_text).
+  static Result<Plan> Compile(std::string_view query_text);
+
+  /// Classifies an already-parsed query into a Plan (the query is moved in).
+  static Plan CompileParsed(xpath::Query query);
+
+  /// Runs a compiled plan from the root context.
+  Result<Answer> RunPlan(const xml::Document& doc, const Plan& plan) {
+    return RunPlan(doc, plan, RootContext(doc));
+  }
+
+  /// Runs a compiled plan from a given context.
+  Result<Answer> RunPlan(const xml::Document& doc, const Plan& plan,
+                         const Context& ctx);
+
   /// Parses and runs a query from the root context.
   Result<Answer> Run(const xml::Document& doc, std::string_view query_text);
 
@@ -36,6 +72,12 @@ class Engine {
                      const Context& ctx);
 
  private:
+  /// The single dispatch site shared by RunPlan and Run.
+  Result<Answer> RunDispatched(const xml::Document& doc,
+                               const xpath::Query& query,
+                               const xpath::FragmentReport& fragment,
+                               Choice choice, const Context& ctx);
+
   PfEvaluator pf_;
   CoreLinearEvaluator linear_;
   CvtEvaluator cvt_;

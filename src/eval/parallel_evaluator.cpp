@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <memory>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -17,9 +16,8 @@ Result<Value> ParallelPdaEvaluator::Evaluate(const xml::Document& doc,
     return sequential.Evaluate(doc, query, ctx);
   }
 
-  int threads = options_.threads > 0
-                    ? options_.threads
-                    : static_cast<int>(std::thread::hardware_concurrency());
+  ThreadPool& pool = options_.pool ? *options_.pool : ThreadPool::Shared();
+  int threads = options_.threads > 0 ? options_.threads : pool.thread_count();
   if (threads < 1) threads = 1;
   const int32_t n = doc.size();
   if (threads > n) threads = n;
@@ -51,10 +49,7 @@ Result<Value> ParallelPdaEvaluator::Evaluate(const xml::Document& doc,
   if (threads == 1) {
     worker(0);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& t : pool) t.join();
+    pool.ParallelFor(threads, worker);
   }
 
   for (const Status& status : failures) {

@@ -1,13 +1,15 @@
 // Multi-threaded realization of Remark 5.6: because pWF/pXPath evaluation is
 // in LOGCFL ⊆ NC2, the per-candidate Singleton-Success checks of Theorem 5.5
 // are independent and can run in parallel. This engine partitions the
-// candidate result nodes over a thread pool, each thread running its own
-// PdaEvaluator instance (memo tables are thread-local). Results are
-// deterministic and identical to the sequential engines.
+// candidate result nodes over a shared ThreadPool (base/thread_pool.hpp),
+// each worker running its own PdaEvaluator instance (memo tables are
+// worker-local). Results are deterministic and identical to the sequential
+// engines.
 
 #ifndef GKX_EVAL_PARALLEL_EVALUATOR_HPP_
 #define GKX_EVAL_PARALLEL_EVALUATOR_HPP_
 
+#include "base/thread_pool.hpp"
 #include "eval/pda_evaluator.hpp"
 
 namespace gkx::eval {
@@ -15,9 +17,12 @@ namespace gkx::eval {
 class ParallelPdaEvaluator : public Evaluator {
  public:
   struct Options {
-    /// Worker threads; 0 = std::thread::hardware_concurrency().
+    /// Concurrent workers; 0 = the pool's width.
     int threads = 0;
     PdaEvaluator::Options pda;
+    /// Pool to run on; nullptr = ThreadPool::Shared(). Workers beyond the
+    /// pool's width queue behind it (plus the calling thread, which helps).
+    ThreadPool* pool = nullptr;
   };
 
   ParallelPdaEvaluator() = default;

@@ -1,0 +1,67 @@
+#include "service/document_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "xml/parser.hpp"
+
+namespace gkx::service {
+
+const xml::DocumentIndex& StoredDocument::index() const {
+  std::call_once(index_once_, [this] {
+    index_ = std::make_unique<xml::DocumentIndex>(doc_);
+    index_built_.store(true, std::memory_order_release);
+  });
+  return *index_;
+}
+
+bool StoredDocument::index_built() const {
+  return index_built_.load(std::memory_order_acquire);
+}
+
+Status DocumentStore::Put(std::string key, xml::Document doc) {
+  if (doc.empty()) {
+    return InvalidArgumentError("cannot register empty document under key '" +
+                                key + "'");
+  }
+  auto stored = std::make_shared<const StoredDocument>(std::move(doc));
+  std::lock_guard<std::mutex> lock(mu_);
+  docs_[std::move(key)] = std::move(stored);
+  return Status::Ok();
+}
+
+Status DocumentStore::PutXml(std::string key, std::string_view xml) {
+  auto doc = xml::ParseDocument(xml);
+  if (!doc.ok()) return doc.status();
+  return Put(std::move(key), std::move(doc).value());
+}
+
+std::shared_ptr<const StoredDocument> DocumentStore::Get(
+    std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(std::string(key));
+  return it == docs_.end() ? nullptr : it->second;
+}
+
+bool DocumentStore::Remove(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.erase(std::string(key)) > 0;
+}
+
+std::vector<std::string> DocumentStore::Keys() const {
+  std::vector<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    keys.reserve(docs_.size());
+    for (const auto& [key, stored] : docs_) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+size_t DocumentStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+}  // namespace gkx::service

@@ -1,0 +1,77 @@
+// The corpus half of the query service: named, long-lived documents.
+// Registration parses (or accepts) an xml::Document once; every Submit
+// against the same key reuses it. Each stored document lazily grows a
+// DocumentIndex side-structure (built on first use, at most once) so the
+// Document itself stays exactly the immutable preorder tree the evaluators
+// already know.
+//
+// Thread safety: the store is fully thread-safe. Get() hands out
+// shared_ptrs, so removing or replacing a key never invalidates documents
+// that in-flight requests are still evaluating against.
+
+#ifndef GKX_SERVICE_DOCUMENT_STORE_HPP_
+#define GKX_SERVICE_DOCUMENT_STORE_HPP_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.hpp"
+#include "xml/document.hpp"
+#include "xml/index.hpp"
+
+namespace gkx::service {
+
+/// A registered document plus its lazily-built index.
+class StoredDocument {
+ public:
+  explicit StoredDocument(xml::Document doc) : doc_(std::move(doc)) {}
+
+  const xml::Document& doc() const { return doc_; }
+
+  /// The acceleration index; built on first call (thread-safe, at most once).
+  const xml::DocumentIndex& index() const;
+
+  /// True if index() has been called (for tests / stats).
+  bool index_built() const;
+
+ private:
+  xml::Document doc_;
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<xml::DocumentIndex> index_;
+  mutable std::atomic<bool> index_built_{false};
+};
+
+class DocumentStore {
+ public:
+  /// Registers (or replaces) a document under `key`. Empty documents are
+  /// rejected: they have no root context to evaluate in.
+  Status Put(std::string key, xml::Document doc);
+
+  /// Parses `xml` and registers the result under `key`.
+  Status PutXml(std::string key, std::string_view xml);
+
+  /// The stored document, or nullptr if the key is unknown.
+  std::shared_ptr<const StoredDocument> Get(std::string_view key) const;
+
+  /// Removes a key; returns false if it was absent. In-flight users of the
+  /// document keep their shared_ptr.
+  bool Remove(std::string_view key);
+
+  /// Registered keys, sorted.
+  std::vector<std::string> Keys() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const StoredDocument>> docs_;
+};
+
+}  // namespace gkx::service
+
+#endif  // GKX_SERVICE_DOCUMENT_STORE_HPP_

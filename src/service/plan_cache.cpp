@@ -1,0 +1,120 @@
+#include "service/plan_cache.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "xpath/optimize.hpp"
+#include "xpath/parser.hpp"
+#include "xpath/printer.hpp"
+
+namespace gkx::service {
+
+PlanCache::PlanCache(const Options& options) {
+  size_t shards = options.shards == 0 ? 1 : options.shards;
+  size_t capacity = options.capacity == 0 ? 1 : options.capacity;
+  if (shards > capacity) shards = capacity;
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+PlanCache::PlanPtr PlanCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->plan;
+}
+
+PlanCache::PlanPtr PlanCache::Insert(const std::string& key, PlanPtr plan) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // A concurrent compile of the same text won; share its plan.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->plan;
+  }
+  shard.lru.push_front(Entry{key, std::move(plan)});
+  shard.map.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return shard.lru.front().plan;
+}
+
+Result<std::shared_ptr<const eval::Engine::Plan>> PlanCache::GetOrCompile(
+    const std::string& query_text) {
+  if (PlanPtr plan = Lookup(query_text)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+  }
+
+  auto parsed = xpath::ParseQuery(query_text);
+  if (!parsed.ok()) {
+    parse_failures_.fetch_add(1, std::memory_order_relaxed);
+    return parsed.status();
+  }
+
+  // The plan is compiled from the *optimized* AST, so the entry stored
+  // under the canonical key is exactly the canonical plan — every spelling
+  // in the equivalence class gets the cheapest sound evaluator for it.
+  xpath::Query optimized = xpath::Optimize(*parsed);
+  const std::string canonical = xpath::ToXPathString(optimized);
+  if (canonical != query_text) {
+    if (PlanPtr plan = Lookup(canonical)) {
+      // Equivalent spelling compiled before; alias the raw text to it.
+      canonical_hits_.fetch_add(1, std::memory_order_relaxed);
+      return Insert(query_text, std::move(plan));
+    }
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto plan = std::make_shared<const eval::Engine::Plan>(
+      eval::Engine::CompileParsed(std::move(optimized)));
+  if (canonical != query_text) Insert(canonical, plan);
+  return Insert(query_text, std::move(plan));
+}
+
+std::shared_ptr<const eval::Engine::Plan> PlanCache::Peek(
+    const std::string& query_text) {
+  return Lookup(query_text);
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  Counters out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.canonical_hits = canonical_hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.parse_failures = parse_failures_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+void PlanCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace gkx::service

@@ -1,0 +1,125 @@
+#include "service/query_service.hpp"
+
+#include <utility>
+
+#include "base/stopwatch.hpp"
+#include "service/indexed_path.hpp"
+
+namespace gkx::service {
+
+QueryService::QueryService(const Options& options)
+    : options_(options),
+      pool_(options.pool ? options.pool : &ThreadPool::Shared()),
+      plan_cache_(options.plan_cache),
+      latency_(options.latency_window) {}
+
+Status QueryService::RegisterDocument(std::string key, xml::Document doc) {
+  return store_.Put(std::move(key), std::move(doc));
+}
+
+Status QueryService::RegisterXml(std::string key, std::string_view xml) {
+  return store_.PutXml(std::move(key), xml);
+}
+
+bool QueryService::RemoveDocument(std::string_view key) {
+  return store_.Remove(key);
+}
+
+Result<QueryService::Answer> QueryService::Process(
+    eval::Engine& engine, const std::string& doc_key,
+    const std::string& query_text) {
+  Stopwatch sw;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  auto fail = [this](Status status) -> Result<Answer> {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  };
+
+  std::shared_ptr<const StoredDocument> stored = store_.Get(doc_key);
+  if (stored == nullptr) {
+    return fail(InvalidArgumentError("unknown document key '" + doc_key + "'"));
+  }
+
+  auto plan_or = plan_cache_.GetOrCompile(query_text);
+  if (!plan_or.ok()) return fail(plan_or.status());
+  const std::shared_ptr<const eval::Engine::Plan>& plan = *plan_or;
+
+  Answer answer;
+  bool answered = false;
+  if (options_.indexed_fast_path && plan->fragment.in_pf) {
+    if (auto nodes = TryIndexedPath(stored->index(), plan->query)) {
+      answer.value = eval::Value::Nodes(std::move(*nodes));
+      answer.fragment = plan->fragment;
+      answer.evaluator = "pf-indexed";
+      answered = true;
+    }
+  }
+  if (!answered) {
+    auto run = engine.RunPlan(stored->doc(), *plan);
+    if (!run.ok()) return fail(run.status());
+    answer = std::move(run).value();
+  }
+
+  evaluator_counters_.Increment(answer.evaluator);
+  latency_.Record(sw.ElapsedMillis());
+  return answer;
+}
+
+Result<QueryService::Answer> QueryService::Submit(
+    const std::string& doc_key, const std::string& query_text) {
+  eval::Engine engine;
+  return Process(engine, doc_key, query_text);
+}
+
+std::vector<Result<QueryService::Answer>> QueryService::SubmitBatch(
+    const std::vector<Request>& requests) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  const int n = static_cast<int>(requests.size());
+  std::vector<Result<Answer>> responses(
+      requests.size(), Result<Answer>(InternalError("request not processed")));
+  if (n == 0) return responses;
+
+  int workers =
+      options_.batch_workers > 0 ? options_.batch_workers : pool_->thread_count();
+  if (workers > n) workers = n;
+  if (workers < 1) workers = 1;
+
+  // Workers claim requests through a shared cursor (costs are skewed: a
+  // cache-hit PF lookup and a cold CVT evaluation differ by orders of
+  // magnitude). Each worker gets a private Engine — evaluator scratch state
+  // is not thread-safe; documents and plans are shared read-only.
+  std::atomic<int> cursor{0};
+  auto worker = [&](int) {
+    eval::Engine engine;
+    while (true) {
+      const int i = cursor.fetch_add(1);
+      if (i >= n) return;
+      responses[static_cast<size_t>(i)] =
+          Process(engine, requests[static_cast<size_t>(i)].doc_key,
+                  requests[static_cast<size_t>(i)].query);
+    }
+  };
+
+  if (workers == 1) {
+    worker(0);
+  } else {
+    pool_->ParallelFor(workers, worker);
+  }
+  return responses;
+}
+
+ServiceStats QueryService::Stats() const {
+  ServiceStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.failures = failures_.load(std::memory_order_relaxed);
+  out.documents = store_.size();
+  out.plan_cache_entries = plan_cache_.size();
+  out.plan_cache = plan_cache_.counters();
+  out.evaluator_counts = evaluator_counters_.Snapshot();
+  out.latency = latency_.Summary();
+  return out;
+}
+
+}  // namespace gkx::service

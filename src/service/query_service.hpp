@@ -1,0 +1,121 @@
+// The serving facade — the first long-lived, stateful layer above
+// eval::Engine. A QueryService owns
+//   * a DocumentStore: named documents registered once, evaluated many
+//     times, each with a lazily-built DocumentIndex;
+//   * a PlanCache: compiled {AST, fragment report, evaluator choice} plans
+//     shared across requests and documents (shard-locked LRU);
+//   * a ThreadPool: SubmitBatch fans requests out over it (the same pool
+//     the parallel PDA evaluator uses — nesting is safe, see
+//     base/thread_pool.hpp).
+//
+// Request flow: Submit(doc_key, query)
+//   1. document lookup (shared_ptr — removal never races an evaluation),
+//   2. plan lookup/compile in the PlanCache (repeat queries skip
+//      lex/parse/classify),
+//   3. dispatch: the indexed PF fast path when the plan's shape allows it
+//      (evaluator label "pf-indexed"), otherwise the fragment-chosen engine
+//      exactly as Engine::Run would.
+// Answer *values* are identical to a fresh Engine::Run of the same text.
+// The fragment report and evaluator label describe the cached plan, which
+// is compiled from the query's canonical (optimized) form — so a
+// pessimized spelling can legitimately report a smaller fragment and a
+// cheaper engine ("pf-indexed" on the fast path) than its surface syntax.
+//
+// Thread safety: every public method may be called concurrently.
+
+#ifndef GKX_SERVICE_QUERY_SERVICE_HPP_
+#define GKX_SERVICE_QUERY_SERVICE_HPP_
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hpp"
+#include "base/thread_pool.hpp"
+#include "eval/engine.hpp"
+#include "service/document_store.hpp"
+#include "service/plan_cache.hpp"
+#include "service/stats.hpp"
+
+namespace gkx::service {
+
+/// A point-in-time stats snapshot.
+struct ServiceStats {
+  int64_t requests = 0;  // Submit calls + batched requests
+  int64_t batches = 0;   // SubmitBatch calls
+  int64_t failures = 0;  // requests that returned a non-OK status
+  size_t documents = 0;
+  size_t plan_cache_entries = 0;
+  PlanCache::Counters plan_cache;
+  std::map<std::string, int64_t> evaluator_counts;
+  LatencySummary latency;
+};
+
+class QueryService {
+ public:
+  struct Options {
+    PlanCache::Options plan_cache;
+    /// Pool for SubmitBatch (and, via the engines, parallel evaluation);
+    /// nullptr = ThreadPool::Shared().
+    ThreadPool* pool = nullptr;
+    /// Concurrent workers per batch; 0 = pool width (the calling thread
+    /// always participates).
+    int batch_workers = 0;
+    /// Answer eligible PF queries from the DocumentIndex ("pf-indexed").
+    bool indexed_fast_path = true;
+    /// Latency reservoir size.
+    size_t latency_window = 4096;
+  };
+
+  struct Request {
+    std::string doc_key;
+    std::string query;
+  };
+
+  using Answer = eval::Engine::Answer;
+
+  QueryService() : QueryService(Options{}) {}
+  explicit QueryService(const Options& options);
+
+  // -------------------------------------------------------------- corpus
+  /// Registers (or replaces) a parsed document.
+  Status RegisterDocument(std::string key, xml::Document doc);
+  /// Parses and registers.
+  Status RegisterXml(std::string key, std::string_view xml);
+  bool RemoveDocument(std::string_view key);
+  const DocumentStore& documents() const { return store_; }
+
+  // -------------------------------------------------------------- queries
+  /// Evaluates one query against one registered document (root context).
+  Result<Answer> Submit(const std::string& doc_key,
+                        const std::string& query_text);
+
+  /// Evaluates a batch concurrently over the pool. responses[i] corresponds
+  /// to requests[i]; per-request failures do not affect other requests.
+  std::vector<Result<Answer>> SubmitBatch(const std::vector<Request>& requests);
+
+  // -------------------------------------------------------------- admin
+  ServiceStats Stats() const;
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
+ private:
+  /// Full request path; `engine` is the calling worker's private engine.
+  Result<Answer> Process(eval::Engine& engine, const std::string& doc_key,
+                         const std::string& query_text);
+
+  Options options_;
+  ThreadPool* pool_;  // never null after construction
+  DocumentStore store_;
+  PlanCache plan_cache_;
+  EvaluatorCounters evaluator_counters_;
+  LatencyRecorder latency_;
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> failures_{0};
+};
+
+}  // namespace gkx::service
+
+#endif  // GKX_SERVICE_QUERY_SERVICE_HPP_

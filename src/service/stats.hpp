@@ -1,0 +1,96 @@
+// Service-level observability: per-evaluator dispatch counters and latency
+// percentiles over a sliding window. Header-only; everything here is
+// thread-safe and cheap enough to sit on the request path.
+
+#ifndef GKX_SERVICE_STATS_HPP_
+#define GKX_SERVICE_STATS_HPP_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gkx::service {
+
+/// Percentile summary of recent request latencies.
+struct LatencySummary {
+  int64_t count = 0;  // total requests recorded (not just the window)
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;  // max within the window
+};
+
+/// Sliding-window latency reservoir: keeps the last `window` samples in a
+/// ring buffer; Summary() sorts a copy (called off the hot path).
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t window = 4096)
+      : window_(window == 0 ? 1 : window) {}
+
+  void Record(double millis) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.size() < window_) {
+      samples_.push_back(millis);
+    } else {
+      samples_[next_ % window_] = millis;
+    }
+    ++next_;
+    ++count_;
+  }
+
+  LatencySummary Summary() const {
+    std::vector<double> sorted;
+    int64_t count = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sorted = samples_;
+      count = count_;
+    }
+    LatencySummary out;
+    out.count = count;
+    if (sorted.empty()) return out;
+    std::sort(sorted.begin(), sorted.end());
+    auto at = [&](double q) {
+      size_t i = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+      return sorted[i];
+    };
+    out.p50_ms = at(0.50);
+    out.p90_ms = at(0.90);
+    out.p99_ms = at(0.99);
+    out.max_ms = sorted.back();
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  size_t window_;
+  size_t next_ = 0;
+  int64_t count_ = 0;
+  std::vector<double> samples_;
+};
+
+/// How often each evaluator produced an answer ("pf-frontier",
+/// "core-linear", "cvt-lazy", "pf-indexed", ...).
+class EvaluatorCounters {
+ public:
+  void Increment(std::string_view evaluator) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_[std::string(evaluator)];
+  }
+
+  std::map<std::string, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counts_;
+};
+
+}  // namespace gkx::service
+
+#endif  // GKX_SERVICE_STATS_HPP_

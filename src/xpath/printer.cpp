@@ -1,6 +1,7 @@
 #include "xpath/printer.hpp"
 
 #include "base/string_util.hpp"
+#include "xpath/optimize.hpp"
 
 namespace gkx::xpath {
 namespace {
@@ -136,6 +137,10 @@ std::string ToXPathString(const Step& step) {
   std::string out;
   PrintStep(step, &out);
   return out;
+}
+
+std::string CanonicalXPathString(const Query& query) {
+  return ToXPathString(Optimize(query));
 }
 
 }  // namespace gkx::xpath

@@ -20,6 +20,14 @@ std::string ToXPathString(const Query& query);
 /// Serializes a single step (axis::test[preds]).
 std::string ToXPathString(const Step& step);
 
+/// Canonical plan-cache key: the query is run through Optimize() and printed
+/// in unabbreviated syntax, so equivalent spellings — "//a", "/descendant-
+/// or-self::node()/child::a", "/descendant::a[true()]" — collapse to one
+/// string. Canonicalization never changes query semantics (Optimize is the
+/// metamorphic-tested rewrite layer), but it may land a query in a smaller
+/// fragment than its surface syntax.
+std::string CanonicalXPathString(const Query& query);
+
 }  // namespace gkx::xpath
 
 #endif  // GKX_XPATH_PRINTER_HPP_

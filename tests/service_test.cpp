@@ -1,0 +1,389 @@
+// gkx::service — the serving layer.
+//   * DocumentStore: registration, replacement, removal, lazy index.
+//   * PlanCache: raw hits, canonical (spelling-equivalence) hits, eviction.
+//   * QueryService: answers byte-identical to sequential Engine::Run over a
+//     mixed workload (PF + Core + full-XPath, several documents), the
+//     indexed PF fast path differential-tested against pf-frontier, and a
+//     concurrent Submit stress test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "base/rng.hpp"
+#include "eval/engine.hpp"
+#include "eval/pf_evaluator.hpp"
+#include "service/indexed_path.hpp"
+#include "service/query_service.hpp"
+#include "xml/generator.hpp"
+#include "xpath/parser.hpp"
+
+namespace gkx::service {
+namespace {
+
+const char kDocA[] = "<r><a><b/><b/></a><a/><c><b/></c></r>";
+const char kDocB[] = "<r><x><a/><a><b/></a></x><c/><c><a/></c></r>";
+const char kDocC[] = "<list><item n='1'/><item n='2'/><item n='3'/></list>";
+
+// ------------------------------------------------------------- DocumentStore
+
+TEST(DocumentStoreTest, PutGetRemove) {
+  DocumentStore store;
+  ASSERT_TRUE(store.PutXml("a", kDocA).ok());
+  ASSERT_TRUE(store.PutXml("b", kDocB).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Keys(), (std::vector<std::string>{"a", "b"}));
+
+  auto stored = store.Get("a");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->doc().size(), 7);
+  EXPECT_EQ(store.Get("missing"), nullptr);
+
+  EXPECT_TRUE(store.Remove("a"));
+  EXPECT_FALSE(store.Remove("a"));
+  // The shared_ptr we hold outlives removal.
+  EXPECT_EQ(stored->doc().size(), 7);
+}
+
+TEST(DocumentStoreTest, RejectsBadInput) {
+  DocumentStore store;
+  EXPECT_FALSE(store.PutXml("bad", "<r><unclosed>").ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(DocumentStoreTest, IndexIsLazyAndCached) {
+  DocumentStore store;
+  ASSERT_TRUE(store.PutXml("a", kDocA).ok());
+  auto stored = store.Get("a");
+  EXPECT_FALSE(stored->index_built());
+  const xml::DocumentIndex& index = stored->index();
+  EXPECT_TRUE(stored->index_built());
+  EXPECT_EQ(&stored->index(), &index);  // same instance, built once
+  EXPECT_EQ(index.NodesWithName("b").size(), 3u);
+}
+
+// ----------------------------------------------------------------- PlanCache
+
+TEST(PlanCacheTest, RepeatLookupsHitWithoutReparsing) {
+  PlanCache cache;
+  auto first = cache.GetOrCompile("/descendant::a[child::b]");
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrCompile("/descendant::a[child::b]");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // literally the same plan
+
+  PlanCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ((*first)->evaluator_name(), "core-linear");
+}
+
+TEST(PlanCacheTest, EquivalentSpellingsShareOnePlan) {
+  PlanCache cache;
+  // "//b" is sugar for "/descendant-or-self::node()/child::b"; Optimize
+  // fuses both to "/descendant::b", so all three share one canonical entry.
+  auto sugar = cache.GetOrCompile("//b");
+  auto expanded = cache.GetOrCompile("/descendant-or-self::node()/child::b");
+  ASSERT_TRUE(sugar.ok());
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(sugar->get(), expanded->get());
+
+  PlanCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.canonical_hits, 1);
+
+  // Second round of either spelling is now a raw hit.
+  auto again = cache.GetOrCompile("/descendant-or-self::node()/child::b");
+  EXPECT_EQ(cache.counters().hits, 1);
+  ASSERT_TRUE(again.ok());
+}
+
+TEST(PlanCacheTest, ParseFailuresAreReportedNotCached) {
+  PlanCache cache;
+  EXPECT_FALSE(cache.GetOrCompile("child::").ok());
+  EXPECT_FALSE(cache.GetOrCompile("child::").ok());
+  PlanCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.parse_failures, 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, LruEviction) {
+  PlanCache::Options options;
+  options.capacity = 4;
+  options.shards = 1;  // single shard makes eviction order deterministic
+  PlanCache cache(options);
+
+  // Distinct single-step queries; each creates exactly one entry (their
+  // canonical form equals the raw text).
+  ASSERT_TRUE(cache.GetOrCompile("child::t0").ok());
+  ASSERT_TRUE(cache.GetOrCompile("child::t1").ok());
+  ASSERT_TRUE(cache.GetOrCompile("child::t2").ok());
+  ASSERT_TRUE(cache.GetOrCompile("child::t3").ok());
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.counters().evictions, 0);
+
+  // Touch t0 so t1 is the LRU victim.
+  ASSERT_TRUE(cache.GetOrCompile("child::t0").ok());
+  ASSERT_TRUE(cache.GetOrCompile("child::t4").ok());
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.counters().evictions, 1);
+  EXPECT_NE(cache.Peek("child::t0"), nullptr);
+  EXPECT_EQ(cache.Peek("child::t1"), nullptr);  // evicted
+  EXPECT_NE(cache.Peek("child::t4"), nullptr);
+}
+
+// -------------------------------------------------------------- QueryService
+
+// QueryService owns mutexes and is immovable; register into it in place.
+void RegisterCorpus(QueryService& service) {
+  GKX_CHECK(service.RegisterXml("a", kDocA).ok());
+  GKX_CHECK(service.RegisterXml("b", kDocB).ok());
+  GKX_CHECK(service.RegisterXml("c", kDocC).ok());
+}
+
+// A mixed workload: PF (indexed and non-indexed shapes), positive Core,
+// Core with negation, and full-XPath scalar/positional queries.
+const char* kMixedQueries[] = {
+    "/descendant::a/child::b",                  // PF, indexed
+    "//b",                                      // PF, indexed (fused //)
+    "child::*/child::a",                        // PF, indexed wildcard
+    "/descendant::b/parent::a",                 // PF, reverse axis: fallback
+    "/descendant::a[child::b]",                 // positive Core
+    "/descendant::c[not(child::b)]",            // Core with not()
+    "/descendant::a[position() = 2]",           // pWF positional
+    "count(/descendant::b) * 10",               // full XPath scalar
+    "string(/child::*/child::item)",            // full XPath string
+    "/descendant::item[2] | /descendant::c",    // union, positional
+};
+
+TEST(QueryServiceTest, AnswersMatchSequentialEngineRun) {
+  QueryService service;
+  RegisterCorpus(service);
+  eval::Engine reference;
+
+  for (const std::string key : {"a", "b", "c"}) {
+    auto stored = service.documents().Get(key);
+    ASSERT_NE(stored, nullptr);
+    for (const char* query : kMixedQueries) {
+      auto expected = reference.Run(stored->doc(), query);
+      auto got = service.Submit(key, query);
+      ASSERT_TRUE(expected.ok()) << query;
+      ASSERT_TRUE(got.ok()) << query;
+      // Byte-identical answers: exact value equality, no coercions.
+      EXPECT_TRUE(got->value.Equals(expected->value))
+          << key << " " << query << ": " << got->value.DebugString() << " vs "
+          << expected->value.DebugString();
+      EXPECT_EQ(got->fragment.smallest, expected->fragment.smallest) << query;
+      // Dispatch label matches except where the index answered a PF query.
+      if (got->evaluator != "pf-indexed") {
+        EXPECT_EQ(got->evaluator, expected->evaluator) << query;
+      } else {
+        EXPECT_EQ(expected->evaluator, "pf-frontier") << query;
+      }
+    }
+  }
+}
+
+TEST(QueryServiceTest, BatchAgreesWithSequentialSubmits) {
+  QueryService service;
+  RegisterCorpus(service);
+
+  std::vector<QueryService::Request> requests;
+  for (const std::string key : {"a", "b", "c"}) {
+    for (const char* query : kMixedQueries) {
+      requests.push_back({key, query});
+    }
+  }
+  // Repeat the workload to exercise the warm cache inside one batch.
+  const size_t unique = requests.size();
+  for (size_t i = 0; i < unique; ++i) requests.push_back(requests[i]);
+
+  auto batch = service.SubmitBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+
+  QueryService sequential;
+  RegisterCorpus(sequential);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto expected =
+        sequential.Submit(requests[i].doc_key, requests[i].query);
+    ASSERT_TRUE(expected.ok()) << requests[i].query;
+    ASSERT_TRUE(batch[i].ok()) << requests[i].query;
+    EXPECT_TRUE(batch[i]->value.Equals(expected->value)) << requests[i].query;
+    EXPECT_EQ(batch[i]->evaluator, expected->evaluator) << requests[i].query;
+  }
+
+  // The repeated half of the batch hit the plan cache. (≥ half, not all:
+  // concurrent workers may compile the same text simultaneously, and both
+  // count as misses — the cache converges, the counters record the race.)
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, static_cast<int64_t>(requests.size()));
+  EXPECT_GE(stats.plan_cache.hits, static_cast<int64_t>(unique) / 2);
+  EXPECT_EQ(stats.failures, 0);
+}
+
+TEST(QueryServiceTest, RepeatedWorkloadHitRateAboveNinetyPercent) {
+  QueryService service;
+  RegisterCorpus(service);
+  // 10 unique queries, 30 rounds: 300 lookups, ≤ 10 misses.
+  std::vector<QueryService::Request> requests;
+  for (int round = 0; round < 30; ++round) {
+    for (const char* query : kMixedQueries) {
+      requests.push_back({"a", query});
+    }
+  }
+  auto responses = service.SubmitBatch(requests);
+  for (const auto& response : responses) ASSERT_TRUE(response.ok());
+  EXPECT_GE(service.Stats().plan_cache.HitRate(), 0.9);
+}
+
+TEST(QueryServiceTest, ErrorsAreIsolatedPerRequest) {
+  QueryService service;
+  RegisterCorpus(service);
+  auto batch = service.SubmitBatch({
+      {"a", "/descendant::b"},
+      {"missing", "/descendant::b"},   // unknown document
+      {"a", "child::"},                // parse error
+      {"b", "/descendant::b"},
+  });
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_EQ(batch[1].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(batch[2].status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(batch[3].ok());
+  EXPECT_EQ(service.Stats().failures, 2);
+}
+
+TEST(QueryServiceTest, IndexedFastPathDifferentialOnRandomDocuments) {
+  // The indexed PF path must agree with pf-frontier on random documents ×
+  // random PF-shaped queries (including ones it declines — then it must
+  // decline cleanly, not answer wrongly).
+  Rng rng(1234);
+  const char* queries[] = {
+      "/descendant::t0/child::t1",
+      "//t2",
+      "//t0//t1",
+      "/child::*/descendant-or-self::t1",
+      "/descendant::t1 | //t3/child::t0",
+      "self::t0/descendant::t2",
+      "child::t1/child::t2/child::t3",
+  };
+  for (int trial = 0; trial < 8; ++trial) {
+    xml::RandomDocumentOptions options;
+    options.node_count = 300;
+    options.tag_alphabet = 4;
+    options.max_extra_labels = 1;
+    xml::Document doc = xml::RandomDocument(&rng, options);
+    xml::DocumentIndex index(doc);
+    eval::PfEvaluator pf;
+    for (const char* text : queries) {
+      xpath::Query query = xpath::MustParse(text);
+      auto indexed = TryIndexedPath(index, query);
+      ASSERT_TRUE(indexed.has_value()) << text;
+      auto expected = pf.EvaluateNodeSet(doc, query);
+      ASSERT_TRUE(expected.ok()) << text;
+      EXPECT_EQ(*indexed, *expected) << text << " trial " << trial;
+    }
+  }
+}
+
+TEST(QueryServiceTest, IndexedFastPathDeclinesUnsupportedShapes) {
+  xml::Document doc = xml::ChainDocument(10);
+  xml::DocumentIndex index(doc);
+  EXPECT_FALSE(TryIndexedPath(index, xpath::MustParse("/descendant::t1/parent::t0")));
+  EXPECT_FALSE(TryIndexedPath(index, xpath::MustParse("//t1/following-sibling::t2")));
+  EXPECT_FALSE(TryIndexedPath(index, xpath::MustParse("count(//t1)")));
+  EXPECT_FALSE(TryIndexedPath(index, xpath::MustParse("/descendant::t1[child::t2]")));
+}
+
+TEST(QueryServiceTest, ConcurrentSubmitStress) {
+  QueryService service;
+  RegisterCorpus(service);
+
+  // Precompute expected answers sequentially.
+  eval::Engine reference;
+  std::vector<std::pair<QueryService::Request, std::string>> expected;
+  for (const std::string key : {"a", "b", "c"}) {
+    auto stored = service.documents().Get(key);
+    for (const char* query : kMixedQueries) {
+      auto answer = reference.Run(stored->doc(), query);
+      GKX_CHECK(answer.ok());
+      expected.push_back({{key, query}, answer->value.DebugString()});
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &expected, &mismatches, &errors, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto& [request, want] =
+            expected[static_cast<size_t>(t * 7 + i) % expected.size()];
+        auto got = service.Submit(request.doc_key, request.query);
+        if (!got.ok()) {
+          errors.fetch_add(1);
+        } else if (got->value.DebugString() != want) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_EQ(stats.failures, 0);
+  EXPECT_GE(stats.plan_cache.HitRate(), 0.9);
+  EXPECT_EQ(stats.latency.count, kThreads * kPerThread);
+}
+
+TEST(QueryServiceTest, StatsTrackEvaluatorsAndDocuments) {
+  QueryService service;
+  RegisterCorpus(service);
+  ASSERT_TRUE(service.Submit("a", "/descendant::a/child::b").ok());   // indexed
+  ASSERT_TRUE(service.Submit("a", "/descendant::a[child::b]").ok());  // core
+  ASSERT_TRUE(service.Submit("a", "count(/descendant::b)").ok());     // cvt
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.documents, 3u);
+  EXPECT_EQ(stats.evaluator_counts["pf-indexed"], 1);
+  EXPECT_EQ(stats.evaluator_counts["core-linear"], 1);
+  EXPECT_EQ(stats.evaluator_counts["cvt-lazy"], 1);
+  EXPECT_EQ(stats.latency.count, 3);
+  EXPECT_GE(stats.latency.max_ms, 0.0);
+}
+
+TEST(QueryServiceTest, PessimizedSpellingRunsCanonicalPlan) {
+  QueryService service;
+  RegisterCorpus(service);
+  // Optimize drops [true()], so both spellings share the canonical plan
+  // "/descendant::a" — and the pessimized one gets PF's cheap engine.
+  auto pessimized = service.Submit("a", "/descendant::a[true()]");
+  auto canonical = service.Submit("a", "/descendant::a");
+  ASSERT_TRUE(pessimized.ok());
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_TRUE(pessimized->value.Equals(canonical->value));
+  EXPECT_EQ(pessimized->evaluator, canonical->evaluator);
+  EXPECT_TRUE(pessimized->fragment.in_pf);
+
+  PlanCache::Counters counters = service.plan_cache().counters();
+  EXPECT_EQ(counters.misses, 1);  // one compile serves both spellings
+  EXPECT_EQ(counters.hits, 1);    // the canonical text raw-hit the entry
+}
+
+TEST(QueryServiceTest, FastPathCanBeDisabled) {
+  QueryService::Options options;
+  options.indexed_fast_path = false;
+  QueryService service(options);
+  ASSERT_TRUE(service.RegisterXml("a", kDocA).ok());
+  auto answer = service.Submit("a", "/descendant::a/child::b");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->evaluator, "pf-frontier");
+}
+
+}  // namespace
+}  // namespace gkx::service

@@ -1,0 +1,72 @@
+// ThreadPool: task execution, ParallelFor coverage, nesting (the service
+// fans batches out while the parallel PDA engine fans candidates out on the
+// same pool — progress must be guaranteed even at width 1).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+
+namespace gkx {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  while (count.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(257);
+  pool.ParallelFor(257, [&seen](int i) { seen[static_cast<size_t>(i)]++; });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForMoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(64, [&sum](int i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 64 * 63 / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Width 1 is the adversarial case: the outer ParallelFor runs on the only
+  // pool thread's queue, and inner ParallelFors must make progress through
+  // caller helping alone.
+  ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(4, [&pool, &leaves](int) {
+    pool.ParallelFor(4, [&leaves](int) { leaves.fetch_add(1); });
+  });
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ThreadPoolTest, ZeroAndOneTaskEdgeCases) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&calls](int i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsable) {
+  std::atomic<int> count{0};
+  ThreadPool::Shared().ParallelFor(8, [&count](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+  EXPECT_GE(ThreadPool::Shared().thread_count(), 1);
+}
+
+}  // namespace
+}  // namespace gkx

@@ -1,0 +1,86 @@
+// DocumentIndex: posting lists agree with brute-force scans over tags,
+// extra labels (Remark 3.1), and attributes, on handcrafted and random
+// documents.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "xml/generator.hpp"
+#include "xml/index.hpp"
+#include "xml/parser.hpp"
+
+namespace gkx::xml {
+namespace {
+
+Document Doc(std::string_view text) {
+  auto doc = ParseDocument(text);
+  GKX_CHECK(doc.ok());
+  return std::move(doc).value();
+}
+
+TEST(DocumentIndexTest, PostingListsAreSortedAndComplete) {
+  Document doc = Doc("<r><a x='1'><b/><b/></a><a/><c x='2' y='3'/></r>");
+  DocumentIndex index(doc);
+
+  EXPECT_EQ(index.NodesWithName("a"), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(index.NodesWithName("b"), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(index.NodesWithName("r"), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(index.NodesWithName("zzz").empty());
+  EXPECT_EQ(index.NodesWithAttribute("x"), (std::vector<NodeId>{1, 5}));
+  EXPECT_EQ(index.NodesWithAttribute("y"), (std::vector<NodeId>{5}));
+  EXPECT_TRUE(index.NodesWithAttribute("absent").empty());
+}
+
+TEST(DocumentIndexTest, ExtraLabelsAreIndexed) {
+  // The parser's labels-attribute convention (Remark 3.1 multi-labels).
+  Document doc = Doc("<r><a labels='l0 l1'/><b labels='l1'/></r>");
+  DocumentIndex index(doc);
+  EXPECT_EQ(index.NodesWithName("l0"), (std::vector<NodeId>{1}));
+  EXPECT_EQ(index.NodesWithName("l1"), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(index.NodesWithName("a"), (std::vector<NodeId>{1}));
+}
+
+TEST(DocumentIndexTest, CountWithNameInSubtree) {
+  Document doc = Doc("<r><a><b/><b/></a><a><b/></a></r>");
+  DocumentIndex index(doc);
+  NameId b = doc.FindName("b");
+  EXPECT_EQ(index.CountWithNameInSubtree(b, 0), 3);
+  EXPECT_EQ(index.CountWithNameInSubtree(b, 1), 2);
+  EXPECT_EQ(index.CountWithNameInSubtree(b, 4), 1);
+  EXPECT_EQ(index.CountWithNameInSubtree(b, 2), 1);  // a b node itself
+  EXPECT_EQ(index.CountWithNameInSubtree(doc.FindName("a"), 1), 1);
+}
+
+TEST(DocumentIndexTest, AppendNamedInRange) {
+  Document doc = Doc("<r><a><b/><b/></a><a><b/></a></r>");
+  DocumentIndex index(doc);
+  NameId b = doc.FindName("b");
+  std::vector<NodeId> out;
+  index.AppendNamedInRange(b, 2, 5, &out);  // [2, 5): both b's of first a
+  EXPECT_EQ(out, (std::vector<NodeId>{2, 3}));
+  index.AppendNamedInRange(b, 0, doc.size(), &out);  // appends, keeps prior
+  EXPECT_EQ(out, (std::vector<NodeId>{2, 3, 2, 3, 5}));
+}
+
+TEST(DocumentIndexTest, AgreesWithBruteForceOnRandomDocuments) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomDocumentOptions options;
+    options.node_count = 200;
+    options.tag_alphabet = 3;
+    options.max_extra_labels = 2;
+    options.label_alphabet = 2;
+    Document doc = RandomDocument(&rng, options);
+    DocumentIndex index(doc);
+    for (NameId name = 0; name < 8; ++name) {
+      std::vector<NodeId> expected;
+      for (NodeId v = 0; v < doc.size(); ++v) {
+        if (doc.NodeHasName(v, name)) expected.push_back(v);
+      }
+      EXPECT_EQ(index.NodesWithName(name), expected) << "name " << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gkx::xml
