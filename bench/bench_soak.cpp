@@ -1,0 +1,120 @@
+// Soak runner: replays deterministic concurrent workloads (gkx::testkit)
+// against a QueryService until a time budget is exhausted, rotating the
+// seed each round. Exits non-zero on the first failing round and prints the
+// reproducing seed — rerun with --seed=<that> --rounds=1 to replay the
+// exact schedule (the thread interleaving is the only nondeterminism).
+//
+//   ./bench_soak --seconds=30 --threads=4        # CI short mode
+//   ./bench_soak --seed=42 --rounds=1            # replay one seed
+//   ./bench_soak --ops=50000 --seconds=600       # heavier local soak
+//
+// Flags: --seed= first seed (default 1), --rounds= max rounds (default
+// unlimited), --seconds= time budget (default 30), --threads= (default 4),
+// --ops= schedule length per round (default 10000), --churn= probability
+// (default 0.004).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/stopwatch.hpp"
+#include "bench/bench_util.hpp"
+#include "testkit/soak_driver.hpp"
+#include "testkit/workload.hpp"
+
+namespace {
+
+int64_t FlagValue(int argc, char** argv, const char* name, int64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using gkx::testkit::CompileWorkload;
+  using gkx::testkit::RunSoak;
+  using gkx::testkit::SoakOptions;
+  using gkx::testkit::SoakReport;
+  using gkx::testkit::WorkloadSpec;
+
+  const uint64_t first_seed =
+      static_cast<uint64_t>(FlagValue(argc, argv, "seed", 1));
+  const int64_t max_rounds = FlagValue(argc, argv, "rounds", 0);  // 0 = no cap
+  const double seconds = FlagDouble(argc, argv, "seconds", 30.0);
+  const int threads = static_cast<int>(FlagValue(argc, argv, "threads", 4));
+  const int ops = static_cast<int>(FlagValue(argc, argv, "ops", 10000));
+  const double churn = FlagDouble(argc, argv, "churn", 0.004);
+
+  gkx::bench::PrintHeader(
+      "soak — deterministic concurrent differential workload",
+      "every fragment-specialised engine computes the same XPath semantics",
+      "QueryService answers vs a single-threaded naive oracle under "
+      "concurrent mixed traffic (zipfian popularity, batches, churn)");
+
+  gkx::bench::Table table({"round", "seed", "ops", "requests", "hit_rate",
+                           "p99_ms", "verdict"});
+  gkx::Stopwatch budget;
+  int64_t round = 0;
+  uint64_t seed = first_seed;
+  bool failed = false;
+  while (!failed) {
+    if (max_rounds > 0 && round >= max_rounds) break;
+    if (round > 0 && budget.ElapsedSeconds() >= seconds) break;
+
+    WorkloadSpec spec;
+    spec.seed = seed;
+    spec.operations = ops;
+    spec.churn_probability = churn;
+    spec.query_options.max_condition_depth = 2;
+    spec.query_options.tag_zipf_s = 0.7;
+    spec.document_options.tag_zipf_s = 0.7;
+    spec.min_document_nodes = 30;
+    spec.max_document_nodes = 90;
+    auto schedule = CompileWorkload(spec);
+    GKX_CHECK(schedule.ok());
+
+    SoakOptions options;
+    options.threads = threads;
+    options.service.plan_cache.capacity = 64;
+    SoakReport report = RunSoak(*schedule, options);
+
+    table.AddRow({gkx::bench::Num(round), gkx::bench::Num(static_cast<int64_t>(seed)),
+                  gkx::bench::Num(report.operations),
+                  gkx::bench::Num(report.requests),
+                  gkx::bench::Ratio(report.stats.plan_cache.HitRate()),
+                  gkx::bench::Ratio(report.stats.latency.p99_ms, 3),
+                  gkx::bench::PassFail(report.ok())});
+    if (!report.ok()) {
+      failed = true;
+      std::printf("%s\n", report.Summary().c_str());
+      std::printf("\nREPRODUCE: %s --seed=%llu --rounds=1 --threads=%d --ops=%d --churn=%g\n",
+                  argv[0], static_cast<unsigned long long>(seed), threads, ops,
+                  churn);
+    }
+    ++round;
+    ++seed;
+  }
+
+  table.Print();
+  std::printf("soaked %lld round(s) in %.1fs — %s\n",
+              static_cast<long long>(round), budget.ElapsedSeconds(),
+              failed ? "FAIL" : "ok");
+  return failed ? 1 : 0;
+}

@@ -1,7 +1,73 @@
 #include "base/rng.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace gkx {
 namespace {
+
+// ------------------------------------------------------------------------
+// Bit-deterministic (k+1)^-s for the zipf CDF. std::pow is not correctly
+// rounded and differs across libm implementations, which would break the
+// "same seed => byte-identical workload on every platform" contract the
+// golden-seed suite pins. These helpers use only IEEE-754 basic operations
+// (+, -, *, /), which ARE correctly rounded everywhere; accumulators are
+// volatile so the compiler cannot contract mul+add into a platform-dependent
+// FMA. Accuracy (~1e-15 relative) is ample for a popularity distribution —
+// determinism is the requirement. Cold path: runs once per sampler.
+
+constexpr double kLn2 = 0.6931471805599453;
+
+// ln(x) for finite x >= 1: split x = m * 2^e (m in [1,2)), then the atanh
+// series in z = (m-1)/(m+1), |z| < 1/3 (14 terms => < 1e-16 tail).
+double DeterministicLn(double x) {
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof bits);
+  const int e = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+  bits = (bits & 0x000fffffffffffffULL) | 0x3ff0000000000000ULL;
+  double m;
+  std::memcpy(&m, &bits, sizeof m);
+  volatile double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  volatile double term = z;
+  volatile double sum = 0.0;
+  for (int i = 0; i < 14; ++i) {
+    sum = sum + term / static_cast<double>(2 * i + 1);
+    term = term * z2;
+  }
+  volatile double mantissa_part = 2.0 * sum;
+  volatile double exponent_part = static_cast<double>(e) * kLn2;
+  return mantissa_part + exponent_part;
+}
+
+// exp(y) for y <= 0: split y = k*ln2 + r with |r| <= ln2/2, Taylor for
+// exp(r) (17 terms => < 1e-17 tail), exact scaling by 2^k via exponent bits.
+// Results below the normal range flush to 0 — for a popularity weight that
+// just means the rank is unreachably unpopular, which is the right answer
+// for extreme skews (no subnormal platform variance, no abort).
+double DeterministicExp(double y) {
+  volatile double quotient = y / kLn2;
+  const int k = static_cast<int>(quotient + (quotient < 0.0 ? -0.5 : 0.5));
+  if (k <= -1022) return 0.0;
+  volatile double r = y - static_cast<double>(k) * kLn2;
+  volatile double term = 1.0;
+  volatile double sum = 1.0;
+  for (int i = 1; i <= 17; ++i) {
+    term = term * r / static_cast<double>(i);
+    sum = sum + term;
+  }
+  uint64_t scale_bits = static_cast<uint64_t>(k + 1023) << 52;
+  double scale;
+  std::memcpy(&scale, &scale_bits, sizeof scale);
+  return sum * scale;
+}
+
+// (k+1)^-s = exp(-s * ln(k+1)), bit-stable across platforms.
+double DeterministicInversePow(double base, double s) {
+  if (s == 0.0) return 1.0;
+  volatile double y = -s * DeterministicLn(base);
+  return DeterministicExp(y);
+}
 
 uint64_t SplitMix64(uint64_t* state) {
   uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
@@ -50,6 +116,25 @@ bool Rng::Bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
   return UniformDouble() < p;
+}
+
+ZipfSampler::ZipfSampler(int64_t n, double s) {
+  GKX_CHECK_GE(n, 1);
+  GKX_CHECK_GE(s, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  volatile double total = 0.0;  // fixed summation order, no contraction
+  for (int64_t k = 0; k < n; ++k) {
+    total = total + DeterministicInversePow(static_cast<double>(k + 1), s);
+    cdf_[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding in the normalization
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? size() - 1 : it - cdf_.begin();
 }
 
 }  // namespace gkx

@@ -52,6 +52,24 @@ class Rng {
   uint64_t state_[4];
 };
 
+/// Precomputed zipfian distribution over ranks {0, ..., n-1}:
+/// P(k) ∝ 1/(k+1)^s, so rank 0 is the most popular. s = 0 degenerates to
+/// uniform. Sampling costs one Rng draw plus a binary search over the CDF,
+/// and is byte-stable for a fixed Rng stream — the popularity-weighted
+/// workload generators (testkit, tag skew) all rely on that.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double s);
+
+  /// A rank in [0, size()), rank 0 most likely.
+  int64_t Sample(Rng* rng) const;
+
+  int64_t size() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); back() == 1.0
+};
+
 }  // namespace gkx
 
 #endif  // GKX_BASE_RNG_HPP_

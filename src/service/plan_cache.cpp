@@ -9,7 +9,7 @@
 
 namespace gkx::service {
 
-PlanCache::PlanCache(const Options& options) {
+PlanCache::PlanCache(const Options& options) : on_evict_(options.on_evict) {
   size_t shards = options.shards == 0 ? 1 : options.shards;
   size_t capacity = options.capacity == 0 ? 1 : options.capacity;
   if (shards > capacity) shards = capacity;
@@ -35,21 +35,31 @@ PlanCache::PlanPtr PlanCache::Lookup(const std::string& key) {
 
 PlanCache::PlanPtr PlanCache::Insert(const std::string& key, PlanPtr plan) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end()) {
-    // A concurrent compile of the same text won; share its plan.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->plan;
+  std::vector<std::string> evicted;
+  PlanPtr resident;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // A concurrent compile of the same text won; share its plan.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->plan;
+    }
+    shard.lru.push_front(Entry{key, std::move(plan)});
+    shard.map.emplace(key, shard.lru.begin());
+    while (shard.lru.size() > per_shard_capacity_) {
+      if (on_evict_) evicted.push_back(shard.lru.back().key);
+      shard.map.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    resident = shard.lru.front().plan;
   }
-  shard.lru.push_front(Entry{key, std::move(plan)});
-  shard.map.emplace(key, shard.lru.begin());
-  while (shard.lru.size() > per_shard_capacity_) {
-    shard.map.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  // Observation happens outside the shard lock so a callback may re-enter.
+  if (on_evict_) {
+    for (const std::string& victim : evicted) on_evict_(victim);
   }
-  return shard.lru.front().plan;
+  return resident;
 }
 
 Result<std::shared_ptr<const eval::Engine::Plan>> PlanCache::GetOrCompile(
@@ -81,7 +91,10 @@ Result<std::shared_ptr<const eval::Engine::Plan>> PlanCache::GetOrCompile(
   misses_.fetch_add(1, std::memory_order_relaxed);
   auto plan = std::make_shared<const eval::Engine::Plan>(
       eval::Engine::CompileParsed(std::move(optimized)));
-  if (canonical != query_text) Insert(canonical, plan);
+  // Adopt the resident canonical plan: if a concurrent compile of an
+  // equivalent spelling won the race, aliasing the raw text to OUR plan
+  // would leave two Plan objects for one equivalence class.
+  if (canonical != query_text) plan = Insert(canonical, std::move(plan));
   return Insert(query_text, std::move(plan));
 }
 

@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,11 @@ class PlanCache {
     size_t capacity = 512;
     /// Number of independently locked buckets.
     size_t shards = 8;
+    /// Observation hook: called with each evicted key, after the shard lock
+    /// is released (so the callback may re-enter the cache). Must be
+    /// thread-safe; the soak harness uses it to reconcile the eviction
+    /// counter against observed evictions. nullptr = no observation.
+    std::function<void(const std::string& evicted_key)> on_evict;
   };
 
   struct Counters {
@@ -85,6 +91,10 @@ class PlanCache {
   /// Entries currently cached (including aliases).
   size_t size() const;
 
+  /// Hard bound on size(): per-shard capacity × shard count. May round the
+  /// configured capacity up so every shard holds at least one entry.
+  size_t capacity_bound() const { return per_shard_capacity_ * shards_.size(); }
+
   void Clear();
 
  private:
@@ -111,6 +121,7 @@ class PlanCache {
   PlanPtr Insert(const std::string& key, PlanPtr plan);
 
   size_t per_shard_capacity_ = 0;
+  std::function<void(const std::string&)> on_evict_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<int64_t> hits_{0};

@@ -60,6 +60,7 @@ Result<QueryService::Answer> QueryService::Process(
     if (!run.ok()) return fail(run.status());
     answer = std::move(run).value();
   }
+  if (options_.answer_tap) options_.answer_tap(&answer);
 
   evaluator_counters_.Increment(answer.evaluator);
   latency_.Record(sw.ElapsedMillis());

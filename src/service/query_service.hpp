@@ -27,6 +27,7 @@
 #define GKX_SERVICE_QUERY_SERVICE_HPP_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -67,6 +68,12 @@ class QueryService {
     bool indexed_fast_path = true;
     /// Latency reservoir size.
     size_t latency_window = 4096;
+    /// Test-only fault-injection hook: invoked on every successful answer
+    /// (after dispatch, before counters/latency are recorded) and may mutate
+    /// it to simulate an engine defect. The soak harness uses this to prove
+    /// its oracle catches semantic divergences. Must be thread-safe.
+    /// nullptr (the default) = production behaviour, zero overhead.
+    std::function<void(eval::Engine::Answer* answer)> answer_tap;
   };
 
   struct Request {

@@ -1,0 +1,72 @@
+#include "testkit/oracle.hpp"
+
+#include <vector>
+
+#include "base/check.hpp"
+#include "eval/recursive_base.hpp"
+#include "xpath/parser.hpp"
+
+namespace gkx::testkit {
+
+std::string AnswerDigest(const eval::Value& value) {
+  return value.DebugString();
+}
+
+Oracle::Oracle(const Schedule& schedule) {
+  // Which queries ever run against which document? The zipfian workload
+  // touches a small popular core, so precomputing only occurring pairs is
+  // much cheaper than the full cross product.
+  std::vector<std::vector<bool>> used(
+      schedule.revisions.size(),
+      std::vector<bool>(schedule.queries.size(), false));
+  for (const Operation& op : schedule.operations) {
+    for (const auto& [doc, query] : op.requests) {
+      used[static_cast<size_t>(doc)][static_cast<size_t>(query)] = true;
+    }
+  }
+
+  // Parse the pool once; the oracle evaluates the RAW query text — it must
+  // not inherit the service's canonicalization, or it could not catch a
+  // faulty rewrite.
+  std::vector<xpath::Query> parsed;
+  parsed.reserve(schedule.queries.size());
+  for (const std::string& text : schedule.queries) {
+    parsed.push_back(xpath::MustParse(text));
+  }
+
+  eval::NaiveEvaluator naive;
+  digests_.resize(schedule.revisions.size());
+  for (size_t doc = 0; doc < schedule.revisions.size(); ++doc) {
+    const auto& revisions = schedule.revisions[doc];
+    digests_[doc].resize(revisions.size());
+    for (size_t rev = 0; rev < revisions.size(); ++rev) {
+      digests_[doc][rev].resize(schedule.queries.size());
+      for (size_t query = 0; query < schedule.queries.size(); ++query) {
+        if (!used[doc][query]) continue;
+        auto result = naive.EvaluateAtRoot(revisions[rev], parsed[query]);
+        GKX_CHECK(result.ok());  // the pool contains only evaluable queries
+        digests_[doc][rev][query] = AnswerDigest(*result);
+        ++evaluations_;
+      }
+    }
+  }
+}
+
+const std::string& Oracle::Expected(int32_t doc, int32_t revision,
+                                    int32_t query) const {
+  const std::string& digest =
+      digests_[static_cast<size_t>(doc)][static_cast<size_t>(revision)]
+              [static_cast<size_t>(query)];
+  GKX_CHECK(!digest.empty());
+  return digest;
+}
+
+bool Oracle::MatchesAnyRevision(int32_t doc, int32_t rev_lo, int32_t rev_hi,
+                                int32_t query, const std::string& digest) const {
+  for (int32_t rev = rev_lo; rev <= rev_hi; ++rev) {
+    if (Expected(doc, rev, query) == digest) return true;
+  }
+  return false;
+}
+
+}  // namespace gkx::testkit

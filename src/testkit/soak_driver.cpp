@@ -1,0 +1,261 @@
+#include "testkit/soak_driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "base/check.hpp"
+#include "xml/serializer.hpp"
+
+namespace gkx::testkit {
+namespace {
+
+using service::QueryService;
+
+int64_t SumCounts(const std::map<std::string, int64_t>& counts) {
+  int64_t total = 0;
+  for (const auto& [name, count] : counts) total += count;
+  return total;
+}
+
+class Replay {
+ public:
+  Replay(const Schedule& schedule, const SoakOptions& options)
+      : schedule_(schedule),
+        threads_(std::max(1, options.threads)),
+        max_reported_(options.max_failures_reported),
+        oracle_(schedule) {
+    // Compose the eviction observation on top of any caller-provided hook.
+    QueryService::Options service_options = options.service;
+    auto caller_hook = service_options.plan_cache.on_evict;
+    service_options.plan_cache.on_evict =
+        [this, caller_hook](const std::string& key) {
+          observed_evictions_.fetch_add(1, std::memory_order_relaxed);
+          if (caller_hook) caller_hook(key);
+        };
+    service_ = std::make_unique<QueryService>(service_options);
+
+    max_rev_.reserve(schedule.revisions.size());
+    for (size_t d = 0; d < schedule.revisions.size(); ++d) {
+      GKX_CHECK(service_
+                    ->RegisterDocument(schedule.doc_keys[d],
+                                       xml::Document(schedule.revisions[d][0]))
+                    .ok());
+      max_rev_.push_back(static_cast<int32_t>(schedule.revisions[d].size()) - 1);
+    }
+  }
+
+  SoakReport Run() {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      workers.emplace_back([this, t] { Worker(t); });
+    }
+    for (auto& worker : workers) worker.join();
+
+    SoakReport report;
+    report.seed = schedule_.seed;
+    report.threads = threads_;
+    report.operations = static_cast<int64_t>(schedule_.operations.size());
+    report.requests = requests_.load();
+    report.oracle_evaluations = oracle_.evaluations();
+    report.divergences = divergences_.load();
+    report.errors = errors_.load();
+    report.stats = service_->Stats();
+    CheckFinalDocuments(&report);
+    CheckStats(&report);
+    {
+      std::lock_guard<std::mutex> lock(failures_mu_);
+      report.failures = failures_;
+    }
+    return report;
+  }
+
+ private:
+  void Worker(int thread) {
+    // Same-thread churn is visible to later reads on this thread (the store
+    // mutex orders Put before Get); that is the lower edge of the window.
+    std::vector<int32_t> watermark(schedule_.revisions.size(), 0);
+    for (size_t i = 0; i < schedule_.operations.size(); ++i) {
+      const Operation& op = schedule_.operations[i];
+      // Churn is pinned by document so per-document revisions are installed
+      // in schedule order; everything else is dealt round-robin.
+      const bool mine =
+          op.kind == Operation::Kind::kAddDocument
+              ? op.doc % threads_ == thread
+              : static_cast<int>(i % static_cast<size_t>(threads_)) == thread;
+      if (!mine) continue;
+
+      switch (op.kind) {
+        case Operation::Kind::kAddDocument: {
+          const size_t doc = static_cast<size_t>(op.doc);
+          GKX_CHECK(
+              service_
+                  ->RegisterDocument(
+                      schedule_.doc_keys[doc],
+                      xml::Document(
+                          schedule_.revisions[doc][static_cast<size_t>(
+                              op.revision)]))
+                  .ok());
+          watermark[doc] = op.revision;
+          break;
+        }
+        case Operation::Kind::kSubmit: {
+          const auto [doc, query] = op.requests.front();
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          auto response =
+              service_->Submit(schedule_.doc_keys[static_cast<size_t>(doc)],
+                               schedule_.queries[static_cast<size_t>(query)]);
+          CheckAnswer(i, thread, doc, query,
+                      watermark[static_cast<size_t>(doc)], response);
+          break;
+        }
+        case Operation::Kind::kBatch: {
+          std::vector<QueryService::Request> batch;
+          batch.reserve(op.requests.size());
+          for (const auto& [doc, query] : op.requests) {
+            batch.push_back(
+                {schedule_.doc_keys[static_cast<size_t>(doc)],
+                 schedule_.queries[static_cast<size_t>(query)]});
+          }
+          requests_.fetch_add(static_cast<int64_t>(batch.size()),
+                              std::memory_order_relaxed);
+          auto responses = service_->SubmitBatch(batch);
+          for (size_t r = 0; r < responses.size(); ++r) {
+            const auto [doc, query] = op.requests[r];
+            CheckAnswer(i, thread, doc, query,
+                        watermark[static_cast<size_t>(doc)], responses[r]);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  void CheckAnswer(size_t op_index, int thread, int32_t doc, int32_t query,
+                   int32_t rev_lo, const Result<QueryService::Answer>& response) {
+    const int32_t rev_hi = max_rev_[static_cast<size_t>(doc)];
+    if (!response.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      std::ostringstream message;
+      message << "error: seed=" << schedule_.seed << " op=" << op_index
+              << " thread=" << thread << " doc="
+              << schedule_.doc_keys[static_cast<size_t>(doc)] << " query='"
+              << schedule_.queries[static_cast<size_t>(query)]
+              << "' status=" << response.status().ToString();
+      RecordFailure(message.str());
+      return;
+    }
+    const std::string digest = AnswerDigest(response->value);
+    if (oracle_.MatchesAnyRevision(doc, rev_lo, rev_hi, query, digest)) return;
+    divergences_.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream message;
+    message << "divergence: seed=" << schedule_.seed << " op=" << op_index
+            << " thread=" << thread << " doc="
+            << schedule_.doc_keys[static_cast<size_t>(doc)] << " query='"
+            << schedule_.queries[static_cast<size_t>(query)]
+            << "' evaluator=" << response->evaluator << " rev_window=["
+            << rev_lo << "," << rev_hi << "] got=" << digest
+            << " want(rev" << rev_hi << ")="
+            << oracle_.Expected(doc, rev_hi, query)
+            << " | replay: CompileWorkload(seed=" << schedule_.seed << ")";
+    RecordFailure(message.str());
+  }
+
+  /// Lost-update check: churn per document is single-threaded, so the final
+  /// store state must be exactly the highest revision, byte for byte.
+  void CheckFinalDocuments(SoakReport* report) {
+    for (size_t d = 0; d < schedule_.revisions.size(); ++d) {
+      auto stored = service_->documents().Get(schedule_.doc_keys[d]);
+      const xml::Document& expected = schedule_.revisions[d].back();
+      if (stored != nullptr && xml::SerializeDocument(stored->doc()) ==
+                                   xml::SerializeDocument(expected)) {
+        continue;
+      }
+      ++report->lost_updates;
+      std::ostringstream message;
+      message << "lost update: seed=" << schedule_.seed << " doc="
+              << schedule_.doc_keys[d] << " final store state is not revision "
+              << schedule_.revisions[d].size() - 1;
+      RecordFailure(message.str());
+    }
+  }
+
+  void CheckStats(SoakReport* report) {
+    const service::ServiceStats& stats = report->stats;
+    int64_t batch_ops = 0;
+    for (const Operation& op : schedule_.operations) {
+      if (op.kind == Operation::Kind::kBatch) ++batch_ops;
+    }
+    auto require = [this, report](bool condition, const std::string& what) {
+      if (condition) return;
+      ++report->stats_violations;
+      RecordFailure("stats inconsistency: seed=" +
+                    std::to_string(schedule_.seed) + " " + what);
+    };
+    require(report->requests == schedule_.total_requests,
+            "executed requests != schedule total");
+    require(stats.requests == report->requests,
+            "service request counter != executed requests");
+    require(stats.batches == batch_ops, "batch counter != batch operations");
+    require(stats.failures == report->errors,
+            "failure counter != observed errors");
+    require(stats.plan_cache.parse_failures == 0,
+            "parse failures on a parse-checked pool");
+    require(stats.plan_cache.Lookups() == stats.requests,
+            "hits+canonical_hits+misses+parse_failures != requests");
+    require(SumCounts(stats.evaluator_counts) == stats.requests - stats.failures,
+            "evaluator counts don't sum to successful requests");
+    require(stats.latency.count == stats.requests - stats.failures,
+            "latency reservoir count != successful requests");
+    require(stats.plan_cache.evictions == observed_evictions_.load(),
+            "eviction counter != evictions observed via on_evict");
+    require(stats.plan_cache_entries <= service_->plan_cache().capacity_bound(),
+            "plan cache exceeded its capacity bound");
+  }
+
+  void RecordFailure(std::string message) {
+    std::lock_guard<std::mutex> lock(failures_mu_);
+    if (failures_.size() < max_reported_) failures_.push_back(std::move(message));
+  }
+
+  const Schedule& schedule_;
+  const int threads_;
+  const size_t max_reported_;
+  Oracle oracle_;
+  std::unique_ptr<QueryService> service_;
+  std::vector<int32_t> max_rev_;
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> divergences_{0};
+  std::atomic<int64_t> errors_{0};
+  std::atomic<int64_t> observed_evictions_{0};
+  std::mutex failures_mu_;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace
+
+std::string SoakReport::Summary() const {
+  std::ostringstream out;
+  out << "soak seed=" << seed << ": " << operations << " ops (" << requests
+      << " requests) on " << threads << " threads, oracle="
+      << oracle_evaluations << " evals — "
+      << (ok() ? "PASS" : "FAIL") << " (divergences=" << divergences
+      << " errors=" << errors << " lost_updates=" << lost_updates
+      << " stats_violations=" << stats_violations << "); cache hit rate "
+      << stats.plan_cache.HitRate();
+  for (const std::string& failure : failures) out << "\n  " << failure;
+  return out.str();
+}
+
+SoakReport RunSoak(const Schedule& schedule, const SoakOptions& options) {
+  Replay replay(schedule, options);
+  return replay.Run();
+}
+
+}  // namespace gkx::testkit

@@ -1,0 +1,83 @@
+// Concurrent replay of a compiled Schedule against a live QueryService,
+// with every answer checked against the single-threaded Oracle.
+//
+// Determinism model: the schedule fixes the operations; the driver fixes
+// which thread runs which operation (operation index mod threads — except
+// churn, see below); only the interleaving across threads varies run to
+// run. Every check is therefore phrased against a *window* of legal
+// states:
+//
+//   * A read of document d may observe any revision in [lo, hi], where lo
+//     is the last revision the reading thread itself installed (same-thread
+//     Put→Get ordering through the store mutex) and hi is the last revision
+//     any churn op installs. Matching none of them means a torn or stale
+//     snapshot — or a wrong answer.
+//   * All churn for a given document is pinned to one thread
+//     (doc mod threads), so per-document revisions are installed in
+//     schedule order and the final store state is deterministic: after the
+//     join, document d must be byte-identical to its highest revision
+//     (anything else is a lost update).
+//   * Service counters must reconcile: every request performs exactly one
+//     plan-cache lookup, parse failures are impossible by construction,
+//     evaluator counts and the latency reservoir must sum to the request
+//     count, and evictions observed through the PlanCache on_evict hook
+//     must equal the eviction counter.
+//
+// Every failure message embeds the schedule seed and operation index, so
+// any divergence is reproducible with a single-threaded replay of the same
+// (spec, seed).
+
+#ifndef GKX_TESTKIT_SOAK_DRIVER_HPP_
+#define GKX_TESTKIT_SOAK_DRIVER_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/query_service.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/workload.hpp"
+
+namespace gkx::testkit {
+
+struct SoakOptions {
+  /// Replay threads (plain std::threads; the service's own pool still backs
+  /// SubmitBatch underneath, which is the point — both layers get traffic).
+  int threads = 4;
+  /// Service under test. answer_tap / plan-cache hooks set here are
+  /// preserved (the driver composes its own observation on top).
+  service::QueryService::Options service;
+  /// Failure messages kept verbatim (the count is always exact).
+  size_t max_failures_reported = 8;
+};
+
+struct SoakReport {
+  uint64_t seed = 0;
+  int threads = 0;
+  int64_t operations = 0;          // schedule entries replayed
+  int64_t requests = 0;            // submits, batched requests included
+  int64_t oracle_evaluations = 0;  // naive-oracle work done up front
+  int64_t divergences = 0;         // answers matching no legal revision
+  int64_t errors = 0;              // non-OK responses (none are legal)
+  int64_t lost_updates = 0;        // final doc != highest revision
+  int64_t stats_violations = 0;    // counter reconciliation failures
+  /// First max_failures_reported messages, each embedding seed= and op=.
+  std::vector<std::string> failures;
+  service::ServiceStats stats;
+
+  bool ok() const {
+    return divergences == 0 && errors == 0 && lost_updates == 0 &&
+           stats_violations == 0;
+  }
+  /// One-paragraph human-readable rollup (used by bench_soak and gtest).
+  std::string Summary() const;
+};
+
+/// Replays the schedule and returns the full report. Thread-count and
+/// schedule size are the caller's choice; the driver itself adds no
+/// randomness.
+SoakReport RunSoak(const Schedule& schedule, const SoakOptions& options = {});
+
+}  // namespace gkx::testkit
+
+#endif  // GKX_TESTKIT_SOAK_DRIVER_HPP_

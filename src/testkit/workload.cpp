@@ -1,0 +1,137 @@
+#include "testkit/workload.hpp"
+
+#include <utility>
+
+#include "xpath/parser.hpp"
+#include "xpath/printer.hpp"
+
+namespace gkx::testkit {
+namespace {
+
+// Samples an index into `mix` by cumulative weight.
+size_t SampleFragment(Rng* rng, const std::vector<FragmentShare>& mix,
+                      double total_weight) {
+  double u = rng->UniformDouble() * total_weight;
+  for (size_t i = 0; i < mix.size(); ++i) {
+    u -= mix[i].weight;
+    if (u < 0.0) return i;
+  }
+  return mix.size() - 1;
+}
+
+}  // namespace
+
+std::vector<FragmentShare> DefaultFragmentMix() {
+  return {
+      {xpath::Fragment::kPF, 0.35},
+      {xpath::Fragment::kPositiveCore, 0.20},
+      {xpath::Fragment::kCore, 0.20},
+      {xpath::Fragment::kPWF, 0.10},
+      {xpath::Fragment::kWF, 0.05},
+      {xpath::Fragment::kPXPath, 0.05},
+      {xpath::Fragment::kFullXPath, 0.05},
+  };
+}
+
+Result<Schedule> CompileWorkload(const WorkloadSpec& spec) {
+  if (spec.operations < 1) return InvalidArgumentError("operations must be >= 1");
+  if (spec.documents < 1) return InvalidArgumentError("documents must be >= 1");
+  if (spec.queries < 1) return InvalidArgumentError("queries must be >= 1");
+  if (spec.min_document_nodes < 1 ||
+      spec.min_document_nodes > spec.max_document_nodes) {
+    return InvalidArgumentError("document node bounds must satisfy 1 <= min <= max");
+  }
+  if (spec.max_batch < 2) return InvalidArgumentError("max_batch must be >= 2");
+  if (spec.query_zipf_s < 0.0 || spec.document_zipf_s < 0.0) {
+    return InvalidArgumentError("zipf skews must be >= 0 (rank 0 most popular)");
+  }
+  if (spec.batch_probability < 0.0 || spec.batch_probability > 1.0 ||
+      spec.churn_probability < 0.0 || spec.churn_probability > 1.0) {
+    return InvalidArgumentError("probabilities must be in [0, 1]");
+  }
+
+  std::vector<FragmentShare> mix =
+      spec.mix.empty() ? DefaultFragmentMix() : spec.mix;
+  double total_weight = 0.0;
+  for (const FragmentShare& share : mix) {
+    if (share.weight < 0.0) return InvalidArgumentError("negative mix weight");
+    total_weight += share.weight;
+  }
+  if (total_weight <= 0.0) return InvalidArgumentError("mix weights sum to zero");
+
+  Rng rng(spec.seed);
+  Schedule out;
+  out.seed = spec.seed;
+
+  // ------------------------------------------------------------ query pool
+  // Generated and parse-checked first: the pool's composition must not
+  // depend on how many churn revisions the operation list later needs.
+  out.queries.reserve(static_cast<size_t>(spec.queries));
+  for (int q = 0; q < spec.queries; ++q) {
+    xpath::RandomQueryOptions options = spec.query_options;
+    options.fragment = mix[SampleFragment(&rng, mix, total_weight)].fragment;
+    std::string text;
+    bool ok = false;
+    // The printer round-trips by construction; the retry loop is defensive
+    // (a non-reparsing text would silently skew the mix otherwise).
+    for (int attempt = 0; attempt < 8 && !ok; ++attempt) {
+      text = xpath::ToXPathString(xpath::RandomQuery(&rng, options));
+      ok = xpath::ParseQuery(text).ok();
+    }
+    if (!ok) {
+      return InternalError("generated query failed to re-parse: " + text);
+    }
+    out.queries.push_back(std::move(text));
+  }
+
+  // -------------------------------------------------------- operation list
+  const ZipfSampler doc_zipf(spec.documents, spec.document_zipf_s);
+  const ZipfSampler query_zipf(spec.queries, spec.query_zipf_s);
+  std::vector<int32_t> next_revision(static_cast<size_t>(spec.documents), 1);
+  out.operations.reserve(static_cast<size_t>(spec.operations));
+  for (int i = 0; i < spec.operations; ++i) {
+    Operation op;
+    if (rng.Bernoulli(spec.churn_probability)) {
+      op.kind = Operation::Kind::kAddDocument;
+      op.doc = static_cast<int32_t>(rng.UniformInt(0, spec.documents - 1));
+      op.revision = next_revision[static_cast<size_t>(op.doc)]++;
+    } else if (rng.Bernoulli(spec.batch_probability)) {
+      op.kind = Operation::Kind::kBatch;
+      const int64_t size = rng.UniformInt(2, spec.max_batch);
+      op.requests.reserve(static_cast<size_t>(size));
+      for (int64_t r = 0; r < size; ++r) {
+        op.requests.emplace_back(static_cast<int32_t>(doc_zipf.Sample(&rng)),
+                                 static_cast<int32_t>(query_zipf.Sample(&rng)));
+      }
+      out.total_requests += size;
+    } else {
+      op.kind = Operation::Kind::kSubmit;
+      op.requests.emplace_back(static_cast<int32_t>(doc_zipf.Sample(&rng)),
+                               static_cast<int32_t>(query_zipf.Sample(&rng)));
+      out.total_requests += 1;
+    }
+    out.operations.push_back(std::move(op));
+  }
+
+  // ------------------------------------------------------------ corpus
+  // Every revision any churn op can install is pre-generated here, in
+  // (document, revision) order, so the corpus is part of the deterministic
+  // schedule rather than something threads generate on the fly.
+  out.doc_keys.reserve(static_cast<size_t>(spec.documents));
+  out.revisions.resize(static_cast<size_t>(spec.documents));
+  for (int d = 0; d < spec.documents; ++d) {
+    out.doc_keys.push_back("doc" + std::to_string(d));
+    auto& revisions = out.revisions[static_cast<size_t>(d)];
+    revisions.reserve(static_cast<size_t>(next_revision[static_cast<size_t>(d)]));
+    for (int32_t r = 0; r < next_revision[static_cast<size_t>(d)]; ++r) {
+      xml::RandomDocumentOptions options = spec.document_options;
+      options.node_count = static_cast<int32_t>(
+          rng.UniformInt(spec.min_document_nodes, spec.max_document_nodes));
+      revisions.push_back(xml::RandomDocument(&rng, options));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace gkx::testkit

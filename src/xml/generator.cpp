@@ -1,5 +1,6 @@
 #include "xml/generator.hpp"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,15 @@ std::string LabelName(int64_t index) { return "l" + std::to_string(index); }
 Document RandomDocument(Rng* rng, const RandomDocumentOptions& options) {
   GKX_CHECK_GE(options.node_count, 1);
   GKX_CHECK_GE(options.tag_alphabet, 1);
-  TreeBuilder builder(TagName(rng->UniformInt(0, options.tag_alphabet - 1)));
+  // The uniform path must keep drawing through UniformInt so historic seeds
+  // stay byte-stable; the zipf sampler is only consulted when skew is on.
+  std::optional<ZipfSampler> zipf;
+  if (options.tag_zipf_s > 0.0) zipf.emplace(options.tag_alphabet, options.tag_zipf_s);
+  auto tag_index = [&]() -> int64_t {
+    return zipf ? zipf->Sample(rng)
+                : rng->UniformInt(0, options.tag_alphabet - 1);
+  };
+  TreeBuilder builder(TagName(tag_index()));
   std::vector<BuildNodeId> nodes = {builder.root()};
 
   auto decorate = [&](BuildNodeId node) {
@@ -39,8 +48,7 @@ Document RandomDocument(Rng* rng, const RandomDocumentOptions& options) {
             ? nodes.back()
             : nodes[static_cast<size_t>(
                   rng->UniformInt(0, static_cast<int64_t>(nodes.size()) - 1))];
-    BuildNodeId node = builder.AddChild(
-        parent, TagName(rng->UniformInt(0, options.tag_alphabet - 1)));
+    BuildNodeId node = builder.AddChild(parent, TagName(tag_index()));
     decorate(node);
     nodes.push_back(node);
   }

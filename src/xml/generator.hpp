@@ -15,6 +15,10 @@ struct RandomDocumentOptions {
   int32_t node_count = 50;
   /// Tags are drawn from {t0, ..., t<alphabet-1>}.
   int32_t tag_alphabet = 4;
+  /// Zipf skew for tag popularity: 0 = uniform (byte-identical to the
+  /// historical generator), s > 0 makes t0 the most common tag with
+  /// P(t_k) ∝ 1/(k+1)^s — realistic corpora are heavily skewed.
+  double tag_zipf_s = 0.0;
   /// Each node gets UniformInt(0, max_extra_labels) extra labels drawn from
   /// {l0, ..., l<label_alphabet-1>}.
   int32_t max_extra_labels = 0;

@@ -1,6 +1,7 @@
 #include "xpath/generator.hpp"
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -29,6 +30,9 @@ class Generator {
     axes_ = options.axes;
     if (axes_.empty()) {
       axes_.assign(std::begin(kAllAxes), std::end(kAllAxes));
+    }
+    if (options.tag_zipf_s > 0.0) {
+      tag_zipf_.emplace(options.tag_alphabet, options.tag_zipf_s);
     }
   }
 
@@ -77,8 +81,10 @@ class Generator {
 
   NodeTest GenTest() {
     if (rng_.Bernoulli(options_.any_test_probability)) return NodeTest::Any();
-    return NodeTest::Name(
-        "t" + std::to_string(rng_.UniformInt(0, options_.tag_alphabet - 1)));
+    const int64_t tag = tag_zipf_
+                            ? tag_zipf_->Sample(&rng_)
+                            : rng_.UniformInt(0, options_.tag_alphabet - 1);
+    return NodeTest::Name("t" + std::to_string(tag));
   }
 
   Step GenStep(int depth) {
@@ -188,6 +194,7 @@ class Generator {
   Rng& rng_;
   const RandomQueryOptions& options_;
   std::vector<Axis> axes_;
+  std::optional<ZipfSampler> tag_zipf_;
 };
 
 }  // namespace

@@ -25,6 +25,11 @@ struct RandomQueryOptions {
   /// Node-test names are drawn from {t0, ..., t<alphabet-1>} — matching
   /// xml::RandomDocument's tags.
   int tag_alphabet = 4;
+  /// Zipf skew for tag popularity in node tests: 0 = uniform (byte-identical
+  /// to the historical generator); s > 0 favours t0 with P(t_k) ∝ 1/(k+1)^s,
+  /// mirroring xml::RandomDocumentOptions::tag_zipf_s so skewed queries hit
+  /// skewed documents.
+  double tag_zipf_s = 0.0;
   double any_test_probability = 0.3;
   double absolute_probability = 0.3;
   double union_probability = 0.15;

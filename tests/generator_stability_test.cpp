@@ -1,0 +1,147 @@
+// Golden-seed regression: the workload generators must be byte-stable for a
+// fixed base::Rng seed, across platforms and releases. The soak harness
+// reports failures by seed alone — if any of these goldens drifts,
+// historical seeds stop reproducing their schedules and every recorded
+// failing seed becomes worthless. Goldens may only change together with a
+// deliberate, CHANGES.md-documented generator break.
+//
+// Nothing in the generation path may iterate an unordered container or use
+// platform-dependent distributions (std::mt19937 etc.); base::Rng plus
+// ordered draws is the contract these exact bytes pin down.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/rng.hpp"
+#include "xml/generator.hpp"
+#include "xml/serializer.hpp"
+#include "xpath/fragment.hpp"
+#include "xpath/generator.hpp"
+#include "xpath/printer.hpp"
+
+namespace gkx {
+namespace {
+
+TEST(GeneratorStabilityTest, RngStreamIsPinned) {
+  Rng rng(123);
+  EXPECT_EQ(rng.Next(), 3628370374969813497ULL);
+  EXPECT_EQ(rng.Next(), 17885451940711451998ULL);
+  EXPECT_EQ(rng.Next(), 8622752019489400367ULL);
+  EXPECT_EQ(rng.Next(), 2342437615205057030ULL);
+}
+
+TEST(GeneratorStabilityTest, RandomDocumentBytesArePinned) {
+  Rng rng(42);
+  xml::RandomDocumentOptions options;
+  options.node_count = 12;
+  options.tag_alphabet = 3;
+  options.max_extra_labels = 1;
+  options.text_probability = 0.5;
+  xml::SerializeOptions serialize;
+  serialize.indent = 0;
+  EXPECT_EQ(
+      xml::SerializeDocument(xml::RandomDocument(&rng, options), serialize),
+      "<t0><t1><t1 labels=\"l1\">10<t2>82</t2><t0 labels=\"l2\"/></t1>"
+      "<t1><t0 labels=\"l1\"/></t1></t1><t0>95<t2>64</t2><t1><t2/><t2/>"
+      "</t1></t0></t0>");
+}
+
+TEST(GeneratorStabilityTest, ZipfSkewedDocumentBytesArePinned) {
+  Rng rng(42);
+  xml::RandomDocumentOptions options;
+  options.node_count = 10;
+  options.tag_alphabet = 4;
+  options.tag_zipf_s = 1.2;
+  xml::SerializeOptions serialize;
+  serialize.indent = 0;
+  EXPECT_EQ(
+      xml::SerializeDocument(xml::RandomDocument(&rng, options), serialize),
+      "<t0><t3><t1><t2/></t1><t2/><t2/></t3><t1/><t1><t0><t0/></t0></t1></t0>");
+}
+
+// Three consecutive draws per fragment from one stream: pins not just the
+// first query but the stream position after each draw.
+void ExpectQueries(xpath::Fragment fragment,
+                   const std::vector<std::string>& expected) {
+  Rng rng(20260730);
+  xpath::RandomQueryOptions options;
+  options.fragment = fragment;
+  options.max_path_steps = 3;
+  options.max_condition_depth = 2;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(xpath::ToXPathString(xpath::RandomQuery(&rng, options)),
+              expected[i])
+        << "fragment " << xpath::FragmentName(fragment) << " draw " << i;
+  }
+}
+
+TEST(GeneratorStabilityTest, RandomQueryTextsArePinnedPerFragment) {
+  ExpectQueries(xpath::Fragment::kPF,
+                {"child::t1/self::*/following::*",
+                 "descendant-or-self::t0/ancestor::*/self::t3",
+                 "parent::t3/following::t1/child::t1"});
+  ExpectQueries(
+      xpath::Fragment::kCore,
+      {"child::*/self::t0[/child::* and ancestor::*/child::t0/"
+       "descendant::t0]/following-sibling::t1",
+       "descendant::t1/parent::t1[descendant::t0/ancestor-or-self::*/"
+       "following::*]",
+       "/preceding::t1/ancestor::t3/preceding::*[not(parent::t0)] | "
+       "following-sibling::t0[preceding-sibling::*[following::t1]]/"
+       "child::t0[/parent::*[ancestor-or-self::t2/parent::t3/"
+       "descendant::t0]] | self::t1[/descendant::t1[following::*/"
+       "descendant-or-self::*]]/descendant::*/preceding::t1"});
+  ExpectQueries(
+      xpath::Fragment::kPWF,
+      {"child::*/self::t3[last() = 1 or 4 + 1 >= position()]/"
+       "child::t3[parent::t0/child::t2 or last() <= 3]",
+       "self::*[descendant-or-self::t2/ancestor-or-self::*[2 * 0 = "
+       "position() + last()]]",
+       "following::*"});
+  ExpectQueries(
+      xpath::Fragment::kFullXPath,
+      {"child::*/self::t2[0 * 4 + position() * position() = 1 or "
+       "/self::*/parent::t0]/descendant::t0",
+       "following::*/descendant-or-self::*[starts-with(name(), 't') or "
+       "ancestor::t2]",
+       "descendant-or-self::t2"});
+}
+
+TEST(GeneratorStabilityTest, ZipfSkewedQueryTextsArePinned) {
+  Rng rng(20260730);
+  xpath::RandomQueryOptions options;
+  options.fragment = xpath::Fragment::kPF;
+  options.tag_zipf_s = 1.5;
+  options.max_path_steps = 4;
+  EXPECT_EQ(xpath::ToXPathString(xpath::RandomQuery(&rng, options)),
+            "child::t0");
+  EXPECT_EQ(xpath::ToXPathString(xpath::RandomQuery(&rng, options)),
+            "/preceding::t1/ancestor-or-self::t3/ancestor::*/child::t1");
+}
+
+TEST(GeneratorStabilityTest, ZipfSamplerIsPinnedAndSkewed) {
+  Rng rng(9);
+  ZipfSampler zipf(8, 1.0);
+  const int64_t expected[] = {0, 0, 0, 3, 6, 3, 3, 1, 0, 1, 3, 7};
+  for (int64_t want : expected) EXPECT_EQ(zipf.Sample(&rng), want);
+
+  // Distributional sanity: rank 0 dominates under strong skew.
+  Rng counts_rng(17);
+  ZipfSampler skewed(16, 1.4);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[static_cast<size_t>(skewed.Sample(&counts_rng))];
+  EXPECT_GT(counts[0], counts[7] * 4);
+  EXPECT_GT(counts[0], 800);
+}
+
+// Extreme skew must not abort: tail weights flush to zero and rank 0 takes
+// all the probability mass.
+TEST(GeneratorStabilityTest, ExtremeZipfSkewFlushesTailToRankZero) {
+  Rng rng(3);
+  ZipfSampler extreme(48, 200.0);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(extreme.Sample(&rng), 0);
+}
+
+}  // namespace
+}  // namespace gkx

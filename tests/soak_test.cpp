@@ -1,0 +1,232 @@
+// gkx::testkit — the deterministic concurrent workload harness.
+//   * Schedules are byte-stable: same (spec, seed) => identical corpus,
+//     query pool, and operation list; different seeds differ.
+//   * The flagship soak: >= 10k operations replayed over >= 4 threads
+//     against a live QueryService with zipfian traffic, batches, and live
+//     AddDocument churn — zero divergences from the naive single-threaded
+//     oracle, zero lost updates, and fully reconciled service counters.
+//   * Fault injection: a perturbed answer (via QueryService's answer_tap
+//     test hook) and a perturbed eviction counter are both caught, and the
+//     failure message carries the reproducing seed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "testkit/oracle.hpp"
+#include "testkit/soak_driver.hpp"
+#include "testkit/workload.hpp"
+#include "xml/serializer.hpp"
+
+namespace gkx::testkit {
+namespace {
+
+// Small pools keep the naive oracle fast; the op count carries the load.
+WorkloadSpec SoakSpec(uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.operations = 10000;
+  spec.documents = 4;
+  spec.queries = 48;
+  spec.min_document_nodes = 30;
+  spec.max_document_nodes = 90;
+  spec.query_options.max_path_steps = 3;
+  spec.query_options.max_condition_depth = 2;
+  spec.query_options.tag_zipf_s = 0.7;
+  spec.document_options.tag_zipf_s = 0.7;
+  spec.document_options.text_probability = 0.25;
+  spec.churn_probability = 0.004;
+  return spec;
+}
+
+TEST(WorkloadTest, CompileIsDeterministicInSeed) {
+  auto a = CompileWorkload(SoakSpec(7));
+  auto b = CompileWorkload(SoakSpec(7));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->queries, b->queries);
+  ASSERT_EQ(a->operations.size(), b->operations.size());
+  ASSERT_EQ(a->total_requests, b->total_requests);
+  for (size_t i = 0; i < a->operations.size(); ++i) {
+    EXPECT_EQ(a->operations[i].kind, b->operations[i].kind);
+    EXPECT_EQ(a->operations[i].requests, b->operations[i].requests);
+    EXPECT_EQ(a->operations[i].doc, b->operations[i].doc);
+    EXPECT_EQ(a->operations[i].revision, b->operations[i].revision);
+  }
+  ASSERT_EQ(a->revisions.size(), b->revisions.size());
+  for (size_t d = 0; d < a->revisions.size(); ++d) {
+    ASSERT_EQ(a->revisions[d].size(), b->revisions[d].size());
+    for (size_t r = 0; r < a->revisions[d].size(); ++r) {
+      EXPECT_EQ(xml::SerializeDocument(a->revisions[d][r]),
+                xml::SerializeDocument(b->revisions[d][r]));
+    }
+  }
+
+  auto c = CompileWorkload(SoakSpec(8));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->queries, c->queries);
+}
+
+TEST(WorkloadTest, MixesFragmentsBatchesAndChurn) {
+  auto schedule = CompileWorkload(SoakSpec(11));
+  ASSERT_TRUE(schedule.ok());
+  int submits = 0, batches = 0, churns = 0;
+  for (const Operation& op : schedule->operations) {
+    switch (op.kind) {
+      case Operation::Kind::kSubmit: ++submits; break;
+      case Operation::Kind::kBatch: ++batches; break;
+      case Operation::Kind::kAddDocument: ++churns; break;
+    }
+  }
+  EXPECT_GT(submits, 0);
+  EXPECT_GT(batches, 0);
+  EXPECT_GT(churns, 0);
+  // Every churned revision exists in the corpus.
+  for (const Operation& op : schedule->operations) {
+    if (op.kind != Operation::Kind::kAddDocument) continue;
+    ASSERT_LT(static_cast<size_t>(op.revision),
+              schedule->revisions[static_cast<size_t>(op.doc)].size());
+  }
+}
+
+TEST(WorkloadTest, ZipfPopularitySkewsTowardLowRanks) {
+  auto schedule = CompileWorkload(SoakSpec(13));
+  ASSERT_TRUE(schedule.ok());
+  std::vector<int64_t> query_counts(schedule->queries.size(), 0);
+  for (const Operation& op : schedule->operations) {
+    for (const auto& [doc, query] : op.requests) {
+      ++query_counts[static_cast<size_t>(query)];
+    }
+  }
+  // Rank 0 must be requested far more often than the median rank.
+  EXPECT_GT(query_counts[0], 4 * query_counts[query_counts.size() / 2]);
+}
+
+TEST(WorkloadTest, RejectsInconsistentSpecs) {
+  WorkloadSpec spec = SoakSpec(1);
+  spec.documents = 0;
+  EXPECT_FALSE(CompileWorkload(spec).ok());
+  spec = SoakSpec(1);
+  spec.min_document_nodes = 10;
+  spec.max_document_nodes = 5;
+  EXPECT_FALSE(CompileWorkload(spec).ok());
+  spec = SoakSpec(1);
+  spec.mix = {{xpath::Fragment::kPF, 0.0}};
+  EXPECT_FALSE(CompileWorkload(spec).ok());
+  spec = SoakSpec(1);
+  spec.document_zipf_s = -0.8;  // would silently invert popularity
+  EXPECT_FALSE(CompileWorkload(spec).ok());
+  spec = SoakSpec(1);
+  spec.churn_probability = 1.5;
+  EXPECT_FALSE(CompileWorkload(spec).ok());
+}
+
+// The flagship: >= 10k operations over >= 4 threads, zero divergences.
+TEST(SoakTest, TenThousandOpsFourThreadsAgreeWithOracle) {
+  auto schedule = CompileWorkload(SoakSpec(42));
+  ASSERT_TRUE(schedule.ok());
+  ASSERT_GE(schedule->operations.size(), 10000u);
+
+  SoakOptions options;
+  options.threads = 4;
+  options.service.plan_cache.capacity = 64;  // force evictions under load
+  SoakReport report = RunSoak(*schedule, options);
+
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.operations, 10000);
+  EXPECT_GE(report.requests, 10000);
+  EXPECT_EQ(report.divergences, 0);
+  EXPECT_EQ(report.errors, 0);
+  EXPECT_EQ(report.lost_updates, 0);
+  EXPECT_EQ(report.stats_violations, 0);
+  // The zipfian workload keeps the plan cache hot even at capacity 64.
+  EXPECT_GE(report.stats.plan_cache.HitRate(), 0.8);
+  // Both fast paths saw traffic.
+  EXPECT_GT(report.stats.evaluator_counts["pf-indexed"] +
+                report.stats.evaluator_counts["pf-frontier"],
+            0);
+  EXPECT_GT(report.stats.evaluator_counts["core-linear"], 0);
+}
+
+// A semantically faulty engine must be caught, with the seed in the report.
+TEST(SoakTest, InjectedAnswerFaultIsCaughtWithReproducingSeed) {
+  WorkloadSpec spec = SoakSpec(97);
+  spec.operations = 400;
+  auto schedule = CompileWorkload(spec);
+  ASSERT_TRUE(schedule.ok());
+
+  SoakOptions options;
+  options.threads = 4;
+  // Perturb every non-empty node-set produced by the indexed fast path:
+  // drop the first node. This models a subtly wrong posting-list merge.
+  options.service.answer_tap = [](eval::Engine::Answer* answer) {
+    if (answer->evaluator == "pf-indexed" && answer->value.is_node_set() &&
+        !answer->value.nodes().empty()) {
+      eval::NodeSet nodes = answer->value.nodes();
+      nodes.erase(nodes.begin());
+      answer->value = eval::Value::Nodes(std::move(nodes));
+    }
+  };
+  SoakReport report = RunSoak(*schedule, options);
+
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.divergences, 0);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].find("seed=97"), std::string::npos)
+      << report.failures[0];
+  EXPECT_NE(report.failures[0].find("divergence"), std::string::npos);
+}
+
+// Eviction observation: under a tiny cache the driver's on_evict-based
+// reconciliation must hold, and a caller-provided hook is composed, not
+// clobbered — both see exactly counters().evictions events.
+TEST(SoakTest, EvictionObservationReconcilesUnderCacheChurn) {
+  WorkloadSpec spec = SoakSpec(101);
+  spec.operations = 300;
+  auto schedule = CompileWorkload(spec);
+  ASSERT_TRUE(schedule.ok());
+
+  SoakOptions options;
+  options.threads = 2;
+  options.service.plan_cache.capacity = 8;  // guarantee evictions
+  std::atomic<int64_t> caller_observed{0};
+  options.service.plan_cache.on_evict = [&caller_observed](const std::string&) {
+    caller_observed.fetch_add(1);
+  };
+  SoakReport report = RunSoak(*schedule, options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.stats.plan_cache.evictions, 0)
+      << "spec did not trigger evictions; tighten capacity";
+  EXPECT_EQ(caller_observed.load(), report.stats.plan_cache.evictions);
+}
+
+// The oracle itself: digests are per-revision, and revision windows work.
+TEST(OracleTest, TracksRevisionsIndependently) {
+  WorkloadSpec spec = SoakSpec(55);
+  spec.operations = 500;
+  spec.churn_probability = 0.05;  // plenty of revisions
+  auto schedule = CompileWorkload(spec);
+  ASSERT_TRUE(schedule.ok());
+  Oracle oracle(*schedule);
+  EXPECT_GT(oracle.evaluations(), 0);
+
+  // Find a (doc, query) pair used in the schedule on a doc with >= 2
+  // revisions and check the window logic against the per-revision digests.
+  for (const Operation& op : schedule->operations) {
+    for (const auto& [doc, query] : op.requests) {
+      const auto& revisions = schedule->revisions[static_cast<size_t>(doc)];
+      if (revisions.size() < 2) continue;
+      const int32_t hi = static_cast<int32_t>(revisions.size()) - 1;
+      const std::string& first = oracle.Expected(doc, 0, query);
+      EXPECT_TRUE(oracle.MatchesAnyRevision(doc, 0, hi, query, first));
+      EXPECT_FALSE(oracle.MatchesAnyRevision(doc, 0, hi, query,
+                                             "node-set{-1}"));
+      return;
+    }
+  }
+  GTEST_SKIP() << "no churned document was queried for this seed";
+}
+
+}  // namespace
+}  // namespace gkx::testkit
