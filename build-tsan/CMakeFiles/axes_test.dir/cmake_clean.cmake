@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axes_test.dir/tests/axes_test.cpp.o"
+  "CMakeFiles/axes_test.dir/tests/axes_test.cpp.o.d"
+  "axes_test"
+  "axes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

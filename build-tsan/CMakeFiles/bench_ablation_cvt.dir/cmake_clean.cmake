@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cvt.dir/bench/bench_ablation_cvt.cpp.o"
+  "CMakeFiles/bench_ablation_cvt.dir/bench/bench_ablation_cvt.cpp.o.d"
+  "bench_ablation_cvt"
+  "bench_ablation_cvt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_fragments.dir/bench/bench_fig1_fragments.cpp.o"
+  "CMakeFiles/bench_fig1_fragments.dir/bench/bench_fig1_fragments.cpp.o.d"
+  "bench_fig1_fragments"
+  "bench_fig1_fragments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

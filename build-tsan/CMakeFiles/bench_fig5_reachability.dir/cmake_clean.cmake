@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_reachability.dir/bench/bench_fig5_reachability.cpp.o"
+  "CMakeFiles/bench_fig5_reachability.dir/bench/bench_fig5_reachability.cpp.o.d"
+  "bench_fig5_reachability"
+  "bench_fig5_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_exponential.dir/bench/bench_intro_exponential.cpp.o"
+  "CMakeFiles/bench_intro_exponential.dir/bench/bench_intro_exponential.cpp.o.d"
+  "bench_intro_exponential"
+  "bench_intro_exponential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_exponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop27_linear.dir/bench/bench_prop27_linear.cpp.o"
+  "CMakeFiles/bench_prop27_linear.dir/bench/bench_prop27_linear.cpp.o.d"
+  "bench_prop27_linear"
+  "bench_prop27_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop27_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soak.dir/bench/bench_soak.cpp.o"
+  "CMakeFiles/bench_soak.dir/bench/bench_soak.cpp.o.d"
+  "bench_soak"
+  "bench_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_pda.dir/bench/bench_table1_pda.cpp.o"
+  "CMakeFiles/bench_table1_pda.dir/bench/bench_table1_pda.cpp.o.d"
+  "bench_table1_pda"
+  "bench_table1_pda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_pda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm32_phardness.dir/bench/bench_thm32_phardness.cpp.o"
+  "CMakeFiles/bench_thm32_phardness.dir/bench/bench_thm32_phardness.cpp.o.d"
+  "bench_thm32_phardness"
+  "bench_thm32_phardness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm32_phardness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm42_sac1.dir/bench/bench_thm42_sac1.cpp.o"
+  "CMakeFiles/bench_thm42_sac1.dir/bench/bench_thm42_sac1.cpp.o.d"
+  "bench_thm42_sac1"
+  "bench_thm42_sac1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm42_sac1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

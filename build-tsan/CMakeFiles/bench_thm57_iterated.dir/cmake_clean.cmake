@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm57_iterated.dir/bench/bench_thm57_iterated.cpp.o"
+  "CMakeFiles/bench_thm57_iterated.dir/bench/bench_thm57_iterated.cpp.o.d"
+  "bench_thm57_iterated"
+  "bench_thm57_iterated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm57_iterated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

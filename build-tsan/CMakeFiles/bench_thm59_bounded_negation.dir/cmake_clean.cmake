@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm59_bounded_negation.dir/bench/bench_thm59_bounded_negation.cpp.o"
+  "CMakeFiles/bench_thm59_bounded_negation.dir/bench/bench_thm59_bounded_negation.cpp.o.d"
+  "bench_thm59_bounded_negation"
+  "bench_thm59_bounded_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm59_bounded_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm72_data_complexity.dir/bench/bench_thm72_data_complexity.cpp.o"
+  "CMakeFiles/bench_thm72_data_complexity.dir/bench/bench_thm72_data_complexity.cpp.o.d"
+  "bench_thm72_data_complexity"
+  "bench_thm72_data_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm72_data_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm73_query_complexity.dir/bench/bench_thm73_query_complexity.cpp.o"
+  "CMakeFiles/bench_thm73_query_complexity.dir/bench/bench_thm73_query_complexity.cpp.o.d"
+  "bench_thm73_query_complexity"
+  "bench_thm73_query_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm73_query_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm73_query_complexity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_test.dir/tests/conformance_test.cpp.o"
+  "CMakeFiles/conformance_test.dir/tests/conformance_test.cpp.o.d"
+  "conformance_test"
+  "conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

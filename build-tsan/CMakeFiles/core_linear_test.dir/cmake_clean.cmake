@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_linear_test.dir/tests/core_linear_test.cpp.o"
+  "CMakeFiles/core_linear_test.dir/tests/core_linear_test.cpp.o.d"
+  "core_linear_test"
+  "core_linear_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_linear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

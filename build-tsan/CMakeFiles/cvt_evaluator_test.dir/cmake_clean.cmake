@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvt_evaluator_test.dir/tests/cvt_evaluator_test.cpp.o"
+  "CMakeFiles/cvt_evaluator_test.dir/tests/cvt_evaluator_test.cpp.o.d"
+  "cvt_evaluator_test"
+  "cvt_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvt_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decision_test.dir/tests/decision_test.cpp.o"
+  "CMakeFiles/decision_test.dir/tests/decision_test.cpp.o.d"
+  "decision_test"
+  "decision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

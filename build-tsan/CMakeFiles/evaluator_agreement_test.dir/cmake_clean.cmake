@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_agreement_test.dir/tests/evaluator_agreement_test.cpp.o"
+  "CMakeFiles/evaluator_agreement_test.dir/tests/evaluator_agreement_test.cpp.o.d"
+  "evaluator_agreement_test"
+  "evaluator_agreement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_semantics_test.dir/tests/evaluator_semantics_test.cpp.o"
+  "CMakeFiles/evaluator_semantics_test.dir/tests/evaluator_semantics_test.cpp.o.d"
+  "evaluator_semantics_test"
+  "evaluator_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_auction_analytics.dir/examples/auction_analytics.cpp.o"
+  "CMakeFiles/example_auction_analytics.dir/examples/auction_analytics.cpp.o.d"
+  "example_auction_analytics"
+  "example_auction_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_auction_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_circuit_solver.dir/examples/circuit_solver.cpp.o"
+  "CMakeFiles/example_circuit_solver.dir/examples/circuit_solver.cpp.o.d"
+  "example_circuit_solver"
+  "example_circuit_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_circuit_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

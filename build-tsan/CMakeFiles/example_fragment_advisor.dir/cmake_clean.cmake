@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fragment_advisor.dir/examples/fragment_advisor.cpp.o"
+  "CMakeFiles/example_fragment_advisor.dir/examples/fragment_advisor.cpp.o.d"
+  "example_fragment_advisor"
+  "example_fragment_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fragment_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

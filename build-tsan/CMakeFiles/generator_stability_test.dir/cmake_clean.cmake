@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_stability_test.dir/tests/generator_stability_test.cpp.o"
+  "CMakeFiles/generator_stability_test.dir/tests/generator_stability_test.cpp.o.d"
+  "generator_stability_test"
+  "generator_stability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/rng.cpp" "CMakeFiles/gkx.dir/src/base/rng.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/base/rng.cpp.o.d"
+  "/root/repo/src/base/status.cpp" "CMakeFiles/gkx.dir/src/base/status.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/base/status.cpp.o.d"
+  "/root/repo/src/base/string_util.cpp" "CMakeFiles/gkx.dir/src/base/string_util.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/base/string_util.cpp.o.d"
+  "/root/repo/src/base/thread_pool.cpp" "CMakeFiles/gkx.dir/src/base/thread_pool.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/base/thread_pool.cpp.o.d"
+  "/root/repo/src/circuits/circuit.cpp" "CMakeFiles/gkx.dir/src/circuits/circuit.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/circuits/circuit.cpp.o.d"
+  "/root/repo/src/circuits/generators.cpp" "CMakeFiles/gkx.dir/src/circuits/generators.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/circuits/generators.cpp.o.d"
+  "/root/repo/src/eval/axes.cpp" "CMakeFiles/gkx.dir/src/eval/axes.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/axes.cpp.o.d"
+  "/root/repo/src/eval/core_linear_evaluator.cpp" "CMakeFiles/gkx.dir/src/eval/core_linear_evaluator.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/core_linear_evaluator.cpp.o.d"
+  "/root/repo/src/eval/cvt_evaluator.cpp" "CMakeFiles/gkx.dir/src/eval/cvt_evaluator.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/cvt_evaluator.cpp.o.d"
+  "/root/repo/src/eval/decision.cpp" "CMakeFiles/gkx.dir/src/eval/decision.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/decision.cpp.o.d"
+  "/root/repo/src/eval/engine.cpp" "CMakeFiles/gkx.dir/src/eval/engine.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/engine.cpp.o.d"
+  "/root/repo/src/eval/evaluator.cpp" "CMakeFiles/gkx.dir/src/eval/evaluator.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/evaluator.cpp.o.d"
+  "/root/repo/src/eval/parallel_evaluator.cpp" "CMakeFiles/gkx.dir/src/eval/parallel_evaluator.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/parallel_evaluator.cpp.o.d"
+  "/root/repo/src/eval/pda_evaluator.cpp" "CMakeFiles/gkx.dir/src/eval/pda_evaluator.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/pda_evaluator.cpp.o.d"
+  "/root/repo/src/eval/pf_evaluator.cpp" "CMakeFiles/gkx.dir/src/eval/pf_evaluator.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/pf_evaluator.cpp.o.d"
+  "/root/repo/src/eval/recursive_base.cpp" "CMakeFiles/gkx.dir/src/eval/recursive_base.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/recursive_base.cpp.o.d"
+  "/root/repo/src/eval/value.cpp" "CMakeFiles/gkx.dir/src/eval/value.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/eval/value.cpp.o.d"
+  "/root/repo/src/graphs/digraph.cpp" "CMakeFiles/gkx.dir/src/graphs/digraph.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/graphs/digraph.cpp.o.d"
+  "/root/repo/src/reductions/circuit_to_core_xpath.cpp" "CMakeFiles/gkx.dir/src/reductions/circuit_to_core_xpath.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/reductions/circuit_to_core_xpath.cpp.o.d"
+  "/root/repo/src/reductions/circuit_to_iterated_pwf.cpp" "CMakeFiles/gkx.dir/src/reductions/circuit_to_iterated_pwf.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/reductions/circuit_to_iterated_pwf.cpp.o.d"
+  "/root/repo/src/reductions/reach_to_pf.cpp" "CMakeFiles/gkx.dir/src/reductions/reach_to_pf.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/reductions/reach_to_pf.cpp.o.d"
+  "/root/repo/src/reductions/sac_to_positive_core.cpp" "CMakeFiles/gkx.dir/src/reductions/sac_to_positive_core.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/reductions/sac_to_positive_core.cpp.o.d"
+  "/root/repo/src/service/document_store.cpp" "CMakeFiles/gkx.dir/src/service/document_store.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/service/document_store.cpp.o.d"
+  "/root/repo/src/service/indexed_path.cpp" "CMakeFiles/gkx.dir/src/service/indexed_path.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/service/indexed_path.cpp.o.d"
+  "/root/repo/src/service/plan_cache.cpp" "CMakeFiles/gkx.dir/src/service/plan_cache.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/service/plan_cache.cpp.o.d"
+  "/root/repo/src/service/query_service.cpp" "CMakeFiles/gkx.dir/src/service/query_service.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/service/query_service.cpp.o.d"
+  "/root/repo/src/testkit/oracle.cpp" "CMakeFiles/gkx.dir/src/testkit/oracle.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/testkit/oracle.cpp.o.d"
+  "/root/repo/src/testkit/soak_driver.cpp" "CMakeFiles/gkx.dir/src/testkit/soak_driver.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/testkit/soak_driver.cpp.o.d"
+  "/root/repo/src/testkit/workload.cpp" "CMakeFiles/gkx.dir/src/testkit/workload.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/testkit/workload.cpp.o.d"
+  "/root/repo/src/xml/auction.cpp" "CMakeFiles/gkx.dir/src/xml/auction.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xml/auction.cpp.o.d"
+  "/root/repo/src/xml/builder.cpp" "CMakeFiles/gkx.dir/src/xml/builder.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xml/builder.cpp.o.d"
+  "/root/repo/src/xml/document.cpp" "CMakeFiles/gkx.dir/src/xml/document.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xml/document.cpp.o.d"
+  "/root/repo/src/xml/generator.cpp" "CMakeFiles/gkx.dir/src/xml/generator.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xml/generator.cpp.o.d"
+  "/root/repo/src/xml/index.cpp" "CMakeFiles/gkx.dir/src/xml/index.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xml/index.cpp.o.d"
+  "/root/repo/src/xml/parser.cpp" "CMakeFiles/gkx.dir/src/xml/parser.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xml/parser.cpp.o.d"
+  "/root/repo/src/xml/serializer.cpp" "CMakeFiles/gkx.dir/src/xml/serializer.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xml/serializer.cpp.o.d"
+  "/root/repo/src/xpath/analysis.cpp" "CMakeFiles/gkx.dir/src/xpath/analysis.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/analysis.cpp.o.d"
+  "/root/repo/src/xpath/ast.cpp" "CMakeFiles/gkx.dir/src/xpath/ast.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/ast.cpp.o.d"
+  "/root/repo/src/xpath/build.cpp" "CMakeFiles/gkx.dir/src/xpath/build.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/build.cpp.o.d"
+  "/root/repo/src/xpath/dot.cpp" "CMakeFiles/gkx.dir/src/xpath/dot.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/dot.cpp.o.d"
+  "/root/repo/src/xpath/fragment.cpp" "CMakeFiles/gkx.dir/src/xpath/fragment.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/fragment.cpp.o.d"
+  "/root/repo/src/xpath/generator.cpp" "CMakeFiles/gkx.dir/src/xpath/generator.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/generator.cpp.o.d"
+  "/root/repo/src/xpath/lexer.cpp" "CMakeFiles/gkx.dir/src/xpath/lexer.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/lexer.cpp.o.d"
+  "/root/repo/src/xpath/optimize.cpp" "CMakeFiles/gkx.dir/src/xpath/optimize.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/optimize.cpp.o.d"
+  "/root/repo/src/xpath/parser.cpp" "CMakeFiles/gkx.dir/src/xpath/parser.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/parser.cpp.o.d"
+  "/root/repo/src/xpath/printer.cpp" "CMakeFiles/gkx.dir/src/xpath/printer.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/printer.cpp.o.d"
+  "/root/repo/src/xpath/transform.cpp" "CMakeFiles/gkx.dir/src/xpath/transform.cpp.o" "gcc" "CMakeFiles/gkx.dir/src/xpath/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphs_test.dir/tests/graphs_test.cpp.o"
+  "CMakeFiles/graphs_test.dir/tests/graphs_test.cpp.o.d"
+  "graphs_test"
+  "graphs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

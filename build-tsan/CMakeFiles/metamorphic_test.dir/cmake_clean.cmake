@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metamorphic_test.dir/tests/metamorphic_test.cpp.o"
+  "CMakeFiles/metamorphic_test.dir/tests/metamorphic_test.cpp.o.d"
+  "metamorphic_test"
+  "metamorphic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metamorphic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pda_evaluator_test.dir/tests/pda_evaluator_test.cpp.o"
+  "CMakeFiles/pda_evaluator_test.dir/tests/pda_evaluator_test.cpp.o.d"
+  "pda_evaluator_test"
+  "pda_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pda_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_circuit_test.dir/tests/reduction_circuit_test.cpp.o"
+  "CMakeFiles/reduction_circuit_test.dir/tests/reduction_circuit_test.cpp.o.d"
+  "reduction_circuit_test"
+  "reduction_circuit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_iterated_test.dir/tests/reduction_iterated_test.cpp.o"
+  "CMakeFiles/reduction_iterated_test.dir/tests/reduction_iterated_test.cpp.o.d"
+  "reduction_iterated_test"
+  "reduction_iterated_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_iterated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_reach_test.dir/tests/reduction_reach_test.cpp.o"
+  "CMakeFiles/reduction_reach_test.dir/tests/reduction_reach_test.cpp.o.d"
+  "reduction_reach_test"
+  "reduction_reach_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_sac_test.dir/tests/reduction_sac_test.cpp.o"
+  "CMakeFiles/reduction_sac_test.dir/tests/reduction_sac_test.cpp.o.d"
+  "reduction_sac_test"
+  "reduction_sac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_sac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

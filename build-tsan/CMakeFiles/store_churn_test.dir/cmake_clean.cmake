@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_churn_test.dir/tests/store_churn_test.cpp.o"
+  "CMakeFiles/store_churn_test.dir/tests/store_churn_test.cpp.o.d"
+  "store_churn_test"
+  "store_churn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_functions_test.dir/tests/string_functions_test.cpp.o"
+  "CMakeFiles/string_functions_test.dir/tests/string_functions_test.cpp.o.d"
+  "string_functions_test"
+  "string_functions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

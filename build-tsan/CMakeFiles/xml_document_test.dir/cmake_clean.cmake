@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_document_test.dir/tests/xml_document_test.cpp.o"
+  "CMakeFiles/xml_document_test.dir/tests/xml_document_test.cpp.o.d"
+  "xml_document_test"
+  "xml_document_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_document_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

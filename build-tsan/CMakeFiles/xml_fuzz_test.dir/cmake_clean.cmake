@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_fuzz_test.dir/tests/xml_fuzz_test.cpp.o"
+  "CMakeFiles/xml_fuzz_test.dir/tests/xml_fuzz_test.cpp.o.d"
+  "xml_fuzz_test"
+  "xml_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_index_test.dir/tests/xml_index_test.cpp.o"
+  "CMakeFiles/xml_index_test.dir/tests/xml_index_test.cpp.o.d"
+  "xml_index_test"
+  "xml_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

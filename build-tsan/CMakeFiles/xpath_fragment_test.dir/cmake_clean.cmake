@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_fragment_test.dir/tests/xpath_fragment_test.cpp.o"
+  "CMakeFiles/xpath_fragment_test.dir/tests/xpath_fragment_test.cpp.o.d"
+  "xpath_fragment_test"
+  "xpath_fragment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_fragment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

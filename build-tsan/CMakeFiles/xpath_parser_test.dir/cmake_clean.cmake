@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_parser_test.dir/tests/xpath_parser_test.cpp.o"
+  "CMakeFiles/xpath_parser_test.dir/tests/xpath_parser_test.cpp.o.d"
+  "xpath_parser_test"
+  "xpath_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
