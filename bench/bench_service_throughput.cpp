@@ -11,6 +11,7 @@
 // serving layer earns its keep (on huge documents evaluation dominates and
 // the cache's effect shrinks toward 1×, which the large-batch rows show).
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,8 @@ namespace gkx {
 namespace {
 
 // Mixed-fragment templates: PF shapes (indexed and not), positive Core,
-// Core with negation, positional pWF, full-XPath scalar, union.
+// Core with negation, positional pWF, full-XPath scalar, union, and a
+// hybrid shape (PF spine + one positional predicate => staged plan).
 const char* kTemplates[] = {
     "/descendant::t0/child::t1",
     "//t2",
@@ -32,6 +34,7 @@ const char* kTemplates[] = {
     "count(/descendant::t1)",
     "/descendant::t3 | //t0/child::t2",
     "/descendant::t1/parent::t0",
+    "/descendant::t0/child::t1[position() = 2]/descendant::t2",
 };
 
 /// Request i of a workload. Cold mode (`serial` >= 0) appends a
@@ -82,9 +85,10 @@ void RegisterCorpus(service::QueryService& svc) {
   }
 }
 
-void Run() {
+void Run(bench::JsonReport* json) {
   bench::Table table({"batch", "mode", "requests", "total ms", "qps",
                       "hit rate", "warm/cold"});
+  std::map<std::string, int64_t> segment_routes;
 
   for (int batch_size : {1, 64, 1024}) {
     // Enough requests per mode for a stable clock reading.
@@ -119,9 +123,30 @@ void Run() {
                     bench::Num(static_cast<int64_t>(qps)),
                     bench::Ratio(counters.HitRate()),
                     warm ? bench::Ratio(qps / cold_qps) : std::string("-")});
+      json->AddRow(
+          {{"batch", bench::JsonNum(batch_size)},
+           {"mode", bench::JsonStr(warm ? "warm" : "cold")},
+           {"requests", bench::JsonNum(total)},
+           {"total_ms", bench::JsonNum(seconds * 1e3)},
+           {"qps", bench::JsonNum(qps)},
+           {"hit_rate", bench::JsonNum(counters.HitRate())},
+           {"warm_over_cold", bench::JsonNum(warm ? qps / cold_qps : 0.0)}});
+      for (const auto& [route, count] : svc.Stats().segment_route_counts) {
+        segment_routes[route] += count;
+      }
     }
   }
   table.Print();
+
+  // Per-segment route census across the whole run: the hybrid template
+  // shows up as pf-frontier and cvt *segments*, not as a cvt query.
+  bench::Table routes({"segment route", "segments executed"});
+  for (const auto& [route, count] : segment_routes) {
+    routes.AddRow({route, bench::Num(count)});
+    json->AddRow({{"segment_route", bench::JsonStr(route)},
+                  {"segments", bench::JsonNum(static_cast<double>(count))}});
+  }
+  routes.Print();
 }
 
 }  // namespace
@@ -136,6 +161,8 @@ int main() {
       "queries/sec through SubmitBatch at batch sizes 1/64/1024, novel "
       "query texts (cold, every request compiles) vs repeated texts (warm, "
       "raw cache hits) — expect warm >= 2x cold and hit rate ~1.0 when warm");
-  gkx::Run();
+  gkx::bench::JsonReport json("service_throughput", 97);
+  gkx::Run(&json);
+  json.Write("BENCH_service.json");
   return 0;
 }

@@ -7,6 +7,8 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "base/check.hpp"
@@ -68,6 +70,78 @@ class Table {
 };
 
 inline std::string Num(int64_t v) { return std::to_string(v); }
+
+/// JSON-encodes a string (quotes + escapes).
+inline std::string JsonStr(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// JSON-encodes a number (integers without a fraction, else shortest float).
+inline std::string JsonNum(double v) {
+  if (v == static_cast<int64_t>(v)) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+/// Machine-readable benchmark emitter so the perf trajectory is trackable
+/// across PRs: one JSON object {"bench", "seed", "rows": [...]} per file.
+/// Row values must be pre-encoded with JsonStr/JsonNum.
+class JsonReport {
+ public:
+  JsonReport(std::string bench, uint64_t seed)
+      : bench_(std::move(bench)), seed_(seed) {}
+
+  void AddRow(std::vector<std::pair<std::string, std::string>> fields) {
+    rows_.push_back(std::move(fields));
+  }
+
+  /// Writes the report and prints the path (checked).
+  void Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    GKX_CHECK(f != nullptr);
+    std::fprintf(f, "{\"bench\": %s, \"seed\": %llu, \"rows\": [",
+                 JsonStr(bench_).c_str(),
+                 static_cast<unsigned long long>(seed_));
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                     JsonStr(rows_[r][i].first).c_str(),
+                     rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    GKX_CHECK(std::fclose(f) == 0);
+    std::printf("  wrote %s (%zu rows)\n\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string bench_;
+  uint64_t seed_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 inline std::string Millis(double seconds, int decimals = 3) {
   char buf[64];

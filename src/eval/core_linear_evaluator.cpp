@@ -155,8 +155,7 @@ Result<Value> CoreLinearEvaluator::Evaluate(const xml::Document& doc,
     return UnsupportedError(
         "core-linear evaluates Core XPath only (Def 2.5); query is outside");
   }
-  doc_ = &doc;
-  condition_cache_.clear();
+  Bind(doc);
 
   NodeBitset start(doc.size());
   start.Set(ctx.node);
@@ -191,16 +190,14 @@ NodeBitset CoreLinearEvaluator::TestSet(const Step& step) {
   return out;
 }
 
-Result<NodeBitset> CoreLinearEvaluator::EvalPathForward(const PathExpr& path,
-                                                        const NodeBitset& start) {
+Result<NodeBitset> CoreLinearEvaluator::EvalStepRange(const PathExpr& path,
+                                                      size_t begin, size_t end,
+                                                      const NodeBitset& frontier) {
+  GKX_CHECK(doc_ != nullptr);
+  GKX_CHECK(begin <= end && end <= path.step_count());
   const xml::Document& doc = *doc_;
-  NodeBitset current(doc.size());
-  if (path.absolute()) {
-    current.Set(doc.root());
-  } else {
-    current = start;
-  }
-  for (size_t s = 0; s < path.step_count(); ++s) {
+  NodeBitset current = frontier;
+  for (size_t s = begin; s < end; ++s) {
     const Step& step = path.step(s);
     current = AxisImage(doc, step.axis, current);
     current &= TestSet(step);
@@ -212,6 +209,18 @@ Result<NodeBitset> CoreLinearEvaluator::EvalPathForward(const PathExpr& path,
     if (current.Empty()) break;
   }
   return current;
+}
+
+Result<NodeBitset> CoreLinearEvaluator::EvalPathForward(const PathExpr& path,
+                                                        const NodeBitset& start) {
+  const xml::Document& doc = *doc_;
+  NodeBitset current(doc.size());
+  if (path.absolute()) {
+    current.Set(doc.root());
+  } else {
+    current = start;
+  }
+  return EvalStepRange(path, 0, path.step_count(), current);
 }
 
 Result<NodeBitset> CoreLinearEvaluator::PathOriginSet(const PathExpr& path) {

@@ -31,6 +31,20 @@ class CoreLinearEvaluator : public Evaluator {
   Result<Value> Evaluate(const xml::Document& doc, const xpath::Query& query,
                          const Context& ctx) override;
 
+  /// Binds a document, clearing the per-query condition cache. The staged
+  /// plan executor binds once per execution and then runs step ranges.
+  void Bind(const xml::Document& doc) {
+    doc_ = &doc;
+    condition_cache_.clear();
+  }
+
+  /// Applies steps [begin, end) of `path` to the `frontier` set-at-a-time:
+  /// one axis image + test/condition intersection per step, O(|D|) each.
+  /// Every predicate in the range must be a Core bexpr (kUnsupported
+  /// otherwise). Bind must have been called.
+  Result<NodeBitset> EvalStepRange(const xpath::PathExpr& path, size_t begin,
+                                   size_t end, const NodeBitset& frontier);
+
  private:
   /// Set of nodes where the Core XPath condition holds (bexpr of Def 2.5).
   Result<NodeBitset> ConditionSet(const xpath::Expr& expr);

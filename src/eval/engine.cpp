@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "plan/exec.hpp"
+
 namespace gkx::eval {
 
 namespace {
@@ -14,25 +16,6 @@ Engine::Choice Dispatch(const xpath::FragmentReport& fragment) {
 
 }  // namespace
 
-std::string_view Engine::EvaluatorName(Choice choice) {
-  // Name-only instances: the engines carry no construction-time state, and
-  // routing through their name() keeps this in lockstep with the strings
-  // RunDispatched reports.
-  static const PfEvaluator pf_names;
-  static const CoreLinearEvaluator linear_names;
-  static const CvtEvaluator cvt_names;
-  switch (choice) {
-    case Choice::kPfFrontier:
-      return pf_names.name();
-    case Choice::kCoreLinear:
-      return linear_names.name();
-    case Choice::kCvt:
-      return cvt_names.name();
-  }
-  GKX_CHECK(false);
-  return "";
-}
-
 Result<Engine::Plan> Engine::Compile(std::string_view query_text) {
   auto query = xpath::ParseQuery(query_text);
   if (!query.ok()) return query.status();
@@ -40,9 +23,7 @@ Result<Engine::Plan> Engine::Compile(std::string_view query_text) {
 }
 
 Engine::Plan Engine::CompileParsed(xpath::Query query) {
-  xpath::FragmentReport fragment = xpath::Classify(query);
-  Choice choice = Dispatch(fragment);
-  return Plan{std::move(query), std::move(fragment), choice};
+  return plan::Compile(std::move(query));
 }
 
 Result<Engine::Answer> Engine::RunDispatched(
@@ -64,7 +45,16 @@ Result<Engine::Answer> Engine::RunDispatched(
 
 Result<Engine::Answer> Engine::RunPlan(const xml::Document& doc,
                                        const Plan& plan, const Context& ctx) {
-  return RunDispatched(doc, plan.query, plan.fragment, plan.choice, ctx);
+  if (!plan.staged) {
+    return RunDispatched(doc, plan.query, plan.fragment, plan.choice, ctx);
+  }
+  auto value = plan::ExecuteStaged(doc, plan, ctx);
+  if (!value.ok()) return value.status();
+  Answer answer;
+  answer.value = std::move(value).value();
+  answer.fragment = plan.fragment;
+  answer.evaluator = plan.route_label;
+  return answer;
 }
 
 Result<Engine::Answer> Engine::Run(const xml::Document& doc,

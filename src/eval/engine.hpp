@@ -1,8 +1,13 @@
-// The user-facing facade: classify the query against the paper's fragment
-// taxonomy (Figure 1) and dispatch to the cheapest sound engine —
+// The user-facing facade over the staged compile pipeline (src/plan):
+//   normalize (canonical rewrites) → classify per subexpression (Figure 1,
+//   per step) → lower (fused same-engine segments) → execute.
+// Uniform plans dispatch whole-query to the cheapest sound engine —
 //   PF (paths only, NL)                   -> pf-frontier bitset sweeps
 //   Core XPath (incl. positive Core)      -> core-linear, O(|D|·|Q|)
 //   anything else                         -> context-value tables, polynomial
+// — and genuinely mixed plans run hybrid: the path spine stays on the
+// bitset fast path, only non-Core predicate subtrees drop into CVT
+// (Answer.evaluator then reports the route list, e.g. "pf-frontier+cvt").
 
 #ifndef GKX_EVAL_ENGINE_HPP_
 #define GKX_EVAL_ENGINE_HPP_
@@ -15,6 +20,7 @@
 #include "eval/evaluator.hpp"
 #include "eval/pf_evaluator.hpp"
 #include "eval/recursive_base.hpp"
+#include "plan/physical.hpp"
 #include "xpath/fragment.hpp"
 #include "xpath/parser.hpp"
 
@@ -25,34 +31,29 @@ class Engine {
   struct Answer {
     Value value;
     xpath::FragmentReport fragment;
-    std::string evaluator;  // engine that produced the value
+    std::string evaluator;  // route list that produced the value
   };
 
-  /// Which of the three engines a plan dispatches to.
-  enum class Choice { kPfFrontier, kCoreLinear, kCvt };
+  /// Which engine a plan (or plan segment) dispatches to. Legacy name for
+  /// plan::Route — kPfFrontier / kCoreLinear / kCvt.
+  using Choice = plan::Route;
 
-  /// Name of the evaluator a Choice dispatches to (taken from the engines'
-  /// own name() strings, so it cannot drift from Answer.evaluator).
-  static std::string_view EvaluatorName(Choice choice);
+  /// Name of the evaluator a whole-query Choice dispatches to.
+  static std::string_view EvaluatorName(Choice choice) {
+    return plan::RouteEvaluatorName(choice);
+  }
 
-  /// A compiled query: the parse + classification + dispatch work that is
-  /// identical across every document the query runs against. Plans are
-  /// immutable after Compile and safe to share across threads (evaluators
-  /// only read the Query).
-  struct Plan {
-    xpath::Query query;
-    xpath::FragmentReport fragment;
-    Choice choice = Choice::kCvt;
+  /// A compiled query — the staged physical plan (thin alias during the
+  /// plan-IR migration; see plan/physical.hpp). Plans are immutable after
+  /// Compile and safe to share across threads.
+  using Plan = plan::Physical;
 
-    /// Name of the evaluator `choice` dispatches to.
-    std::string_view evaluator_name() const { return EvaluatorName(choice); }
-  };
-
-  /// Parses and classifies a query into a reusable Plan. Running a Plan via
-  /// RunPlan gives byte-identical Answers to Run(doc, query_text).
+  /// Parses, normalizes, classifies per subexpression, and lowers a query
+  /// into a reusable Plan. Running a Plan via RunPlan gives answers
+  /// value-identical to Run(doc, query_text).
   static Result<Plan> Compile(std::string_view query_text);
 
-  /// Classifies an already-parsed query into a Plan (the query is moved in).
+  /// Compiles an already-parsed query into a Plan (the query is moved in).
   static Plan CompileParsed(xpath::Query query);
 
   /// Runs a compiled plan from the root context.
@@ -64,15 +65,17 @@ class Engine {
   Result<Answer> RunPlan(const xml::Document& doc, const Plan& plan,
                          const Context& ctx);
 
-  /// Parses and runs a query from the root context.
+  /// Parses, compiles, and runs a query from the root context.
   Result<Answer> Run(const xml::Document& doc, std::string_view query_text);
 
-  /// Runs a parsed query from a given context.
+  /// Runs a borrowed, already-parsed query from a given context. This legacy
+  /// entry point cannot own the AST, so it uses whole-query dispatch (no
+  /// normalization, no staging); Compile + RunPlan gets the full pipeline.
   Result<Answer> Run(const xml::Document& doc, const xpath::Query& query,
                      const Context& ctx);
 
  private:
-  /// The single dispatch site shared by RunPlan and Run.
+  /// The single whole-query dispatch site shared by RunPlan and Run.
   Result<Answer> RunDispatched(const xml::Document& doc,
                                const xpath::Query& query,
                                const xpath::FragmentReport& fragment,

@@ -16,9 +16,8 @@ using xpath::FunctionCall;
 using xpath::PathExpr;
 using xpath::UnionExpr;
 
-Result<Value> RecursiveEvaluatorBase::Evaluate(const xml::Document& doc,
-                                               const xpath::Query& query,
-                                               const Context& ctx) {
+Status RecursiveEvaluatorBase::Bind(const xml::Document& doc,
+                                    const xpath::Query& query) {
   if (doc.empty()) return InvalidArgumentError("empty document");
   doc_ = &doc;
   query_ = &query;
@@ -28,8 +27,30 @@ Result<Value> RecursiveEvaluatorBase::Evaluate(const xml::Document& doc,
   for (int id = 0; id < query.num_steps(); ++id) {
     tests_.push_back(ResolvedTest::Resolve(doc, query.step(id).test));
   }
-  GKX_RETURN_IF_ERROR(Prepare());
+  return Prepare();
+}
+
+Result<Value> RecursiveEvaluatorBase::Evaluate(const xml::Document& doc,
+                                               const xpath::Query& query,
+                                               const Context& ctx) {
+  GKX_RETURN_IF_ERROR(Bind(doc, query));
   return Eval(query.root(), ctx);
+}
+
+Status RecursiveEvaluatorBase::ApplyBoundStep(const xpath::Step& step,
+                                              xml::NodeId origin,
+                                              NodeSet* out) {
+  GKX_CHECK(doc_ != nullptr && query_ != nullptr);
+  // Single-pointer capture: fits std::function's small-buffer storage, so
+  // the per-origin construction stays allocation-free.
+  PredicateFn eval_predicate = [this](const Expr& expr,
+                                      const Context& ctx) -> Result<bool> {
+    auto value = Eval(expr, ctx);
+    if (!value.ok()) return value.status();
+    return PredicateTruth(*value, ctx);
+  };
+  return ApplyStep(*doc_, step, tests_[static_cast<size_t>(step.id)], origin,
+                   eval_predicate, out);
 }
 
 bool RecursiveEvaluatorBase::LookupMemo(const Expr&, const Context&, Value*) {

@@ -24,6 +24,18 @@ class RecursiveEvaluatorBase : public Evaluator {
   /// (memo hits excluded) — the work measure the experiments report.
   int64_t last_eval_count() const { return eval_count_; }
 
+  /// Binds doc/query (resolving node tests, resetting counters, running the
+  /// subclass Prepare) without evaluating anything. The staged plan executor
+  /// uses this to drive individual steps of a bound query through this
+  /// engine's memo tables via ApplyBoundStep.
+  Status Bind(const xml::Document& doc, const xpath::Query& query);
+
+  /// Applies one step of the bound query from `origin` (predicates evaluated
+  /// recursively on this engine, positions re-ranked per the spec), appending
+  /// the survivors in axis order. Bind must have been called.
+  Status ApplyBoundStep(const xpath::Step& step, xml::NodeId origin,
+                        NodeSet* out);
+
  protected:
   /// Memo hooks; the base implementations are no-ops (naive semantics).
   virtual bool LookupMemo(const xpath::Expr& expr, const Context& ctx,

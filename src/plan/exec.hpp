@@ -1,0 +1,28 @@
+// Hybrid execution of a staged Physical plan (stage 4 of the pipeline in
+// ir.hpp). Bitset-native segments run as frontier sweeps; cvt segments run
+// per origin node through a context-value-table engine bound to the plan's
+// query (so predicate memoization is shared across origins and segments);
+// the materialization boundaries convert NodeBitset ⇄ document-order
+// NodeSet exactly at segment seams. Answers are byte-identical to what any
+// single whole-query engine produces — the evaluator-agreement and soak
+// suites pin this against the naive oracle.
+
+#ifndef GKX_PLAN_EXEC_HPP_
+#define GKX_PLAN_EXEC_HPP_
+
+#include "base/status.hpp"
+#include "eval/context.hpp"
+#include "eval/value.hpp"
+#include "plan/physical.hpp"
+
+namespace gkx::plan {
+
+/// Runs a staged plan (plan.staged must be true) from `ctx`. Thread-safe:
+/// all scratch state is local to the call; the plan is only read.
+Result<eval::Value> ExecuteStaged(const xml::Document& doc,
+                                  const Physical& plan,
+                                  const eval::Context& ctx);
+
+}  // namespace gkx::plan
+
+#endif  // GKX_PLAN_EXEC_HPP_

@@ -1,0 +1,79 @@
+// The physical program: stage 3 of the compile pipeline (see ir.hpp).
+//
+// Lower() fuses contiguous same-engine runs of steps into pipeline
+// segments. A bitset-native segment (pf-frontier / core-linear) flows a
+// NodeBitset frontier from step to step in O(|D|) sweeps; a cvt segment
+// evaluates its steps per origin node through the context-value tables.
+// Between a bitset segment and a cvt segment sits an explicit
+// materialization boundary (NodeBitset ⇄ document-order NodeSet) — the only
+// points where representation conversion happens, so a mixed query pays for
+// generality exactly where it uses it.
+//
+// A plan is *staged* only when it genuinely mixes routes (some segment
+// needs CVT and some does not). Uniform plans keep the classic whole-query
+// dispatch — same engines, same labels, zero overhead — so staging is a
+// strict refinement of the old {AST, fragment, Choice} plan.
+//
+// Physical plans are immutable after Lower and safe to share across
+// threads; the PlanCache hands them out as shared_ptr<const Physical>.
+
+#ifndef GKX_PLAN_PHYSICAL_HPP_
+#define GKX_PLAN_PHYSICAL_HPP_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "plan/ir.hpp"
+
+namespace gkx::plan {
+
+/// A fused run of steps [step_begin, step_end) of one branch path, all
+/// executed by the same engine.
+struct Segment {
+  Route route = Route::kPfFrontier;
+  int step_begin = 0;
+  int step_end = 0;
+};
+
+/// The staged program for one top-level location path (the root path, or
+/// one branch of a root union).
+struct BranchProgram {
+  const xpath::PathExpr* path = nullptr;  // borrowed from Physical::query
+  std::vector<Segment> segments;
+};
+
+/// A compiled, immutable physical plan. `eval::Engine::Plan` is an alias of
+/// this type; the legacy fields (query / fragment / choice) keep their old
+/// names so the migration is source-compatible.
+struct Physical {
+  xpath::Query query;              // normalized AST (owns the tree)
+  std::string canonical_text;      // the PlanCache normal form
+  xpath::FragmentReport fragment;  // whole-query report
+  std::vector<StepPlan> steps;     // per-step annotations, by Step::id
+
+  /// Whole-query route — the dispatch used when the plan is not staged,
+  /// and what classic whole-query dispatch would have chosen regardless.
+  Route choice = Route::kCvt;
+
+  /// True when execution runs the segment pipeline; false = single-engine.
+  bool staged = false;
+  std::vector<BranchProgram> branches;  // non-empty iff staged
+
+  /// The per-segment route list, e.g. "pf-frontier+cvt+pf-frontier"
+  /// (consecutive duplicates collapsed); for uniform plans this is just the
+  /// evaluator name. This is what Engine::Answer.evaluator reports.
+  std::string route_label;
+
+  std::string_view evaluator_name() const { return route_label; }
+};
+
+/// Stage 3: segment fusion. `logical` must be classified (ClassifyOps).
+Physical Lower(Logical logical);
+
+/// The whole pipeline: Normalize + ClassifyOps + Lower.
+Physical Compile(xpath::Query parsed);
+
+}  // namespace gkx::plan
+
+#endif  // GKX_PLAN_PHYSICAL_HPP_

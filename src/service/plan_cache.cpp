@@ -3,9 +3,8 @@
 #include <functional>
 #include <utility>
 
-#include "xpath/optimize.hpp"
+#include "plan/physical.hpp"
 #include "xpath/parser.hpp"
-#include "xpath/printer.hpp"
 
 namespace gkx::service {
 
@@ -75,11 +74,11 @@ Result<std::shared_ptr<const eval::Engine::Plan>> PlanCache::GetOrCompile(
     return parsed.status();
   }
 
-  // The plan is compiled from the *optimized* AST, so the entry stored
-  // under the canonical key is exactly the canonical plan — every spelling
-  // in the equivalence class gets the cheapest sound evaluator for it.
-  xpath::Query optimized = xpath::Optimize(*parsed);
-  const std::string canonical = xpath::ToXPathString(optimized);
+  // Stage 1 (normalize) yields both the IR the plan is lowered from and the
+  // canonical alias key — one normal form for cache aliasing and planning,
+  // so every spelling in an equivalence class shares ONE physical plan.
+  plan::Logical logical = plan::Normalize(std::move(*parsed));
+  const std::string canonical = logical.canonical_text;
   if (canonical != query_text) {
     if (PlanPtr plan = Lookup(canonical)) {
       // Equivalent spelling compiled before; alias the raw text to it.
@@ -88,9 +87,11 @@ Result<std::shared_ptr<const eval::Engine::Plan>> PlanCache::GetOrCompile(
     }
   }
 
+  // Stages 2 + 3: per-subexpression classification and segment fusion.
   misses_.fetch_add(1, std::memory_order_relaxed);
+  plan::ClassifyOps(&logical);
   auto plan = std::make_shared<const eval::Engine::Plan>(
-      eval::Engine::CompileParsed(std::move(optimized)));
+      plan::Lower(std::move(logical)));
   // Adopt the resident canonical plan: if a concurrent compile of an
   // equivalent spelling won the race, aliasing the raw text to OUR plan
   // would leave two Plan objects for one equivalence class.

@@ -1,16 +1,16 @@
 // The compile half of the query service: an LRU cache from query text to
-// compiled Engine::Plan (parse + fragment classification + evaluator
-// choice). A plan is document-independent, so one cache serves every
-// registered document.
+// compiled physical plans (plan::Physical — normalize + per-subexpression
+// classification + segment lowering; see plan/ir.hpp). A plan is
+// document-independent, so one cache serves every registered document.
 //
 // Two-level keying. A lookup first tries the raw query text — a hit skips
-// lexing, parsing, and classification entirely (`hits`). On a raw miss the
-// text is parsed and reduced to its canonical form (Optimize +
-// unabbreviated printing, cf. xpath::CanonicalXPathString); if an
-// equivalent spelling was compiled before, that plan is reused
-// (`canonical_hits` — the parse happened, but classification and the plan
-// slot are shared) and the raw text is inserted as an alias so the next
-// lookup is a first-level hit.
+// the whole compile pipeline (`hits`). On a raw miss the text is parsed and
+// normalized (plan::Normalize — the same canonical form
+// xpath::CanonicalXPathString prints); if an equivalent spelling was
+// compiled before, that plan is reused (`canonical_hits` — the parse and
+// normalize happened, but classification/lowering and the plan slot are
+// shared) and the raw text is inserted as an alias so the next lookup is a
+// first-level hit.
 //
 // Every spelling in an equivalence class shares ONE plan, compiled from the
 // canonical (optimized) AST. Values are identical to evaluating the raw

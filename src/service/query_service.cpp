@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/stopwatch.hpp"
+#include "plan/ir.hpp"
 #include "service/indexed_path.hpp"
 
 namespace gkx::service {
@@ -63,6 +64,16 @@ Result<QueryService::Answer> QueryService::Process(
   if (options_.answer_tap) options_.answer_tap(&answer);
 
   evaluator_counters_.Increment(answer.evaluator);
+  if (plan->staged) {
+    for (const auto& branch : plan->branches) {
+      for (const auto& segment : branch.segments) {
+        segment_route_counters_.Increment(plan::RouteName(segment.route));
+      }
+    }
+  } else {
+    // Uniform plan (or the index fast path): one whole-query segment.
+    segment_route_counters_.Increment(answer.evaluator);
+  }
   latency_.Record(sw.ElapsedMillis());
   return answer;
 }
@@ -119,6 +130,7 @@ ServiceStats QueryService::Stats() const {
   out.plan_cache_entries = plan_cache_.size();
   out.plan_cache = plan_cache_.counters();
   out.evaluator_counts = evaluator_counters_.Snapshot();
+  out.segment_route_counts = segment_route_counters_.Snapshot();
   out.latency = latency_.Summary();
   return out;
 }

@@ -51,6 +51,12 @@ struct ServiceStats {
   size_t plan_cache_entries = 0;
   PlanCache::Counters plan_cache;
   std::map<std::string, int64_t> evaluator_counts;
+  /// How often each route executed as a plan *segment*: a hybrid plan
+  /// counts one increment per segment ("pf-frontier", "core-linear",
+  /// "cvt"), a uniform plan counts as its single whole-query segment, the
+  /// index fast path as "pf-indexed". Σ segment counts >= Σ evaluator
+  /// counts, with equality when no hybrid plan ran.
+  std::map<std::string, int64_t> segment_route_counts;
   LatencySummary latency;
 };
 
@@ -117,6 +123,7 @@ class QueryService {
   DocumentStore store_;
   PlanCache plan_cache_;
   EvaluatorCounters evaluator_counters_;
+  EvaluatorCounters segment_route_counters_;
   LatencyRecorder latency_;
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> batches_{0};

@@ -190,6 +190,19 @@ bool UsesForbiddenPXPathFunction(const QueryAnalysis& analysis,
 
 }  // namespace
 
+ConditionReport ClassifyCondition(const Expr& expr) {
+  ConditionReport report;
+  report.in_core = IsCoreCondition(expr);
+  if (!report.in_core) {
+    if (IsWfCondition(expr) || IsWfNumber(expr)) {
+      report.note = "positional/arithmetic condition (WF, Def 2.6)";
+    } else {
+      report.note = "uses constructs beyond Core bexprs (Def 2.5)";
+    }
+  }
+  return report;
+}
+
 std::string_view FragmentName(Fragment fragment) {
   switch (fragment) {
     case Fragment::kPF: return "PF";

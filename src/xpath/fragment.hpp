@@ -66,6 +66,19 @@ struct FragmentReport {
   bool Contains(Fragment fragment) const;
 };
 
+/// Classification of a single predicate subtree — the bexpr grammar slot of
+/// the fragment definitions, as opposed to a whole query. The plan layer
+/// classifies every step's predicates through this to decide which engine a
+/// subexpression can soundly run on (Core bexprs are evaluable set-at-a-time
+/// as condition sets; anything else needs per-context evaluation).
+struct ConditionReport {
+  bool in_core = false;  // Core XPath bexpr (Def 2.5): and/or/not over paths
+  std::string note;      // first reason it exceeds Core ("" when in_core)
+};
+
+/// Classifies `expr` as it appears in predicate position.
+ConditionReport ClassifyCondition(const Expr& expr);
+
 /// Classifies a query. Uses a fresh Analyze() pass.
 FragmentReport Classify(const Query& query, const ClassifyOptions& options = {});
 

@@ -81,5 +81,34 @@ TEST(EngineTest, DispatchesPfToFrontier) {
   EXPECT_EQ(answer->value.nodes(), (NodeSet{2, 3}));
 }
 
+TEST(EngineTest, HybridPlansReportTheRouteList) {
+  // A PF-routable spine with one non-Core predicate stages: the evaluator
+  // string is the per-segment route list, not a single engine name.
+  xml::Document doc = Doc();
+  Engine engine;
+  auto answer = engine.Run(doc, "/descendant::a/child::b[position() = 2]");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->evaluator, "pf-frontier+cvt");
+  EXPECT_EQ(answer->value.nodes(), (NodeSet{3}));
+
+  auto reversed = engine.Run(doc, "/descendant::b[position() = 2]/parent::a");
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_EQ(reversed->evaluator, "cvt+pf-frontier");
+  EXPECT_EQ(reversed->value.nodes(), (NodeSet{1}));
+}
+
+TEST(EngineTest, CompiledHybridPlanExposesSegments) {
+  auto plan = Engine::Compile("/descendant::a/child::b[position() = 2]");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->staged);
+  ASSERT_EQ(plan->branches.size(), 1u);
+  ASSERT_EQ(plan->branches[0].segments.size(), 2u);
+  EXPECT_EQ(plan->branches[0].segments[0].route, Engine::Choice::kPfFrontier);
+  EXPECT_EQ(plan->branches[0].segments[1].route, Engine::Choice::kCvt);
+  // The whole-query fallback route is what classic dispatch would pick.
+  EXPECT_EQ(plan->choice, Engine::Choice::kCvt);
+  EXPECT_EQ(plan->evaluator_name(), "pf-frontier+cvt");
+}
+
 }  // namespace
 }  // namespace gkx::eval

@@ -1,0 +1,194 @@
+// The staged plan IR: normalize idempotence, per-subexpression
+// classification golden cases, segment lowering, and materialization-
+// boundary correctness (hybrid execution must be byte-identical to the
+// naive spec-reading oracle, from root and non-root contexts alike).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/engine.hpp"
+#include "eval/recursive_base.hpp"
+#include "plan/exec.hpp"
+#include "plan/physical.hpp"
+#include "xml/generator.hpp"
+#include "xml/parser.hpp"
+#include "xpath/parser.hpp"
+#include "xpath/printer.hpp"
+
+namespace gkx::plan {
+namespace {
+
+using eval::NodeSet;
+
+Logical NormalizeText(const std::string& text) {
+  auto parsed = xpath::ParseQuery(text);
+  GKX_CHECK(parsed.ok());
+  return Normalize(std::move(*parsed));
+}
+
+Physical CompileText(const std::string& text) {
+  auto parsed = xpath::ParseQuery(text);
+  GKX_CHECK(parsed.ok());
+  return Compile(std::move(*parsed));
+}
+
+TEST(NormalizeTest, CanonicalFormIsIdempotent) {
+  const char* spellings[] = {
+      "//a",
+      "/descendant-or-self::node()/child::a",
+      "/descendant::a[true()]",
+      "a/b | c/d",
+      "child::a[position() >= 1][child::b]",
+      "count(/descendant::a) + 1",
+      "self::node()/child::a/self::node()",
+  };
+  for (const char* text : spellings) {
+    Logical once = NormalizeText(text);
+    Logical twice = NormalizeText(once.canonical_text);
+    EXPECT_EQ(once.canonical_text, twice.canonical_text) << text;
+  }
+}
+
+TEST(NormalizeTest, SharesThePlanCacheNormalForm) {
+  // The canonical spelling the IR computes is the same normal form
+  // xpath::CanonicalXPathString prints — cache aliasing and planning agree.
+  const char* spellings[] = {"//a", "/descendant::a[true()]", "a[b and c]"};
+  for (const char* text : spellings) {
+    auto parsed = xpath::ParseQuery(text);
+    ASSERT_TRUE(parsed.ok());
+    const std::string expected = xpath::CanonicalXPathString(*parsed);
+    EXPECT_EQ(NormalizeText(text).canonical_text, expected) << text;
+  }
+}
+
+TEST(ClassifyOpsTest, AnnotatesEveryStepWithItsCheapestRoute) {
+  Physical plan =
+      CompileText("/descendant::a/child::b[position() = 2]/descendant::c");
+  ASSERT_EQ(plan.query.num_steps(), 3);
+  // Step ids are preorder within the query; the three top-level steps.
+  EXPECT_EQ(plan.steps[0].route, Route::kPfFrontier);
+  EXPECT_EQ(plan.steps[1].route, Route::kCvt);
+  EXPECT_FALSE(plan.steps[1].core_predicates);
+  EXPECT_FALSE(plan.steps[1].note.empty());
+  EXPECT_EQ(plan.steps[2].route, Route::kPfFrontier);
+
+  EXPECT_TRUE(plan.staged);
+  ASSERT_EQ(plan.branches.size(), 1u);
+  ASSERT_EQ(plan.branches[0].segments.size(), 3u);
+  EXPECT_EQ(plan.route_label, "pf-frontier+cvt+pf-frontier");
+  EXPECT_EQ(plan.evaluator_name(), plan.route_label);
+}
+
+TEST(ClassifyOpsTest, CorePredicatesStayOnTheBitsetPath) {
+  // Core bexpr predicates (including not()) are condition-set evaluable:
+  // the plan stays uniform and keeps the classic whole-query dispatch.
+  Physical plan = CompileText("/descendant::a[not(child::b)]/child::c");
+  EXPECT_EQ(plan.steps[0].route, Route::kCoreLinear);
+  EXPECT_TRUE(plan.steps[0].core_predicates);
+  EXPECT_EQ(plan.steps[1].route, Route::kPfFrontier);
+  EXPECT_FALSE(plan.staged) << "no CVT segment => no staging";
+  EXPECT_EQ(plan.choice, Route::kCoreLinear);
+  EXPECT_EQ(plan.route_label, "core-linear");
+}
+
+TEST(ClassifyOpsTest, MixedPredicatesOnOneStepNeedCvt) {
+  Physical plan = CompileText("/descendant::a[child::b][position() = 2]");
+  EXPECT_EQ(plan.steps[0].route, Route::kCvt);
+  EXPECT_FALSE(plan.staged) << "uniform CVT => whole-query dispatch";
+  EXPECT_EQ(plan.route_label, "cvt-lazy");
+}
+
+TEST(ClassifyOpsTest, ScalarRootsKeepWholeQueryDispatch) {
+  Physical plan = CompileText("count(/descendant::a[position() = 2])");
+  EXPECT_FALSE(plan.staged);
+  EXPECT_EQ(plan.choice, Route::kCvt);
+}
+
+TEST(LowerTest, UnionBranchesLowerIndependently) {
+  Physical plan =
+      CompileText("/descendant::a[position() = 2]/child::b | /child::c");
+  EXPECT_TRUE(plan.staged);
+  ASSERT_EQ(plan.branches.size(), 2u);
+  ASSERT_EQ(plan.branches[0].segments.size(), 2u);
+  EXPECT_EQ(plan.branches[0].segments[0].route, Route::kCvt);
+  EXPECT_EQ(plan.branches[0].segments[1].route, Route::kPfFrontier);
+  ASSERT_EQ(plan.branches[1].segments.size(), 1u);
+  EXPECT_EQ(plan.branches[1].segments[0].route, Route::kPfFrontier);
+  EXPECT_EQ(plan.route_label, "cvt+pf-frontier");
+}
+
+// ------------------------------------------------------------------ exec
+
+/// Hybrid execution vs the naive oracle on the plan's own (normalized)
+/// query — byte-identical node sets required.
+void ExpectStagedMatchesNaive(const xml::Document& doc, const Physical& plan,
+                              const eval::Context& ctx) {
+  eval::NaiveEvaluator naive;
+  auto expected = naive.Evaluate(doc, plan.query, ctx);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  auto actual = ExecuteStaged(doc, plan, ctx);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_TRUE(expected->Equals(*actual))
+      << plan.canonical_text << "\n  naive:  " << expected->DebugString()
+      << "\n  staged: " << actual->DebugString();
+}
+
+TEST(ExecTest, MaterializationBoundariesPreserveSemantics) {
+  // Generated documents use tag names t0..t{alphabet-1}.
+  const char* queries[] = {
+      // pf ⇄ cvt boundaries in both directions.
+      "/descendant::t0/child::t1[position() = 2]/descendant::t2",
+      "/descendant::t0[position() = 1]/child::t1",
+      "/descendant::t1[position() = last()]/parent::t0/child::t1",
+      // positional predicate after a reverse axis (axis-order positions).
+      "/descendant::t2/ancestor::t0[position() = 1]/child::t1",
+      // arithmetic, count(), string functions in the cvt segment.
+      "/descendant::t0/child::t1[count(following-sibling::t1) + 1 = 2]/"
+      "self::t1",
+      "/descendant::t0[string(child::t1) = '']/child::t1",
+      // iterated predicates with re-ranking inside the cvt segment.
+      "/descendant::t0/child::t1[position() > 1][position() = 1]/self::t1",
+      // union of a hybrid branch and a plain branch.
+      "/descendant::t0[position() = 2]/child::t1 | /descendant::t2",
+  };
+  Rng rng(515);
+  xml::RandomDocumentOptions options;
+  options.node_count = 60;
+  options.tag_alphabet = 3;  // tags collide with a/b/c often enough
+  for (int round = 0; round < 8; ++round) {
+    xml::Document doc = xml::RandomDocument(&rng, options);
+    for (const char* text : queries) {
+      Physical plan = CompileText(text);
+      ASSERT_TRUE(plan.staged) << text;
+      ExpectStagedMatchesNaive(doc, plan, eval::RootContext(doc));
+    }
+  }
+}
+
+TEST(ExecTest, RelativePlansRespectTheContextNode) {
+  Rng rng(616);
+  xml::RandomDocumentOptions options;
+  options.node_count = 40;
+  options.tag_alphabet = 2;
+  xml::Document doc = xml::RandomDocument(&rng, options);
+  Physical plan = CompileText("child::t0[position() = 2]/descendant::t1");
+  ASSERT_TRUE(plan.staged);
+  for (xml::NodeId start = 0; start < doc.size(); ++start) {
+    ExpectStagedMatchesNaive(doc, plan, eval::Context{start, 1, 1});
+  }
+}
+
+TEST(ExecTest, EngineReportsTheRouteListAndSameValue) {
+  auto doc = xml::ParseDocument("<r><a><b/><b/></a><a><b/></a><c/></r>");
+  ASSERT_TRUE(doc.ok());
+  eval::Engine engine;
+  auto answer = engine.Run(*doc, "/descendant::a/child::b[position() = 2]");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->evaluator, "pf-frontier+cvt");
+  EXPECT_EQ(answer->value.nodes(), (NodeSet{3}));
+}
+
+}  // namespace
+}  // namespace gkx::plan
