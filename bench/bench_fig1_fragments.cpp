@@ -201,6 +201,6 @@ int main() {
   gkx::RunCorpusClassification();
   gkx::RunRandomCensusAndTiming(&json);
   gkx::RunHybridRouting(&json);
-  json.Write("BENCH_fragments.json");
+  json.Write(gkx::bench::RepoRootPath("BENCH_fragments.json"));
   return 0;
 }

@@ -17,6 +17,7 @@
 
 #include "bench/bench_util.hpp"
 #include "service/query_service.hpp"
+#include "xml/builder.hpp"
 #include "xml/generator.hpp"
 
 namespace gkx {
@@ -97,9 +98,12 @@ void Run(bench::JsonReport* json) {
     for (const bool warm : {false, true}) {
       // Fresh service per mode: the cold path must never see a warm cache.
       // Plan-cache capacity exceeds the largest batch so cold misses are
-      // misses, not evictions of entries we are about to reuse.
+      // misses, not evictions of entries we are about to reuse. The answer
+      // cache is off: this scenario prices the *plan* cache alone (the
+      // answer cache gets its own scenarios below).
       service::QueryService::Options options;
       options.plan_cache.capacity = 4096;
+      options.answer_cache_enabled = false;
       service::QueryService svc(options);
       RegisterCorpus(svc);
 
@@ -149,20 +153,209 @@ void Run(bench::JsonReport* json) {
   routes.Print();
 }
 
+// ----------------------------------------------------------------- mview
+// EXP-MVIEW-WARM: repeated identical queries against stable documents —
+// the regime the AnswerCache turns from "evaluate every time" into "one
+// lookup + one value copy". Both modes run with a warm *plan* cache, so
+// the ratio isolates evaluation cost vs materialized-answer serving.
+
+void RegisterLargeCorpus(service::QueryService& svc) {
+  Rng rng(271);  // identical documents in every mode
+  xml::RandomDocumentOptions options;
+  options.text_probability = 0.3;
+  for (int d = 0; d < 3; ++d) {
+    options.node_count = 1500 << d;  // 1500 / 3000 / 6000 nodes
+    GKX_CHECK(svc.RegisterDocument("big" + std::to_string(d),
+                                   xml::RandomDocument(&rng, options))
+                  .ok());
+  }
+}
+
+std::vector<service::QueryService::Request> LargeCorpusRequests() {
+  std::vector<service::QueryService::Request> requests;
+  for (int d = 0; d < 3; ++d) {
+    for (const char* query : kTemplates) {
+      requests.push_back({"big" + std::to_string(d), query});
+    }
+  }
+  return requests;
+}
+
+void RunAnswerCacheWarm(bench::JsonReport* json) {
+  std::printf("EXP-MVIEW-WARM: repeated queries, answer cache off vs warm\n");
+  const auto requests = LargeCorpusRequests();
+  bench::Table table({"answer cache", "requests", "total ms", "qps",
+                      "hit rate", "speedup"});
+  double disabled_qps = 0.0;
+  std::vector<std::string> disabled_digests;
+  for (const bool enabled : {false, true}) {
+    service::QueryService::Options options;
+    options.plan_cache.capacity = 4096;
+    options.answer_cache_enabled = enabled;
+    service::QueryService svc(options);
+    RegisterLargeCorpus(svc);
+
+    RunOnce(svc, requests);  // untimed: warms plan cache (+ answer cache)
+    // First timed pass doubles as the byte-identity check across modes.
+    std::vector<std::string> digests;
+    Stopwatch first;
+    auto responses = svc.SubmitBatch(requests);
+    double seconds = first.ElapsedSeconds();
+    for (const auto& response : responses) {
+      GKX_CHECK(response.ok());
+      digests.push_back(response->value.DebugString());
+    }
+    if (!enabled) {
+      disabled_digests = digests;
+    } else {
+      GKX_CHECK(digests == disabled_digests);  // byte-identical answers
+    }
+    const int rounds = enabled ? 64 : 4;
+    int total = static_cast<int>(requests.size());
+    for (int round = 1; round < rounds; ++round) {
+      seconds += RunOnce(svc, requests);
+      total += static_cast<int>(requests.size());
+    }
+    const double qps = static_cast<double>(total) / seconds;
+    if (!enabled) disabled_qps = qps;
+    const double hit_rate = svc.answer_cache().counters().HitRate();
+    const double speedup = enabled ? qps / disabled_qps : 1.0;
+    table.AddRow({enabled ? "warm" : "disabled", bench::Num(total),
+                  bench::Millis(seconds),
+                  bench::Num(static_cast<int64_t>(qps)),
+                  enabled ? bench::Ratio(hit_rate) : std::string("-"),
+                  enabled ? bench::Ratio(speedup) : std::string("-")});
+    json->AddRow(
+        {{"scenario", bench::JsonStr("answer_cache_warm")},
+         {"mode", bench::JsonStr(enabled ? "warm" : "disabled")},
+         {"requests", bench::JsonNum(total)},
+         {"total_ms", bench::JsonNum(seconds * 1e3)},
+         {"qps", bench::JsonNum(qps)},
+         {"answer_hit_rate", bench::JsonNum(hit_rate)},
+         {"speedup_vs_disabled", bench::JsonNum(speedup)}});
+    if (enabled) {
+      // The acceptance bar: materialized answers must beat re-evaluation
+      // by at least 5x on this workload (measured 1-2 orders more).
+      GKX_CHECK(speedup >= 5.0);
+    }
+  }
+  table.Print();
+}
+
+// EXP-MVIEW-CHURN: a corpus with two disjoint tag families — "t*" documents
+// serving a t-family query mix, "u*" documents churning every round. With
+// footprint invalidation the churn provably cannot touch any cached answer
+// (every footprint is t-only), so the hit rate stays near 1; the flush
+// modes show what coarser invalidation would throw away.
+
+const char* kFamilyQueries[] = {
+    "//t0",
+    "/descendant::t1/child::t2",
+    "/descendant::t0[child::t1]",
+    "//t2[position() = 2]",
+    "/descendant::t3 | //t1/child::t0",
+    "/descendant::t2[not(child::t3)]",
+};
+
+xml::Document FamilyDocument(Rng* rng, const std::string& prefix,
+                             int32_t nodes) {
+  xml::TreeBuilder builder(prefix + "root");
+  std::vector<xml::BuildNodeId> handles{builder.root()};
+  for (int32_t i = 1; i < nodes; ++i) {
+    const auto parent = handles[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(handles.size()) - 1))];
+    handles.push_back(builder.AddChild(
+        parent, prefix + std::to_string(rng->UniformInt(0, 4))));
+  }
+  return std::move(builder).Build();
+}
+
+void RunDisjointChurn(bench::JsonReport* json) {
+  std::printf(
+      "EXP-MVIEW-CHURN: disjoint-tag churn, footprint vs flush "
+      "invalidation\n");
+  using Mode = gkx::mview::AnswerCache::InvalidationMode;
+  bench::Table table({"invalidation", "rounds", "requests", "hit rate",
+                      "invalidated", "retained"});
+  const struct {
+    Mode mode;
+    const char* name;
+  } kModes[] = {{Mode::kFootprint, "footprint"},
+                {Mode::kFlushDocument, "flush-doc"},
+                {Mode::kFlushAll, "flush-all"}};
+  const int kRounds = 30;
+  double footprint_hit_rate = 0.0;
+  for (const auto& [mode, name] : kModes) {
+    service::QueryService::Options options;
+    options.answer_cache.mode = mode;
+    service::QueryService svc(options);
+    Rng rng(433);  // identical corpus and churn in every mode
+    for (int d = 0; d < 2; ++d) {
+      GKX_CHECK(svc.RegisterDocument("t" + std::to_string(d),
+                                     FamilyDocument(&rng, "t", 800))
+                    .ok());
+      GKX_CHECK(svc.RegisterDocument("u" + std::to_string(d),
+                                     FamilyDocument(&rng, "u", 800))
+                    .ok());
+    }
+    std::vector<service::QueryService::Request> requests;
+    for (const char* doc : {"t0", "t1", "u0", "u1"}) {
+      for (const char* query : kFamilyQueries) requests.push_back({doc, query});
+    }
+
+    int64_t total = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      if (round > 0) {
+        // Replace one u-document: its tag set {u*} is disjoint from every
+        // query footprint {t*}.
+        GKX_CHECK(svc.RegisterDocument("u" + std::to_string(round % 2),
+                                       FamilyDocument(&rng, "u", 800))
+                      .ok());
+      }
+      for (const auto& response : svc.SubmitBatch(requests)) {
+        GKX_CHECK(response.ok());
+      }
+      total += static_cast<int64_t>(requests.size());
+    }
+    const auto counters = svc.answer_cache().counters();
+    if (mode == Mode::kFootprint) footprint_hit_rate = counters.HitRate();
+    table.AddRow({name, bench::Num(kRounds), bench::Num(total),
+                  bench::Ratio(counters.HitRate(), 3),
+                  bench::Num(counters.invalidations),
+                  bench::Num(counters.retained)});
+    json->AddRow({{"scenario", bench::JsonStr("disjoint_churn")},
+                  {"mode", bench::JsonStr(name)},
+                  {"requests", bench::JsonNum(static_cast<double>(total))},
+                  {"answer_hit_rate", bench::JsonNum(counters.HitRate())},
+                  {"invalidations",
+                   bench::JsonNum(static_cast<double>(counters.invalidations))},
+                  {"retained",
+                   bench::JsonNum(static_cast<double>(counters.retained))}});
+  }
+  table.Print();
+  // Footprint invalidation must ride out disjoint churn nearly unscathed.
+  GKX_CHECK(footprint_hit_rate > 0.9);
+}
+
 }  // namespace
 }  // namespace gkx
 
 int main() {
   gkx::bench::PrintHeader(
-      "EXP-SVC: multi-document query service, cold vs warm plan cache",
+      "EXP-SVC: multi-document query service, cold vs warm plan cache "
+      "+ materialized answers (gkx::mview)",
       "serving context: the paper prices one evaluation; a service amortizes "
-      "lex/parse/classify across repeated queries via a plan cache and "
-      "batches concurrent work over a shared pool",
-      "queries/sec through SubmitBatch at batch sizes 1/64/1024, novel "
-      "query texts (cold, every request compiles) vs repeated texts (warm, "
-      "raw cache hits) — expect warm >= 2x cold and hit rate ~1.0 when warm");
+      "lex/parse/classify across repeated queries via a plan cache, skips "
+      "evaluation entirely via the answer cache, and invalidates cached "
+      "answers per plan footprint",
+      "queries/sec through SubmitBatch: plan cache cold vs warm (batch "
+      "1/64/1024); answer cache disabled vs warm (expect >= 5x, "
+      "byte-identical answers); disjoint-tag churn hit rate per "
+      "invalidation mode (expect footprint > 0.9)");
   gkx::bench::JsonReport json("service_throughput", 97);
   gkx::Run(&json);
-  json.Write("BENCH_service.json");
+  gkx::RunAnswerCacheWarm(&json);
+  gkx::RunDisjointChurn(&json);
+  json.Write(gkx::bench::RepoRootPath("BENCH_service.json"));
   return 0;
 }

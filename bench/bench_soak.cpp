@@ -11,7 +11,10 @@
 // Flags: --seed= first seed (default 1), --rounds= max rounds (default
 // unlimited), --seconds= time budget (default 30), --threads= (default 4),
 // --ops= schedule length per round (default 10000), --churn= probability
-// (default 0.004).
+// (default 0.004), --subs= standing queries per round (default 4 — the
+// subscription soak; 0 disables).
+//
+// Emits BENCH_soak.json (per-round rows, repo root) for cross-PR tracking.
 
 #include <cstdio>
 #include <cstdlib>
@@ -61,15 +64,18 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(FlagValue(argc, argv, "threads", 4));
   const int ops = static_cast<int>(FlagValue(argc, argv, "ops", 10000));
   const double churn = FlagDouble(argc, argv, "churn", 0.004);
+  const int subs = static_cast<int>(FlagValue(argc, argv, "subs", 4));
 
   gkx::bench::PrintHeader(
       "soak — deterministic concurrent differential workload",
       "every fragment-specialised engine computes the same XPath semantics",
       "QueryService answers vs a single-threaded naive oracle under "
-      "concurrent mixed traffic (zipfian popularity, batches, churn)");
+      "concurrent mixed traffic (zipfian popularity, batches, churn, "
+      "standing-query subscriptions, materialized answer cache)");
 
-  gkx::bench::Table table({"round", "seed", "ops", "requests", "hit_rate",
-                           "p99_ms", "verdict"});
+  gkx::bench::Table table({"round", "seed", "ops", "requests", "plan_hr",
+                           "ans_hr", "sub_diffs", "p99_ms", "verdict"});
+  gkx::bench::JsonReport json("soak", first_seed);
   gkx::Stopwatch budget;
   int64_t round = 0;
   uint64_t seed = first_seed;
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
 
     SoakOptions options;
     options.threads = threads;
+    options.standing_queries = subs;
     options.service.plan_cache.capacity = 64;
     SoakReport report = RunSoak(*schedule, options);
 
@@ -99,20 +106,44 @@ int main(int argc, char** argv) {
                   gkx::bench::Num(report.operations),
                   gkx::bench::Num(report.requests),
                   gkx::bench::Ratio(report.stats.plan_cache.HitRate()),
+                  gkx::bench::Ratio(report.stats.answer_cache.HitRate()),
+                  gkx::bench::Num(report.subscription_events),
                   gkx::bench::Ratio(report.stats.latency.p99_ms, 3),
                   gkx::bench::PassFail(report.ok())});
+    json.AddRow(
+        {{"round", gkx::bench::JsonNum(static_cast<double>(round))},
+         {"seed", gkx::bench::JsonNum(static_cast<double>(seed))},
+         {"operations", gkx::bench::JsonNum(static_cast<double>(report.operations))},
+         {"requests", gkx::bench::JsonNum(static_cast<double>(report.requests))},
+         {"plan_hit_rate", gkx::bench::JsonNum(report.stats.plan_cache.HitRate())},
+         {"answer_hit_rate",
+          gkx::bench::JsonNum(report.stats.answer_cache.HitRate())},
+         {"answer_invalidations",
+          gkx::bench::JsonNum(
+              static_cast<double>(report.stats.answer_cache.invalidations))},
+         {"answer_retained",
+          gkx::bench::JsonNum(
+              static_cast<double>(report.stats.answer_cache.retained))},
+         {"subscription_events",
+          gkx::bench::JsonNum(static_cast<double>(report.subscription_events))},
+         {"subscription_coalesced",
+          gkx::bench::JsonNum(
+              static_cast<double>(report.stats.subscriptions.coalesced))},
+         {"p99_ms", gkx::bench::JsonNum(report.stats.latency.p99_ms)},
+         {"ok", gkx::bench::JsonNum(report.ok() ? 1.0 : 0.0)}});
     if (!report.ok()) {
       failed = true;
       std::printf("%s\n", report.Summary().c_str());
-      std::printf("\nREPRODUCE: %s --seed=%llu --rounds=1 --threads=%d --ops=%d --churn=%g\n",
+      std::printf("\nREPRODUCE: %s --seed=%llu --rounds=1 --threads=%d --ops=%d --churn=%g --subs=%d\n",
                   argv[0], static_cast<unsigned long long>(seed), threads, ops,
-                  churn);
+                  churn, subs);
     }
     ++round;
     ++seed;
   }
 
   table.Print();
+  json.Write(gkx::bench::RepoRootPath("BENCH_soak.json"));
   std::printf("soaked %lld round(s) in %.1fs — %s\n",
               static_cast<long long>(round), budget.ElapsedSeconds(),
               failed ? "FAIL" : "ok");

@@ -6,6 +6,7 @@
 #define GKX_BENCH_BENCH_UTIL_HPP_
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -70,6 +71,22 @@ class Table {
 };
 
 inline std::string Num(int64_t v) { return std::to_string(v); }
+
+/// Resolves `name` against the repository root — the nearest ancestor of
+/// the current directory containing ROADMAP.md — so the BENCH_*.json
+/// trajectory files land in-tree (and get committed) no matter where the
+/// binary runs from (./build locally, the checkout root in CI). Falls back
+/// to the bare name when no repo root is found.
+inline std::string RepoRootPath(const std::string& name) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (fs::path dir = fs::current_path(ec); !ec && !dir.empty();
+       dir = dir.parent_path()) {
+    if (fs::exists(dir / "ROADMAP.md", ec)) return (dir / name).string();
+    if (dir == dir.root_path()) break;
+  }
+  return name;
+}
 
 /// JSON-encodes a string (quotes + escapes).
 inline std::string JsonStr(std::string_view s) {

@@ -1,0 +1,198 @@
+#include "mview/answer_cache.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace gkx::mview {
+
+namespace {
+
+constexpr char kKeySeparator = '\x1f';
+
+std::string MapKey(const std::string& doc_key, const std::string& canonical) {
+  std::string key;
+  key.reserve(doc_key.size() + 1 + canonical.size());
+  key += doc_key;
+  key += kKeySeparator;
+  key += canonical;
+  return key;
+}
+
+/// Approximate payload bytes of a cached answer (entry bookkeeping plus the
+/// variable-size value payload; exactness is not the point, stability is).
+int64_t AnswerBytes(const std::string& map_key,
+                    const eval::Engine::Answer& answer) {
+  int64_t bytes = static_cast<int64_t>(sizeof(CachedAnswer) + map_key.size() +
+                                       answer.evaluator.size());
+  switch (answer.value.type()) {
+    case xpath::ValueType::kNodeSet:
+      bytes += static_cast<int64_t>(answer.value.nodes().size() *
+                                    sizeof(xml::NodeId));
+      break;
+    case xpath::ValueType::kString:
+      bytes += static_cast<int64_t>(answer.value.string().size());
+      break;
+    case xpath::ValueType::kBoolean:
+    case xpath::ValueType::kNumber:
+      break;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+AnswerCache::AnswerCache(const Options& options) : options_(options) {
+  size_t shards = options.shards == 0 ? 1 : options.shards;
+  size_t capacity = options.capacity == 0 ? 1 : options.capacity;
+  if (shards > capacity) shards = capacity;
+  per_shard_capacity_ = (capacity + shards - 1) / shards;
+  per_shard_bytes_ = static_cast<int64_t>(
+      (options.byte_budget == 0 ? 1 : options.byte_budget) / shards);
+  if (per_shard_bytes_ < 1) per_shard_bytes_ = 1;
+  shards_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+AnswerCache::Shard& AnswerCache::ShardFor(const std::string& doc_key) {
+  // Shard by document key (not the full map key): one document's entries
+  // share a shard, so OnDocumentUpdate walks exactly one bucket.
+  return *shards_[std::hash<std::string>{}(doc_key) % shards_.size()];
+}
+
+void AnswerCache::EraseLocked(Shard& shard, std::list<Entry>::iterator it) {
+  shard.bytes -= it->cached->bytes;
+  bytes_.fetch_sub(it->cached->bytes, std::memory_order_relaxed);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  shard.map.erase(it->map_key);
+  shard.lru.erase(it);
+}
+
+std::shared_ptr<const CachedAnswer> AnswerCache::Lookup(
+    const std::string& doc_key, int64_t revision,
+    const std::string& canonical_text) {
+  Shard& shard = ShardFor(doc_key);
+  const std::string key = MapKey(doc_key, canonical_text);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (it->second->revision != revision) {
+    // Stale straggler (its revision can never become current again).
+    EraseLocked(shard, it->second);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->cached;
+}
+
+void AnswerCache::Insert(const std::string& doc_key, int64_t revision,
+                         const std::string& canonical_text,
+                         const eval::Engine::Answer& answer,
+                         const plan::Footprint& footprint) {
+  std::string key = MapKey(doc_key, canonical_text);
+  const int64_t bytes = AnswerBytes(key, answer);
+  if (bytes > static_cast<int64_t>(options_.max_entry_bytes) ||
+      bytes > per_shard_bytes_) {
+    declined_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto cached = std::make_shared<CachedAnswer>();
+  cached->answer = answer;
+  cached->bytes = bytes;
+
+  Shard& shard = ShardFor(doc_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) EraseLocked(shard, it->second);
+  shard.lru.push_front(Entry{std::move(key), doc_key, revision, footprint,
+                             std::move(cached)});
+  shard.map.emplace(shard.lru.front().map_key, shard.lru.begin());
+  shard.bytes += bytes;
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_ ||
+         shard.bytes > per_shard_bytes_) {
+    EraseLocked(shard, std::prev(shard.lru.end()));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AnswerCache::OnDocumentUpdate(
+    const std::string& doc_key, int64_t old_revision, int64_t new_revision,
+    const std::vector<std::string>& changed_names) {
+  const bool replacement = old_revision >= 0 && new_revision >= 0;
+  if (options_.mode == InvalidationMode::kFlushAll) {
+    // The baseline mode: any update empties the whole cache. Shards are
+    // locked one at a time (never nested) so concurrent updates in
+    // different shards cannot deadlock.
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      while (!shard->lru.empty()) {
+        EraseLocked(*shard, std::prev(shard->lru.end()));
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return;
+  }
+  Shard& shard = ShardFor(doc_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+    auto next = std::next(it);
+    if (it->doc_key == doc_key) {
+      const bool retain =
+          replacement && options_.mode == InvalidationMode::kFootprint &&
+          it->revision == old_revision &&
+          (options_.fault_ignore_footprints ||
+           !it->footprint.Intersects(changed_names));
+      if (retain) {
+        it->revision = new_revision;
+        retained_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        EraseLocked(shard, it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    it = next;
+  }
+}
+
+AnswerCache::Counters AnswerCache::counters() const {
+  Counters out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  out.retained = retained_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.declined = declined_.load(std::memory_order_relaxed);
+  out.bytes = bytes_.load(std::memory_order_relaxed);
+  out.entries = entries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t AnswerCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+void AnswerCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    while (!shard->lru.empty()) {
+      EraseLocked(*shard, std::prev(shard->lru.end()));
+    }
+  }
+}
+
+}  // namespace gkx::mview

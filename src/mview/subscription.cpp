@@ -1,0 +1,195 @@
+#include "mview/subscription.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "base/check.hpp"
+#include "eval/engine.hpp"
+
+namespace gkx::mview {
+
+SubscriptionManager::SubscriptionManager(const service::DocumentStore* store,
+                                         ThreadPool* pool)
+    : store_(store), pool_(pool) {
+  GKX_CHECK(store_ != nullptr && pool_ != nullptr);
+}
+
+SubscriptionManager::~SubscriptionManager() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;  // NotifyDocumentChanged / Subscribe schedule no more
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+bool SubscriptionManager::SelectorMatches(std::string_view selector,
+                                          std::string_view key) {
+  if (!selector.empty() && selector.back() == '*') {
+    return key.substr(0, selector.size() - 1) ==
+           selector.substr(0, selector.size() - 1);
+  }
+  return selector == key;
+}
+
+Result<int64_t> SubscriptionManager::Subscribe(
+    std::string doc_selector, std::shared_ptr<const plan::Physical> plan,
+    SubscriptionCallback callback) {
+  if (plan == nullptr || callback == nullptr) {
+    return InvalidArgumentError("subscription needs a plan and a callback");
+  }
+  if (xpath::StaticType(plan->query.root()) != xpath::ValueType::kNodeSet) {
+    return InvalidArgumentError(
+        "standing query '" + plan->canonical_text +
+        "' is not node-set-typed: diffs of added/removed nodes need a "
+        "node-set answer");
+  }
+  auto sub = std::make_shared<Subscription>();
+  sub->selector = std::move(doc_selector);
+  sub->plan = std::move(plan);
+  sub->callback = std::move(callback);
+
+  // Register FIRST, then snapshot the matching keys: a Put racing this
+  // Subscribe either lands in the Keys() snapshot below or finds the
+  // subscription registered and notifies it — never neither. Double
+  // scheduling is absorbed by the scheduled-pair dedup (and a redundant
+  // evaluation delivers an empty diff).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return FailedPreconditionError("subscription manager is down");
+    }
+    sub->id = next_id_++;
+    subs_.emplace(sub->id, sub);
+  }
+  // Initial snapshots: delivered state starts empty, so the first
+  // evaluation of each matching document arrives as a pure-`added` diff.
+  for (const std::string& key : store_->Keys()) {
+    if (!SelectorMatches(sub->selector, key)) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) break;
+    ScheduleLocked(sub, key, /*count_coalesced=*/false);
+  }
+  return sub->id;
+}
+
+bool SubscriptionManager::Unsubscribe(int64_t id) {
+  std::shared_ptr<Subscription> sub;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subs_.find(id);
+    if (it == subs_.end()) return false;
+    sub = std::move(it->second);
+    subs_.erase(it);
+  }
+  // Blocks on an in-flight delivery; pending evaluations observe `dead`
+  // before delivering.
+  std::lock_guard<std::mutex> delivery_lock(sub->delivery_mu);
+  sub->dead = true;
+  return true;
+}
+
+void SubscriptionManager::NotifyDocumentChanged(
+    const std::string& doc_key, const std::vector<std::string>& changed_names,
+    bool all_changed, bool removed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  for (const auto& [id, sub] : subs_) {
+    if (!SelectorMatches(sub->selector, doc_key)) continue;
+    if (!all_changed && !removed &&
+        !sub->plan->footprint.Intersects(changed_names)) {
+      // The update provably cannot change this standing query's answer.
+      skipped_disjoint_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ScheduleLocked(sub, doc_key, /*count_coalesced=*/true);
+  }
+}
+
+void SubscriptionManager::ScheduleLocked(
+    const std::shared_ptr<Subscription>& sub, const std::string& doc_key,
+    bool count_coalesced) {
+  if (!scheduled_.emplace(sub->id, doc_key).second) {
+    // Already queued: that evaluation will read the current document state
+    // when it runs, so this churn is absorbed for free.
+    if (count_coalesced) coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ++outstanding_;
+  pool_->Submit([this, sub, doc_key] { RunEvaluation(sub, doc_key); });
+}
+
+void SubscriptionManager::RunEvaluation(
+    const std::shared_ptr<Subscription>& sub, const std::string& doc_key) {
+  // Clear the scheduled mark *before* reading the store: churn landing
+  // after this point schedules a fresh evaluation rather than being
+  // silently absorbed by one that may already have read the older state.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scheduled_.erase({sub->id, doc_key});
+  }
+
+  {
+    // Read-and-deliver under the per-subscription mutex: when two
+    // evaluations of the same pair are in flight, each snapshots the store
+    // only once it holds delivery_mu, so the delivery order IS the snapshot
+    // order — a delivery can never regress the subscriber to an older
+    // revision than one already delivered. (The cost — evaluation is
+    // serialized per subscription — is the point; distinct subscriptions
+    // still evaluate in parallel.)
+    std::lock_guard<std::mutex> delivery_lock(sub->delivery_mu);
+    if (!sub->dead) {
+      std::shared_ptr<const service::StoredDocument> stored =
+          store_->Get(doc_key);
+      eval::NodeSet current;
+      int64_t revision = -1;
+      if (stored != nullptr) {
+        eval::Engine engine;
+        auto run = engine.RunPlan(stored->doc(), *sub->plan);
+        evaluations_.fetch_add(1, std::memory_order_relaxed);
+        // Subscribe() pinned the plan to node-set type; evaluation of a
+        // typed plan cannot fail at runtime.
+        GKX_CHECK(run.ok() && run->value.is_node_set());
+        current = std::move(run->value).TakeNodes();
+        revision = stored->revision();
+      }
+      eval::NodeSet& last = sub->delivered[doc_key];
+      SubscriptionEvent event;
+      event.subscription = sub->id;
+      event.doc_key = doc_key;
+      event.revision = revision;
+      event.doc_removed = stored == nullptr;
+      std::set_difference(current.begin(), current.end(), last.begin(),
+                          last.end(), std::back_inserter(event.added));
+      std::set_difference(last.begin(), last.end(), current.begin(),
+                          current.end(), std::back_inserter(event.removed));
+      if (!event.added.empty() || !event.removed.empty()) {
+        last = std::move(current);
+        fired_.fetch_add(1, std::memory_order_relaxed);
+        sub->callback(event);
+      }
+      if (stored == nullptr) sub->delivered.erase(doc_key);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--outstanding_ == 0) idle_cv_.notify_all();
+}
+
+void SubscriptionManager::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+SubscriptionManager::Counters SubscriptionManager::counters() const {
+  Counters out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.active = static_cast<int64_t>(subs_.size());
+  }
+  out.fired = fired_.load(std::memory_order_relaxed);
+  out.coalesced = coalesced_.load(std::memory_order_relaxed);
+  out.skipped_disjoint = skipped_disjoint_.load(std::memory_order_relaxed);
+  out.evaluations = evaluations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace gkx::mview

@@ -1,0 +1,165 @@
+// Standing queries: instead of re-polling a (document, query) pair, a
+// subscriber registers a compiled plan against a document selector and is
+// *pushed* diffed answers (added/removed node ids) whenever churn actually
+// changes them. This is the push half of the mview layer; the AnswerCache
+// is the pull half, and both key relevance on the same plan footprint.
+//
+// Model. A subscription is (selector, plan, callback). The selector matches
+// document keys exactly, or by prefix with a trailing '*' ("doc*", or the
+// universal "*"). Per matching document the manager tracks the last
+// *delivered* node-set, starting from empty: the first evaluation delivers
+// the full answer as `added`, every subsequent one delivers the symmetric
+// difference, and a removed document delivers its last state as `removed`.
+// Applying a subscription's events for one document in delivery order
+// therefore always reconstructs some legally-observable snapshot — the
+// invariant the soak harness checks against the naive oracle.
+//
+// Re-evaluation and coalescing. Churn notifications do not evaluate
+// inline: affected (subscription, document) pairs are marked scheduled and
+// re-evaluated on the shared ThreadPool. A pair that is already scheduled
+// absorbs further churn for free (`coalesced` counter) — under rapid
+// replacement of one document a subscriber sees a handful of consolidated
+// diffs, not one callback per Put. A pair whose plan footprint is disjoint
+// from the update's changed-name set is skipped outright
+// (`skipped_disjoint`): by the footprint soundness argument
+// (plan/footprint.hpp) its answer cannot have changed.
+//
+// Delivery ordering: per subscription, evaluation + diff + callback run
+// under one mutex, so callbacks for a given subscription never overlap or
+// reorder against the state they were diffed from. Callbacks must not call
+// back into the owning QueryService's corpus-mutation paths (they run on
+// pool threads and may run concurrently with churn).
+//
+// Thread safety: every public method may be called concurrently.
+
+#ifndef GKX_MVIEW_SUBSCRIPTION_HPP_
+#define GKX_MVIEW_SUBSCRIPTION_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "base/status.hpp"
+#include "base/thread_pool.hpp"
+#include "eval/node_set.hpp"
+#include "plan/physical.hpp"
+#include "service/document_store.hpp"
+
+namespace gkx::mview {
+
+/// One delivered diff. `revision` is the store revision the new state was
+/// evaluated against (-1 when the document was removed).
+struct SubscriptionEvent {
+  int64_t subscription = 0;
+  std::string doc_key;
+  int64_t revision = -1;
+  bool doc_removed = false;
+  eval::NodeSet added;    // document order
+  eval::NodeSet removed;  // document order
+};
+
+/// Must be thread-safe; invoked on ThreadPool workers.
+using SubscriptionCallback = std::function<void(const SubscriptionEvent&)>;
+
+class SubscriptionManager {
+ public:
+  struct Counters {
+    int64_t active = 0;            // live subscriptions (gauge)
+    int64_t fired = 0;             // callbacks delivered (non-empty diffs)
+    int64_t coalesced = 0;         // churn absorbed by an already-scheduled pair
+    int64_t skipped_disjoint = 0;  // churn skipped via footprint disjointness
+    int64_t evaluations = 0;       // plan evaluations performed
+  };
+
+  /// `store` and `pool` must outlive the manager (the QueryService owns all
+  /// three and destroys the manager first).
+  SubscriptionManager(const service::DocumentStore* store, ThreadPool* pool);
+
+  /// Quiesces: no further evaluations are scheduled and all in-flight ones
+  /// have finished (and delivered) before destruction returns.
+  ~SubscriptionManager();
+
+  SubscriptionManager(const SubscriptionManager&) = delete;
+  SubscriptionManager& operator=(const SubscriptionManager&) = delete;
+
+  /// Registers a standing query. The plan's root must be node-set-typed.
+  /// The initial answer for every currently-matching document is delivered
+  /// asynchronously as a pure-`added` event. Returns the subscription id.
+  Result<int64_t> Subscribe(std::string doc_selector,
+                            std::shared_ptr<const plan::Physical> plan,
+                            SubscriptionCallback callback);
+
+  /// Deactivates a subscription; returns false if the id is unknown. Once
+  /// this returns, no further callbacks fire for the id (it blocks on a
+  /// delivery already in progress).
+  bool Unsubscribe(int64_t id);
+
+  /// Churn notification (wired to DocumentStore's update listener).
+  /// `all_changed` forces every matching subscription to re-evaluate
+  /// (installs and removals); otherwise `changed_names` (sorted) gates
+  /// per-footprint.
+  void NotifyDocumentChanged(const std::string& doc_key,
+                             const std::vector<std::string>& changed_names,
+                             bool all_changed, bool removed);
+
+  /// Blocks until every evaluation scheduled so far has delivered. Only
+  /// meaningful once concurrent churn has stopped (tests, soak teardown).
+  void Flush();
+
+  Counters counters() const;
+
+  /// True if `selector` matches `key` (exact, or prefix via trailing '*').
+  static bool SelectorMatches(std::string_view selector, std::string_view key);
+
+ private:
+  struct Subscription {
+    int64_t id = 0;
+    std::string selector;
+    std::shared_ptr<const plan::Physical> plan;
+    SubscriptionCallback callback;
+
+    std::mutex delivery_mu;  // serializes evaluate+diff+deliver per sub
+    bool dead = false;       // guarded by delivery_mu
+    // Last delivered node-set per document key; guarded by delivery_mu.
+    std::unordered_map<std::string, eval::NodeSet> delivered;
+  };
+
+  /// Marks (sub, doc) scheduled and posts the evaluation; absorbs the
+  /// notification when already scheduled. Caller must hold mu_.
+  void ScheduleLocked(const std::shared_ptr<Subscription>& sub,
+                      const std::string& doc_key, bool count_coalesced);
+
+  /// Pool task: evaluate the plan on the current document state and deliver
+  /// the diff against the last delivered state.
+  void RunEvaluation(const std::shared_ptr<Subscription>& sub,
+                     const std::string& doc_key);
+
+  const service::DocumentStore* store_;
+  ThreadPool* pool_;
+
+  mutable std::mutex mu_;  // registry + schedule + outstanding
+  std::condition_variable idle_cv_;
+  std::unordered_map<int64_t, std::shared_ptr<Subscription>> subs_;
+  std::set<std::pair<int64_t, std::string>> scheduled_;
+  int64_t next_id_ = 1;
+  int64_t outstanding_ = 0;
+  bool shutdown_ = false;
+
+  std::atomic<int64_t> fired_{0};
+  std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> skipped_disjoint_{0};
+  std::atomic<int64_t> evaluations_{0};
+};
+
+}  // namespace gkx::mview
+
+#endif  // GKX_MVIEW_SUBSCRIPTION_HPP_

@@ -1,0 +1,96 @@
+#include "plan/footprint.hpp"
+
+#include <algorithm>
+
+namespace gkx::plan {
+
+namespace {
+
+void WalkExpr(const xpath::Expr& expr, Footprint* out);
+
+void WalkStep(const xpath::Step& step, Footprint* out) {
+  switch (step.test.kind) {
+    case xpath::NodeTest::Kind::kName:
+      out->names.push_back(step.test.name);
+      break;
+    case xpath::NodeTest::Kind::kAny:
+    case xpath::NodeTest::Kind::kNode:
+      out->any_name = true;
+      break;
+  }
+  for (const xpath::ExprPtr& predicate : step.predicates) {
+    WalkExpr(*predicate, out);
+  }
+}
+
+void WalkExpr(const xpath::Expr& expr, Footprint* out) {
+  switch (expr.kind()) {
+    case xpath::Expr::Kind::kNumberLiteral:
+    case xpath::Expr::Kind::kStringLiteral:
+      return;
+    case xpath::Expr::Kind::kBinary: {
+      const auto& binary = expr.As<xpath::BinaryExpr>();
+      WalkExpr(binary.lhs(), out);
+      WalkExpr(binary.rhs(), out);
+      return;
+    }
+    case xpath::Expr::Kind::kNegate:
+      WalkExpr(expr.As<xpath::NegateExpr>().operand(), out);
+      return;
+    case xpath::Expr::Kind::kFunctionCall: {
+      const auto& call = expr.As<xpath::FunctionCall>();
+      for (size_t i = 0; i < call.arg_count(); ++i) WalkExpr(call.arg(i), out);
+      return;
+    }
+    case xpath::Expr::Kind::kPath: {
+      const auto& path = expr.As<xpath::PathExpr>();
+      for (size_t s = 0; s < path.step_count(); ++s) WalkStep(path.step(s), out);
+      return;
+    }
+    case xpath::Expr::Kind::kUnion: {
+      const auto& u = expr.As<xpath::UnionExpr>();
+      for (size_t b = 0; b < u.branch_count(); ++b) WalkExpr(u.branch(b), out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool Footprint::Intersects(const std::vector<std::string>& changed) const {
+  if (any_name) return true;
+  // Both sides are sorted and duplicate-free; one linear merge pass.
+  auto mine = names.begin();
+  auto theirs = changed.begin();
+  while (mine != names.end() && theirs != changed.end()) {
+    if (*mine == *theirs) return true;
+    if (*mine < *theirs) {
+      ++mine;
+    } else {
+      ++theirs;
+    }
+  }
+  return false;
+}
+
+std::string Footprint::ToString() const {
+  if (any_name) return "any";
+  std::string out = "{";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ',';
+    out += names[i];
+  }
+  out += '}';
+  return out;
+}
+
+Footprint ExtractFootprint(const xpath::Query& query) {
+  Footprint out;
+  WalkExpr(query.root(), &out);
+  std::sort(out.names.begin(), out.names.end());
+  out.names.erase(std::unique(out.names.begin(), out.names.end()),
+                  out.names.end());
+  return out;
+}
+
+}  // namespace gkx::plan

@@ -1,0 +1,62 @@
+// The dependency extractor for materialized answers (gkx::mview): a
+// conservative *name footprint* per compiled plan. The footprint is the set
+// of tag/label names the plan's node tests mention, plus an `any_name` flag
+// for wildcard (*) and node() tests.
+//
+// Soundness argument (why footprint-disjoint updates cannot change an
+// answer): if `any_name` is false and no footprint name occurs in either the
+// old or the new revision of a document (names here include extra labels,
+// Remark 3.1), then every location path in the plan is dead on both
+// revisions — its first name-tested step filters the axis image by a name
+// no node carries, so the path yields the empty node-set, and so does every
+// continuation of it. The only document-dependent leaves of an XPath 1.0
+// expression in our fragment are location paths (there is no attribute axis
+// and no id()), and the root node itself is always NodeId 0, so the
+// evaluation of the whole expression — unions, predicates, count()/sum()/
+// string() over those empty sets, literals, arithmetic — is a pure function
+// of the query alone. Old answer == new answer, and a cached entry (or a
+// standing query's last delivered diff) may be carried across the update
+// untouched. Any plan that could observe nodes regardless of their names
+// ("/child::*", "//node()") sets `any_name` and is invalidated by every
+// update of a matching document.
+//
+// The footprint is computed once at plan-compile time (plan::Lower) and
+// travels with the immutable Physical, so invalidation never re-walks an
+// AST on the churn path.
+
+#ifndef GKX_PLAN_FOOTPRINT_HPP_
+#define GKX_PLAN_FOOTPRINT_HPP_
+
+#include <string>
+#include <vector>
+
+#include "xpath/ast.hpp"
+
+namespace gkx::plan {
+
+/// The conservative tag/axis dependency set of a compiled plan.
+struct Footprint {
+  /// True when the plan can observe nodes independent of their names (a *
+  /// or node() test anywhere, including inside predicates): every document
+  /// update must then be treated as relevant.
+  bool any_name = false;
+  /// Sorted, duplicate-free names mentioned by kName node tests anywhere in
+  /// the query (top-level steps, predicates, function arguments, unions).
+  std::vector<std::string> names;
+
+  /// True if an update whose changed-name set is `changed` (sorted,
+  /// duplicate-free) may affect this plan's answer. Empty footprints
+  /// (e.g. the bare "/") depend on no names at all and always return false
+  /// unless `any_name` is set.
+  bool Intersects(const std::vector<std::string>& changed) const;
+
+  /// "any" or "{a,b,c}" (for logs and test diagnostics).
+  std::string ToString() const;
+};
+
+/// Walks the (normalized) query and collects its footprint.
+Footprint ExtractFootprint(const xpath::Query& query);
+
+}  // namespace gkx::plan
+
+#endif  // GKX_PLAN_FOOTPRINT_HPP_

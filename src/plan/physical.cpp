@@ -39,6 +39,7 @@ Physical Lower(Logical logical) {
   out.fragment = std::move(logical.fragment);
   out.steps = std::move(logical.steps);
   out.choice = WholeQueryRoute(out.fragment);
+  out.footprint = ExtractFootprint(out.query);
 
   // Collect the top-level branch paths (root path, or union of paths).
   // Anything else — scalar roots, unions with non-path branches — keeps

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "plan/footprint.hpp"
 #include "plan/ir.hpp"
 
 namespace gkx::plan {
@@ -64,6 +65,10 @@ struct Physical {
   /// (consecutive duplicates collapsed); for uniform plans this is just the
   /// evaluator name. This is what Engine::Answer.evaluator reports.
   std::string route_label;
+
+  /// Conservative tag/axis dependency set (see footprint.hpp) — what the
+  /// mview answer cache and subscription manager key invalidation on.
+  Footprint footprint;
 
   std::string_view evaluator_name() const { return route_label; }
 };

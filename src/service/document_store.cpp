@@ -19,14 +19,28 @@ bool StoredDocument::index_built() const {
   return index_built_.load(std::memory_order_acquire);
 }
 
+std::vector<std::string> StoredDocument::NameSet() const {
+  if (index_built()) return index().PresentNames();
+  std::vector<std::string> names = doc_.InternedNames();
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 Status DocumentStore::Put(std::string key, xml::Document doc) {
   if (doc.empty()) {
     return InvalidArgumentError("cannot register empty document under key '" +
                                 key + "'");
   }
-  auto stored = std::make_shared<const StoredDocument>(std::move(doc));
-  std::lock_guard<std::mutex> lock(mu_);
-  docs_[std::move(key)] = std::move(stored);
+  auto stored = std::make_shared<const StoredDocument>(
+      std::move(doc), next_revision_.fetch_add(1, std::memory_order_relaxed));
+  std::shared_ptr<const StoredDocument> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = docs_[key];
+    old = std::move(slot);
+    slot = stored;
+  }
+  if (listener_) listener_(key, old, stored);
   return Status::Ok();
 }
 
@@ -44,8 +58,17 @@ std::shared_ptr<const StoredDocument> DocumentStore::Get(
 }
 
 bool DocumentStore::Remove(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return docs_.erase(std::string(key)) > 0;
+  std::string key_string(key);
+  std::shared_ptr<const StoredDocument> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = docs_.find(key_string);
+    if (it == docs_.end()) return false;
+    old = std::move(it->second);
+    docs_.erase(it);
+  }
+  if (listener_) listener_(key_string, old, nullptr);
+  return true;
 }
 
 std::vector<std::string> DocumentStore::Keys() const {

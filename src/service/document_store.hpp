@@ -5,6 +5,22 @@
 // Document itself stays exactly the immutable preorder tree the evaluators
 // already know.
 //
+// Revisions: every Put stamps the stored document with a revision id drawn
+// from one store-wide monotonic counter. Revisions are never reused — not
+// across replacements of a key and not across Remove + re-Put — so an
+// equality check against a StoredDocument::revision() can never confuse two
+// distinct document states (no ABA). The mview answer cache keys cached
+// answers by exactly this id.
+//
+// Update listener: an optional hook observing every corpus mutation
+// (install, replace, remove), invoked *after* the store reflects the change
+// and outside the store mutex (so a listener may call back into the store).
+// Because it runs outside the lock, two racing Puts of the same key may
+// invoke their listeners out of order; listeners must key any derived state
+// on the revision ids, which totally order the transitions. This is the
+// churn signal the mview layer (answer-cache invalidation, standing-query
+// re-evaluation) hangs off.
+//
 // Thread safety: the store is fully thread-safe. Get() hands out
 // shared_ptrs, so removing or replacing a key never invalidates documents
 // that in-flight requests are still evaluating against.
@@ -13,6 +29,8 @@
 #define GKX_SERVICE_DOCUMENT_STORE_HPP_
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,12 +44,17 @@
 
 namespace gkx::service {
 
-/// A registered document plus its lazily-built index.
+/// A registered document plus its lazily-built index and store revision.
 class StoredDocument {
  public:
-  explicit StoredDocument(xml::Document doc) : doc_(std::move(doc)) {}
+  explicit StoredDocument(xml::Document doc, int64_t revision = 0)
+      : doc_(std::move(doc)), revision_(revision) {}
 
   const xml::Document& doc() const { return doc_; }
+
+  /// Store-wide monotonic revision id assigned at Put time (0 for documents
+  /// constructed outside a store, e.g. in tests).
+  int64_t revision() const { return revision_; }
 
   /// The acceleration index; built on first call (thread-safe, at most once).
   const xml::DocumentIndex& index() const;
@@ -39,8 +62,15 @@ class StoredDocument {
   /// True if index() has been called (for tests / stats).
   bool index_built() const;
 
+  /// The document's sorted tag/label name set — what footprint invalidation
+  /// intersects against. Reads it off the index when one is already built;
+  /// otherwise a single pass over the intern pool, WITHOUT materializing
+  /// posting lists (churn must not pay two index builds per replacement).
+  std::vector<std::string> NameSet() const;
+
  private:
   xml::Document doc_;
+  int64_t revision_ = 0;
   mutable std::once_flag index_once_;
   mutable std::unique_ptr<xml::DocumentIndex> index_;
   mutable std::atomic<bool> index_built_{false};
@@ -48,6 +78,20 @@ class StoredDocument {
 
 class DocumentStore {
  public:
+  /// Observes corpus mutations. `old_doc` is nullptr on a fresh install,
+  /// `new_doc` is nullptr on removal; both are non-null on replacement.
+  /// Called outside the store mutex, after the store reflects the change.
+  using UpdateListener = std::function<void(
+      const std::string& key, const std::shared_ptr<const StoredDocument>& old_doc,
+      const std::shared_ptr<const StoredDocument>& new_doc)>;
+
+  /// Installs the mutation observer. Not thread-safe against concurrent
+  /// Put/Remove — set it once, before traffic (the QueryService does this in
+  /// its constructor).
+  void SetUpdateListener(UpdateListener listener) {
+    listener_ = std::move(listener);
+  }
+
   /// Registers (or replaces) a document under `key`. Empty documents are
   /// rejected: they have no root context to evaluate in.
   Status Put(std::string key, xml::Document doc);
@@ -70,6 +114,8 @@ class DocumentStore {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const StoredDocument>> docs_;
+  std::atomic<int64_t> next_revision_{1};
+  UpdateListener listener_;
 };
 
 }  // namespace gkx::service

@@ -1,5 +1,7 @@
 #include "service/query_service.hpp"
 
+#include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "base/stopwatch.hpp"
@@ -12,7 +14,16 @@ QueryService::QueryService(const Options& options)
     : options_(options),
       pool_(options.pool ? options.pool : &ThreadPool::Shared()),
       plan_cache_(options.plan_cache),
-      latency_(options.latency_window) {}
+      answer_cache_(options.answer_cache),
+      subscriptions_(&store_, pool_),
+      latency_(options.latency_window) {
+  store_.SetUpdateListener(
+      [this](const std::string& key,
+             const std::shared_ptr<const StoredDocument>& old_doc,
+             const std::shared_ptr<const StoredDocument>& new_doc) {
+        OnCorpusUpdate(key, old_doc, new_doc);
+      });
+}
 
 Status QueryService::RegisterDocument(std::string key, xml::Document doc) {
   return store_.Put(std::move(key), std::move(doc));
@@ -24,6 +35,32 @@ Status QueryService::RegisterXml(std::string key, std::string_view xml) {
 
 bool QueryService::RemoveDocument(std::string_view key) {
   return store_.Remove(key);
+}
+
+void QueryService::OnCorpusUpdate(
+    const std::string& key, const std::shared_ptr<const StoredDocument>& old_doc,
+    const std::shared_ptr<const StoredDocument>& new_doc) {
+  const bool replacement = old_doc != nullptr && new_doc != nullptr;
+  // The update's changed-name set: a plan whose footprint avoids every name
+  // of *both* revisions cannot see the difference (plan/footprint.hpp), so
+  // the union of the two tag sets is a sound, per-document-precise delta.
+  // NameSet() reads the intern pool (or an already-built index) — churn
+  // does not pay for posting-list construction.
+  std::vector<std::string> changed;
+  if (replacement) {
+    const std::vector<std::string> before = old_doc->NameSet();
+    const std::vector<std::string> after = new_doc->NameSet();
+    changed.reserve(before.size() + after.size());
+    std::set_union(before.begin(), before.end(), after.begin(), after.end(),
+                   std::back_inserter(changed));
+  }
+  if (options_.answer_cache_enabled) {
+    answer_cache_.OnDocumentUpdate(key, old_doc ? old_doc->revision() : -1,
+                                   new_doc ? new_doc->revision() : -1, changed);
+  }
+  subscriptions_.NotifyDocumentChanged(key, changed,
+                                       /*all_changed=*/!replacement,
+                                       /*removed=*/new_doc == nullptr);
 }
 
 Result<QueryService::Answer> QueryService::Process(
@@ -48,7 +85,18 @@ Result<QueryService::Answer> QueryService::Process(
 
   Answer answer;
   bool answered = false;
-  if (options_.indexed_fast_path && plan->fragment.in_pf) {
+  bool from_answer_cache = false;
+  if (options_.answer_cache_enabled) {
+    // The revision pins the exact document state this request snapshotted;
+    // a hit is byte-identical to evaluating `stored` fresh.
+    if (auto cached = answer_cache_.Lookup(doc_key, stored->revision(),
+                                           plan->canonical_text)) {
+      answer = cached->answer;
+      answered = true;
+      from_answer_cache = true;
+    }
+  }
+  if (!answered && options_.indexed_fast_path && plan->fragment.in_pf) {
     if (auto nodes = TryIndexedPath(stored->index(), plan->query)) {
       answer.value = eval::Value::Nodes(std::move(*nodes));
       answer.fragment = plan->fragment;
@@ -61,10 +109,17 @@ Result<QueryService::Answer> QueryService::Process(
     if (!run.ok()) return fail(run.status());
     answer = std::move(run).value();
   }
+  if (options_.answer_cache_enabled && !from_answer_cache) {
+    // Cache the true answer before the (test-only) tap can perturb it.
+    answer_cache_.Insert(doc_key, stored->revision(), plan->canonical_text,
+                         answer, plan->footprint);
+  }
   if (options_.answer_tap) options_.answer_tap(&answer);
 
   evaluator_counters_.Increment(answer.evaluator);
-  if (plan->staged) {
+  if (from_answer_cache) {
+    // Nothing executed; segment counters track evaluated plans only.
+  } else if (plan->staged) {
     for (const auto& branch : plan->branches) {
       for (const auto& segment : branch.segments) {
         segment_route_counters_.Increment(plan::RouteName(segment.route));
@@ -121,6 +176,26 @@ std::vector<Result<QueryService::Answer>> QueryService::SubmitBatch(
   return responses;
 }
 
+Result<int64_t> QueryService::Subscribe(std::string doc_selector,
+                                        const std::string& query_text,
+                                        mview::SubscriptionCallback callback) {
+  // Standing queries compile outside the PlanCache: they are long-lived
+  // (the subscription pins its plan anyway) and must not skew the
+  // lookups-per-request reconciliation the soak harness checks.
+  auto plan = eval::Engine::Compile(query_text);
+  if (!plan.ok()) return plan.status();
+  return subscriptions_.Subscribe(
+      std::move(doc_selector),
+      std::make_shared<const eval::Engine::Plan>(std::move(plan).value()),
+      std::move(callback));
+}
+
+bool QueryService::Unsubscribe(int64_t subscription_id) {
+  return subscriptions_.Unsubscribe(subscription_id);
+}
+
+void QueryService::FlushSubscriptions() { subscriptions_.Flush(); }
+
 ServiceStats QueryService::Stats() const {
   ServiceStats out;
   out.requests = requests_.load(std::memory_order_relaxed);
@@ -129,6 +204,11 @@ ServiceStats QueryService::Stats() const {
   out.documents = store_.size();
   out.plan_cache_entries = plan_cache_.size();
   out.plan_cache = plan_cache_.counters();
+  out.answer_cache_enabled = options_.answer_cache_enabled;
+  if (options_.answer_cache_enabled) {
+    out.answer_cache = answer_cache_.counters();
+  }
+  out.subscriptions = subscriptions_.counters();
   out.evaluator_counts = evaluator_counters_.Snapshot();
   out.segment_route_counts = segment_route_counters_.Snapshot();
   out.latency = latency_.Summary();

@@ -1,25 +1,35 @@
 // The serving facade — the first long-lived, stateful layer above
 // eval::Engine. A QueryService owns
 //   * a DocumentStore: named documents registered once, evaluated many
-//     times, each with a lazily-built DocumentIndex;
-//   * a PlanCache: compiled {AST, fragment report, evaluator choice} plans
-//     shared across requests and documents (shard-locked LRU);
-//   * a ThreadPool: SubmitBatch fans requests out over it (the same pool
-//     the parallel PDA evaluator uses — nesting is safe, see
-//     base/thread_pool.hpp).
+//     times, each with a lazily-built DocumentIndex and a store-wide
+//     monotonic revision id;
+//   * a PlanCache: compiled plan::Physical plans shared across requests and
+//     documents (shard-locked LRU, canonical-form aliasing);
+//   * an mview::AnswerCache: fully evaluated answers keyed by
+//     (document, revision, canonical plan), invalidated per plan footprint
+//     when documents churn (see mview/answer_cache.hpp);
+//   * an mview::SubscriptionManager: standing queries that push diffed
+//     answers to callbacks on churn instead of being re-polled;
+//   * a ThreadPool: SubmitBatch fans requests out over it, and subscription
+//     re-evaluations run on it (the same pool the parallel PDA evaluator
+//     uses — nesting is safe, see base/thread_pool.hpp).
 //
 // Request flow: Submit(doc_key, query)
 //   1. document lookup (shared_ptr — removal never races an evaluation),
 //   2. plan lookup/compile in the PlanCache (repeat queries skip
 //      lex/parse/classify),
-//   3. dispatch: the indexed PF fast path when the plan's shape allows it
-//      (evaluator label "pf-indexed"), otherwise the fragment-chosen engine
-//      exactly as Engine::Run would.
+//   3. answer-cache lookup by (doc, revision, canonical plan) — a hit skips
+//      evaluation entirely and is byte-identical to running the plan,
+//   4. on miss, dispatch: the indexed PF fast path when the plan's shape
+//      allows it (evaluator label "pf-indexed"), otherwise the
+//      fragment-chosen engine exactly as Engine::Run would; the fresh
+//      answer is inserted into the answer cache.
 // Answer *values* are identical to a fresh Engine::Run of the same text.
 // The fragment report and evaluator label describe the cached plan, which
 // is compiled from the query's canonical (optimized) form — so a
 // pessimized spelling can legitimately report a smaller fragment and a
 // cheaper engine ("pf-indexed" on the fast path) than its surface syntax.
+// A cached answer reports the evaluator label it was produced with.
 //
 // Thread safety: every public method may be called concurrently.
 
@@ -27,6 +37,7 @@
 #define GKX_SERVICE_QUERY_SERVICE_HPP_
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -36,6 +47,8 @@
 #include "base/status.hpp"
 #include "base/thread_pool.hpp"
 #include "eval/engine.hpp"
+#include "mview/answer_cache.hpp"
+#include "mview/subscription.hpp"
 #include "service/document_store.hpp"
 #include "service/plan_cache.hpp"
 #include "service/stats.hpp"
@@ -50,12 +63,21 @@ struct ServiceStats {
   size_t documents = 0;
   size_t plan_cache_entries = 0;
   PlanCache::Counters plan_cache;
+  /// Materialized answers: answer_cache.{hits,misses,invalidations,bytes,
+  /// retained,evictions,entries}. When the cache is disabled every field
+  /// stays 0.
+  bool answer_cache_enabled = false;
+  mview::AnswerCache::Counters answer_cache;
+  /// Standing queries: subscriptions.{active,fired,coalesced,
+  /// skipped_disjoint,evaluations}.
+  mview::SubscriptionManager::Counters subscriptions;
   std::map<std::string, int64_t> evaluator_counts;
   /// How often each route executed as a plan *segment*: a hybrid plan
   /// counts one increment per segment ("pf-frontier", "core-linear",
   /// "cvt"), a uniform plan counts as its single whole-query segment, the
-  /// index fast path as "pf-indexed". Σ segment counts >= Σ evaluator
-  /// counts, with equality when no hybrid plan ran.
+  /// index fast path as "pf-indexed". Answer-cache hits execute nothing and
+  /// increment no segment counter (their evaluator label still counts in
+  /// evaluator_counts), so Σ segment counts tracks *evaluated* requests.
   std::map<std::string, int64_t> segment_route_counts;
   LatencySummary latency;
 };
@@ -64,8 +86,12 @@ class QueryService {
  public:
   struct Options {
     PlanCache::Options plan_cache;
-    /// Pool for SubmitBatch (and, via the engines, parallel evaluation);
-    /// nullptr = ThreadPool::Shared().
+    /// Materialized answer cache (see mview/answer_cache.hpp). Enabled by
+    /// default; disable to measure raw evaluation throughput.
+    bool answer_cache_enabled = true;
+    mview::AnswerCache::Options answer_cache;
+    /// Pool for SubmitBatch and subscription re-evaluation (and, via the
+    /// engines, parallel evaluation); nullptr = ThreadPool::Shared().
     ThreadPool* pool = nullptr;
     /// Concurrent workers per batch; 0 = pool width (the calling thread
     /// always participates).
@@ -75,10 +101,12 @@ class QueryService {
     /// Latency reservoir size.
     size_t latency_window = 4096;
     /// Test-only fault-injection hook: invoked on every successful answer
-    /// (after dispatch, before counters/latency are recorded) and may mutate
-    /// it to simulate an engine defect. The soak harness uses this to prove
-    /// its oracle catches semantic divergences. Must be thread-safe.
-    /// nullptr (the default) = production behaviour, zero overhead.
+    /// (after dispatch or answer-cache hit, before counters/latency are
+    /// recorded) and may mutate it to simulate an engine defect. The soak
+    /// harness uses this to prove its oracle catches semantic divergences.
+    /// Fresh answers are cached *before* the tap runs, so the cache holds
+    /// true answers and the tap perturbs every serve alike. Must be
+    /// thread-safe. nullptr (the default) = production behaviour.
     std::function<void(eval::Engine::Answer* answer)> answer_tap;
   };
 
@@ -93,7 +121,8 @@ class QueryService {
   explicit QueryService(const Options& options);
 
   // -------------------------------------------------------------- corpus
-  /// Registers (or replaces) a parsed document.
+  /// Registers (or replaces) a parsed document. Replacement invalidates
+  /// affected answer-cache entries and wakes affected subscriptions.
   Status RegisterDocument(std::string key, xml::Document doc);
   /// Parses and registers.
   Status RegisterXml(std::string key, std::string_view xml);
@@ -109,19 +138,44 @@ class QueryService {
   /// to requests[i]; per-request failures do not affect other requests.
   std::vector<Result<Answer>> SubmitBatch(const std::vector<Request>& requests);
 
+  // -------------------------------------------------------- subscriptions
+  /// Registers a standing query: `doc_selector` is an exact document key or
+  /// a trailing-'*' prefix pattern ("doc*", "*"); `query_text` must be
+  /// node-set-typed. The callback receives the initial answer as a
+  /// pure-`added` diff and subsequent churn as added/removed diffs, on pool
+  /// threads (see mview/subscription.hpp for ordering and coalescing).
+  Result<int64_t> Subscribe(std::string doc_selector,
+                            const std::string& query_text,
+                            mview::SubscriptionCallback callback);
+  /// Stops a standing query; no callbacks fire after this returns.
+  bool Unsubscribe(int64_t subscription_id);
+  /// Blocks until all subscription evaluations scheduled so far delivered.
+  void FlushSubscriptions();
+
   // -------------------------------------------------------------- admin
   ServiceStats Stats() const;
   const PlanCache& plan_cache() const { return plan_cache_; }
+  const mview::AnswerCache& answer_cache() const { return answer_cache_; }
 
  private:
   /// Full request path; `engine` is the calling worker's private engine.
   Result<Answer> Process(eval::Engine& engine, const std::string& doc_key,
                          const std::string& query_text);
 
+  /// DocumentStore update listener: computes the changed-name set and fans
+  /// it out to answer-cache invalidation and subscription scheduling.
+  void OnCorpusUpdate(const std::string& key,
+                      const std::shared_ptr<const StoredDocument>& old_doc,
+                      const std::shared_ptr<const StoredDocument>& new_doc);
+
   Options options_;
   ThreadPool* pool_;  // never null after construction
   DocumentStore store_;
   PlanCache plan_cache_;
+  mview::AnswerCache answer_cache_;
+  mview::SubscriptionManager subscriptions_;  // declared after store_/pool_:
+                                              // destroyed first, quiescing
+                                              // pool tasks that use them
   EvaluatorCounters evaluator_counters_;
   EvaluatorCounters segment_route_counters_;
   LatencyRecorder latency_;

@@ -12,7 +12,8 @@ std::string AnswerDigest(const eval::Value& value) {
   return value.DebugString();
 }
 
-Oracle::Oracle(const Schedule& schedule) {
+Oracle::Oracle(const Schedule& schedule,
+               const std::vector<int32_t>& standing_queries) {
   // Which queries ever run against which document? The zipfian workload
   // touches a small popular core, so precomputing only occurring pairs is
   // much cheaper than the full cross product.
@@ -23,6 +24,9 @@ Oracle::Oracle(const Schedule& schedule) {
     for (const auto& [doc, query] : op.requests) {
       used[static_cast<size_t>(doc)][static_cast<size_t>(query)] = true;
     }
+  }
+  for (int32_t query : standing_queries) {
+    for (auto& doc_used : used) doc_used[static_cast<size_t>(query)] = true;
   }
 
   // Parse the pool once; the oracle evaluates the RAW query text — it must

@@ -28,8 +28,12 @@ class Oracle {
  public:
   /// Precomputes digests for every (doc, query) pair that occurs in the
   /// schedule, across all revisions of that doc (a concurrent reader may
-  /// legally observe any of them).
-  explicit Oracle(const Schedule& schedule);
+  /// legally observe any of them). `standing_queries` (pool indexes) are
+  /// additionally precomputed against *every* document — standing
+  /// subscriptions watch the whole corpus, not just the pairs traffic
+  /// happens to touch.
+  explicit Oracle(const Schedule& schedule,
+                  const std::vector<int32_t>& standing_queries = {});
 
   /// The expected digest for (doc, revision, query). CHECK-fails if the
   /// pair cannot occur in the schedule (it was never precomputed).

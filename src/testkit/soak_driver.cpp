@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,7 +11,9 @@
 #include <utility>
 
 #include "base/check.hpp"
+#include "mview/subscription.hpp"
 #include "xml/serializer.hpp"
+#include "xpath/parser.hpp"
 
 namespace gkx::testkit {
 namespace {
@@ -23,13 +26,52 @@ int64_t SumCounts(const std::map<std::string, int64_t>& counts) {
   return total;
 }
 
+/// The first `wanted` pool queries a subscription can watch (node-set-typed
+/// roots; scalar queries have no added/removed diff).
+std::vector<int32_t> PickStandingQueries(const Schedule& schedule, int wanted) {
+  std::vector<int32_t> picked;
+  for (size_t q = 0; q < schedule.queries.size() &&
+                     picked.size() < static_cast<size_t>(std::max(0, wanted));
+       ++q) {
+    xpath::Query parsed = xpath::MustParse(schedule.queries[q]);
+    if (xpath::StaticType(parsed.root()) == xpath::ValueType::kNodeSet) {
+      picked.push_back(static_cast<int32_t>(q));
+    }
+  }
+  return picked;
+}
+
+/// Applies one delivered diff to the reconstructed state; false if the diff
+/// is structurally impossible (removing absent nodes / re-adding present
+/// ones — a duplicated, reordered, or corrupted delivery).
+bool ApplyDiff(eval::NodeSet* applied, const mview::SubscriptionEvent& event) {
+  if (!std::includes(applied->begin(), applied->end(), event.removed.begin(),
+                     event.removed.end())) {
+    return false;
+  }
+  for (xml::NodeId node : event.added) {
+    if (std::binary_search(applied->begin(), applied->end(), node)) return false;
+  }
+  eval::NodeSet after_removal;
+  std::set_difference(applied->begin(), applied->end(), event.removed.begin(),
+                      event.removed.end(), std::back_inserter(after_removal));
+  eval::NodeSet next;
+  std::set_union(after_removal.begin(), after_removal.end(),
+                 event.added.begin(), event.added.end(),
+                 std::back_inserter(next));
+  *applied = std::move(next);
+  return true;
+}
+
 class Replay {
  public:
   Replay(const Schedule& schedule, const SoakOptions& options)
       : schedule_(schedule),
         threads_(std::max(1, options.threads)),
         max_reported_(options.max_failures_reported),
-        oracle_(schedule) {
+        answer_cache_enabled_(options.service.answer_cache_enabled),
+        standing_(PickStandingQueries(schedule, options.standing_queries)),
+        oracle_(schedule, standing_) {
     // Compose the eviction observation on top of any caller-provided hook.
     QueryService::Options service_options = options.service;
     auto caller_hook = service_options.plan_cache.on_evict;
@@ -48,6 +90,21 @@ class Replay {
                     .ok());
       max_rev_.push_back(static_cast<int32_t>(schedule.revisions[d].size()) - 1);
     }
+
+    // Standing queries watch the whole corpus; deliveries are collected per
+    // (subscription, document) in arrival order (delivery per subscription
+    // is serialized by the manager, so arrival order == delivery order).
+    for (int32_t query : standing_) {
+      auto subscribed = service_->Subscribe(
+          "doc*", schedule.queries[static_cast<size_t>(query)],
+          [this](const mview::SubscriptionEvent& event) {
+            observed_deliveries_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(events_mu_);
+            events_[{event.subscription, event.doc_key}].push_back(event);
+          });
+      GKX_CHECK(subscribed.ok());
+      subs_.emplace_back(*subscribed, query);
+    }
   }
 
   SoakReport Run() {
@@ -57,6 +114,9 @@ class Replay {
       workers.emplace_back([this, t] { Worker(t); });
     }
     for (auto& worker : workers) worker.join();
+    // Churn has stopped; drain pending subscription evaluations so the
+    // collected diff streams (and the fired counter) are final.
+    service_->FlushSubscriptions();
 
     SoakReport report;
     report.seed = schedule_.seed;
@@ -68,6 +128,7 @@ class Replay {
     report.errors = errors_.load();
     report.stats = service_->Stats();
     CheckFinalDocuments(&report);
+    CheckSubscriptions(&report);
     CheckStats(&report);
     {
       std::lock_guard<std::mutex> lock(failures_mu_);
@@ -186,6 +247,62 @@ class Replay {
     }
   }
 
+  /// Re-applies each (subscription, document) diff stream from the empty
+  /// set: every intermediate state must be the oracle answer at *some*
+  /// revision (diffs are coalesced snapshots of states that really
+  /// existed), and the final state must match the highest revision.
+  void CheckSubscriptions(SoakReport* report) {
+    report->subscriptions = static_cast<int64_t>(subs_.size());
+    report->subscription_events = observed_deliveries_.load();
+    if (subs_.empty()) return;
+    auto violation = [this, report](int64_t sub, int32_t doc, int32_t query,
+                                    size_t event_index, const std::string& what,
+                                    const std::string& digest) {
+      ++report->subscription_violations;
+      std::ostringstream message;
+      message << "subscription violation: seed=" << schedule_.seed
+              << " op=post-join sub=" << sub << " doc="
+              << schedule_.doc_keys[static_cast<size_t>(doc)] << " query='"
+              << schedule_.queries[static_cast<size_t>(query)] << "' event="
+              << event_index << " " << what << " state=" << digest
+              << " | replay: CompileWorkload(seed=" << schedule_.seed << ")";
+      RecordFailure(message.str());
+    };
+    for (const auto& [sub_id, query] : subs_) {
+      for (size_t d = 0; d < schedule_.doc_keys.size(); ++d) {
+        const int32_t doc = static_cast<int32_t>(d);
+        const int32_t hi = max_rev_[d];
+        eval::NodeSet applied;
+        auto it = events_.find({sub_id, schedule_.doc_keys[d]});
+        if (it != events_.end()) {
+          for (size_t e = 0; e < it->second.size(); ++e) {
+            if (!ApplyDiff(&applied, it->second[e])) {
+              violation(sub_id, doc, query, e,
+                        "diff removes absent / re-adds present nodes",
+                        AnswerDigest(eval::Value::Nodes(eval::NodeSet(applied))));
+              break;
+            }
+            const std::string digest =
+                AnswerDigest(eval::Value::Nodes(eval::NodeSet(applied)));
+            if (!oracle_.MatchesAnyRevision(doc, 0, hi, query, digest)) {
+              violation(sub_id, doc, query, e,
+                        "state matches no revision's oracle answer", digest);
+            }
+          }
+        }
+        const std::string final_digest =
+            AnswerDigest(eval::Value::Nodes(std::move(applied)));
+        if (final_digest != oracle_.Expected(doc, hi, query)) {
+          violation(sub_id, doc, query,
+                    it == events_.end() ? 0 : it->second.size(),
+                    "final state != highest revision (want " +
+                        oracle_.Expected(doc, hi, query) + ")",
+                    final_digest);
+        }
+      }
+    }
+  }
+
   void CheckStats(SoakReport* report) {
     const service::ServiceStats& stats = report->stats;
     int64_t batch_ops = 0;
@@ -217,6 +334,23 @@ class Replay {
             "eviction counter != evictions observed via on_evict");
     require(stats.plan_cache_entries <= service_->plan_cache().capacity_bound(),
             "plan cache exceeded its capacity bound");
+    if (answer_cache_enabled_ && report->errors == 0) {
+      require(stats.answer_cache.hits + stats.answer_cache.misses ==
+                  stats.requests - stats.failures,
+              "answer cache lookups != successful requests");
+      require(stats.answer_cache.inserts + stats.answer_cache.declined ==
+                  stats.answer_cache.misses,
+              "answer cache misses don't reconcile to inserts + declines");
+      require(stats.answer_cache.entries <=
+                  static_cast<int64_t>(service_->answer_cache().capacity_bound()),
+              "answer cache exceeded its capacity bound");
+      require(stats.answer_cache.bytes >= 0,
+              "answer cache byte gauge went negative");
+    }
+    require(stats.subscriptions.fired == observed_deliveries_.load(),
+            "subscription fired counter != deliveries observed");
+    require(stats.subscriptions.active == static_cast<int64_t>(subs_.size()),
+            "active subscription gauge != registered standing queries");
   }
 
   void RecordFailure(std::string message) {
@@ -227,13 +361,20 @@ class Replay {
   const Schedule& schedule_;
   const int threads_;
   const size_t max_reported_;
+  const bool answer_cache_enabled_;
+  std::vector<int32_t> standing_;  // pool indexes (before oracle_: init order)
   Oracle oracle_;
   std::unique_ptr<QueryService> service_;
+  std::vector<std::pair<int64_t, int32_t>> subs_;  // (subscription id, query)
   std::vector<int32_t> max_rev_;
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> divergences_{0};
   std::atomic<int64_t> errors_{0};
   std::atomic<int64_t> observed_evictions_{0};
+  std::atomic<int64_t> observed_deliveries_{0};
+  std::mutex events_mu_;
+  std::map<std::pair<int64_t, std::string>, std::vector<mview::SubscriptionEvent>>
+      events_;
   std::mutex failures_mu_;
   std::vector<std::string> failures_;
 };
@@ -247,8 +388,14 @@ std::string SoakReport::Summary() const {
       << oracle_evaluations << " evals — "
       << (ok() ? "PASS" : "FAIL") << " (divergences=" << divergences
       << " errors=" << errors << " lost_updates=" << lost_updates
-      << " stats_violations=" << stats_violations << "); cache hit rate "
-      << stats.plan_cache.HitRate();
+      << " stats_violations=" << stats_violations
+      << " subscription_violations=" << subscription_violations
+      << "); plan cache hit rate " << stats.plan_cache.HitRate()
+      << ", answer cache hit rate " << stats.answer_cache.HitRate() << " ("
+      << stats.answer_cache.invalidations << " invalidated, "
+      << stats.answer_cache.retained << " retained), " << subscriptions
+      << " standing queries (" << subscription_events << " diffs, "
+      << stats.subscriptions.coalesced << " coalesced)";
   for (const std::string& failure : failures) out << "\n  " << failure;
   return out.str();
 }

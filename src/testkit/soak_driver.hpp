@@ -21,7 +21,17 @@
 //     plan-cache lookup, parse failures are impossible by construction,
 //     evaluator counts and the latency reservoir must sum to the request
 //     count, and evictions observed through the PlanCache on_evict hook
-//     must equal the eviction counter.
+//     must equal the eviction counter. When the answer cache is enabled its
+//     lookups must also sum to the successful requests and every miss must
+//     resolve to an insert or an oversize decline.
+//   * Standing queries (standing_queries > 0): the driver subscribes the
+//     first K node-set-typed pool queries against every document before the
+//     replay. After the join it flushes deliveries and re-applies each
+//     (subscription, document) diff stream from the empty set: every
+//     intermediate state must equal the oracle's answer for *some* revision
+//     of that document, and the final state must equal the answer at the
+//     highest revision — anything else is a lost, duplicated, reordered, or
+//     stale diff.
 //
 // Every failure message embeds the schedule seed and operation index, so
 // any divergence is reproducible with a single-threaded replay of the same
@@ -44,6 +54,10 @@ struct SoakOptions {
   /// Replay threads (plain std::threads; the service's own pool still backs
   /// SubmitBatch underneath, which is the point — both layers get traffic).
   int threads = 4;
+  /// Standing queries to subscribe ("doc*", i.e. the whole corpus) before
+  /// replay: the first `standing_queries` node-set-typed queries of the
+  /// pool (fewer if the pool runs short). 0 = no subscriptions.
+  int standing_queries = 0;
   /// Service under test. answer_tap / plan-cache hooks set here are
   /// preserved (the driver composes its own observation on top).
   service::QueryService::Options service;
@@ -61,13 +75,16 @@ struct SoakReport {
   int64_t errors = 0;              // non-OK responses (none are legal)
   int64_t lost_updates = 0;        // final doc != highest revision
   int64_t stats_violations = 0;    // counter reconciliation failures
+  int64_t subscriptions = 0;             // standing queries registered
+  int64_t subscription_events = 0;       // diffs delivered to the driver
+  int64_t subscription_violations = 0;   // diff streams violating the oracle
   /// First max_failures_reported messages, each embedding seed= and op=.
   std::vector<std::string> failures;
   service::ServiceStats stats;
 
   bool ok() const {
     return divergences == 0 && errors == 0 && lost_updates == 0 &&
-           stats_violations == 0;
+           stats_violations == 0 && subscription_violations == 0;
   }
   /// One-paragraph human-readable rollup (used by bench_soak and gtest).
   std::string Summary() const;

@@ -95,6 +95,12 @@ class Document {
   /// Id of an interned name, or kNoName if this document never uses it.
   NameId FindName(std::string_view name) const;
 
+  /// The interned name pool, indexed by NameId. Names are interned only
+  /// when a node carries them (TreeBuilder), so this is exactly the set of
+  /// tag/label names present in the document — the cheap source for the
+  /// mview changed-name delta (no posting lists required).
+  const std::vector<std::string>& InternedNames() const { return names_; }
+
   /// True if the node's tag or any extra label equals `name`.
   bool NodeHasName(NodeId id, NameId name) const;
 

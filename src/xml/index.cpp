@@ -33,6 +33,12 @@ DocumentIndex::DocumentIndex(const Document& doc) : doc_(&doc) {
       ++posting_count_;
     }
   }
+  for (NameId name = 0; name < static_cast<NameId>(by_name_.size()); ++name) {
+    if (!by_name_[static_cast<size_t>(name)].empty()) {
+      name_set_.emplace_back(doc.NameText(name));
+    }
+  }
+  std::sort(name_set_.begin(), name_set_.end());
 }
 
 const std::vector<NodeId>& DocumentIndex::NodesWithName(NameId name) const {

@@ -54,10 +54,17 @@ class DocumentIndex {
   /// Total posting-list entries (for stats / memory accounting).
   int64_t posting_count() const { return posting_count_; }
 
+  /// The document's tag set: sorted, duplicate-free names (tags and extra
+  /// labels) carried by at least one node. This is what footprint-based
+  /// invalidation (gkx::mview) intersects plan footprints against, so it is
+  /// materialized once at index build time.
+  const std::vector<std::string>& PresentNames() const { return name_set_; }
+
  private:
   const Document* doc_;
   std::vector<std::vector<NodeId>> by_name_;  // indexed by NameId
   std::unordered_map<std::string, std::vector<NodeId>> by_attribute_;
+  std::vector<std::string> name_set_;  // sorted names with >= 1 posting
   int64_t posting_count_ = 0;
 };
 

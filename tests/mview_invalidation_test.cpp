@@ -1,0 +1,280 @@
+// gkx::mview::AnswerCache — materialized answers with footprint
+// invalidation.
+//   * Golden: updating a document whose tag set is disjoint from a plan's
+//     footprint invalidates nothing — the entries are retained across the
+//     revision bump and keep hitting (the precision claim), while
+//     intersecting entries die (the soundness claim).
+//   * Property: under random churn a cached answer is never servable once
+//     stale — every Submit equals a fresh NaiveEvaluator run of the raw
+//     text against the current document, for hundreds of random
+//     (doc, query, churn) interleavings.
+//   * Teeth: with the fault_ignore_footprints injection the same property
+//     check MUST fail — proving the invalidation logic, not luck, is what
+//     keeps the cache coherent.
+//   * Bookkeeping: LRU + byte-budget eviction, revision-mismatch
+//     self-cleaning, gauge consistency.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "eval/recursive_base.hpp"
+#include "mview/answer_cache.hpp"
+#include "service/query_service.hpp"
+#include "xml/generator.hpp"
+#include "xpath/generator.hpp"
+#include "xpath/parser.hpp"
+#include "xpath/printer.hpp"
+
+namespace gkx::mview {
+namespace {
+
+using service::QueryService;
+
+// Two disjoint tag families: a "listings" schema and an "orders" schema.
+const char kListings[] =
+    "<catalog><listing><price>10</price></listing>"
+    "<listing><price>20</price></listing></catalog>";
+const char kOrdersV1[] = "<orders><order><total>7</total></order></orders>";
+const char kOrdersV2[] =
+    "<orders><order><total>9</total></order>"
+    "<order><total>12</total></order></orders>";
+
+TEST(AnswerCacheTest, DisjointTagUpdateInvalidatesNothing) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("listings", kListings).ok());
+  ASSERT_TRUE(svc.RegisterXml("orders", kOrdersV1).ok());
+
+  // Warm: listing-family queries against BOTH documents (empty answers on
+  // "orders" are answers too), one order-family query against "orders".
+  ASSERT_TRUE(svc.Submit("listings", "//listing").ok());
+  ASSERT_TRUE(svc.Submit("orders", "//listing").ok());
+  ASSERT_TRUE(svc.Submit("orders", "//order").ok());
+  ASSERT_EQ(svc.answer_cache().counters().entries, 3);
+
+  // Replace "orders": its tag set {orders, order, total} intersects the
+  // //order footprint but not the //listing footprint.
+  ASSERT_TRUE(svc.RegisterXml("orders", kOrdersV2).ok());
+  AnswerCache::Counters counters = svc.answer_cache().counters();
+  EXPECT_EQ(counters.invalidations, 1);  // only (orders, //order)
+  EXPECT_EQ(counters.retained, 1);       // (orders, //listing) re-stamped
+
+  // Retained entries keep hitting — including on the churned document.
+  auto hit = svc.Submit("orders", "//listing");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->value.nodes().empty());
+  auto also_hit = svc.Submit("listings", "//listing");
+  ASSERT_TRUE(also_hit.ok());
+  counters = svc.answer_cache().counters();
+  EXPECT_EQ(counters.hits, 2);
+
+  // The invalidated pair re-evaluates against the new revision.
+  auto fresh = svc.Submit("orders", "//order");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->value.nodes().size(), 2u);
+  EXPECT_EQ(svc.answer_cache().counters().hits, 2);  // that one was a miss
+}
+
+TEST(AnswerCacheTest, FlushAllModeIsTheBaselineItSoundsLike) {
+  QueryService::Options options;
+  options.answer_cache.mode = AnswerCache::InvalidationMode::kFlushAll;
+  QueryService svc(options);
+  ASSERT_TRUE(svc.RegisterXml("listings", kListings).ok());
+  ASSERT_TRUE(svc.RegisterXml("orders", kOrdersV1).ok());
+  ASSERT_TRUE(svc.Submit("listings", "//listing").ok());
+  ASSERT_TRUE(svc.Submit("orders", "//listing").ok());
+  ASSERT_TRUE(svc.RegisterXml("orders", kOrdersV2).ok());
+
+  AnswerCache::Counters counters = svc.answer_cache().counters();
+  EXPECT_EQ(counters.invalidations, 2);  // everything, even (listings, ...)
+  EXPECT_EQ(counters.retained, 0);
+  EXPECT_EQ(counters.entries, 0);
+}
+
+// The flagship property: across random documents, queries, and churn, a
+// cached answer is indistinguishable from a fresh evaluation of the raw
+// query text on the current document — no interleaving of updates may leave
+// a stale entry servable.
+TEST(AnswerCacheTest, PropertyNoStaleAnswerIsEverServable) {
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    Rng rng(seed);
+    QueryService svc;
+
+    xml::RandomDocumentOptions doc_options;
+    doc_options.tag_alphabet = 5;
+    doc_options.tag_zipf_s = 0.7;
+    doc_options.text_probability = 0.3;
+    const int kDocs = 3;
+    std::vector<xml::Document> current;
+    for (int d = 0; d < kDocs; ++d) {
+      doc_options.node_count = static_cast<int32_t>(rng.UniformInt(20, 60));
+      current.push_back(xml::RandomDocument(&rng, doc_options));
+      ASSERT_TRUE(svc.RegisterDocument("doc" + std::to_string(d),
+                                       xml::Document(current.back()))
+                      .ok());
+    }
+
+    xpath::RandomQueryOptions query_options;
+    query_options.max_path_steps = 3;
+    query_options.max_condition_depth = 2;
+    query_options.tag_alphabet = 5;
+    std::vector<std::string> pool;
+    std::vector<xpath::Query> parsed;
+    const xpath::Fragment fragments[] = {
+        xpath::Fragment::kPF, xpath::Fragment::kCore, xpath::Fragment::kPWF,
+        xpath::Fragment::kFullXPath};
+    for (int q = 0; q < 16; ++q) {
+      query_options.fragment = fragments[q % std::size(fragments)];
+      std::string text;
+      do {
+        text = xpath::ToXPathString(xpath::RandomQuery(&rng, query_options));
+      } while (!xpath::ParseQuery(text).ok());
+      pool.push_back(text);
+      parsed.push_back(xpath::MustParse(text));
+    }
+
+    eval::NaiveEvaluator naive;
+    for (int step = 0; step < 400; ++step) {
+      const int d = static_cast<int>(rng.UniformInt(0, kDocs - 1));
+      if (rng.Bernoulli(0.12)) {
+        doc_options.node_count = static_cast<int32_t>(rng.UniformInt(20, 60));
+        current[static_cast<size_t>(d)] = xml::RandomDocument(&rng, doc_options);
+        ASSERT_TRUE(
+            svc.RegisterDocument("doc" + std::to_string(d),
+                                 xml::Document(current[static_cast<size_t>(d)]))
+                .ok());
+        continue;
+      }
+      const size_t q = static_cast<size_t>(rng.UniformInt(0, 15));
+      auto got = svc.Submit("doc" + std::to_string(d), pool[q]);
+      ASSERT_TRUE(got.ok()) << pool[q];
+      auto want = naive.EvaluateAtRoot(current[static_cast<size_t>(d)],
+                                       parsed[q]);
+      ASSERT_TRUE(want.ok()) << pool[q];
+      ASSERT_TRUE(got->value.Equals(*want))
+          << "stale or wrong answer: seed=" << seed << " step=" << step
+          << " doc=" << d << " query='" << pool[q] << "' got "
+          << got->value.DebugString() << " want " << want->DebugString();
+    }
+    // The property run must actually have exercised the cache and churn.
+    AnswerCache::Counters counters = svc.answer_cache().counters();
+    EXPECT_GT(counters.hits, 0) << "seed=" << seed;
+    EXPECT_GT(counters.invalidations + counters.retained, 0) << "seed=" << seed;
+  }
+}
+
+// Teeth: with invalidation deliberately broken (every update treated as
+// footprint-disjoint) a stale answer IS served — the coherence above is the
+// invalidation logic's doing, not an accident of the workload.
+TEST(AnswerCacheTest, FaultIgnoringFootprintsServesStaleAnswers) {
+  QueryService::Options options;
+  options.answer_cache.fault_ignore_footprints = true;
+  QueryService svc(options);
+  ASSERT_TRUE(svc.RegisterXml("d", "<r><a/><a/></r>").ok());
+  auto before = svc.Submit("d", "//a");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->value.nodes().size(), 2u);
+
+  // Intersecting update: {r, a} ∩ footprint {a} — must invalidate, but the
+  // fault retains and re-stamps the entry instead.
+  ASSERT_TRUE(svc.RegisterXml("d", "<r><a/></r>").ok());
+  auto after = svc.Submit("d", "//a");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->value.nodes().size(), 2u)  // the stale cached answer
+      << "fault injection did not serve stale data; the teeth test is dead";
+  EXPECT_EQ(svc.answer_cache().counters().hits, 1);
+}
+
+// ------------------------------------------------------- cache mechanics
+
+plan::Footprint NamesFootprint(std::vector<std::string> names) {
+  plan::Footprint fp;
+  fp.names = std::move(names);
+  return fp;
+}
+
+eval::Engine::Answer NodesAnswer(eval::NodeSet nodes) {
+  eval::Engine::Answer answer;
+  answer.value = eval::Value::Nodes(std::move(nodes));
+  answer.evaluator = "test";
+  return answer;
+}
+
+TEST(AnswerCacheTest, RevisionMismatchSelfCleansAndCountsAsMiss) {
+  AnswerCache cache;
+  cache.Insert("d", 1, "//a", NodesAnswer({1, 2}), NamesFootprint({"a"}));
+  EXPECT_EQ(cache.counters().entries, 1);
+  EXPECT_EQ(cache.Lookup("d", 2, "//a"), nullptr);  // stale straggler
+  AnswerCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.entries, 0);  // dropped on the spot
+}
+
+TEST(AnswerCacheTest, OnlyMatchingOldRevisionIsRetainedAcrossUpdate) {
+  AnswerCache cache;
+  // A straggler from an outdated evaluation (revision 1) and a fresh entry
+  // (revision 5): an update 5 -> 6 with disjoint names must carry only the
+  // revision-5 entry forward.
+  cache.Insert("d", 1, "//a", NodesAnswer({9}), NamesFootprint({"a"}));
+  cache.Insert("d", 5, "//b", NodesAnswer({1}), NamesFootprint({"b"}));
+  cache.OnDocumentUpdate("d", 5, 6, {"x", "y"});
+  EXPECT_EQ(cache.counters().retained, 1);
+  EXPECT_EQ(cache.counters().invalidations, 1);
+  EXPECT_NE(cache.Lookup("d", 6, "//b"), nullptr);
+  EXPECT_EQ(cache.Lookup("d", 6, "//a"), nullptr);
+}
+
+TEST(AnswerCacheTest, InstallAndRemovalFlushTheDocument) {
+  AnswerCache cache;
+  cache.Insert("d", 3, "//a", NodesAnswer({1}), NamesFootprint({"a"}));
+  cache.Insert("e", 4, "//a", NodesAnswer({2}), NamesFootprint({"a"}));
+  // Fresh install under "d" (old revision unknown): its entries die, "e"
+  // is untouched.
+  cache.OnDocumentUpdate("d", -1, 7, {});
+  EXPECT_EQ(cache.counters().invalidations, 1);
+  EXPECT_NE(cache.Lookup("e", 4, "//a"), nullptr);
+  // Removal of "e".
+  cache.OnDocumentUpdate("e", 4, -1, {});
+  EXPECT_EQ(cache.counters().invalidations, 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AnswerCacheTest, LruAndByteBudgetEvictConsistently) {
+  AnswerCache::Options options;
+  options.capacity = 4;
+  options.shards = 1;
+  AnswerCache cache(options);
+  for (int i = 0; i < 6; ++i) {
+    cache.Insert("d", 1, "//t" + std::to_string(i), NodesAnswer({i}),
+                 NamesFootprint({"t" + std::to_string(i)}));
+  }
+  AnswerCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.entries, 4);
+  EXPECT_EQ(counters.evictions, 2);
+  EXPECT_EQ(cache.Lookup("d", 1, "//t0"), nullptr);  // LRU victims
+  EXPECT_EQ(cache.Lookup("d", 1, "//t1"), nullptr);
+  EXPECT_NE(cache.Lookup("d", 1, "//t5"), nullptr);
+  EXPECT_GT(cache.counters().bytes, 0);
+
+  cache.Clear();
+  counters = cache.counters();
+  EXPECT_EQ(counters.entries, 0);
+  EXPECT_EQ(counters.bytes, 0);
+}
+
+TEST(AnswerCacheTest, OversizedAnswersAreDeclinedNotCached) {
+  AnswerCache::Options options;
+  options.max_entry_bytes = 64;
+  AnswerCache cache(options);
+  eval::NodeSet big;
+  for (int i = 0; i < 1000; ++i) big.push_back(i);
+  cache.Insert("d", 1, "//a", NodesAnswer(std::move(big)),
+               NamesFootprint({"a"}));
+  EXPECT_EQ(cache.counters().declined, 1);
+  EXPECT_EQ(cache.counters().entries, 0);
+}
+
+}  // namespace
+}  // namespace gkx::mview

@@ -1,0 +1,254 @@
+// gkx::mview::SubscriptionManager — standing queries over the service.
+//   * Initial snapshots arrive as pure-`added` diffs; churn arrives as
+//     added/removed diffs against the last delivered state.
+//   * Footprint-disjoint churn is skipped without evaluating; rapid churn
+//     against a busy pool coalesces into consolidated diffs.
+//   * Selectors: exact keys, trailing-'*' prefixes, new documents matching
+//     a live selector, removal delivering the final retraction.
+//   * Lifecycle: non-node-set queries are rejected; Unsubscribe stops
+//     delivery; counters reconcile with observed callbacks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mview/subscription.hpp"
+#include "service/query_service.hpp"
+
+namespace gkx::mview {
+namespace {
+
+using service::QueryService;
+
+/// Thread-safe event collector with a blocking knob for coalescing tests.
+class Collector {
+ public:
+  SubscriptionCallback Callback() {
+    return [this](const SubscriptionEvent& event) {
+      std::unique_lock<std::mutex> lock(mu_);
+      events_.push_back(event);
+      entered_.notify_all();
+      if (block_first_ && events_.size() == 1) {
+        release_.wait(lock, [this] { return released_; });
+      }
+    };
+  }
+
+  void BlockFirstDelivery() {
+    std::lock_guard<std::mutex> lock(mu_);
+    block_first_ = true;
+  }
+
+  void WaitForFirstDelivery() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_.wait(lock, [this] { return !events_.empty(); });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_.notify_all();
+  }
+
+  std::vector<SubscriptionEvent> Events() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable entered_;
+  std::condition_variable release_;
+  bool block_first_ = false;
+  bool released_ = false;
+  std::vector<SubscriptionEvent> events_;
+};
+
+TEST(SelectorTest, ExactPrefixAndUniversal) {
+  EXPECT_TRUE(SubscriptionManager::SelectorMatches("doc1", "doc1"));
+  EXPECT_FALSE(SubscriptionManager::SelectorMatches("doc1", "doc12"));
+  EXPECT_TRUE(SubscriptionManager::SelectorMatches("doc*", "doc12"));
+  EXPECT_FALSE(SubscriptionManager::SelectorMatches("doc*", "dx"));
+  EXPECT_TRUE(SubscriptionManager::SelectorMatches("*", "anything"));
+  EXPECT_FALSE(SubscriptionManager::SelectorMatches("", "anything"));
+}
+
+TEST(SubscriptionTest, InitialSnapshotArrivesAsPureAddedDiff) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><b/><a/></r>").ok());
+  Collector collector;
+  auto id = svc.Subscribe("d1", "//a", collector.Callback());
+  ASSERT_TRUE(id.ok());
+  svc.FlushSubscriptions();
+
+  auto events = collector.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].subscription, *id);
+  EXPECT_EQ(events[0].doc_key, "d1");
+  EXPECT_EQ(events[0].added, (eval::NodeSet{1, 3}));
+  EXPECT_TRUE(events[0].removed.empty());
+  EXPECT_FALSE(events[0].doc_removed);
+  EXPECT_GT(events[0].revision, 0);
+}
+
+TEST(SubscriptionTest, ChurnDeliversTheSymmetricDifference) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><a/></r>").ok());
+  Collector collector;
+  ASSERT_TRUE(svc.Subscribe("d1", "//a", collector.Callback()).ok());
+  svc.FlushSubscriptions();
+
+  // //a was {1, 2}; now it is {1, 3}: node 2 retags to b, node 3 appears.
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><b/><a/></r>").ok());
+  svc.FlushSubscriptions();
+
+  auto events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].added, (eval::NodeSet{3}));
+  EXPECT_EQ(events[1].removed, (eval::NodeSet{2}));
+}
+
+TEST(SubscriptionTest, EmptyAnswerAndNoOpChurnDeliverNothing) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><b/></r>").ok());
+  Collector collector;
+  ASSERT_TRUE(svc.Subscribe("d1", "//a", collector.Callback()).ok());
+  svc.FlushSubscriptions();
+  EXPECT_TRUE(collector.Events().empty());  // empty initial answer: no diff
+
+  // Intersecting churn ({r, a, b} ∩ {a}) that leaves //a empty: evaluated,
+  // still no diff to deliver.
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><b/><a/></r>").ok());
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><b/></r>").ok());
+  svc.FlushSubscriptions();
+  auto events = collector.Events();
+  // The intermediate state may or may not have been observed (coalescing);
+  // but a final state of empty must never deliver a dangling diff.
+  eval::NodeSet applied;
+  for (const auto& event : events) {
+    for (xml::NodeId node : event.removed) {
+      applied.erase(std::remove(applied.begin(), applied.end(), node),
+                    applied.end());
+    }
+    applied.insert(applied.end(), event.added.begin(), event.added.end());
+  }
+  EXPECT_TRUE(applied.empty());
+}
+
+TEST(SubscriptionTest, FootprintDisjointChurnIsSkippedWithoutEvaluating) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d2", "<x><b/></x>").ok());
+  Collector collector;
+  ASSERT_TRUE(svc.Subscribe("d2", "//a", collector.Callback()).ok());
+  svc.FlushSubscriptions();
+  const int64_t evaluations_after_snapshot =
+      svc.Stats().subscriptions.evaluations;
+
+  // {x, b, c} is disjoint from footprint {a}: no evaluation, no delivery.
+  ASSERT_TRUE(svc.RegisterXml("d2", "<x><b/><c/></x>").ok());
+  svc.FlushSubscriptions();
+  auto stats = svc.Stats().subscriptions;
+  EXPECT_EQ(stats.evaluations, evaluations_after_snapshot);
+  EXPECT_GE(stats.skipped_disjoint, 1);
+  EXPECT_TRUE(collector.Events().empty());
+}
+
+TEST(SubscriptionTest, WildcardSelectorCoversDocumentsRegisteredLater) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("doc0", "<r><a/></r>").ok());
+  Collector collector;
+  ASSERT_TRUE(svc.Subscribe("doc*", "//a", collector.Callback()).ok());
+  svc.FlushSubscriptions();
+  ASSERT_EQ(collector.Events().size(), 1u);
+
+  ASSERT_TRUE(svc.RegisterXml("doc1", "<r><a/><a/></r>").ok());
+  svc.FlushSubscriptions();
+  auto events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].doc_key, "doc1");
+  EXPECT_EQ(events[1].added, (eval::NodeSet{1, 2}));
+}
+
+TEST(SubscriptionTest, RemovalRetractsTheLastDeliveredState) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><a/></r>").ok());
+  Collector collector;
+  ASSERT_TRUE(svc.Subscribe("d1", "//a", collector.Callback()).ok());
+  svc.FlushSubscriptions();
+
+  ASSERT_TRUE(svc.RemoveDocument("d1"));
+  svc.FlushSubscriptions();
+  auto events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[1].doc_removed);
+  EXPECT_EQ(events[1].revision, -1);
+  EXPECT_TRUE(events[1].added.empty());
+  EXPECT_EQ(events[1].removed, (eval::NodeSet{1, 2}));
+}
+
+TEST(SubscriptionTest, RapidChurnCoalescesIntoOneConsolidatedDiff) {
+  // A width-1 pool whose only worker is parked inside the first delivery:
+  // every churn after the first lands on an already-scheduled pair.
+  ThreadPool pool(1);
+  QueryService::Options options;
+  options.pool = &pool;
+  QueryService svc(options);
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><a/></r>").ok());
+
+  Collector collector;
+  collector.BlockFirstDelivery();
+  ASSERT_TRUE(svc.Subscribe("d1", "//a", collector.Callback()).ok());
+  collector.WaitForFirstDelivery();  // worker is now parked in the callback
+
+  // Four churns while delivery is blocked: the first schedules the re-eval,
+  // the other three coalesce into it.
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><a/><a/></r>").ok());
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/></r>").ok());
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><a/><a/><a/></r>").ok());
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><a/><a/><a/><a/></r>").ok());
+  collector.Release();
+  svc.FlushSubscriptions();
+
+  auto events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);  // initial + one consolidated diff
+  EXPECT_EQ(events[1].added, (eval::NodeSet{3, 4, 5}));
+  EXPECT_TRUE(events[1].removed.empty());
+  auto stats = svc.Stats().subscriptions;
+  EXPECT_EQ(stats.fired, 2);
+  EXPECT_EQ(stats.coalesced, 3);
+}
+
+TEST(SubscriptionTest, NonNodeSetQueriesAreRejected) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/></r>").ok());
+  Collector collector;
+  auto id = svc.Subscribe("d1", "count(//a)", collector.Callback());
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(svc.Subscribe("d1", "child::", collector.Callback()).ok());
+}
+
+TEST(SubscriptionTest, UnsubscribeStopsDeliveryAndCountersReconcile) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/></r>").ok());
+  Collector collector;
+  auto id = svc.Subscribe("d1", "//a", collector.Callback());
+  ASSERT_TRUE(id.ok());
+  svc.FlushSubscriptions();
+  ASSERT_EQ(collector.Events().size(), 1u);
+  EXPECT_EQ(svc.Stats().subscriptions.active, 1);
+
+  EXPECT_TRUE(svc.Unsubscribe(*id));
+  EXPECT_FALSE(svc.Unsubscribe(*id));
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><a/></r>").ok());
+  svc.FlushSubscriptions();
+  EXPECT_EQ(collector.Events().size(), 1u);  // nothing after unsubscribe
+  EXPECT_EQ(svc.Stats().subscriptions.active, 0);
+}
+
+}  // namespace
+}  // namespace gkx::mview

@@ -190,5 +190,51 @@ TEST(ExecTest, EngineReportsTheRouteListAndSameValue) {
   EXPECT_EQ(answer->value.nodes(), (NodeSet{3}));
 }
 
+// ------------------------------------------------------------- footprints
+// The dependency extractor behind mview invalidation (footprint.hpp): name
+// tests everywhere in the tree are collected, wildcard/node() tests force
+// any_name, and compiled plans carry their footprint.
+
+TEST(FootprintTest, CollectsNamesAcrossStepsPredicatesAndFunctions) {
+  Footprint fp = CompileText("//a/child::b[descendant::c]").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"a", "b", "c"}));
+
+  fp = CompileText("count(/descendant::x) + count(//y)").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"x", "y"}));
+
+  fp = CompileText("/descendant::a | //b/parent::c").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(FootprintTest, WildcardAndNodeTestsForceAnyName) {
+  EXPECT_TRUE(CompileText("/child::*").footprint.any_name);
+  EXPECT_TRUE(CompileText("//a[child::node()]").footprint.any_name);
+  // The // sugar normalizes to descendant::a — no node() test survives.
+  EXPECT_FALSE(CompileText("//a").footprint.any_name);
+}
+
+TEST(FootprintTest, BareRootHasEmptyFootprint) {
+  Footprint fp = CompileText("/").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_TRUE(fp.names.empty());
+  // "/" answers [0] on every document: no changed-name set may invalidate it.
+  EXPECT_FALSE(fp.Intersects({"a", "b", "r"}));
+}
+
+TEST(FootprintTest, IntersectionIsExactOnSortedSets) {
+  Footprint fp = CompileText("//a[child::c]").footprint;
+  EXPECT_TRUE(fp.Intersects({"b", "c", "d"}));
+  EXPECT_FALSE(fp.Intersects({"b", "d", "z"}));
+  EXPECT_FALSE(fp.Intersects({}));
+  EXPECT_EQ(fp.ToString(), "{a,c}");
+
+  Footprint any = CompileText("/child::*").footprint;
+  EXPECT_TRUE(any.Intersects({}));
+  EXPECT_EQ(any.ToString(), "any");
+}
+
 }  // namespace
 }  // namespace gkx::plan

@@ -149,6 +149,91 @@ TEST(SoakTest, TenThousandOpsFourThreadsAgreeWithOracle) {
   EXPECT_GT(report.stats.evaluator_counts["core-linear"], 0);
 }
 
+// Churn + subscription mode: standing queries ride along with the replay,
+// every delivered diff stream is re-applied and checked against the oracle
+// (each state must be a real revision's answer, the final state the highest
+// revision's), and the new mview counters must reconcile.
+TEST(SoakTest, ChurnPlusSubscriptionSoakAgreesWithOracle) {
+  WorkloadSpec spec = SoakSpec(77);
+  spec.operations = 3000;
+  spec.churn_probability = 0.02;  // plenty of subscription wake-ups
+  auto schedule = CompileWorkload(spec);
+  ASSERT_TRUE(schedule.ok());
+
+  SoakOptions options;
+  options.threads = 4;
+  options.standing_queries = 6;
+  options.service.plan_cache.capacity = 64;
+  SoakReport report = RunSoak(*schedule, options);
+
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.subscriptions, 6);
+  EXPECT_GT(report.subscription_events, 0);
+  EXPECT_EQ(report.subscription_violations, 0);
+  EXPECT_EQ(report.stats.subscriptions.fired, report.subscription_events);
+  // The answer cache sat on the request path the whole time: its lookups
+  // must account for every successful request, and churn must have
+  // exercised the invalidation path.
+  EXPECT_EQ(report.stats.answer_cache.Lookups(),
+            report.stats.requests - report.stats.failures);
+  EXPECT_GT(report.stats.answer_cache.hits, 0);
+  EXPECT_GT(report.stats.answer_cache.invalidations +
+                report.stats.answer_cache.retained,
+            0);
+}
+
+// A stale-answer fault injected via answer_tap — the tap serves a node-set
+// with its tail node dropped, modelling an answer cache that survived an
+// update it should not have — must be caught with the reproducing seed.
+TEST(SoakTest, StaleAnswerFaultViaTapIsCaughtWithReproducingSeed) {
+  WorkloadSpec spec = SoakSpec(131);
+  spec.operations = 600;
+  auto schedule = CompileWorkload(spec);
+  ASSERT_TRUE(schedule.ok());
+
+  SoakOptions options;
+  options.threads = 4;
+  options.standing_queries = 2;
+  options.service.answer_tap = [](eval::Engine::Answer* answer) {
+    if (answer->value.is_node_set() && answer->value.nodes().size() >= 2) {
+      eval::NodeSet nodes = answer->value.nodes();
+      nodes.pop_back();
+      answer->value = eval::Value::Nodes(std::move(nodes));
+    }
+  };
+  SoakReport report = RunSoak(*schedule, options);
+
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.divergences, 0);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].find("seed=131"), std::string::npos)
+      << report.failures[0];
+}
+
+// The honest stale-serve defect: invalidation that ignores footprints
+// retains every cached answer across every update, so after intersecting
+// churn the service hands out answers from dead revisions. The soak's
+// oracle must flag them (and embed the seed) — this is the failure mode the
+// whole mview layer exists to prevent.
+TEST(SoakTest, BrokenInvalidationServesStaleAnswersAndIsCaught) {
+  WorkloadSpec spec = SoakSpec(59);
+  spec.operations = 4000;
+  spec.churn_probability = 0.05;  // heavy churn: stale entries get re-read
+  auto schedule = CompileWorkload(spec);
+  ASSERT_TRUE(schedule.ok());
+
+  SoakOptions options;
+  options.threads = 4;
+  options.service.answer_cache.fault_ignore_footprints = true;
+  SoakReport report = RunSoak(*schedule, options);
+
+  EXPECT_FALSE(report.ok()) << "stale serves went undetected";
+  EXPECT_GT(report.divergences, 0);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].find("seed=59"), std::string::npos)
+      << report.failures[0];
+}
+
 // A semantically faulty engine must be caught, with the seed in the report.
 TEST(SoakTest, InjectedAnswerFaultIsCaughtWithReproducingSeed) {
   WorkloadSpec spec = SoakSpec(97);
