@@ -81,8 +81,15 @@ std::shared_ptr<const CachedAnswer> AnswerCache::Lookup(
     return nullptr;
   }
   if (it->second->revision != revision) {
-    // Stale straggler (its revision can never become current again).
-    EraseLocked(shard, it->second);
+    if (it->second->revision < revision) {
+      // Stale straggler: revisions are store-wide monotonic, so an entry
+      // older than the caller's snapshot can never become current again.
+      EraseLocked(shard, it->second);
+    }
+    // A NEWER resident entry means the *caller* is the straggler (it holds
+    // a pre-update document snapshot while a fresh insert already landed).
+    // Leave the entry in place for current readers — evicting it would let
+    // one slow reader thrash the cache under churn.
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
@@ -109,7 +116,17 @@ void AnswerCache::Insert(const std::string& doc_key, int64_t revision,
   Shard& shard = ShardFor(doc_key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
-  if (it != shard.map.end()) EraseLocked(shard, it->second);
+  if (it != shard.map.end()) {
+    if (it->second->revision > revision) {
+      // The mirror of the Lookup rule: a reader that evaluated against a
+      // pre-update snapshot must not clobber the entry a current reader
+      // already installed. Declined, so every miss still reconciles to an
+      // insert or a decline.
+      declined_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    EraseLocked(shard, it->second);
+  }
   shard.lru.push_front(Entry{std::move(key), doc_key, revision, footprint,
                              std::move(cached)});
   shard.map.emplace(shard.lru.front().map_key, shard.lru.begin());

@@ -93,7 +93,8 @@ class AnswerCache {
     int64_t invalidations = 0;   // entries erased by document updates
     int64_t retained = 0;        // entries re-stamped across an update
     int64_t evictions = 0;       // capacity/byte-budget LRU victims
-    int64_t declined = 0;        // answers too large to cache
+    int64_t declined = 0;        // not cached: oversized, or outdated by a
+                                 // newer resident entry
     int64_t bytes = 0;           // current payload bytes (gauge)
     int64_t entries = 0;         // current entry count (gauge)
 
@@ -110,15 +111,19 @@ class AnswerCache {
   explicit AnswerCache(const Options& options);
 
   /// The cached answer for (doc_key, revision, canonical plan text), or
-  /// nullptr. A resident entry whose revision differs from `revision` is
-  /// dropped on the spot (it can never be served again) and counts as a
-  /// miss.
+  /// nullptr. A resident entry OLDER than `revision` is dropped on the spot
+  /// (monotonic revisions: it can never be served again) and counts as a
+  /// miss; a NEWER one is left in place (the caller holds a pre-update
+  /// document snapshot — current readers still want that entry) and also
+  /// counts as a miss.
   std::shared_ptr<const CachedAnswer> Lookup(const std::string& doc_key,
                                              int64_t revision,
                                              const std::string& canonical_text);
 
   /// Caches `answer` for the triple. Oversized answers are declined; an
-  /// existing entry for the same (doc_key, canonical) pair is replaced.
+  /// existing entry for the same (doc_key, canonical) pair is replaced
+  /// unless it carries a newer revision than `revision` (a straggling
+  /// reader never clobbers a current answer).
   void Insert(const std::string& doc_key, int64_t revision,
               const std::string& canonical_text,
               const eval::Engine::Answer& answer,

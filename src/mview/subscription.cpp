@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iterator>
+#include <thread>
 #include <utility>
 
 #include "base/check.hpp"
@@ -80,6 +81,15 @@ bool SubscriptionManager::Unsubscribe(int64_t id) {
     sub = std::move(it->second);
     subs_.erase(it);
   }
+  if (sub->delivering.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
+    // Reentrant: called from inside this subscription's own callback (the
+    // one-shot "deliver once then stop" pattern). This thread already holds
+    // delivery_mu — re-locking would self-deadlock — so writing `dead` here
+    // is both safe and sufficient: the delivery in progress is the last.
+    sub->dead = true;
+    return true;
+  }
   // Blocks on an in-flight delivery; pending evaluations observe `dead`
   // before delivering.
   std::lock_guard<std::mutex> delivery_lock(sub->delivery_mu);
@@ -136,6 +146,8 @@ void SubscriptionManager::RunEvaluation(
     // serialized per subscription — is the point; distinct subscriptions
     // still evaluate in parallel.)
     std::lock_guard<std::mutex> delivery_lock(sub->delivery_mu);
+    sub->delivering.store(std::this_thread::get_id(),
+                          std::memory_order_release);
     if (!sub->dead) {
       std::shared_ptr<const service::StoredDocument> stored =
           store_->Get(doc_key);
@@ -168,6 +180,9 @@ void SubscriptionManager::RunEvaluation(
       }
       if (stored == nullptr) sub->delivered.erase(doc_key);
     }
+    // Reset while still holding delivery_mu, so no other thread can ever
+    // observe its own id in `delivering` without being the holder.
+    sub->delivering.store(std::thread::id{}, std::memory_order_release);
   }
 
   std::lock_guard<std::mutex> lock(mu_);

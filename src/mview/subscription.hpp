@@ -6,7 +6,10 @@
 //
 // Model. A subscription is (selector, plan, callback). The selector matches
 // document keys exactly, or by prefix with a trailing '*' ("doc*", or the
-// universal "*"). Per matching document the manager tracks the last
+// universal "*"). The trailing '*' is reserved: it is always the prefix
+// wildcard, so a document key that literally ends in '*' can only be
+// reached by a prefix pattern, never matched exactly. Per matching
+// document the manager tracks the last
 // *delivered* node-set, starting from empty: the first evaluation delivers
 // the full answer as `added`, every subsequent one delivers the symmetric
 // difference, and a removed document delivers its last state as `removed`.
@@ -26,9 +29,12 @@
 //
 // Delivery ordering: per subscription, evaluation + diff + callback run
 // under one mutex, so callbacks for a given subscription never overlap or
-// reorder against the state they were diffed from. Callbacks must not call
-// back into the owning QueryService's corpus-mutation paths (they run on
-// pool threads and may run concurrently with churn).
+// reorder against the state they were diffed from. A callback MAY call
+// Unsubscribe on its own subscription (the delivery in progress is then the
+// last). Callbacks must not call back into the owning QueryService's
+// corpus-mutation paths (they run on pool threads and may run concurrently
+// with churn), and must not call Flush or destroy the manager — both wait
+// for the very evaluation the callback is running inside.
 //
 // Thread safety: every public method may be called concurrently.
 
@@ -44,6 +50,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -100,7 +107,9 @@ class SubscriptionManager {
 
   /// Deactivates a subscription; returns false if the id is unknown. Once
   /// this returns, no further callbacks fire for the id (it blocks on a
-  /// delivery already in progress).
+  /// delivery already in progress). Safe to call from inside the
+  /// subscription's own callback: the in-progress delivery completes and is
+  /// the last.
   bool Unsubscribe(int64_t id);
 
   /// Churn notification (wired to DocumentStore's update listener).
@@ -118,6 +127,8 @@ class SubscriptionManager {
   Counters counters() const;
 
   /// True if `selector` matches `key` (exact, or prefix via trailing '*').
+  /// A trailing '*' in the selector is always the prefix wildcard — there
+  /// is no escape, so keys ending in '*' have no exact-match selector.
   static bool SelectorMatches(std::string_view selector, std::string_view key);
 
  private:
@@ -128,6 +139,10 @@ class SubscriptionManager {
     SubscriptionCallback callback;
 
     std::mutex delivery_mu;  // serializes evaluate+diff+deliver per sub
+    // Thread currently holding delivery_mu, set around the evaluate+deliver
+    // critical section: lets Unsubscribe detect it is running inside this
+    // subscription's own callback and skip re-locking (self-deadlock).
+    std::atomic<std::thread::id> delivering{};
     bool dead = false;       // guarded by delivery_mu
     // Last delivered node-set per document key; guarded by delivery_mu.
     std::unordered_map<std::string, eval::NodeSet> delivered;

@@ -6,50 +6,109 @@ namespace gkx::plan {
 
 namespace {
 
-void WalkExpr(const xpath::Expr& expr, Footprint* out);
+// `context_named` tells the walk whether the expression's evaluation context
+// node — if it is ever reached — already passed a node test recorded in
+// `out`. Predicates run with it true: their context is the step's own nodes,
+// so when no footprint name occurs in a document the step (and with it the
+// predicate) is dead and the predicate's dependencies cannot matter. At the
+// top level of a query it is false: there the context is the root node,
+// whose string value is the document's entire text content, which no name
+// set covers.
+void WalkExpr(const xpath::Expr& expr, bool context_named, Footprint* out);
 
-void WalkStep(const xpath::Step& step, Footprint* out) {
+// Returns whether the step's output nodes are name-covered: either the
+// context already was, or this step's own kName test pins them (if the name
+// occurs in neither revision the step is dead and nothing downstream runs;
+// if it occurs in either, it is in the changed-name set and the entry is
+// invalidated regardless). Only an uncovered */node() test — one no kName
+// step guards, like a top-level "/child::*" — forces any_name; a covered
+// one ("//a[child::node()]", the abbreviated "." = self::node()) adds no
+// observable dependence beyond the covering name.
+bool WalkStep(const xpath::Step& step, bool context_named, Footprint* out) {
+  bool covered = context_named;
   switch (step.test.kind) {
     case xpath::NodeTest::Kind::kName:
       out->names.push_back(step.test.name);
+      covered = true;
       break;
     case xpath::NodeTest::Kind::kAny:
     case xpath::NodeTest::Kind::kNode:
-      out->any_name = true;
+      if (!covered) out->any_name = true;
       break;
   }
   for (const xpath::ExprPtr& predicate : step.predicates) {
-    WalkExpr(*predicate, out);
+    // The predicate's context is this step's own nodes: covered by the
+    // step's name, or moot because any_name was just set.
+    WalkExpr(*predicate, /*context_named=*/true, out);
+  }
+  return covered;
+}
+
+// Zero-argument forms of these functions read the context node's string
+// value or name (eval::RecursiveEvaluatorBase::EvalFunction); position()
+// and last() read only the context position/size, which name-disjoint
+// updates cannot disturb (a dead step contributes no positions at all).
+bool ReadsContextNode(const xpath::FunctionCall& call) {
+  if (call.arg_count() != 0) return false;
+  switch (call.function()) {
+    case xpath::Function::kString:
+    case xpath::Function::kNumber:
+    case xpath::Function::kStringLength:
+    case xpath::Function::kNormalizeSpace:
+    case xpath::Function::kName:
+    case xpath::Function::kLocalName:
+      return true;
+    default:
+      return false;
   }
 }
 
-void WalkExpr(const xpath::Expr& expr, Footprint* out) {
+void WalkExpr(const xpath::Expr& expr, bool context_named, Footprint* out) {
   switch (expr.kind()) {
     case xpath::Expr::Kind::kNumberLiteral:
     case xpath::Expr::Kind::kStringLiteral:
       return;
     case xpath::Expr::Kind::kBinary: {
       const auto& binary = expr.As<xpath::BinaryExpr>();
-      WalkExpr(binary.lhs(), out);
-      WalkExpr(binary.rhs(), out);
+      WalkExpr(binary.lhs(), context_named, out);
+      WalkExpr(binary.rhs(), context_named, out);
       return;
     }
     case xpath::Expr::Kind::kNegate:
-      WalkExpr(expr.As<xpath::NegateExpr>().operand(), out);
+      WalkExpr(expr.As<xpath::NegateExpr>().operand(), context_named, out);
       return;
     case xpath::Expr::Kind::kFunctionCall: {
       const auto& call = expr.As<xpath::FunctionCall>();
-      for (size_t i = 0; i < call.arg_count(); ++i) WalkExpr(call.arg(i), out);
+      if (!context_named && ReadsContextNode(call)) out->any_name = true;
+      for (size_t i = 0; i < call.arg_count(); ++i) {
+        WalkExpr(call.arg(i), context_named, out);
+      }
       return;
     }
     case xpath::Expr::Kind::kPath: {
       const auto& path = expr.As<xpath::PathExpr>();
-      for (size_t s = 0; s < path.step_count(); ++s) WalkStep(path.step(s), out);
+      // A bare "/" (zero steps) denotes the root node itself. Coerced to a
+      // string or number — string(/), sum(/), '/ = "x"' — its value is the
+      // document's full text content, which depends on no name at all; in a
+      // name-covered context the coercion is unreachable when the footprint
+      // is dead, so only the uncovered case must force any_name.
+      if (path.step_count() == 0 && !context_named) out->any_name = true;
+      // Coverage flows forward through the step chain: the path is a
+      // composition, so a dead name-tested step empties everything after
+      // it. Coverage is about *reachability*, so it survives an absolute
+      // path's rebinding to the root — inside a covered predicate even
+      // "/child::node()" never runs once the guarding step is dead.
+      bool covered = context_named;
+      for (size_t s = 0; s < path.step_count(); ++s) {
+        covered = WalkStep(path.step(s), covered, out);
+      }
       return;
     }
     case xpath::Expr::Kind::kUnion: {
       const auto& u = expr.As<xpath::UnionExpr>();
-      for (size_t b = 0; b < u.branch_count(); ++b) WalkExpr(u.branch(b), out);
+      for (size_t b = 0; b < u.branch_count(); ++b) {
+        WalkExpr(u.branch(b), context_named, out);
+      }
       return;
     }
   }
@@ -86,7 +145,7 @@ std::string Footprint::ToString() const {
 
 Footprint ExtractFootprint(const xpath::Query& query) {
   Footprint out;
-  WalkExpr(query.root(), &out);
+  WalkExpr(query.root(), /*context_named=*/false, &out);
   std::sort(out.names.begin(), out.names.end());
   out.names.erase(std::unique(out.names.begin(), out.names.end()),
                   out.names.end());

@@ -1,24 +1,34 @@
 // The dependency extractor for materialized answers (gkx::mview): a
 // conservative *name footprint* per compiled plan. The footprint is the set
 // of tag/label names the plan's node tests mention, plus an `any_name` flag
-// for wildcard (*) and node() tests.
+// for uncovered wildcard (*)/node() tests and root-content reads.
 //
 // Soundness argument (why footprint-disjoint updates cannot change an
-// answer): if `any_name` is false and no footprint name occurs in either the
-// old or the new revision of a document (names here include extra labels,
-// Remark 3.1), then every location path in the plan is dead on both
-// revisions — its first name-tested step filters the axis image by a name
-// no node carries, so the path yields the empty node-set, and so does every
-// continuation of it. The only document-dependent leaves of an XPath 1.0
-// expression in our fragment are location paths (there is no attribute axis
-// and no id()), and the root node itself is always NodeId 0, so the
-// evaluation of the whole expression — unions, predicates, count()/sum()/
-// string() over those empty sets, literals, arithmetic — is a pure function
-// of the query alone. Old answer == new answer, and a cached entry (or a
-// standing query's last delivered diff) may be carried across the update
-// untouched. Any plan that could observe nodes regardless of their names
-// ("/child::*", "//node()") sets `any_name` and is invalidated by every
-// update of a matching document.
+// answer): the changed-name set handed to Intersects is the union of the
+// old and new revisions' full tag sets (names include extra labels, Remark
+// 3.1), so a footprint name either occurs in one of the two revisions — it
+// is in the set, the entry is invalidated, nothing to prove — or occurs in
+// neither, and then every kName step testing it is *dead* on both
+// revisions: it filters the axis image by a name no node carries, yielding
+// the empty node-set, and nothing downstream of it (later steps of the
+// same path, its predicates, anything inside them — reachability, not
+// binding, is what counts) is ever evaluated. The document-dependent
+// observations of an XPath 1.0 expression in our fragment are location
+// paths (there is no attribute axis and no id()) plus reads of the context
+// node's content — a bare "/" coerced to string/number (its string value
+// is the document's whole text) and the zero-argument forms of string()/
+// number()/string-length()/normalize-space()/name()/local-name(). The
+// extractor therefore walks the query tracking *name coverage*: an
+// observation guarded by some kName step (a predicate of a named step, a
+// */node() test downstream of one, "//a[. = 'x']") is charged to that name
+// and nothing else; an uncovered one — a top-level "/child::*" or
+// "//node()", a root-content read at the top level of the query — forces
+// `any_name`, and the plan is invalidated by every update of a matching
+// document. With every observation either covered or any_name, a disjoint
+// update leaves the whole evaluation — unions, predicates, count()/sum()/
+// string() over empty sets, literals, arithmetic — a pure function of the
+// query alone. Old answer == new answer, and a cached entry (or a standing
+// query's last delivered diff) may be carried across the update untouched.
 //
 // The footprint is computed once at plan-compile time (plan::Lower) and
 // travels with the immutable Physical, so invalidation never re-walks an
@@ -36,9 +46,15 @@ namespace gkx::plan {
 
 /// The conservative tag/axis dependency set of a compiled plan.
 struct Footprint {
-  /// True when the plan can observe nodes independent of their names (a *
-  /// or node() test anywhere, including inside predicates): every document
-  /// update must then be treated as relevant.
+  /// True when the plan can observe document state independent of node
+  /// names from an *uncovered* context — a * or node() test no kName step
+  /// guards ("/child::*", "//node()"), or a root-content read at the top
+  /// level of the query (a bare "/", or a zero-argument string()/number()/
+  /// string-length()/normalize-space()/name()/local-name()). Every document
+  /// update must then be treated as relevant. Covered occurrences — inside
+  /// a predicate of a name-tested step, or downstream of one in the same
+  /// path ("//a[. = 'x']", "//a/child::node()") — are unreachable once the
+  /// covering name is absent, so the name alone suffices.
   bool any_name = false;
   /// Sorted, duplicate-free names mentioned by kName node tests anywhere in
   /// the query (top-level steps, predicates, function arguments, unions).
@@ -46,8 +62,9 @@ struct Footprint {
 
   /// True if an update whose changed-name set is `changed` (sorted,
   /// duplicate-free) may affect this plan's answer. Empty footprints
-  /// (e.g. the bare "/") depend on no names at all and always return false
-  /// unless `any_name` is set.
+  /// (document-independent queries like "1 + 2" or "true()") depend on no
+  /// document state at all and always return false unless `any_name` is
+  /// set.
   bool Intersects(const std::vector<std::string>& changed) const;
 
   /// "any" or "{a,b,c}" (for logs and test diagnostics).

@@ -140,8 +140,11 @@ class QueryService {
 
   // -------------------------------------------------------- subscriptions
   /// Registers a standing query: `doc_selector` is an exact document key or
-  /// a trailing-'*' prefix pattern ("doc*", "*"); `query_text` must be
-  /// node-set-typed. The callback receives the initial answer as a
+  /// a trailing-'*' prefix pattern ("doc*", "*"). A trailing '*' ALWAYS
+  /// reads as the prefix wildcard — a document key that itself ends in '*'
+  /// cannot be selected exactly (see SubscriptionManager::SelectorMatches).
+  /// `query_text` must be node-set-typed. The callback receives the initial
+  /// answer as a
   /// pure-`added` diff and subsequent churn as added/removed diffs, on pool
   /// threads (see mview/subscription.hpp for ordering and coalescing).
   Result<int64_t> Subscribe(std::string doc_selector,

@@ -93,6 +93,27 @@ TEST(AnswerCacheTest, FlushAllModeIsTheBaselineItSoundsLike) {
   EXPECT_EQ(counters.entries, 0);
 }
 
+// Regression (REVIEW: footprint soundness hole): a query that reads the
+// root's content — string(/) — has no name-tested step, so before the fix
+// its empty footprint survived every replacement and the cache re-served
+// the old document's text forever. A content change that keeps the tag set
+// identical must still invalidate it.
+TEST(AnswerCacheTest, RootContentQueryIsInvalidatedByContentOnlyChange) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d", "<r><a>old</a></r>").ok());
+  auto before = svc.Submit("d", "string(/) = 'old'");
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->value.boolean());
+
+  // Same tag set {r, a}, different text: the changed-name delta is empty of
+  // surprises, only the content moved.
+  ASSERT_TRUE(svc.RegisterXml("d", "<r><a>new</a></r>").ok());
+  auto after = svc.Submit("d", "string(/) = 'old'");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->value.boolean())
+      << "stale root-content answer served across a content-only update";
+}
+
 // The flagship property: across random documents, queries, and churn, a
 // cached answer is indistinguishable from a fresh evaluation of the raw
 // query text on the current document — no interleaving of updates may leave
@@ -210,6 +231,33 @@ TEST(AnswerCacheTest, RevisionMismatchSelfCleansAndCountsAsMiss) {
   AnswerCache::Counters counters = cache.counters();
   EXPECT_EQ(counters.misses, 1);
   EXPECT_EQ(counters.entries, 0);  // dropped on the spot
+}
+
+// REVIEW: a reader holding a pre-update document snapshot races a fresh
+// insert. Its old-revision Lookup must miss WITHOUT evicting the newer
+// entry, and its old-revision Insert must not clobber it — otherwise one
+// slow reader thrashes the cache under churn.
+TEST(AnswerCacheTest, StragglingReaderNeverDisplacesANewerEntry) {
+  AnswerCache cache;
+  cache.Insert("d", 5, "//a", NodesAnswer({7}), NamesFootprint({"a"}));
+
+  // Old-snapshot lookup: miss, entry stays.
+  EXPECT_EQ(cache.Lookup("d", 4, "//a"), nullptr);
+  EXPECT_EQ(cache.counters().entries, 1);
+
+  // Old-snapshot insert: declined (keeps misses == inserts + declines),
+  // the revision-5 answer is untouched.
+  cache.Insert("d", 4, "//a", NodesAnswer({1, 2, 3}), NamesFootprint({"a"}));
+  EXPECT_EQ(cache.counters().declined, 1);
+  auto current = cache.Lookup("d", 5, "//a");
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->answer.value.nodes(), (eval::NodeSet{7}));
+
+  // A same-or-newer insert still replaces as before.
+  cache.Insert("d", 6, "//a", NodesAnswer({9}), NamesFootprint({"a"}));
+  EXPECT_EQ(cache.Lookup("d", 5, "//a"), nullptr);
+  ASSERT_NE(cache.Lookup("d", 6, "//a"), nullptr);
+  EXPECT_EQ(cache.counters().entries, 1);
 }
 
 TEST(AnswerCacheTest, OnlyMatchingOldRevisionIsRetainedAcrossUpdate) {

@@ -250,5 +250,35 @@ TEST(SubscriptionTest, UnsubscribeStopsDeliveryAndCountersReconcile) {
   EXPECT_EQ(svc.Stats().subscriptions.active, 0);
 }
 
+// The one-shot pattern: a callback unsubscribing its own subscription runs
+// under the delivery mutex, so Unsubscribe must detect the reentrancy
+// instead of self-deadlocking — the delivery in progress is the last.
+TEST(SubscriptionTest, UnsubscribeFromInsideOwnCallbackDoesNotDeadlock) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/></r>").ok());
+  std::mutex mu;
+  std::vector<SubscriptionEvent> events;
+  std::vector<bool> unsubscribed;
+  auto id = svc.Subscribe(
+      "d1", "//a", [&](const SubscriptionEvent& event) {
+        std::lock_guard<std::mutex> lock(mu);
+        events.push_back(event);
+        unsubscribed.push_back(svc.Unsubscribe(event.subscription));
+      });
+  ASSERT_TRUE(id.ok());
+  svc.FlushSubscriptions();
+
+  // Churn that would re-deliver if the subscription were still live.
+  ASSERT_TRUE(svc.RegisterXml("d1", "<r><a/><a/></r>").ok());
+  svc.FlushSubscriptions();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(events.size(), 1u);  // the initial snapshot and nothing else
+  EXPECT_EQ(events[0].added, (eval::NodeSet{1}));
+  ASSERT_EQ(unsubscribed.size(), 1u);
+  EXPECT_TRUE(unsubscribed[0]);  // the reentrant call succeeded
+  EXPECT_EQ(svc.Stats().subscriptions.active, 0);
+}
+
 }  // namespace
 }  // namespace gkx::mview

@@ -209,18 +209,71 @@ TEST(FootprintTest, CollectsNamesAcrossStepsPredicatesAndFunctions) {
   EXPECT_EQ(fp.names, (std::vector<std::string>{"a", "b", "c"}));
 }
 
-TEST(FootprintTest, WildcardAndNodeTestsForceAnyName) {
+TEST(FootprintTest, UncoveredWildcardAndNodeTestsForceAnyName) {
+  // No kName step guards these: they observe nodes regardless of name.
   EXPECT_TRUE(CompileText("/child::*").footprint.any_name);
-  EXPECT_TRUE(CompileText("//a[child::node()]").footprint.any_name);
+  EXPECT_TRUE(CompileText("/descendant::node()").footprint.any_name);
+  EXPECT_TRUE(CompileText("/child::node()/child::a").footprint.any_name);
   // The // sugar normalizes to descendant::a — no node() test survives.
   EXPECT_FALSE(CompileText("//a").footprint.any_name);
 }
 
-TEST(FootprintTest, BareRootHasEmptyFootprint) {
-  Footprint fp = CompileText("/").footprint;
+TEST(FootprintTest, NameGuardedWildcardAndNodeTestsStayPrecise) {
+  // A */node() test downstream of (or inside a predicate of) a kName step
+  // is unreachable once that name is absent from both revisions, and any
+  // revision containing the name is in the changed set anyway — so the
+  // name alone is a sound charge.
+  Footprint fp = CompileText("//a[child::node()]").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"a"}));
+
+  fp = CompileText("//a/child::*").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"a"}));
+
+  // The abbreviated "." (self::node()) in a covered predicate — the
+  // idiomatic spelling of the zero-arg string() comparison.
+  fp = CompileText("//a[. = 'x']").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"a"}));
+}
+
+TEST(FootprintTest, RootContentReadsForceAnyName) {
+  // The bare "/" denotes the root node: coerced to string/number its value
+  // is the document's whole text content, which no name set covers — so it
+  // must intersect every update (string(/) would otherwise be served stale
+  // across any content change that keeps the tag set).
+  EXPECT_TRUE(CompileText("/").footprint.any_name);
+  EXPECT_TRUE(CompileText("string(/) = 'x'").footprint.any_name);
+  EXPECT_TRUE(CompileText("sum(/)").footprint.any_name);
+  // Zero-argument context functions at the top level read the root node too.
+  EXPECT_TRUE(CompileText("number()").footprint.any_name);
+  EXPECT_TRUE(CompileText("string-length() > 2").footprint.any_name);
+}
+
+TEST(FootprintTest, NameCoveredContextKeepsPrecision) {
+  // Inside a predicate of a name-tested step the context node already
+  // passed that test: if 'a' occurs in neither revision the step is dead
+  // and the zero-arg read is unreachable, so the name alone is sound.
+  Footprint fp = CompileText("//a[starts-with(name(), 't')]").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"a"}));
+
+  fp = CompileText("//a[string-length() > 1]").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"a"}));
+
+  // string() over a named path (not the context) stays precise as well.
+  fp = CompileText("string(//b) = 'x'").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_EQ(fp.names, (std::vector<std::string>{"b"}));
+}
+
+TEST(FootprintTest, DocumentIndependentQueriesHaveEmptyFootprint) {
+  Footprint fp = CompileText("1 + 2").footprint;
   EXPECT_FALSE(fp.any_name);
   EXPECT_TRUE(fp.names.empty());
-  // "/" answers [0] on every document: no changed-name set may invalidate it.
+  // A pure function of the query alone: no changed-name set invalidates it.
   EXPECT_FALSE(fp.Intersects({"a", "b", "r"}));
 }
 
