@@ -18,7 +18,9 @@
 #include "bench/bench_util.hpp"
 #include "service/query_service.hpp"
 #include "xml/builder.hpp"
+#include "xml/edit.hpp"
 #include "xml/generator.hpp"
+#include "xml/serializer.hpp"
 
 namespace gkx {
 namespace {
@@ -337,6 +339,252 @@ void RunDisjointChurn(bench::JsonReport* json) {
   GKX_CHECK(footprint_hit_rate > 0.9);
 }
 
+// ------------------------------------------------------------- EXP-DELTA
+// The delta-update pipeline: corpus mutation as subtree patches
+// (QueryService::UpdateDocument) instead of whole-document replacement.
+// Two claims, each self-checked:
+//   1. Throughput — on a large document, a subtree patch (splice + index
+//      splice, no re-parse) lands updates >= 3x faster than the equivalent
+//      full replacement (parse + rebuild + index rebuild), with
+//      byte-identical query answers afterward.
+//   2. Retention — under subtree churn whose names OVERLAP the rest of the
+//      document (the regime where PR 4's whole-document name union
+//      invalidates everything), region×name invalidation retains strictly
+//      more cache entries and serves a strictly higher hit rate than the
+//      name-only baseline, again byte-identically.
+
+xml::Document LargeCatalog(int32_t items) {
+  // <catalog> of <item><sku/><price/><desc/></item>... plus a <summary>
+  // tail. Item names occur in every item subtree: any one item's region
+  // names overlap the other items — and under whole-document invalidation,
+  // every update drags the summary names along too.
+  xml::TreeBuilder builder("catalog");
+  for (int32_t i = 0; i < items; ++i) {
+    xml::BuildNodeId item = builder.AddChild(builder.root(), "item");
+    builder.SetText(builder.AddChild(item, "sku"), "sku" + std::to_string(i));
+    builder.SetText(builder.AddChild(item, "price"), std::to_string(i % 97));
+    builder.SetText(builder.AddChild(item, "desc"),
+                    "item number " + std::to_string(i));
+  }
+  xml::BuildNodeId summary = builder.AddChild(builder.root(), "summary");
+  builder.SetText(builder.AddChild(summary, "total"), std::to_string(items));
+  builder.SetText(builder.AddChild(summary, "grand"), "0");
+  return std::move(builder).Build();
+}
+
+xml::SubtreeEdit ReplaceItemEdit(const xml::Document& doc, Rng* rng,
+                                 int serial) {
+  // Replace a uniformly chosen <item> subtree with a regenerated one —
+  // same tag family (overlapping names), slightly different shape.
+  std::vector<xml::NodeId> items;
+  for (xml::NodeId c = doc.node(doc.root()).first_child; c != xml::kNullNode;
+       c = doc.node(c).next_sibling) {
+    if (doc.TagName(c) == "item") items.push_back(c);
+  }
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kReplaceSubtree;
+  edit.target = items[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  xml::TreeBuilder builder("item");
+  builder.SetText(builder.AddChild(builder.root(), "sku"),
+                  "resku" + std::to_string(serial));
+  builder.SetText(builder.AddChild(builder.root(), "price"),
+                  std::to_string(serial % 89));
+  const int64_t extra = rng->UniformInt(0, 2);
+  for (int64_t e = 0; e < extra; ++e) {
+    builder.SetText(builder.AddChild(builder.root(), "desc"), "regenerated");
+  }
+  edit.subtree = std::move(builder).Build();
+  return edit;
+}
+
+const char* kDeltaQueries[] = {
+    "/descendant::summary/child::total",
+    "count(/descendant::item)",
+    "/descendant::item/child::sku",
+};
+
+/// The churn both EXP-DELTA scenarios share: a seeded chain of item
+/// replacements, each applied to the previous revision. When
+/// `revision_xml` is non-null it also captures each revision's serialized
+/// bytes (what a whole-document client would send).
+std::vector<xml::SubtreeEdit> PrecomputeEditChain(
+    uint64_t seed, int rounds, const xml::Document& base,
+    std::vector<std::string>* revision_xml) {
+  Rng rng(seed);
+  std::vector<xml::SubtreeEdit> edits;
+  xml::Document current = base;
+  for (int i = 0; i < rounds; ++i) {
+    edits.push_back(ReplaceItemEdit(current, &rng, i));
+    auto next = xml::ApplyEdit(current, edits.back());
+    GKX_CHECK(next.ok());
+    current = std::move(next).value();
+    if (revision_xml != nullptr) {
+      xml::SerializeOptions terse;
+      terse.indent = 0;
+      revision_xml->push_back(xml::SerializeDocument(current, terse));
+    }
+  }
+  return edits;
+}
+
+std::vector<std::string> Digests(service::QueryService& svc,
+                                 const std::string& key) {
+  std::vector<std::string> out;
+  for (const char* query : kDeltaQueries) {
+    auto answer = svc.Submit(key, query);
+    GKX_CHECK(answer.ok());
+    out.push_back(answer->value.DebugString());
+  }
+  return out;
+}
+
+void RunDeltaUpdateThroughput(bench::JsonReport* json) {
+  std::printf(
+      "EXP-DELTA-UPS: subtree patch vs full replacement on a large "
+      "document\n");
+  const int kItems = 6000;  // ~24k nodes
+  const int kRounds = 30;
+  const xml::Document base = LargeCatalog(kItems);
+
+  // Precompute the edit chain once, plus each resulting revision's XML —
+  // the bytes a client of the whole-document API would have sent.
+  std::vector<std::string> revision_xml;
+  const std::vector<xml::SubtreeEdit> edits =
+      PrecomputeEditChain(811, kRounds, base, &revision_xml);
+
+  // One probe query per update keeps both sides honest about index
+  // maintenance: the patch side splices eagerly at update time, the
+  // replace side pays its lazy rebuild at the probe. The answer cache is
+  // off — retention is the NEXT scenario's claim; this one prices updates.
+  bench::Table table({"mode", "updates", "total ms", "updates/s",
+                      "patch/replace"});
+  double replace_ups = 0.0;
+  double patch_ups = 0.0;
+  std::vector<std::string> replace_digests;
+  std::vector<std::string> patch_digests;
+  for (const bool patch : {false, true}) {
+    service::QueryService::Options options;
+    options.answer_cache_enabled = false;
+    service::QueryService svc(options);
+    GKX_CHECK(svc.RegisterDocument("big", xml::Document(base)).ok());
+    GKX_CHECK(svc.Submit("big", kDeltaQueries[0]).ok());  // build the index
+
+    Stopwatch sw;
+    for (int i = 0; i < kRounds; ++i) {
+      if (patch) {
+        GKX_CHECK(svc.UpdateDocument("big", edits[static_cast<size_t>(i)])
+                      .ok());
+      } else {
+        GKX_CHECK(
+            svc.RegisterXml("big", revision_xml[static_cast<size_t>(i)]).ok());
+      }
+      GKX_CHECK(svc.Submit("big", kDeltaQueries[0]).ok());
+    }
+    const double seconds = sw.ElapsedSeconds();
+    const double ups = kRounds / seconds;
+    if (patch) {
+      patch_ups = ups;
+      patch_digests = Digests(svc, "big");
+    } else {
+      replace_ups = ups;
+      replace_digests = Digests(svc, "big");
+    }
+    table.AddRow({patch ? "patch" : "replace", bench::Num(kRounds),
+                  bench::Millis(seconds), bench::Num(static_cast<int64_t>(ups)),
+                  patch ? bench::Ratio(patch_ups / replace_ups)
+                        : std::string("-")});
+    json->AddRow(
+        {{"scenario", bench::JsonStr("delta_update_throughput")},
+         {"mode", bench::JsonStr(patch ? "patch" : "replace")},
+         {"updates", bench::JsonNum(kRounds)},
+         {"total_ms", bench::JsonNum(seconds * 1e3)},
+         {"updates_per_sec", bench::JsonNum(ups)},
+         {"speedup_vs_replace",
+          bench::JsonNum(patch ? patch_ups / replace_ups : 1.0)}});
+  }
+  table.Print();
+  // Byte-identical final answers: the patched corpus IS the replaced one.
+  GKX_CHECK(patch_digests == replace_digests);
+  // The acceptance bar: patches land >= 3x faster than full replacement.
+  GKX_CHECK(patch_ups >= 3.0 * replace_ups);
+}
+
+void RunDeltaRetention(bench::JsonReport* json) {
+  std::printf(
+      "EXP-DELTA-RET: cache retention under subtree churn with "
+      "overlapping names\n");
+  const int kItems = 400;
+  const int kRounds = 40;
+  const xml::Document base = LargeCatalog(kItems);
+
+  // The query mix: an item family (footprints intersect every item edit)
+  // and a summary family (names live elsewhere in the SAME document). The
+  // whole-document name union contains both families every round — the
+  // baseline can retain nothing — while the delta's region names contain
+  // only the item family.
+  std::vector<service::QueryService::Request> requests;
+  for (const char* query : kDeltaQueries) requests.push_back({"big", query});
+  requests.push_back({"big", "/descendant::summary"});
+  requests.push_back({"big", "/descendant::grand"});
+  requests.push_back({"big", "/descendant::price"});
+
+  // Identical churn in both modes.
+  const std::vector<xml::SubtreeEdit> edits =
+      PrecomputeEditChain(977, kRounds, base, nullptr);
+
+  bench::Table table({"invalidation", "requests", "hit rate", "invalidated",
+                      "retained", "remapped"});
+  double delta_hit_rate = 0.0;
+  int64_t delta_retained = 0;
+  std::vector<std::string> mode_digests[2];
+  for (const bool delta : {true, false}) {
+    service::QueryService::Options options;
+    options.delta_invalidation = delta;
+    service::QueryService svc(options);
+    GKX_CHECK(svc.RegisterDocument("big", xml::Document(base)).ok());
+
+    int64_t total = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      GKX_CHECK(
+          svc.UpdateDocument("big", edits[static_cast<size_t>(round)]).ok());
+      for (const auto& response : svc.SubmitBatch(requests)) {
+        GKX_CHECK(response.ok());
+        mode_digests[delta ? 0 : 1].push_back(response->value.DebugString());
+      }
+      total += static_cast<int64_t>(requests.size());
+    }
+    const auto counters = svc.answer_cache().counters();
+    if (delta) {
+      delta_hit_rate = counters.HitRate();
+      delta_retained = counters.retained;
+    } else {
+      // The sharpened test must retain strictly more than the
+      // whole-document name union on identical churn — and answer
+      // byte-identically.
+      GKX_CHECK(mode_digests[0] == mode_digests[1]);
+      GKX_CHECK(delta_retained > counters.retained);
+      GKX_CHECK(delta_hit_rate > counters.HitRate());
+    }
+    table.AddRow({delta ? "delta (region x name)" : "whole-doc names (PR4)",
+                  bench::Num(total), bench::Ratio(counters.HitRate(), 3),
+                  bench::Num(counters.invalidations),
+                  bench::Num(counters.retained),
+                  bench::Num(counters.remapped)});
+    json->AddRow(
+        {{"scenario", bench::JsonStr("delta_retention")},
+         {"mode", bench::JsonStr(delta ? "delta" : "whole_doc_names")},
+         {"requests", bench::JsonNum(static_cast<double>(total))},
+         {"answer_hit_rate", bench::JsonNum(counters.HitRate())},
+         {"invalidations",
+          bench::JsonNum(static_cast<double>(counters.invalidations))},
+         {"retained", bench::JsonNum(static_cast<double>(counters.retained))},
+         {"remapped",
+          bench::JsonNum(static_cast<double>(counters.remapped))}});
+  }
+  table.Print();
+}
+
 }  // namespace
 }  // namespace gkx
 
@@ -351,11 +599,15 @@ int main() {
       "queries/sec through SubmitBatch: plan cache cold vs warm (batch "
       "1/64/1024); answer cache disabled vs warm (expect >= 5x, "
       "byte-identical answers); disjoint-tag churn hit rate per "
-      "invalidation mode (expect footprint > 0.9)");
+      "invalidation mode (expect footprint > 0.9); EXP-DELTA subtree "
+      "patches (expect >= 3x full replacement, and region x name retention "
+      "strictly above the whole-document name baseline)");
   gkx::bench::JsonReport json("service_throughput", 97);
   gkx::Run(&json);
   gkx::RunAnswerCacheWarm(&json);
   gkx::RunDisjointChurn(&json);
+  gkx::RunDeltaUpdateThroughput(&json);
+  gkx::RunDeltaRetention(&json);
   json.Write(gkx::bench::RepoRootPath("BENCH_service.json"));
   return 0;
 }

@@ -11,7 +11,9 @@
 // Flags: --seed= first seed (default 1), --rounds= max rounds (default
 // unlimited), --seconds= time budget (default 30), --threads= (default 4),
 // --ops= schedule length per round (default 10000), --churn= probability
-// (default 0.004), --subs= standing queries per round (default 4 — the
+// (default 0.004), --edits= fraction of churn carried out as subtree
+// patches through the delta pipeline (default 0.5; 0 = whole-document
+// replacement only), --subs= standing queries per round (default 4 — the
 // subscription soak; 0 disables).
 //
 // Emits BENCH_soak.json (per-round rows, repo root) for cross-PR tracking.
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(FlagValue(argc, argv, "threads", 4));
   const int ops = static_cast<int>(FlagValue(argc, argv, "ops", 10000));
   const double churn = FlagDouble(argc, argv, "churn", 0.004);
+  const double edits = FlagDouble(argc, argv, "edits", 0.5);
   const int subs = static_cast<int>(FlagValue(argc, argv, "subs", 4));
 
   gkx::bench::PrintHeader(
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
     spec.seed = seed;
     spec.operations = ops;
     spec.churn_probability = churn;
+    spec.edit_probability = edits;
     spec.query_options.max_condition_depth = 2;
     spec.query_options.tag_zipf_s = 0.7;
     spec.document_options.tag_zipf_s = 0.7;

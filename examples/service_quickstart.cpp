@@ -1,11 +1,14 @@
 // The serving layer in five minutes: register documents, submit single
-// queries and a mixed batch, read the stats the service keeps for you.
+// queries and a mixed batch, patch a document with a subtree edit, read
+// the stats the service keeps for you.
 //
 //   ./example_service_quickstart
 
 #include <cstdio>
 
 #include "service/query_service.hpp"
+#include "xml/edit.hpp"
+#include "xml/parser.hpp"
 
 int main() {
   gkx::service::QueryService service;
@@ -44,6 +47,22 @@ int main() {
                 batch[i].ok() ? batch[i]->value.DebugString().c_str()
                               : batch[i].status().ToString().c_str());
   }
+
+  // Mutation as a subtree patch: splice a third <book> under <inventory>
+  // (node 0) instead of re-sending the whole document. Cached answers
+  // whose footprints never mention the edited region's names survive the
+  // update (answer_cache.retained below); //book entries re-evaluate.
+  gkx::xml::SubtreeEdit edit;
+  edit.kind = gkx::xml::SubtreeEdit::Kind::kInsertSubtree;
+  edit.target = 0;
+  edit.position = 2;  // between the second book and the cd
+  edit.subtree = *gkx::xml::ParseDocument(
+      "<book genre='pl'><title>Datalog</title></book>");
+  GKX_CHECK(service.UpdateDocument("store", edit).ok());
+  auto patched = service.Submit("store", "count(/descendant::book)");
+  GKX_CHECK(patched.ok());
+  std::printf("after patch: count(/descendant::book) -> %s\n",
+              patched->value.DebugString().c_str());
 
   // Service-level observability.
   gkx::service::ServiceStats stats = service.Stats();

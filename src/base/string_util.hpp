@@ -4,11 +4,23 @@
 #ifndef GKX_BASE_STRING_UTIL_HPP_
 #define GKX_BASE_STRING_UTIL_HPP_
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace gkx {
+
+/// Transparent (heterogeneous) hash for std::string-keyed unordered maps:
+/// with std::equal_to<> as the key-equal, find()/contains() accept
+/// string_view (and const char*) directly — hot read paths skip the
+/// temporary std::string a homogeneous map would force per lookup.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Joins items with a separator.
 std::string Join(const std::vector<std::string>& items, std::string_view sep);

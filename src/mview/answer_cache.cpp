@@ -1,5 +1,6 @@
 #include "mview/answer_cache.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -141,9 +142,34 @@ void AnswerCache::Insert(const std::string& doc_key, int64_t revision,
   }
 }
 
+void AnswerCache::RemapLocked(Entry& entry, const xml::DocumentDelta& delta) {
+  if (delta.shift() == 0) return;
+  const eval::Value& value = entry.cached->answer.value;
+  if (!value.is_node_set()) return;
+  const eval::NodeSet& nodes = value.nodes();
+  // Retained entries provably select no region node (plan/footprint.hpp),
+  // so the answer splits cleanly at the old region's end: ids before the
+  // region stand, ids at or after it shift by the delta's constant.
+  const xml::NodeId boundary = delta.begin + delta.old_count;
+  auto first_shifted = std::lower_bound(nodes.begin(), nodes.end(), boundary);
+  if (first_shifted == nodes.end()) return;
+  eval::NodeSet shifted(nodes.begin(), nodes.end());
+  for (auto it = shifted.begin() + (first_shifted - nodes.begin());
+       it != shifted.end(); ++it) {
+    *it += delta.shift();
+  }
+  auto remapped = std::make_shared<CachedAnswer>();
+  remapped->answer = entry.cached->answer;
+  remapped->answer.value = eval::Value::Nodes(std::move(shifted));
+  remapped->bytes = entry.cached->bytes;  // same node count, same accounting
+  entry.cached = std::move(remapped);
+  remapped_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void AnswerCache::OnDocumentUpdate(
     const std::string& doc_key, int64_t old_revision, int64_t new_revision,
-    const std::vector<std::string>& changed_names) {
+    const std::vector<std::string>& changed_names,
+    const xml::DocumentDelta* delta) {
   const bool replacement = old_revision >= 0 && new_revision >= 0;
   if (options_.mode == InvalidationMode::kFlushAll) {
     // The baseline mode: any update empties the whole cache. Shards are
@@ -158,6 +184,12 @@ void AnswerCache::OnDocumentUpdate(
     }
     return;
   }
+  // The injected delta defect: subtree updates skip invalidation (and the
+  // id remap) wholesale — entries survive stale. Whole-document updates are
+  // untouched, so exactly the delta machinery is on trial.
+  const bool fault_retain_all =
+      options_.fault_ignore_footprints ||
+      (options_.fault_ignore_delta && delta != nullptr);
   Shard& shard = ShardFor(doc_key);
   std::lock_guard<std::mutex> lock(shard.mu);
   for (auto it = shard.lru.begin(); it != shard.lru.end();) {
@@ -166,11 +198,15 @@ void AnswerCache::OnDocumentUpdate(
       const bool retain =
           replacement && options_.mode == InvalidationMode::kFootprint &&
           it->revision == old_revision &&
-          (options_.fault_ignore_footprints ||
-           !it->footprint.Intersects(changed_names));
+          (fault_retain_all ||
+           !it->footprint.AffectedBy(changed_names, delta));
       if (retain) {
         it->revision = new_revision;
         retained_.fetch_add(1, std::memory_order_relaxed);
+        if (delta != nullptr && delta->structure_changed() &&
+            !fault_retain_all) {
+          RemapLocked(*it, *delta);
+        }
       } else {
         EraseLocked(shard, it);
         invalidations_.fetch_add(1, std::memory_order_relaxed);
@@ -187,6 +223,7 @@ AnswerCache::Counters AnswerCache::counters() const {
   out.inserts = inserts_.load(std::memory_order_relaxed);
   out.invalidations = invalidations_.load(std::memory_order_relaxed);
   out.retained = retained_.load(std::memory_order_relaxed);
+  out.remapped = remapped_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
   out.declined = declined_.load(std::memory_order_relaxed);
   out.bytes = bytes_.load(std::memory_order_relaxed);

@@ -16,16 +16,24 @@
 // weight, never a correctness hazard.
 //
 // Fine-grained invalidation. On a document update the service reports the
-// changed-name set (the union of the old and new revisions' tag sets, via
-// xml::DocumentIndex::PresentNames). Entries for that document whose plan
-// footprint (plan/footprint.hpp) intersects the set are erased; entries
-// whose footprint is provably disjoint kept their answers — their revision
-// is bumped to the new id so they keep hitting. This is what lets a corpus
-// with heterogeneous schemas ride out churn: updating an <orders> document
-// does not cost the cached answers of queries that only mention <listing>
-// tags, not even on the updated document itself. kFlushDocument /
-// kFlushAll exist to measure exactly that difference (bench + golden
-// tests).
+// changed-name set — for a whole-document replacement the union of the two
+// revisions' tag sets, for a subtree update (DocumentStore::Update) just
+// the names local to the edited region — plus, in the subtree case, the
+// xml::DocumentDelta itself. Entries for that document whose plan
+// footprint (plan/footprint.hpp) is affected per Footprint::AffectedBy are
+// erased; unaffected entries keep their answers — their revision is bumped
+// to the new id so they keep hitting, and when a structural delta shifted
+// the preorder ids after the edited region, retained node-set answers are
+// remapped by the delta's constant shift (the footprint argument
+// guarantees no answer node lies inside the region). This is what lets a
+// corpus ride out churn at region×name precision: replacing one <item>
+// subtree of a big document does not cost the cached answers of queries
+// whose footprints only mention names the edit never touched — even though
+// those names (and the queries' answers) live in the same document.
+// kFlushDocument / kFlushAll exist to measure exactly that difference
+// (bench + golden tests), and Options::delta handling can be disabled
+// upstream (QueryService::Options::delta_invalidation) to measure the
+// whole-document name-only baseline.
 //
 // Sharding & budget: entries are sharded by document key (one mutex per
 // shard), so invalidation walks a single shard and concurrent lookups on
@@ -84,6 +92,14 @@ class AnswerCache {
     /// harness uses it to prove its oracle catches exactly that defect.
     /// Must stay false in production.
     bool fault_ignore_footprints = false;
+    /// Test-only fault injection for the delta pipeline: on subtree updates
+    /// (delta present) skip delta-local invalidation entirely — every entry
+    /// is retained, re-stamped, and NOT id-remapped. Whole-document updates
+    /// keep working, so precisely the region×name machinery is broken:
+    /// after an intersecting subtree edit the cache serves truly stale
+    /// answers, which the edit-churn soak must catch with a reproducing
+    /// seed. Must stay false in production.
+    bool fault_ignore_delta = false;
   };
 
   struct Counters {
@@ -92,6 +108,8 @@ class AnswerCache {
     int64_t inserts = 0;
     int64_t invalidations = 0;   // entries erased by document updates
     int64_t retained = 0;        // entries re-stamped across an update
+    int64_t remapped = 0;        // retained node-set answers id-shifted
+                                 // across a structural subtree delta
     int64_t evictions = 0;       // capacity/byte-budget LRU victims
     int64_t declined = 0;        // not cached: oversized, or outdated by a
                                  // newer resident entry
@@ -132,16 +150,22 @@ class AnswerCache {
   /// Invalidation hook for a corpus mutation of `doc_key`.
   ///   * Replacement (old_revision/new_revision both >= 0): under
   ///     kFootprint, entries stamped old_revision whose footprint is
-  ///     disjoint from `changed_names` are re-stamped to new_revision and
-  ///     retained; every other entry of the document is erased (entries at
-  ///     other revisions are unservable stragglers from racing inserts).
+  ///     unaffected (Footprint::AffectedBy over `changed_names` and the
+  ///     optional `delta`) are re-stamped to new_revision and retained —
+  ///     remapping node-set answers across the delta's id shift when the
+  ///     edit changed structure; every other entry of the document is
+  ///     erased (entries at other revisions are unservable stragglers from
+  ///     racing inserts).
   ///   * Install or removal (old_revision < 0 or new_revision < 0): every
   ///     entry of the document is erased — an install may follow a Remove
   ///     whose incarnation left entries behind.
-  /// `changed_names` must be sorted and duplicate-free.
+  /// `changed_names` must be sorted and duplicate-free: the whole-document
+  /// union when `delta` is null, the delta-local union otherwise. `delta`
+  /// need only live for the duration of the call.
   void OnDocumentUpdate(const std::string& doc_key, int64_t old_revision,
                         int64_t new_revision,
-                        const std::vector<std::string>& changed_names);
+                        const std::vector<std::string>& changed_names,
+                        const xml::DocumentDelta* delta = nullptr);
 
   Counters counters() const;
 
@@ -171,6 +195,11 @@ class AnswerCache {
   Shard& ShardFor(const std::string& doc_key);
   /// Drops `it` from `shard` (bookkeeping only; counters are the caller's).
   void EraseLocked(Shard& shard, std::list<Entry>::iterator it);
+  /// Re-bases a retained entry's node-set answer across a structural delta:
+  /// every node at or after the old region's end shifts by delta.shift().
+  /// The cached answer is immutable (shared with in-flight readers), so a
+  /// shifted copy replaces it.
+  void RemapLocked(Entry& entry, const xml::DocumentDelta& delta);
 
   Options options_;
   size_t per_shard_capacity_ = 0;
@@ -182,6 +211,7 @@ class AnswerCache {
   std::atomic<int64_t> inserts_{0};
   std::atomic<int64_t> invalidations_{0};
   std::atomic<int64_t> retained_{0};
+  std::atomic<int64_t> remapped_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> declined_{0};
   std::atomic<int64_t> bytes_{0};

@@ -99,14 +99,17 @@ bool SubscriptionManager::Unsubscribe(int64_t id) {
 
 void SubscriptionManager::NotifyDocumentChanged(
     const std::string& doc_key, const std::vector<std::string>& changed_names,
-    bool all_changed, bool removed) {
+    bool all_changed, bool removed, const xml::DocumentDelta* delta) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) return;
   for (const auto& [id, sub] : subs_) {
     if (!SelectorMatches(sub->selector, doc_key)) continue;
     if (!all_changed && !removed &&
-        !sub->plan->footprint.Intersects(changed_names)) {
-      // The update provably cannot change this standing query's answer.
+        !sub->plan->footprint.AffectedBy(changed_names, delta) &&
+        (delta == nullptr || delta->ids_stable)) {
+      // The update provably cannot change this standing query's answer —
+      // and, when it came as a subtree delta, it moved no NodeId either,
+      // so the last delivered state is still spelled correctly.
       skipped_disjoint_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }

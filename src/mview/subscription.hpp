@@ -22,10 +22,15 @@
 // re-evaluated on the shared ThreadPool. A pair that is already scheduled
 // absorbs further churn for free (`coalesced` counter) — under rapid
 // replacement of one document a subscriber sees a handful of consolidated
-// diffs, not one callback per Put. A pair whose plan footprint is disjoint
-// from the update's changed-name set is skipped outright
-// (`skipped_disjoint`): by the footprint soundness argument
-// (plan/footprint.hpp) its answer cannot have changed.
+// diffs, not one callback per Put. A pair whose plan footprint is
+// unaffected by the update is skipped outright (`skipped_disjoint`): by the
+// footprint soundness argument (plan/footprint.hpp) its answer cannot have
+// changed. For subtree updates (DocumentStore::Update) the test is the
+// sharpened delta-local one, with one extra condition: skipping is only
+// legal when the edit kept NodeIds stable — a structural edit shifts the
+// ids behind the region, and the subscriber must be told the new ids even
+// when the answer is "the same nodes", so those pairs re-evaluate and
+// deliver the shift as a diff.
 //
 // Delivery ordering: per subscription, evaluation + diff + callback run
 // under one mutex, so callbacks for a given subscription never overlap or
@@ -114,11 +119,14 @@ class SubscriptionManager {
 
   /// Churn notification (wired to DocumentStore's update listener).
   /// `all_changed` forces every matching subscription to re-evaluate
-  /// (installs and removals); otherwise `changed_names` (sorted) gates
-  /// per-footprint.
+  /// (installs and removals); otherwise `changed_names` (sorted) gates per
+  /// footprint — against the whole-document union when `delta` is null,
+  /// against the region-local delta otherwise (see the header comment for
+  /// the ids-stable condition). `delta` need only live for this call.
   void NotifyDocumentChanged(const std::string& doc_key,
                              const std::vector<std::string>& changed_names,
-                             bool all_changed, bool removed);
+                             bool all_changed, bool removed,
+                             const xml::DocumentDelta* delta = nullptr);
 
   /// Blocks until every evaluation scheduled so far has delivered. Only
   /// meaningful once concurrent churn has stopped (tests, soak teardown).

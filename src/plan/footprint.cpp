@@ -23,7 +23,26 @@ void WalkExpr(const xpath::Expr& expr, bool context_named, Footprint* out);
 // invalidated regardless). Only an uncovered */node() test — one no kName
 // step guards, like a top-level "/child::*" — forces any_name; a covered
 // one ("//a[child::node()]", the abbreviated "." = self::node()) adds no
-// observable dependence beyond the covering name.
+// observable dependence beyond the covering name. A */node() test also
+// records the `wildcard` class, because coverage does not localize *which*
+// nodes the wildcard selects (delta argument, header) — EXCEPT on the
+// self/parent/ancestor axes: the ancestor-or-self chain of a node outside
+// the edited region lies entirely outside it (the region is a whole
+// subtree — an ancestor inside would pull the node in with it), so an
+// upward wildcard can never select region nodes and "[. = 'x']" predicates
+// keep their delta precision.
+bool AxisEscapesAncestorChain(xpath::Axis axis) {
+  switch (axis) {
+    case xpath::Axis::kSelf:
+    case xpath::Axis::kParent:
+    case xpath::Axis::kAncestor:
+    case xpath::Axis::kAncestorOrSelf:
+      return false;
+    default:
+      return true;
+  }
+}
+
 bool WalkStep(const xpath::Step& step, bool context_named, Footprint* out) {
   bool covered = context_named;
   switch (step.test.kind) {
@@ -33,6 +52,7 @@ bool WalkStep(const xpath::Step& step, bool context_named, Footprint* out) {
       break;
     case xpath::NodeTest::Kind::kAny:
     case xpath::NodeTest::Kind::kNode:
+      if (AxisEscapesAncestorChain(step.axis)) out->wildcard = true;
       if (!covered) out->any_name = true;
       break;
   }
@@ -45,22 +65,64 @@ bool WalkStep(const xpath::Step& step, bool context_named, Footprint* out) {
 }
 
 // Zero-argument forms of these functions read the context node's string
-// value or name (eval::RecursiveEvaluatorBase::EvalFunction); position()
-// and last() read only the context position/size, which name-disjoint
-// updates cannot disturb (a dead step contributes no positions at all).
-bool ReadsContextNode(const xpath::FunctionCall& call) {
+// value (string()/number()/string-length()/normalize-space()) or its name
+// (name()/local-name()); position() and last() read only the context
+// position/size, which name-disjoint updates cannot disturb (a dead step
+// contributes no positions at all, and delta-surviving selections keep
+// their order — header argument).
+bool ReadsContextContent(const xpath::FunctionCall& call) {
   if (call.arg_count() != 0) return false;
   switch (call.function()) {
     case xpath::Function::kString:
     case xpath::Function::kNumber:
     case xpath::Function::kStringLength:
     case xpath::Function::kNormalizeSpace:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ReadsContextName(const xpath::FunctionCall& call) {
+  if (call.arg_count() != 0) return false;
+  switch (call.function()) {
     case xpath::Function::kName:
     case xpath::Function::kLocalName:
       return true;
     default:
       return false;
   }
+}
+
+// True when the function coerces a node-set argument to a string or number
+// — i.e. reads string values. count()/boolean()/not() consume node-sets
+// natively (cardinality / emptiness), and name()/local-name() read tags,
+// not content (tracked separately as name_read).
+bool CoercesNodeSetArgsToContent(xpath::Function function) {
+  switch (function) {
+    case xpath::Function::kString:
+    case xpath::Function::kNumber:
+    case xpath::Function::kSum:
+    case xpath::Function::kConcat:
+    case xpath::Function::kContains:
+    case xpath::Function::kStartsWith:
+    case xpath::Function::kStringLength:
+    case xpath::Function::kNormalizeSpace:
+    case xpath::Function::kSubstring:
+    case xpath::Function::kSubstringBefore:
+    case xpath::Function::kSubstringAfter:
+    case xpath::Function::kTranslate:
+    case xpath::Function::kFloor:
+    case xpath::Function::kCeiling:
+    case xpath::Function::kRound:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNodeSet(const xpath::Expr& expr) {
+  return xpath::StaticType(expr) == xpath::ValueType::kNodeSet;
 }
 
 void WalkExpr(const xpath::Expr& expr, bool context_named, Footprint* out) {
@@ -70,17 +132,68 @@ void WalkExpr(const xpath::Expr& expr, bool context_named, Footprint* out) {
       return;
     case xpath::Expr::Kind::kBinary: {
       const auto& binary = expr.As<xpath::BinaryExpr>();
+      // XPath 1.0 comparison/arithmetic semantics on node-sets read string
+      // values: RelOps and arithmetic coerce through number(string-value),
+      // =/!= compare string values — EXCEPT against a boolean operand,
+      // where the node-set collapses to existence (no content observed).
+      const bool lhs_nodes = IsNodeSet(binary.lhs());
+      const bool rhs_nodes = IsNodeSet(binary.rhs());
+      if (lhs_nodes || rhs_nodes) {
+        switch (binary.op()) {
+          case xpath::BinaryOp::kEq:
+          case xpath::BinaryOp::kNe: {
+            const xpath::ValueType other = lhs_nodes
+                                               ? xpath::StaticType(binary.rhs())
+                                               : xpath::StaticType(binary.lhs());
+            if (lhs_nodes && rhs_nodes) {
+              out->content_read = true;
+            } else if (other != xpath::ValueType::kBoolean) {
+              out->content_read = true;
+            }
+            break;
+          }
+          case xpath::BinaryOp::kLt:
+          case xpath::BinaryOp::kLe:
+          case xpath::BinaryOp::kGt:
+          case xpath::BinaryOp::kGe:
+          case xpath::BinaryOp::kAdd:
+          case xpath::BinaryOp::kSub:
+          case xpath::BinaryOp::kMul:
+          case xpath::BinaryOp::kDiv:
+          case xpath::BinaryOp::kMod:
+            out->content_read = true;
+            break;
+          case xpath::BinaryOp::kOr:
+          case xpath::BinaryOp::kAnd:
+            break;  // boolean coercion: existence only
+        }
+      }
       WalkExpr(binary.lhs(), context_named, out);
       WalkExpr(binary.rhs(), context_named, out);
       return;
     }
-    case xpath::Expr::Kind::kNegate:
-      WalkExpr(expr.As<xpath::NegateExpr>().operand(), context_named, out);
+    case xpath::Expr::Kind::kNegate: {
+      const auto& negate = expr.As<xpath::NegateExpr>();
+      if (IsNodeSet(negate.operand())) out->content_read = true;
+      WalkExpr(negate.operand(), context_named, out);
       return;
+    }
     case xpath::Expr::Kind::kFunctionCall: {
       const auto& call = expr.As<xpath::FunctionCall>();
-      if (!context_named && ReadsContextNode(call)) out->any_name = true;
+      if (ReadsContextContent(call)) {
+        out->content_read = true;
+        if (!context_named) out->any_name = true;
+      }
+      if (ReadsContextName(call)) {
+        out->name_read = true;
+        if (!context_named) out->any_name = true;
+      }
+      const bool content_args = CoercesNodeSetArgsToContent(call.function());
+      const bool name_args = call.function() == xpath::Function::kName ||
+                             call.function() == xpath::Function::kLocalName;
       for (size_t i = 0; i < call.arg_count(); ++i) {
+        if (content_args && IsNodeSet(call.arg(i))) out->content_read = true;
+        if (name_args && IsNodeSet(call.arg(i))) out->name_read = true;
         WalkExpr(call.arg(i), context_named, out);
       }
       return;
@@ -91,7 +204,8 @@ void WalkExpr(const xpath::Expr& expr, bool context_named, Footprint* out) {
       // string or number — string(/), sum(/), '/ = "x"' — its value is the
       // document's full text content, which depends on no name at all; in a
       // name-covered context the coercion is unreachable when the footprint
-      // is dead, so only the uncovered case must force any_name.
+      // is dead, so only the uncovered case must force any_name. (The
+      // coercion itself is charged as content_read at the coercion site.)
       if (path.step_count() == 0 && !context_named) out->any_name = true;
       // Coverage flows forward through the step chain: the path is a
       // composition, so a dead name-tested step empties everything after
@@ -132,14 +246,37 @@ bool Footprint::Intersects(const std::vector<std::string>& changed) const {
   return false;
 }
 
+bool Footprint::AffectedBy(const std::vector<std::string>& changed,
+                           const xml::DocumentDelta* delta) const {
+  if (Intersects(changed)) return true;  // any_name included
+  // Whole-document disjointness: every footprint name is absent from both
+  // revisions — the query's named steps are dead, the answer is a constant
+  // of the query. Covered wildcards, content reads, and name reads are all
+  // downstream of a dead guard.
+  if (delta == nullptr) return false;
+  // Delta-local disjointness only proves no *named selection* touches the
+  // region; the three observation classes see past names (header argument).
+  if (content_read && delta->content_changed) return true;
+  if (wildcard && delta->structure_changed()) return true;
+  if (name_read && delta->names_changed()) return true;
+  return false;
+}
+
 std::string Footprint::ToString() const {
-  if (any_name) return "any";
-  std::string out = "{";
-  for (size_t i = 0; i < names.size(); ++i) {
-    if (i > 0) out += ',';
-    out += names[i];
+  std::string out;
+  if (any_name) {
+    out = "any";
+  } else {
+    out = "{";
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += ',';
+      out += names[i];
+    }
+    out += '}';
   }
-  out += '}';
+  if (wildcard) out += "+wild";
+  if (content_read) out += "+content";
+  if (name_read) out += "+name";
   return out;
 }
 

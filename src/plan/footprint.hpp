@@ -1,17 +1,19 @@
 // The dependency extractor for materialized answers (gkx::mview): a
 // conservative *name footprint* per compiled plan. The footprint is the set
-// of tag/label names the plan's node tests mention, plus an `any_name` flag
-// for uncovered wildcard (*)/node() tests and root-content reads.
+// of tag/label names the plan's node tests mention, an `any_name` flag for
+// uncovered wildcard (*)/node() tests and root-content reads, plus three
+// observation-class flags (`wildcard`, `content_read`, `name_read`) that
+// let invalidation reason about *subtree-local* deltas (xml/edit.hpp).
 //
-// Soundness argument (why footprint-disjoint updates cannot change an
-// answer): the changed-name set handed to Intersects is the union of the
-// old and new revisions' full tag sets (names include extra labels, Remark
-// 3.1), so a footprint name either occurs in one of the two revisions — it
-// is in the set, the entry is invalidated, nothing to prove — or occurs in
-// neither, and then every kName step testing it is *dead* on both
-// revisions: it filters the axis image by a name no node carries, yielding
-// the empty node-set, and nothing downstream of it (later steps of the
-// same path, its predicates, anything inside them — reachability, not
+// Whole-document soundness argument (why footprint-disjoint updates cannot
+// change an answer): the changed-name set handed to Intersects is the union
+// of the old and new revisions' full tag sets (names include extra labels,
+// Remark 3.1), so a footprint name either occurs in one of the two
+// revisions — it is in the set, the entry is invalidated, nothing to prove
+// — or occurs in neither, and then every kName step testing it is *dead* on
+// both revisions: it filters the axis image by a name no node carries,
+// yielding the empty node-set, and nothing downstream of it (later steps of
+// the same path, its predicates, anything inside them — reachability, not
 // binding, is what counts) is ever evaluated. The document-dependent
 // observations of an XPath 1.0 expression in our fragment are location
 // paths (there is no attribute axis and no id()) plus reads of the context
@@ -30,6 +32,47 @@
 // query alone. Old answer == new answer, and a cached entry (or a standing
 // query's last delivered diff) may be carried across the update untouched.
 //
+// Delta-local sharpening (AffectedBy). When the update is a subtree edit,
+// the changed-name set shrinks to the names local to the edited region —
+// old and new revision of the region only. Name-disjointness then no longer
+// means "the query's steps are dead" (the names may thrive elsewhere in the
+// document); it means "no step can *select* a region node": a kName step
+// testing n selects only n-carrying nodes, and the region carries no n in
+// either revision. Every node outside the region survives the splice with
+// its name set, its axis relations to all other survivors, and the
+// document order among survivors intact, so all name-tested selections —
+// and with them position()/last()/count() over them — are the same
+// structural nodes before and after. Three observation classes can still
+// leak region state past name-disjointness, and each carries a flag gated
+// by the matching delta fact:
+//   * `wildcard` — a * or node() test anywhere (even name-covered: a
+//     covering name bounds reachability, not locality — "//a/following::*"
+//     can select region nodes from an a-node that merely precedes them).
+//     Selection through a wildcard is structure-sensitive, so the entry is
+//     invalidated when the delta changed structure; an ids-stable edit
+//     (text/relabel) moves no node, and wildcard selections — which ignore
+//     names — are untouched.
+//   * `content_read` — any string-value observation (node-set coerced to
+//     string/number in comparisons, arithmetic, or functions; zero-arg
+//     string()/number()/string-length()/normalize-space()). A string value
+//     concatenates descendant text in document order, so an ancestor of the
+//     region reads region text even though no step selects region nodes
+//     ("//a[. = 'x']" where some a sits above the region). The region is a
+//     contiguous preorder run inside every enclosing subtree, so string
+//     values change iff the region's concatenated text changed — the
+//     delta's content_changed bit.
+//   * `name_read` — name()/local-name() (zero-arg or over a node-set).
+//     A relabel changes a surviving node's tag while only the old/new tags
+//     enter the region name set; a plan that reaches the node through an
+//     extra label and reads its *name* would otherwise slip through. Gated
+//     by whether the delta changed any names at all.
+// Everything else is covered by the selection argument: name-tested steps,
+// predicates over them, position()/last()/count(), boolean existence
+// coercions. When structure changed, surviving nodes after the region keep
+// their identity but shift ids by the delta's constant — retained node-set
+// answers are remapped by the cache (the answer provably contains no region
+// node, so the shift is total on it).
+//
 // The footprint is computed once at plan-compile time (plan::Lower) and
 // travels with the immutable Physical, so invalidation never re-walks an
 // AST on the churn path.
@@ -40,6 +83,7 @@
 #include <string>
 #include <vector>
 
+#include "xml/edit.hpp"
 #include "xpath/ast.hpp"
 
 namespace gkx::plan {
@@ -56,6 +100,21 @@ struct Footprint {
   /// path ("//a[. = 'x']", "//a/child::node()") — are unreachable once the
   /// covering name is absent, so the name alone suffices.
   bool any_name = false;
+  /// A */node() test on a downward or sideways axis occurs anywhere in the
+  /// query, covered or not. Coverage is enough for whole-document
+  /// disjointness (dead guard => dead wildcard) but not for
+  /// delta-locality: a covered wildcard can select region nodes without
+  /// naming them (see the header argument). Upward wildcards — self::
+  /// ("."), parent::, ancestor(-or-self):: — are exempt: the
+  /// ancestor-or-self chain of a non-region node never enters the region.
+  bool wildcard = false;
+  /// The plan observes some node's string value (content coercion of a
+  /// node-set, or a zero-arg content function). Sensitive to any change of
+  /// the region's concatenated text, wherever in the document it reads.
+  bool content_read = false;
+  /// The plan observes some node's tag via name()/local-name(). Sensitive
+  /// to relabels the name sets would otherwise not pin to the footprint.
+  bool name_read = false;
   /// Sorted, duplicate-free names mentioned by kName node tests anywhere in
   /// the query (top-level steps, predicates, function arguments, unions).
   std::vector<std::string> names;
@@ -67,7 +126,19 @@ struct Footprint {
   /// set.
   bool Intersects(const std::vector<std::string>& changed) const;
 
-  /// "any" or "{a,b,c}" (for logs and test diagnostics).
+  /// The sharpened test. `changed` is the update's changed-name set:
+  /// whole-document union when `delta` is null (a Put replacement — the
+  /// degenerate delta), the region-local union when `delta` describes a
+  /// subtree edit. With a delta, name-disjointness alone is not enough;
+  /// the wildcard/content_read/name_read flags are checked against what the
+  /// delta actually changed (see the header argument). False means the old
+  /// answer provably equals the new one (up to the delta's id shift, which
+  /// the caller remaps).
+  bool AffectedBy(const std::vector<std::string>& changed,
+                  const xml::DocumentDelta* delta) const;
+
+  /// "any" or "{a,b,c}" with "+wild"/"+content"/"+name" observation-class
+  /// suffixes (for logs and test diagnostics).
   std::string ToString() const;
 };
 

@@ -1,29 +1,54 @@
 #include "service/document_store.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "xml/parser.hpp"
 
 namespace gkx::service {
 
+StoredDocument::StoredDocument(xml::Document doc, int64_t revision)
+    : doc_(std::move(doc)), revision_(revision) {
+  // Cached once: churn events union two cached vectors instead of
+  // re-sorting intern pools per mutation. The pool is a superset of the
+  // present names only for spliced documents (see Document::InternedNames);
+  // AdoptIndex tightens it when a spliced index is at hand anyway.
+  name_set_ = doc_.InternedNames();
+  std::sort(name_set_.begin(), name_set_.end());
+}
+
 const xml::DocumentIndex& StoredDocument::index() const {
-  std::call_once(index_once_, [this] {
+  const xml::DocumentIndex* built =
+      index_ptr_.load(std::memory_order_acquire);
+  if (built != nullptr) return *built;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (index_ == nullptr) {
     index_ = std::make_unique<xml::DocumentIndex>(doc_);
-    index_built_.store(true, std::memory_order_release);
-  });
+  }
+  index_ptr_.store(index_.get(), std::memory_order_release);
   return *index_;
 }
 
 bool StoredDocument::index_built() const {
-  return index_built_.load(std::memory_order_acquire);
+  return index_ptr_.load(std::memory_order_acquire) != nullptr;
 }
 
-std::vector<std::string> StoredDocument::NameSet() const {
-  if (index_built()) return index().PresentNames();
-  std::vector<std::string> names = doc_.InternedNames();
-  std::sort(names.begin(), names.end());
-  return names;
+void StoredDocument::AdoptIndex(std::unique_ptr<xml::DocumentIndex> index) {
+  GKX_CHECK(index != nullptr && &index->doc() == &doc_);
+  name_set_ = index->PresentNames();  // exact, where the pool is a superset
+  index_ = std::move(index);
+  index_ptr_.store(index_.get(), std::memory_order_release);
+}
+
+std::vector<std::string> DocumentStore::UnionNameSets(
+    const StoredDocument& before, const StoredDocument& after) {
+  std::vector<std::string> out;
+  out.reserve(before.NameSet().size() + after.NameSet().size());
+  std::set_union(before.NameSet().begin(), before.NameSet().end(),
+                 after.NameSet().begin(), after.NameSet().end(),
+                 std::back_inserter(out));
+  return out;
 }
 
 Status DocumentStore::Put(std::string key, xml::Document doc) {
@@ -40,7 +65,16 @@ Status DocumentStore::Put(std::string key, xml::Document doc) {
     old = std::move(slot);
     slot = stored;
   }
-  if (listener_) listener_(key, old, stored);
+  if (listener_) {
+    CorpusUpdate update;
+    update.key = std::move(key);
+    update.old_doc = std::move(old);
+    update.new_doc = std::move(stored);
+    if (update.replacement()) {
+      update.changed_names = UnionNameSets(*update.old_doc, *update.new_doc);
+    }
+    listener_(update);
+  }
   return Status::Ok();
 }
 
@@ -50,24 +84,88 @@ Status DocumentStore::PutXml(std::string key, std::string_view xml) {
   return Put(std::move(key), std::move(doc).value());
 }
 
+Status DocumentStore::Update(std::string_view key,
+                             const xml::SubtreeEdit& edit) {
+  for (;;) {
+    std::shared_ptr<const StoredDocument> old;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = docs_.find(key);
+      if (it == docs_.end()) {
+        return InvalidArgumentError("cannot update unknown document key '" +
+                             std::string(key) + "'");
+      }
+      old = it->second;
+    }
+
+    // The O(|D|) work — splice and (when warranted) index splice — happens
+    // against the snapshot, outside the mutex.
+    xml::DocumentDelta delta;
+    auto edited = xml::ApplyEdit(old->doc(), edit, &delta);
+    if (!edited.ok()) return edited.status();
+    auto stored = std::make_shared<StoredDocument>(
+        std::move(edited).value(),
+        next_revision_.fetch_add(1, std::memory_order_relaxed));
+    if (old->index_built()) {
+      // The old revision was queried: splice its posting lists so the next
+      // query on the new revision pays no full rebuild either.
+      stored->AdoptIndex(std::make_unique<xml::DocumentIndex>(
+          stored->doc(), old->index(), delta));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = docs_.find(key);
+      if (it == docs_.end() || it->second != old) {
+        // A racing Put/Remove/Update changed the base revision under us:
+        // the splice is stale, redo it against the current state. (The
+        // abandoned revision id is never observable — monotonicity holds.)
+        continue;
+      }
+      it->second = stored;
+    }
+
+    if (listener_) {
+      CorpusUpdate update;
+      update.key = std::string(key);
+      update.old_doc = std::move(old);
+      update.new_doc = std::move(stored);
+      if (report_deltas_) {
+        update.delta = &delta;
+        update.changed_names = delta.ChangedNames();
+      } else {
+        // Baseline reporting: pretend this was a whole-document Put.
+        update.changed_names =
+            UnionNameSets(*update.old_doc, *update.new_doc);
+      }
+      listener_(update);
+    }
+    return Status::Ok();
+  }
+}
+
 std::shared_ptr<const StoredDocument> DocumentStore::Get(
     std::string_view key) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = docs_.find(std::string(key));
+  auto it = docs_.find(key);
   return it == docs_.end() ? nullptr : it->second;
 }
 
 bool DocumentStore::Remove(std::string_view key) {
-  std::string key_string(key);
   std::shared_ptr<const StoredDocument> old;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = docs_.find(key_string);
+    auto it = docs_.find(key);
     if (it == docs_.end()) return false;
     old = std::move(it->second);
     docs_.erase(it);
   }
-  if (listener_) listener_(key_string, old, nullptr);
+  if (listener_) {
+    CorpusUpdate update;
+    update.key = std::string(key);
+    update.old_doc = std::move(old);
+    listener_(update);
+  }
   return true;
 }
 

@@ -5,21 +5,34 @@
 // Document itself stays exactly the immutable preorder tree the evaluators
 // already know.
 //
-// Revisions: every Put stamps the stored document with a revision id drawn
-// from one store-wide monotonic counter. Revisions are never reused — not
-// across replacements of a key and not across Remove + re-Put — so an
+// Mutation paths: Put/PutXml replace a key wholesale; Update(key, edit)
+// applies a subtree patch (xml/edit.hpp) to the current revision — one
+// O(|D|) splice instead of parse + rebuild — and, when the old revision's
+// index was already built, splices the posting lists too instead of
+// rebuilding them on the next query. Update is optimistic: the edit is
+// applied outside the store mutex against a snapshot and installed only if
+// the key still holds that snapshot (a racing Put/Remove/Update forces a
+// retry), so readers are never blocked behind an O(|D|) splice.
+//
+// Revisions: every Put/Update stamps the stored document with a revision id
+// drawn from one store-wide monotonic counter. Revisions are never reused —
+// not across replacements of a key and not across Remove + re-Put — so an
 // equality check against a StoredDocument::revision() can never confuse two
 // distinct document states (no ABA). The mview answer cache keys cached
 // answers by exactly this id.
 //
-// Update listener: an optional hook observing every corpus mutation
-// (install, replace, remove), invoked *after* the store reflects the change
-// and outside the store mutex (so a listener may call back into the store).
-// Because it runs outside the lock, two racing Puts of the same key may
-// invoke their listeners out of order; listeners must key any derived state
-// on the revision ids, which totally order the transitions. This is the
-// churn signal the mview layer (answer-cache invalidation, standing-query
-// re-evaluation) hangs off.
+// Update listener: an optional hook observing every corpus mutation as a
+// CorpusUpdate (install, replace, subtree update, remove), invoked *after*
+// the store reflects the change and outside the store mutex (so a listener
+// may call back into the store). Because it runs outside the lock, two
+// racing mutations of the same key may invoke their listeners out of
+// order; listeners must key any derived state on the revision ids, which
+// totally order the transitions. This is the churn signal the mview layer
+// (answer-cache invalidation, standing-query re-evaluation) hangs off. The
+// CorpusUpdate carries the changed-name set pre-computed from the cached
+// per-document name sets (or the delta), so churn never rescans an intern
+// pool, and — for subtree updates — the DocumentDelta itself, which is what
+// upgrades invalidation from document×name to region×name precision.
 //
 // Thread safety: the store is fully thread-safe. Get() hands out
 // shared_ptrs, so removing or replacing a key never invalidates documents
@@ -39,58 +52,101 @@
 #include <vector>
 
 #include "base/status.hpp"
+#include "base/string_util.hpp"
 #include "xml/document.hpp"
+#include "xml/edit.hpp"
 #include "xml/index.hpp"
 
 namespace gkx::service {
 
-/// A registered document plus its lazily-built index and store revision.
+/// A registered document plus its lazily-built index, store revision, and
+/// cached name set.
 class StoredDocument {
  public:
-  explicit StoredDocument(xml::Document doc, int64_t revision = 0)
-      : doc_(std::move(doc)), revision_(revision) {}
+  explicit StoredDocument(xml::Document doc, int64_t revision = 0);
 
   const xml::Document& doc() const { return doc_; }
 
-  /// Store-wide monotonic revision id assigned at Put time (0 for documents
-  /// constructed outside a store, e.g. in tests).
+  /// Store-wide monotonic revision id assigned at Put/Update time (0 for
+  /// documents constructed outside a store, e.g. in tests).
   int64_t revision() const { return revision_; }
 
-  /// The acceleration index; built on first call (thread-safe, at most once).
+  /// The acceleration index; built on first call (thread-safe, at most
+  /// once). Subtree updates of an indexed document pre-splice the index at
+  /// Update time, so the first query after a patch pays no rebuild.
   const xml::DocumentIndex& index() const;
 
-  /// True if index() has been called (for tests / stats).
+  /// True if index() has been called or a spliced index was adopted.
   bool index_built() const;
 
-  /// The document's sorted tag/label name set — what footprint invalidation
-  /// intersects against. Reads it off the index when one is already built;
-  /// otherwise a single pass over the intern pool, WITHOUT materializing
-  /// posting lists (churn must not pay two index builds per replacement).
-  std::vector<std::string> NameSet() const;
+  /// The document's sorted tag/label name set — what whole-document
+  /// footprint invalidation intersects against. Computed ONCE at
+  /// construction (from the intern pool, or exactly from a spliced index)
+  /// and cached, so churn events compare two cached vectors instead of
+  /// rescanning pools; and never builds an index (churn must not pay two
+  /// index builds per replacement). After subtree edits the pool-derived
+  /// set can be a superset of the present names (see
+  /// Document::InternedNames), which only ever over-invalidates.
+  const std::vector<std::string>& NameSet() const { return name_set_; }
 
  private:
+  friend class DocumentStore;
+
+  /// Installs a pre-built (spliced) index and tightens name_set_ to the
+  /// index's exact PresentNames. Must be called before the StoredDocument
+  /// is published to other threads.
+  void AdoptIndex(std::unique_ptr<xml::DocumentIndex> index);
+
   xml::Document doc_;
   int64_t revision_ = 0;
-  mutable std::once_flag index_once_;
+  std::vector<std::string> name_set_;
+  mutable std::mutex index_mu_;
   mutable std::unique_ptr<xml::DocumentIndex> index_;
-  mutable std::atomic<bool> index_built_{false};
+  mutable std::atomic<const xml::DocumentIndex*> index_ptr_{nullptr};
+};
+
+/// One corpus mutation, as seen by the update listener. `old_doc` is null
+/// on a fresh install, `new_doc` is null on removal; both are non-null on
+/// replacement and subtree update.
+struct CorpusUpdate {
+  std::string key;
+  std::shared_ptr<const StoredDocument> old_doc;
+  std::shared_ptr<const StoredDocument> new_doc;
+  /// The subtree delta for Update(); null for whole-document mutations
+  /// (Put/Remove — the degenerate "everything may have changed" delta).
+  /// Points into the notifying call's frame: valid only during the
+  /// callback.
+  const xml::DocumentDelta* delta = nullptr;
+  /// Sorted, duplicate-free changed-name set: delta-local names for a
+  /// subtree update, the union of the two revisions' cached name sets for a
+  /// whole-document replacement, empty for install/removal (which listeners
+  /// must treat as all-changed).
+  std::vector<std::string> changed_names;
+
+  bool replacement() const {
+    return old_doc != nullptr && new_doc != nullptr;
+  }
 };
 
 class DocumentStore {
  public:
-  /// Observes corpus mutations. `old_doc` is nullptr on a fresh install,
-  /// `new_doc` is nullptr on removal; both are non-null on replacement.
-  /// Called outside the store mutex, after the store reflects the change.
-  using UpdateListener = std::function<void(
-      const std::string& key, const std::shared_ptr<const StoredDocument>& old_doc,
-      const std::shared_ptr<const StoredDocument>& new_doc)>;
+  /// Observes corpus mutations. Called outside the store mutex, after the
+  /// store reflects the change.
+  using UpdateListener = std::function<void(const CorpusUpdate&)>;
 
   /// Installs the mutation observer. Not thread-safe against concurrent
-  /// Put/Remove — set it once, before traffic (the QueryService does this in
+  /// mutations — set it once, before traffic (the QueryService does this in
   /// its constructor).
   void SetUpdateListener(UpdateListener listener) {
     listener_ = std::move(listener);
   }
+
+  /// Baseline switch for experiments: when false, Update() still applies
+  /// the subtree patch (and still splices the index) but REPORTS it as a
+  /// whole-document replacement — null delta, whole-document changed-name
+  /// union — so downstream invalidation degrades to the document×name
+  /// precision a whole-document Put would get. Set once, before traffic.
+  void set_report_deltas(bool report) { report_deltas_ = report; }
 
   /// Registers (or replaces) a document under `key`. Empty documents are
   /// rejected: they have no root context to evaluate in.
@@ -99,7 +155,13 @@ class DocumentStore {
   /// Parses `xml` and registers the result under `key`.
   Status PutXml(std::string key, std::string_view xml);
 
-  /// The stored document, or nullptr if the key is unknown.
+  /// Applies a subtree edit to the current revision of `key` (see the
+  /// header comment). Fails if the key is absent or the edit is invalid
+  /// for the current revision.
+  Status Update(std::string_view key, const xml::SubtreeEdit& edit);
+
+  /// The stored document, or nullptr if the key is unknown. Heterogeneous
+  /// lookup: no temporary std::string on this hot path.
   std::shared_ptr<const StoredDocument> Get(std::string_view key) const;
 
   /// Removes a key; returns false if it was absent. In-flight users of the
@@ -112,10 +174,17 @@ class DocumentStore {
   size_t size() const;
 
  private:
+  /// Sorted union of the two revisions' cached name sets.
+  static std::vector<std::string> UnionNameSets(const StoredDocument& before,
+                                                const StoredDocument& after);
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const StoredDocument>> docs_;
+  std::unordered_map<std::string, std::shared_ptr<const StoredDocument>,
+                     TransparentStringHash, std::equal_to<>>
+      docs_;
   std::atomic<int64_t> next_revision_{1};
   UpdateListener listener_;
+  bool report_deltas_ = true;
 };
 
 }  // namespace gkx::service

@@ -17,12 +17,9 @@ QueryService::QueryService(const Options& options)
       answer_cache_(options.answer_cache),
       subscriptions_(&store_, pool_),
       latency_(options.latency_window) {
+  store_.set_report_deltas(options.delta_invalidation);
   store_.SetUpdateListener(
-      [this](const std::string& key,
-             const std::shared_ptr<const StoredDocument>& old_doc,
-             const std::shared_ptr<const StoredDocument>& new_doc) {
-        OnCorpusUpdate(key, old_doc, new_doc);
-      });
+      [this](const CorpusUpdate& update) { OnCorpusUpdate(update); });
 }
 
 Status QueryService::RegisterDocument(std::string key, xml::Document doc) {
@@ -33,34 +30,31 @@ Status QueryService::RegisterXml(std::string key, std::string_view xml) {
   return store_.PutXml(std::move(key), xml);
 }
 
+Status QueryService::UpdateDocument(std::string_view key,
+                                    const xml::SubtreeEdit& edit) {
+  return store_.Update(key, edit);
+}
+
 bool QueryService::RemoveDocument(std::string_view key) {
   return store_.Remove(key);
 }
 
-void QueryService::OnCorpusUpdate(
-    const std::string& key, const std::shared_ptr<const StoredDocument>& old_doc,
-    const std::shared_ptr<const StoredDocument>& new_doc) {
-  const bool replacement = old_doc != nullptr && new_doc != nullptr;
-  // The update's changed-name set: a plan whose footprint avoids every name
-  // of *both* revisions cannot see the difference (plan/footprint.hpp), so
-  // the union of the two tag sets is a sound, per-document-precise delta.
-  // NameSet() reads the intern pool (or an already-built index) — churn
-  // does not pay for posting-list construction.
-  std::vector<std::string> changed;
-  if (replacement) {
-    const std::vector<std::string> before = old_doc->NameSet();
-    const std::vector<std::string> after = new_doc->NameSet();
-    changed.reserve(before.size() + after.size());
-    std::set_union(before.begin(), before.end(), after.begin(), after.end(),
-                   std::back_inserter(changed));
-  }
+void QueryService::OnCorpusUpdate(const CorpusUpdate& update) {
+  // The store pre-computes the changed-name set from cached per-document
+  // name sets (whole-document replacement) or the subtree delta (Update) —
+  // churn rescans no intern pool and builds no posting list. A plan whose
+  // footprint is unaffected by the set (plus, for deltas, the sharpened
+  // region-local tests in plan/footprint.hpp) cannot see the difference.
   if (options_.answer_cache_enabled) {
-    answer_cache_.OnDocumentUpdate(key, old_doc ? old_doc->revision() : -1,
-                                   new_doc ? new_doc->revision() : -1, changed);
+    answer_cache_.OnDocumentUpdate(
+        update.key, update.old_doc ? update.old_doc->revision() : -1,
+        update.new_doc ? update.new_doc->revision() : -1, update.changed_names,
+        update.delta);
   }
-  subscriptions_.NotifyDocumentChanged(key, changed,
-                                       /*all_changed=*/!replacement,
-                                       /*removed=*/new_doc == nullptr);
+  subscriptions_.NotifyDocumentChanged(update.key, update.changed_names,
+                                       /*all_changed=*/!update.replacement(),
+                                       /*removed=*/update.new_doc == nullptr,
+                                       update.delta);
 }
 
 Result<QueryService::Answer> QueryService::Process(

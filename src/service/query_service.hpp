@@ -90,6 +90,12 @@ class QueryService {
     /// default; disable to measure raw evaluation throughput.
     bool answer_cache_enabled = true;
     mview::AnswerCache::Options answer_cache;
+    /// Region×name invalidation for subtree updates (the delta pipeline).
+    /// When false, UpdateDocument still applies patches (and still splices
+    /// indexes) but churn is reported to the mview layer as whole-document
+    /// replacement — the PR-4 name-only baseline, kept measurable for
+    /// EXP-DELTA and differential soaks.
+    bool delta_invalidation = true;
     /// Pool for SubmitBatch and subscription re-evaluation (and, via the
     /// engines, parallel evaluation); nullptr = ThreadPool::Shared().
     ThreadPool* pool = nullptr;
@@ -126,6 +132,12 @@ class QueryService {
   Status RegisterDocument(std::string key, xml::Document doc);
   /// Parses and registers.
   Status RegisterXml(std::string key, std::string_view xml);
+  /// Applies a subtree patch to the registered document (xml/edit.hpp):
+  /// one O(|D|) splice instead of parse + rebuild, index maintenance by
+  /// posting-list splice, and — per the patch's DocumentDelta — answer
+  /// cache invalidation and subscription wake-ups scoped to the edited
+  /// region's names instead of the whole document's.
+  Status UpdateDocument(std::string_view key, const xml::SubtreeEdit& edit);
   bool RemoveDocument(std::string_view key);
   const DocumentStore& documents() const { return store_; }
 
@@ -165,11 +177,10 @@ class QueryService {
   Result<Answer> Process(eval::Engine& engine, const std::string& doc_key,
                          const std::string& query_text);
 
-  /// DocumentStore update listener: computes the changed-name set and fans
-  /// it out to answer-cache invalidation and subscription scheduling.
-  void OnCorpusUpdate(const std::string& key,
-                      const std::shared_ptr<const StoredDocument>& old_doc,
-                      const std::shared_ptr<const StoredDocument>& new_doc);
+  /// DocumentStore update listener: fans the CorpusUpdate (changed-name
+  /// set + optional subtree delta) out to answer-cache invalidation and
+  /// subscription scheduling.
+  void OnCorpusUpdate(const CorpusUpdate& update);
 
   Options options_;
   ThreadPool* pool_;  // never null after construction

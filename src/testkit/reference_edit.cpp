@@ -1,0 +1,175 @@
+#include "testkit/reference_edit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "base/check.hpp"
+#include "xml/builder.hpp"
+
+namespace gkx::testkit {
+namespace {
+
+using xml::Attribute;
+using xml::BuildNodeId;
+using xml::Document;
+using xml::NameId;
+using xml::NodeId;
+using xml::SubtreeEdit;
+using xml::TreeBuilder;
+
+/// Copies the subtree of `src` rooted at `v` (decorations included) as a
+/// fresh child chain under `parent`.
+void CopySubtree(TreeBuilder* b, BuildNodeId parent, const Document& src,
+                 NodeId v) {
+  BuildNodeId id = b->AddChild(parent, src.TagName(v));
+  for (NameId label : src.node(v).labels) b->AddLabel(id, src.NameText(label));
+  b->SetText(id, src.node(v).text);
+  for (const Attribute& attribute : src.node(v).attributes) {
+    b->AddAttribute(id, attribute.name, attribute.value);
+  }
+  for (NodeId c : src.Children(v)) CopySubtree(b, id, src, c);
+}
+
+class Rebuilder {
+ public:
+  Rebuilder(const Document& doc, const SubtreeEdit& edit)
+      : doc_(doc), edit_(edit) {}
+
+  Document Build() {
+    if (edit_.kind == SubtreeEdit::Kind::kReplaceSubtree &&
+        edit_.target == doc_.root()) {
+      // Whole-document replacement: the result IS the replacement subtree.
+      TreeBuilder b(edit_.subtree.TagName(edit_.subtree.root()));
+      EmitForeignDecorations(&b, b.root(), edit_.subtree,
+                             edit_.subtree.root());
+      for (NodeId c : edit_.subtree.Children(edit_.subtree.root())) {
+        CopySubtree(&b, b.root(), edit_.subtree, c);
+      }
+      return std::move(b).Build();
+    }
+    GKX_CHECK(edit_.kind != SubtreeEdit::Kind::kRemoveSubtree ||
+              edit_.target != doc_.root());
+    TreeBuilder b(TagOf(doc_.root()));
+    EmitDecorations(&b, b.root(), doc_.root());
+    EmitChildren(&b, b.root(), doc_.root());
+    return std::move(b).Build();
+  }
+
+ private:
+  std::string_view TagOf(NodeId v) const {
+    return edit_.kind == SubtreeEdit::Kind::kRelabel && v == edit_.target
+               ? std::string_view(edit_.label)
+               : doc_.TagName(v);
+  }
+
+  static void EmitForeignDecorations(TreeBuilder* b, BuildNodeId id,
+                                     const Document& src, NodeId v) {
+    for (NameId label : src.node(v).labels) {
+      b->AddLabel(id, src.NameText(label));
+    }
+    b->SetText(id, src.node(v).text);
+    for (const Attribute& attribute : src.node(v).attributes) {
+      b->AddAttribute(id, attribute.name, attribute.value);
+    }
+  }
+
+  void EmitDecorations(TreeBuilder* b, BuildNodeId id, NodeId v) const {
+    for (NameId label : doc_.node(v).labels) {
+      b->AddLabel(id, doc_.NameText(label));
+    }
+    b->SetText(id, edit_.kind == SubtreeEdit::Kind::kSetText &&
+                       v == edit_.target
+                   ? std::string_view(edit_.text)
+                   : std::string_view(doc_.node(v).text));
+    for (const Attribute& attribute : doc_.node(v).attributes) {
+      b->AddAttribute(id, attribute.name, attribute.value);
+    }
+  }
+
+  void EmitChildren(TreeBuilder* b, BuildNodeId id, NodeId v) const {
+    const bool insert_here =
+        edit_.kind == SubtreeEdit::Kind::kInsertSubtree && v == edit_.target;
+    int32_t index = 0;
+    for (NodeId c : doc_.Children(v)) {
+      if (insert_here && index == edit_.position) {
+        CopySubtree(b, id, edit_.subtree, edit_.subtree.root());
+      }
+      ++index;
+      EmitNode(b, id, c);
+    }
+    if (insert_here && edit_.position >= index) {
+      CopySubtree(b, id, edit_.subtree, edit_.subtree.root());
+    }
+  }
+
+  void EmitNode(TreeBuilder* b, BuildNodeId parent, NodeId v) const {
+    if (edit_.kind == SubtreeEdit::Kind::kRemoveSubtree && v == edit_.target) {
+      return;
+    }
+    if (edit_.kind == SubtreeEdit::Kind::kReplaceSubtree &&
+        v == edit_.target) {
+      CopySubtree(b, parent, edit_.subtree, edit_.subtree.root());
+      return;
+    }
+    BuildNodeId id = b->AddChild(parent, TagOf(v));
+    EmitDecorations(b, id, v);
+    EmitChildren(b, id, v);
+  }
+
+  const Document& doc_;
+  const SubtreeEdit& edit_;
+};
+
+}  // namespace
+
+Document NaiveApplyEdit(const Document& doc, const SubtreeEdit& edit) {
+  return Rebuilder(doc, edit).Build();
+}
+
+bool ExhaustiveEquals(const Document& a, const Document& b, std::string* why) {
+  auto fail = [why](NodeId v, const std::string& what) {
+    if (why != nullptr) {
+      std::ostringstream out;
+      out << "node " << v << ": " << what;
+      *why = out.str();
+    }
+    return false;
+  };
+  if (a.size() != b.size()) {
+    return fail(-1, "sizes differ: " + std::to_string(a.size()) + " vs " +
+                        std::to_string(b.size()));
+  }
+  for (NodeId v = 0; v < a.size(); ++v) {
+    const xml::Node& na = a.node(v);
+    const xml::Node& nb = b.node(v);
+    if (na.parent != nb.parent) return fail(v, "parent");
+    if (na.first_child != nb.first_child) return fail(v, "first_child");
+    if (na.last_child != nb.last_child) return fail(v, "last_child");
+    if (na.prev_sibling != nb.prev_sibling) return fail(v, "prev_sibling");
+    if (na.next_sibling != nb.next_sibling) return fail(v, "next_sibling");
+    if (na.subtree_size != nb.subtree_size) return fail(v, "subtree_size");
+    if (na.depth != nb.depth) return fail(v, "depth");
+    if (na.text != nb.text) return fail(v, "text");
+    if (a.TagName(v) != b.TagName(v)) return fail(v, "tag");
+    // Label NameIds depend on interning history; compare as name sets.
+    std::vector<std::string_view> la, lb;
+    for (NameId label : na.labels) la.push_back(a.NameText(label));
+    for (NameId label : nb.labels) lb.push_back(b.NameText(label));
+    std::sort(la.begin(), la.end());
+    std::sort(lb.begin(), lb.end());
+    if (la != lb) return fail(v, "labels");
+    if (na.attributes.size() != nb.attributes.size()) {
+      return fail(v, "attribute count");
+    }
+    for (size_t i = 0; i < na.attributes.size(); ++i) {
+      if (na.attributes[i].name != nb.attributes[i].name ||
+          na.attributes[i].value != nb.attributes[i].value) {
+        return fail(v, "attribute " + na.attributes[i].name);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gkx::testkit

@@ -12,6 +12,7 @@
 
 #include "base/check.hpp"
 #include "mview/subscription.hpp"
+#include "testkit/reference_edit.hpp"
 #include "xml/serializer.hpp"
 #include "xpath/parser.hpp"
 
@@ -126,6 +127,8 @@ class Replay {
     report.oracle_evaluations = oracle_.evaluations();
     report.divergences = divergences_.load();
     report.errors = errors_.load();
+    report.patches = patches_.load();
+    report.patch_divergences = patch_divergences_.load();
     report.stats = service_->Stats();
     CheckFinalDocuments(&report);
     CheckSubscriptions(&report);
@@ -146,10 +149,11 @@ class Replay {
       const Operation& op = schedule_.operations[i];
       // Churn is pinned by document so per-document revisions are installed
       // in schedule order; everything else is dealt round-robin.
+      const bool churn = op.kind == Operation::Kind::kAddDocument ||
+                         op.kind == Operation::Kind::kEditDocument;
       const bool mine =
-          op.kind == Operation::Kind::kAddDocument
-              ? op.doc % threads_ == thread
-              : static_cast<int>(i % static_cast<size_t>(threads_)) == thread;
+          churn ? op.doc % threads_ == thread
+                : static_cast<int>(i % static_cast<size_t>(threads_)) == thread;
       if (!mine) continue;
 
       switch (op.kind) {
@@ -164,6 +168,36 @@ class Replay {
                               op.revision)]))
                   .ok());
           watermark[doc] = op.revision;
+          break;
+        }
+        case Operation::Kind::kEditDocument: {
+          const size_t doc = static_cast<size_t>(op.doc);
+          patches_.fetch_add(1, std::memory_order_relaxed);
+          GKX_CHECK(
+              service_->UpdateDocument(schedule_.doc_keys[doc], op.edit).ok());
+          watermark[doc] = op.revision;
+          // Differential: this thread is the document's only writer, so the
+          // store now holds exactly what the patch produced — which must be
+          // node-for-node the schedule's precomputed revision (the one the
+          // oracle answers are keyed on, and the one the compile step
+          // already checked against a from-scratch rebuild).
+          auto stored = service_->documents().Get(schedule_.doc_keys[doc]);
+          std::string why;
+          if (stored == nullptr ||
+              !ExhaustiveEquals(
+                  stored->doc(),
+                  schedule_.revisions[doc][static_cast<size_t>(op.revision)],
+                  &why)) {
+            patch_divergences_.fetch_add(1, std::memory_order_relaxed);
+            std::ostringstream message;
+            message << "patch divergence: seed=" << schedule_.seed
+                    << " op=" << i << " thread=" << thread << " doc="
+                    << schedule_.doc_keys[doc] << " revision=" << op.revision
+                    << " " << (stored == nullptr ? "document vanished" : why)
+                    << " | replay: CompileWorkload(seed=" << schedule_.seed
+                    << ")";
+            RecordFailure(message.str());
+          }
           break;
         }
         case Operation::Kind::kSubmit: {
@@ -370,6 +404,8 @@ class Replay {
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> divergences_{0};
   std::atomic<int64_t> errors_{0};
+  std::atomic<int64_t> patches_{0};
+  std::atomic<int64_t> patch_divergences_{0};
   std::atomic<int64_t> observed_evictions_{0};
   std::atomic<int64_t> observed_deliveries_{0};
   std::mutex events_mu_;
@@ -388,6 +424,8 @@ std::string SoakReport::Summary() const {
       << oracle_evaluations << " evals — "
       << (ok() ? "PASS" : "FAIL") << " (divergences=" << divergences
       << " errors=" << errors << " lost_updates=" << lost_updates
+      << " patches=" << patches
+      << " patch_divergences=" << patch_divergences
       << " stats_violations=" << stats_violations
       << " subscription_violations=" << subscription_violations
       << "); plan cache hit rate " << stats.plan_cache.HitRate()

@@ -16,7 +16,13 @@
 //     (doc mod threads), so per-document revisions are installed in
 //     schedule order and the final store state is deterministic: after the
 //     join, document d must be byte-identical to its highest revision
-//     (anything else is a lost update).
+//     (anything else is a lost update). Subtree-edit churn
+//     (Operation::kEditDocument) is replayed through the delta path —
+//     QueryService::UpdateDocument — and immediately after each patch the
+//     churn thread re-reads the stored document and checks it node-for-node
+//     against the schedule's precomputed revision (itself cross-checked at
+//     compile time against a from-scratch rebuild): the live delta pipeline
+//     is differentially tested against full replacement on every round.
 //   * Service counters must reconcile: every request performs exactly one
 //     plan-cache lookup, parse failures are impossible by construction,
 //     evaluator counts and the latency reservoir must sum to the request
@@ -74,6 +80,9 @@ struct SoakReport {
   int64_t divergences = 0;         // answers matching no legal revision
   int64_t errors = 0;              // non-OK responses (none are legal)
   int64_t lost_updates = 0;        // final doc != highest revision
+  int64_t patches = 0;             // subtree-edit churn ops replayed
+  int64_t patch_divergences = 0;   // post-patch store state != precomputed
+                                   // revision (delta path broke)
   int64_t stats_violations = 0;    // counter reconciliation failures
   int64_t subscriptions = 0;             // standing queries registered
   int64_t subscription_events = 0;       // diffs delivered to the driver
@@ -84,7 +93,8 @@ struct SoakReport {
 
   bool ok() const {
     return divergences == 0 && errors == 0 && lost_updates == 0 &&
-           stats_violations == 0 && subscription_violations == 0;
+           patch_divergences == 0 && stats_violations == 0 &&
+           subscription_violations == 0;
   }
   /// One-paragraph human-readable rollup (used by bench_soak and gtest).
   std::string Summary() const;

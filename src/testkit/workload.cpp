@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "testkit/reference_edit.hpp"
 #include "xpath/parser.hpp"
 #include "xpath/printer.hpp"
 
@@ -46,7 +47,8 @@ Result<Schedule> CompileWorkload(const WorkloadSpec& spec) {
     return InvalidArgumentError("zipf skews must be >= 0 (rank 0 most popular)");
   }
   if (spec.batch_probability < 0.0 || spec.batch_probability > 1.0 ||
-      spec.churn_probability < 0.0 || spec.churn_probability > 1.0) {
+      spec.churn_probability < 0.0 || spec.churn_probability > 1.0 ||
+      spec.edit_probability < 0.0 || spec.edit_probability > 1.0) {
     return InvalidArgumentError("probabilities must be in [0, 1]");
   }
 
@@ -84,17 +86,69 @@ Result<Schedule> CompileWorkload(const WorkloadSpec& spec) {
     out.queries.push_back(std::move(text));
   }
 
+  // ------------------------------------------------------------ corpus
+  // Base revisions first: subtree-edit churn below is generated *against*
+  // the then-current revision (targets are NodeIds), so the corpus and the
+  // operation list grow together — every revision any churn op can install
+  // is still fully pre-generated and part of the deterministic schedule.
+  auto random_revision = [&] {
+    xml::RandomDocumentOptions options = spec.document_options;
+    options.node_count = static_cast<int32_t>(
+        rng.UniformInt(spec.min_document_nodes, spec.max_document_nodes));
+    return xml::RandomDocument(&rng, options);
+  };
+  out.doc_keys.reserve(static_cast<size_t>(spec.documents));
+  out.revisions.resize(static_cast<size_t>(spec.documents));
+  for (int d = 0; d < spec.documents; ++d) {
+    out.doc_keys.push_back("doc" + std::to_string(d));
+    out.revisions[static_cast<size_t>(d)].push_back(random_revision());
+  }
+
+  // Subtree edits reuse the corpus' alphabet and shape so edited regions
+  // carry names that overlap the rest of the document.
+  xml::RandomEditOptions edit_options = spec.edit_options;
+  edit_options.subtree_options = spec.document_options;
+
   // -------------------------------------------------------- operation list
   const ZipfSampler doc_zipf(spec.documents, spec.document_zipf_s);
   const ZipfSampler query_zipf(spec.queries, spec.query_zipf_s);
-  std::vector<int32_t> next_revision(static_cast<size_t>(spec.documents), 1);
   out.operations.reserve(static_cast<size_t>(spec.operations));
   for (int i = 0; i < spec.operations; ++i) {
     Operation op;
     if (rng.Bernoulli(spec.churn_probability)) {
-      op.kind = Operation::Kind::kAddDocument;
       op.doc = static_cast<int32_t>(rng.UniformInt(0, spec.documents - 1));
-      op.revision = next_revision[static_cast<size_t>(op.doc)]++;
+      auto& revisions = out.revisions[static_cast<size_t>(op.doc)];
+      op.revision = static_cast<int32_t>(revisions.size());
+      if (rng.Bernoulli(spec.edit_probability)) {
+        // Delta churn: a random subtree edit of the document's current
+        // revision. The resulting revision is precomputed through the
+        // delta path (ApplyEdit) and differentially checked against the
+        // from-scratch rebuild — the patch/full-replacement equivalence is
+        // re-proven for every edit of every compiled schedule.
+        op.kind = Operation::Kind::kEditDocument;
+        op.edit = xml::RandomSubtreeEdit(&rng, revisions.back(), edit_options);
+        xml::DocumentDelta delta;
+        auto edited = xml::ApplyEdit(revisions.back(), op.edit, &delta);
+        if (!edited.ok()) {
+          return InternalError("generated edit failed to apply (seed=" +
+                               std::to_string(spec.seed) + " op=" +
+                               std::to_string(i) +
+                               "): " + edited.status().ToString());
+        }
+        std::string why;
+        if (!ExhaustiveEquals(*edited,
+                              NaiveApplyEdit(revisions.back(), op.edit),
+                              &why)) {
+          return InternalError(
+              "ApplyEdit diverges from the from-scratch rebuild (seed=" +
+              std::to_string(spec.seed) + " op=" + std::to_string(i) +
+              "): " + why);
+        }
+        revisions.push_back(std::move(edited).value());
+      } else {
+        op.kind = Operation::Kind::kAddDocument;
+        revisions.push_back(random_revision());
+      }
     } else if (rng.Bernoulli(spec.batch_probability)) {
       op.kind = Operation::Kind::kBatch;
       const int64_t size = rng.UniformInt(2, spec.max_batch);
@@ -111,24 +165,6 @@ Result<Schedule> CompileWorkload(const WorkloadSpec& spec) {
       out.total_requests += 1;
     }
     out.operations.push_back(std::move(op));
-  }
-
-  // ------------------------------------------------------------ corpus
-  // Every revision any churn op can install is pre-generated here, in
-  // (document, revision) order, so the corpus is part of the deterministic
-  // schedule rather than something threads generate on the fly.
-  out.doc_keys.reserve(static_cast<size_t>(spec.documents));
-  out.revisions.resize(static_cast<size_t>(spec.documents));
-  for (int d = 0; d < spec.documents; ++d) {
-    out.doc_keys.push_back("doc" + std::to_string(d));
-    auto& revisions = out.revisions[static_cast<size_t>(d)];
-    revisions.reserve(static_cast<size_t>(next_revision[static_cast<size_t>(d)]));
-    for (int32_t r = 0; r < next_revision[static_cast<size_t>(d)]; ++r) {
-      xml::RandomDocumentOptions options = spec.document_options;
-      options.node_count = static_cast<int32_t>(
-          rng.UniformInt(spec.min_document_nodes, spec.max_document_nodes));
-      revisions.push_back(xml::RandomDocument(&rng, options));
-    }
   }
 
   return out;

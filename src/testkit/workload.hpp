@@ -23,6 +23,7 @@
 #include "base/rng.hpp"
 #include "base/status.hpp"
 #include "xml/document.hpp"
+#include "xml/edit.hpp"
 #include "xml/generator.hpp"
 #include "xpath/fragment.hpp"
 #include "xpath/generator.hpp"
@@ -77,20 +78,33 @@ struct WorkloadSpec {
   double batch_probability = 0.2;
   /// Batch sizes are UniformInt(2, max_batch).
   int max_batch = 8;
-  /// Probability that an operation replaces a live document with a freshly
-  /// generated revision (AddDocument churn).
+  /// Probability that an operation mutates a live document (churn).
   double churn_probability = 0.005;
+  /// Of the churn events, the fraction carried out as a subtree edit
+  /// (DocumentStore::Update — the delta pipeline) instead of a whole
+  /// document replacement. 0 restores pure AddDocument churn.
+  double edit_probability = 0.5;
+  /// Subtree-edit shape (kind weights, spliced-subtree size). The
+  /// generated subtrees reuse `document_options`' alphabet/shape knobs, so
+  /// edited regions carry the same names as the rest of the corpus — the
+  /// overlapping-names regime region×name invalidation is for.
+  xml::RandomEditOptions edit_options;
 };
 
 struct Operation {
-  enum class Kind { kSubmit, kBatch, kAddDocument };
+  enum class Kind { kSubmit, kBatch, kAddDocument, kEditDocument };
   Kind kind = Kind::kSubmit;
   /// (document index, query index) pairs: one for kSubmit, several for
-  /// kBatch, empty for kAddDocument.
+  /// kBatch, empty for the churn kinds.
   std::vector<std::pair<int32_t, int32_t>> requests;
-  /// kAddDocument: which document is replaced, and by which revision.
+  /// Churn kinds: which document is mutated, and the revision index the
+  /// mutation produces (kAddDocument installs revisions[doc][revision]
+  /// wholesale; kEditDocument applies `edit`, whose precomputed result IS
+  /// revisions[doc][revision]).
   int32_t doc = -1;
   int32_t revision = -1;
+  /// kEditDocument: the subtree patch, valid against revisions[doc][revision - 1].
+  xml::SubtreeEdit edit;
 };
 
 /// A fully materialized workload. Immutable once compiled; safe to share

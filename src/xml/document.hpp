@@ -95,10 +95,13 @@ class Document {
   /// Id of an interned name, or kNoName if this document never uses it.
   NameId FindName(std::string_view name) const;
 
-  /// The interned name pool, indexed by NameId. Names are interned only
-  /// when a node carries them (TreeBuilder), so this is exactly the set of
-  /// tag/label names present in the document — the cheap source for the
-  /// mview changed-name delta (no posting lists required).
+  /// The interned name pool, indexed by NameId. TreeBuilder interns a name
+  /// only when a node carries it; ApplyEdit (xml/edit.hpp) keeps the old
+  /// pool so NameIds stay stable across edits, which can leave entries no
+  /// node carries any more. The pool is therefore a cheap SUPERSET of the
+  /// present names (exact for freshly built documents) — good enough for
+  /// the mview changed-name fallback, which only ever over-invalidates;
+  /// DocumentIndex::PresentNames is the exact set.
   const std::vector<std::string>& InternedNames() const { return names_; }
 
   /// True if the node's tag or any extra label equals `name`.
@@ -136,6 +139,7 @@ class Document {
 
  private:
   friend class TreeBuilder;
+  friend class EditSplicer;  // xml/edit.cpp: subtree splicing
 
   NameId InternName(std::string_view name);
 

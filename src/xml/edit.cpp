@@ -1,0 +1,323 @@
+#include "xml/edit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace gkx::xml {
+
+namespace {
+
+/// Concatenated direct text of the preorder interval [begin, begin+count) —
+/// exactly the region's contribution to every enclosing string-value.
+std::string RegionText(const Document& doc, NodeId begin, int32_t count) {
+  std::string out;
+  for (NodeId v = begin; v < begin + count; ++v) out += doc.node(v).text;
+  return out;
+}
+
+/// Sorted, duplicate-free names (tags and extra labels) carried by nodes of
+/// the preorder interval [begin, begin+count).
+std::vector<std::string> RegionNames(const Document& doc, NodeId begin,
+                                     int32_t count) {
+  std::vector<NameId> ids;
+  for (NodeId v = begin; v < begin + count; ++v) {
+    const Node& node = doc.node(v);
+    ids.push_back(node.tag);
+    ids.insert(ids.end(), node.labels.begin(), node.labels.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  std::vector<std::string> names;
+  names.reserve(ids.size());
+  for (NameId id : ids) names.emplace_back(doc.NameText(id));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+std::vector<std::string> DocumentDelta::ChangedNames() const {
+  std::vector<std::string> out;
+  out.reserve(old_names.size() + new_names.size());
+  std::set_union(old_names.begin(), old_names.end(), new_names.begin(),
+                 new_names.end(), std::back_inserter(out));
+  return out;
+}
+
+std::string DocumentDelta::ToString() const {
+  std::ostringstream out;
+  out << "[" << begin << ",+" << old_count << ")->+" << new_count
+      << (ids_stable ? " ids-stable" : "")
+      << (content_changed ? " content" : "") << " names={";
+  const std::vector<std::string> changed = ChangedNames();
+  for (size_t i = 0; i < changed.size(); ++i) {
+    if (i > 0) out << ',';
+    out << changed[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+/// Friend of Document: performs the splice with direct node-array access.
+class EditSplicer {
+ public:
+  static Result<Document> Apply(const Document& doc, const SubtreeEdit& edit,
+                                DocumentDelta* delta);
+
+ private:
+  /// Structural splice: the old interval [r, r+old_count) is replaced by
+  /// `sub`'s tree (nullptr = pure removal). `parent`/`prev`/`next` wire the
+  /// new region root into the surrounding tree, all in OLD coordinates
+  /// (parent and prev precede the region; next follows it or is null).
+  static Document Splice(const Document& doc, NodeId r, int32_t old_count,
+                         const Document* sub, NodeId parent, NodeId prev,
+                         NodeId next, int32_t root_depth);
+};
+
+Result<Document> EditSplicer::Apply(const Document& doc,
+                                    const SubtreeEdit& edit,
+                                    DocumentDelta* delta) {
+  if (doc.empty()) return InvalidArgumentError("cannot edit an empty document");
+  DocumentDelta local;
+  DocumentDelta& d = delta ? *delta : local;
+  d = DocumentDelta{};
+
+  switch (edit.kind) {
+    case SubtreeEdit::Kind::kSetText: {
+      if (edit.target < 0 || edit.target >= doc.size()) {
+        return InvalidArgumentError("SetText target out of range");
+      }
+      Document out = doc;
+      Node& node = out.nodes_[static_cast<size_t>(edit.target)];
+      d.begin = edit.target;
+      d.old_count = d.new_count = 1;
+      d.ids_stable = true;
+      d.content_changed = node.text != edit.text;
+      node.text = edit.text;
+      return out;
+    }
+
+    case SubtreeEdit::Kind::kRelabel: {
+      if (edit.target < 0 || edit.target >= doc.size()) {
+        return InvalidArgumentError("Relabel target out of range");
+      }
+      if (edit.label.empty()) {
+        return InvalidArgumentError("Relabel needs a non-empty tag");
+      }
+      Document out = doc;
+      Node& node = out.nodes_[static_cast<size_t>(edit.target)];
+      d.begin = edit.target;
+      d.old_count = d.new_count = 1;
+      d.ids_stable = true;
+      d.content_changed = false;
+      d.old_names = {std::string(doc.NameText(node.tag))};
+      d.new_names = {edit.label};
+      node.tag = out.InternName(edit.label);
+      // Keep the tag/labels disjointness invariant: if the new tag was an
+      // extra label, it is now redundant.
+      auto dup = std::find(node.labels.begin(), node.labels.end(), node.tag);
+      if (dup != node.labels.end()) node.labels.erase(dup);
+      return out;
+    }
+
+    case SubtreeEdit::Kind::kReplaceSubtree: {
+      if (edit.target < 0 || edit.target >= doc.size()) {
+        return InvalidArgumentError("ReplaceSubtree target out of range");
+      }
+      if (edit.subtree.empty()) {
+        return InvalidArgumentError("ReplaceSubtree needs a non-empty subtree");
+      }
+      const Node& old_root = doc.node(edit.target);
+      d.begin = edit.target;
+      d.old_count = old_root.subtree_size;
+      d.new_count = edit.subtree.size();
+      d.ids_stable = false;
+      d.content_changed = RegionText(doc, d.begin, d.old_count) !=
+                          RegionText(edit.subtree, 0, d.new_count);
+      d.old_names = RegionNames(doc, d.begin, d.old_count);
+      d.new_names = RegionNames(edit.subtree, 0, d.new_count);
+      return Splice(doc, d.begin, d.old_count, &edit.subtree, old_root.parent,
+                    old_root.prev_sibling, old_root.next_sibling,
+                    old_root.depth);
+    }
+
+    case SubtreeEdit::Kind::kRemoveSubtree: {
+      if (edit.target <= 0 || edit.target >= doc.size()) {
+        return InvalidArgumentError(
+            "RemoveSubtree target must be a non-root node");
+      }
+      const Node& old_root = doc.node(edit.target);
+      d.begin = edit.target;
+      d.old_count = old_root.subtree_size;
+      d.new_count = 0;
+      d.ids_stable = false;
+      d.content_changed = !RegionText(doc, d.begin, d.old_count).empty();
+      d.old_names = RegionNames(doc, d.begin, d.old_count);
+      return Splice(doc, d.begin, d.old_count, nullptr, old_root.parent,
+                    old_root.prev_sibling, old_root.next_sibling,
+                    old_root.depth);
+    }
+
+    case SubtreeEdit::Kind::kInsertSubtree: {
+      if (edit.target < 0 || edit.target >= doc.size()) {
+        return InvalidArgumentError("InsertSubtree parent out of range");
+      }
+      if (edit.subtree.empty()) {
+        return InvalidArgumentError("InsertSubtree needs a non-empty subtree");
+      }
+      const Node& parent = doc.node(edit.target);
+      const int32_t child_count = doc.ChildCount(edit.target);
+      if (edit.position < 0 || edit.position > child_count) {
+        return InvalidArgumentError("InsertSubtree position out of range");
+      }
+      // The new subtree's preorder slot: right before the position-th child,
+      // or (appending) right after the parent's whole subtree interval.
+      NodeId next = parent.first_child;
+      NodeId prev = kNullNode;
+      for (int32_t i = 0; i < edit.position; ++i) {
+        prev = next;
+        next = doc.node(next).next_sibling;
+      }
+      const NodeId r = next != kNullNode ? next
+                                         : edit.target + parent.subtree_size;
+      d.begin = r;
+      d.old_count = 0;
+      d.new_count = edit.subtree.size();
+      d.ids_stable = false;
+      d.content_changed = !RegionText(edit.subtree, 0, d.new_count).empty();
+      d.new_names = RegionNames(edit.subtree, 0, d.new_count);
+      return Splice(doc, r, 0, &edit.subtree, edit.target, prev, next,
+                    parent.depth + 1);
+    }
+  }
+  return InternalError("unreachable edit kind");
+}
+
+Document EditSplicer::Splice(const Document& doc, NodeId r, int32_t old_count,
+                             const Document* sub, NodeId parent, NodeId prev,
+                             NodeId next, int32_t root_depth) {
+  const int32_t new_count = sub ? sub->size() : 0;
+  const int32_t shift = new_count - old_count;
+  const NodeId old_end = r + old_count;
+
+  Document out;
+  // Old pool first (surviving NameIds are identity-mapped), then the
+  // subtree's names appended as needed.
+  out.names_ = doc.names_;
+  out.name_ids_ = doc.name_ids_;
+  std::vector<NameId> sub_name_map;
+  if (sub != nullptr) {
+    sub_name_map.reserve(sub->names_.size());
+    for (const std::string& name : sub->names_) {
+      sub_name_map.push_back(out.InternName(name));
+    }
+  }
+
+  // Generic id translation for links between surviving nodes. A link equal
+  // to r (the old region root) is only ever held by the region's parent and
+  // adjacent siblings; it maps to r — correct for replacement, and fixed up
+  // explicitly below for removal/insertion.
+  auto remap = [&](NodeId id) -> NodeId {
+    if (id == kNullNode || id < r) return id;
+    if (id >= old_end) return id + shift;
+    GKX_CHECK(id == r);  // interior region nodes are unreachable from outside
+    return r;
+  };
+
+  out.nodes_.reserve(static_cast<size_t>(doc.size() + shift));
+
+  // Prefix [0, r): verbatim except for remapped links.
+  for (NodeId v = 0; v < r; ++v) {
+    const Node& src = doc.nodes_[static_cast<size_t>(v)];
+    Node node = src;
+    node.parent = remap(src.parent);
+    node.first_child = remap(src.first_child);
+    node.last_child = remap(src.last_child);
+    node.prev_sibling = remap(src.prev_sibling);
+    node.next_sibling = remap(src.next_sibling);
+    out.nodes_.push_back(std::move(node));
+  }
+
+  // Region: the spliced-in subtree, re-based to ids [r, r+new_count).
+  auto rebase = [&](NodeId id) -> NodeId {
+    return id == kNullNode ? kNullNode : r + id;
+  };
+  for (NodeId i = 0; i < new_count; ++i) {
+    const Node& src = sub->nodes_[static_cast<size_t>(i)];
+    Node node;
+    node.parent = i == 0 ? parent : rebase(src.parent);
+    node.first_child = rebase(src.first_child);
+    node.last_child = rebase(src.last_child);
+    node.prev_sibling = i == 0 ? prev : rebase(src.prev_sibling);
+    node.next_sibling = i == 0 ? remap(next) : rebase(src.next_sibling);
+    node.subtree_size = src.subtree_size;
+    node.depth = root_depth + src.depth;
+    node.tag = sub_name_map[static_cast<size_t>(src.tag)];
+    node.labels.reserve(src.labels.size());
+    for (NameId label : src.labels) {
+      node.labels.push_back(sub_name_map[static_cast<size_t>(label)]);
+    }
+    std::sort(node.labels.begin(), node.labels.end());
+    node.attributes = src.attributes;
+    node.text = src.text;
+    out.nodes_.push_back(std::move(node));
+  }
+
+  // Suffix [old_end, |D|): verbatim except for remapped links; depths and
+  // subtree sizes of nodes outside the region and off the ancestor chain
+  // are untouched by a sibling-subtree splice.
+  for (NodeId v = old_end; v < doc.size(); ++v) {
+    const Node& src = doc.nodes_[static_cast<size_t>(v)];
+    Node node = src;
+    node.parent = remap(src.parent);
+    node.first_child = remap(src.first_child);
+    node.last_child = remap(src.last_child);
+    node.prev_sibling = remap(src.prev_sibling);
+    node.next_sibling = remap(src.next_sibling);
+    out.nodes_.push_back(std::move(node));
+  }
+
+  // Ancestors of the region absorb the size shift (all precede r).
+  for (NodeId a = parent; a != kNullNode; a = doc.node(a).parent) {
+    out.nodes_[static_cast<size_t>(a)].subtree_size += shift;
+  }
+
+  // Explicit wiring of the links that referenced the old region root.
+  if (sub == nullptr) {
+    // Removal: the parent's child list and the adjacent siblings bypass r.
+    Node& p = out.nodes_[static_cast<size_t>(parent)];
+    if (doc.node(parent).first_child == r) p.first_child = remap(next);
+    if (doc.node(parent).last_child == r) p.last_child = prev;
+    if (prev != kNullNode) {
+      out.nodes_[static_cast<size_t>(prev)].next_sibling = remap(next);
+    }
+    if (next != kNullNode) {
+      out.nodes_[static_cast<size_t>(remap(next))].prev_sibling = prev;
+    }
+  } else if (old_count == 0) {
+    // Insertion: the new root slots in between prev and next.
+    Node& p = out.nodes_[static_cast<size_t>(parent)];
+    if (prev == kNullNode) {
+      p.first_child = r;
+    } else {
+      out.nodes_[static_cast<size_t>(prev)].next_sibling = r;
+    }
+    if (next == kNullNode) {
+      p.last_child = r;
+    } else {
+      out.nodes_[static_cast<size_t>(remap(next))].prev_sibling = r;
+    }
+  }
+  // Replacement: the new root already occupies id r, which every
+  // surrounding link was remapped to.
+
+  return out;
+}
+
+Result<Document> ApplyEdit(const Document& doc, const SubtreeEdit& edit,
+                           DocumentDelta* delta) {
+  return EditSplicer::Apply(doc, edit, delta);
+}
+
+}  // namespace gkx::xml

@@ -96,4 +96,75 @@ Document WideShallowDocument(int32_t width, int32_t tag_alphabet) {
   return std::move(builder).Build();
 }
 
+SubtreeEdit RandomSubtreeEdit(Rng* rng, const Document& doc,
+                              const RandomEditOptions& options) {
+  GKX_CHECK(!doc.empty());
+  // Weighted kind draw; removal drops out when only the root exists.
+  struct Choice {
+    SubtreeEdit::Kind kind;
+    double weight;
+  };
+  const Choice choices[] = {
+      {SubtreeEdit::Kind::kReplaceSubtree, options.replace_weight},
+      {SubtreeEdit::Kind::kInsertSubtree, options.insert_weight},
+      {SubtreeEdit::Kind::kRemoveSubtree,
+       doc.size() > 1 ? options.remove_weight : 0.0},
+      {SubtreeEdit::Kind::kSetText, options.set_text_weight},
+      {SubtreeEdit::Kind::kRelabel, options.relabel_weight},
+  };
+  double total = 0.0;
+  for (const Choice& choice : choices) total += choice.weight;
+  GKX_CHECK(total > 0.0);
+  double u = rng->UniformDouble() * total;
+  SubtreeEdit::Kind kind = SubtreeEdit::Kind::kSetText;
+  for (const Choice& choice : choices) {
+    u -= choice.weight;
+    if (u < 0.0) {
+      kind = choice.kind;
+      break;
+    }
+  }
+
+  auto random_subtree = [&] {
+    RandomDocumentOptions subtree_options = options.subtree_options;
+    subtree_options.node_count = static_cast<int32_t>(rng->UniformInt(
+        options.min_subtree_nodes, options.max_subtree_nodes));
+    return RandomDocument(rng, subtree_options);
+  };
+
+  SubtreeEdit edit;
+  edit.kind = kind;
+  switch (kind) {
+    case SubtreeEdit::Kind::kReplaceSubtree:
+      // Non-root targets keep replacement subtree-local (a root replacement
+      // is whole-document churn, which kAddDocument-style traffic covers);
+      // on a single-node document the root is all there is.
+      edit.target = static_cast<NodeId>(
+          rng->UniformInt(doc.size() > 1 ? 1 : 0, doc.size() - 1));
+      edit.subtree = random_subtree();
+      break;
+    case SubtreeEdit::Kind::kInsertSubtree:
+      edit.target = static_cast<NodeId>(rng->UniformInt(0, doc.size() - 1));
+      edit.position = static_cast<int32_t>(
+          rng->UniformInt(0, doc.ChildCount(edit.target)));
+      edit.subtree = random_subtree();
+      break;
+    case SubtreeEdit::Kind::kRemoveSubtree:
+      edit.target = static_cast<NodeId>(rng->UniformInt(1, doc.size() - 1));
+      break;
+    case SubtreeEdit::Kind::kSetText:
+      edit.target = static_cast<NodeId>(rng->UniformInt(0, doc.size() - 1));
+      if (!rng->Bernoulli(0.25)) {  // a quarter of text edits clear the text
+        edit.text = std::to_string(rng->UniformInt(0, 99));
+      }
+      break;
+    case SubtreeEdit::Kind::kRelabel:
+      edit.target = static_cast<NodeId>(rng->UniformInt(0, doc.size() - 1));
+      edit.label = TagName(rng->UniformInt(
+          0, options.subtree_options.tag_alphabet - 1));
+      break;
+  }
+  return edit;
+}
+
 }  // namespace gkx::xml

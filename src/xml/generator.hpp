@@ -7,6 +7,7 @@
 
 #include "base/rng.hpp"
 #include "xml/document.hpp"
+#include "xml/edit.hpp"
 
 namespace gkx::xml {
 
@@ -44,6 +45,29 @@ Document ChainDocument(int32_t length, int32_t tag_alphabet = 4);
 /// The paper's Theorem 3.2 document *shape*: a root with `width` children,
 /// each child having exactly one grandchild (depth 2). Tags cycle.
 Document WideShallowDocument(int32_t width, int32_t tag_alphabet = 4);
+
+struct RandomEditOptions {
+  /// Node-count bounds for replacement/inserted subtrees.
+  int32_t min_subtree_nodes = 1;
+  int32_t max_subtree_nodes = 8;
+  /// Shape/alphabet knobs for generated subtrees (node_count is overridden
+  /// per draw). Sharing the document's options keeps the edit's names
+  /// overlapping the rest of the corpus — the regime delta-local
+  /// invalidation is built for.
+  RandomDocumentOptions subtree_options;
+  /// Relative weights of the edit kinds. Removal is skipped automatically
+  /// on single-node documents (the root cannot be removed).
+  double replace_weight = 0.35;
+  double insert_weight = 0.20;
+  double remove_weight = 0.15;
+  double set_text_weight = 0.20;
+  double relabel_weight = 0.10;
+};
+
+/// A random, always-applicable subtree edit against `doc`; deterministic in
+/// (*rng) state. Targets are uniform over the applicable nodes.
+SubtreeEdit RandomSubtreeEdit(Rng* rng, const Document& doc,
+                              const RandomEditOptions& options = {});
 
 }  // namespace gkx::xml
 

@@ -41,6 +41,81 @@ DocumentIndex::DocumentIndex(const Document& doc) : doc_(&doc) {
   std::sort(name_set_.begin(), name_set_.end());
 }
 
+DocumentIndex::DocumentIndex(const Document& doc,
+                             const DocumentIndex& old_index,
+                             const DocumentDelta& delta)
+    : doc_(&doc) {
+  const NodeId begin = delta.begin;
+  const NodeId old_end = begin + delta.old_count;
+  const NodeId new_end = begin + delta.new_count;
+  const int32_t shift = delta.shift();
+
+  // The new region's postings, collected in one walk over just the edited
+  // interval (ascending ids keep each list born sorted).
+  const size_t pool = doc.InternedNames().size();
+  std::vector<std::vector<NodeId>> region_by_name(pool);
+  std::unordered_map<std::string, std::vector<NodeId>> region_by_attribute;
+  for (NodeId v = begin; v < new_end; ++v) {
+    const Node& node = doc.node(v);
+    region_by_name[static_cast<size_t>(node.tag)].push_back(v);
+    for (NameId label : node.labels) {
+      region_by_name[static_cast<size_t>(label)].push_back(v);
+    }
+    for (const Attribute& attribute : node.attributes) {
+      region_by_attribute[attribute.name].push_back(v);
+    }
+  }
+
+  // Per-list splice: prefix verbatim ++ region ++ suffix shifted. NameIds
+  // are stable across ApplyEdit, so old lists line up with new names.
+  auto splice = [&](const std::vector<NodeId>& old_postings,
+                    std::vector<NodeId>* region) {
+    std::vector<NodeId> out;
+    auto lo = std::lower_bound(old_postings.begin(), old_postings.end(), begin);
+    auto hi = std::lower_bound(lo, old_postings.end(), old_end);
+    out.reserve(static_cast<size_t>(lo - old_postings.begin()) +
+                (region ? region->size() : 0) +
+                static_cast<size_t>(old_postings.end() - hi));
+    out.insert(out.end(), old_postings.begin(), lo);
+    if (region != nullptr) {
+      out.insert(out.end(), region->begin(), region->end());
+    }
+    for (auto it = hi; it != old_postings.end(); ++it) {
+      out.push_back(*it + shift);
+    }
+    posting_count_ += static_cast<int64_t>(out.size());
+    return out;
+  };
+
+  by_name_.resize(pool);
+  for (size_t name = 0; name < pool; ++name) {
+    const std::vector<NodeId>& old_postings =
+        name < old_index.by_name_.size() ? old_index.by_name_[name]
+                                         : EmptyPostings();
+    by_name_[name] = splice(old_postings, &region_by_name[name]);
+  }
+  for (const auto& [attribute, old_postings] : old_index.by_attribute_) {
+    auto region = region_by_attribute.find(attribute);
+    std::vector<NodeId> spliced = splice(
+        old_postings,
+        region == region_by_attribute.end() ? nullptr : &region->second);
+    if (!spliced.empty()) by_attribute_.emplace(attribute, std::move(spliced));
+    region_by_attribute.erase(attribute);
+  }
+  // Attributes the edit introduced that the old document never had.
+  for (auto& [attribute, postings] : region_by_attribute) {
+    posting_count_ += static_cast<int64_t>(postings.size());
+    by_attribute_.emplace(attribute, std::move(postings));
+  }
+
+  for (NameId name = 0; name < static_cast<NameId>(by_name_.size()); ++name) {
+    if (!by_name_[static_cast<size_t>(name)].empty()) {
+      name_set_.emplace_back(doc.NameText(name));
+    }
+  }
+  std::sort(name_set_.begin(), name_set_.end());
+}
+
 const std::vector<NodeId>& DocumentIndex::NodesWithName(NameId name) const {
   if (name < 0 || name >= static_cast<NameId>(by_name_.size())) {
     return EmptyPostings();

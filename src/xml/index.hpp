@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "xml/document.hpp"
+#include "xml/edit.hpp"
 
 namespace gkx::xml {
 
@@ -28,6 +29,17 @@ class DocumentIndex {
   /// Builds the full index in one O(|D| + Σ postings) pass. The document
   /// must outlive the index.
   explicit DocumentIndex(const Document& doc);
+
+  /// Delta-aware construction: `doc` must be the result of applying the
+  /// edit described by `delta` to `old_index.doc()` (ApplyEdit keeps
+  /// NameIds stable, which is what makes this legal). Instead of walking
+  /// the whole document, each posting list is spliced — the prefix is
+  /// copied verbatim, the changed interval is re-scanned, and the suffix is
+  /// copied with the delta's constant id shift — so the node walk covers
+  /// only the edited region. For an ids-stable content edit the lists are
+  /// copied untouched.
+  DocumentIndex(const Document& doc, const DocumentIndex& old_index,
+                const DocumentDelta& delta);
 
   const Document& doc() const { return *doc_; }
 

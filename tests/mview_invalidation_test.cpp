@@ -24,6 +24,7 @@
 #include "mview/answer_cache.hpp"
 #include "service/query_service.hpp"
 #include "xml/generator.hpp"
+#include "xml/parser.hpp"
 #include "xpath/generator.hpp"
 #include "xpath/parser.hpp"
 #include "xpath/printer.hpp"
@@ -206,6 +207,227 @@ TEST(AnswerCacheTest, FaultIgnoringFootprintsServesStaleAnswers) {
   EXPECT_EQ(after->value.nodes().size(), 2u)  // the stale cached answer
       << "fault injection did not serve stale data; the teeth test is dead";
   EXPECT_EQ(svc.answer_cache().counters().hits, 1);
+}
+
+// ------------------------------------------------- delta-scoped updates
+// Subtree edits (QueryService::UpdateDocument) invalidate per region×name:
+// an edit under one subtree leaves cached answers alone whose footprints
+// only mention names the edit never touched — even though those names (and
+// the cached answers) live in the SAME document, where whole-document
+// name-union invalidation (PR 4) would kill them.
+
+const char kCatalog[] =
+    "<catalog>"
+    "<items><item><sku>a</sku></item><item><sku>b</sku></item></items>"
+    "<summary><total>2</total></summary>"
+    "</catalog>";
+
+TEST(AnswerCacheDeltaTest, EditUnderOneSectionRetainsOtherSectionsAnswers) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d", kCatalog).ok());
+  // Warm both families. The names overlap document-wide: item/sku occur in
+  // the edited region AND elsewhere, summary/total only elsewhere.
+  auto items = svc.Submit("d", "//item");
+  ASSERT_TRUE(items.ok());
+  ASSERT_EQ(items->value.nodes().size(), 2u);
+  auto total = svc.Submit("d", "/descendant::summary/child::total");
+  ASSERT_TRUE(total.ok());
+  ASSERT_EQ(total->value.nodes(), (eval::NodeSet{7}));
+
+  // Replace the second <item> subtree (region names {item, sku}) with a
+  // bigger one: structure changes, ids behind the region shift by +1.
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kReplaceSubtree;
+  edit.target = 4;
+  edit.subtree = *xml::ParseDocument("<item><sku>c</sku><qty>9</qty></item>");
+  ASSERT_TRUE(svc.UpdateDocument("d", edit).ok());
+
+  AnswerCache::Counters counters = svc.answer_cache().counters();
+  EXPECT_EQ(counters.invalidations, 1);  // //item names the region
+  EXPECT_EQ(counters.retained, 1);       // the summary query survives
+  EXPECT_EQ(counters.remapped, 1);       // ... with its node id re-based
+
+  // The retained entry serves the RIGHT answer at the new revision: the
+  // total node moved from id 7 to id 8, and a hit must say so.
+  auto after = svc.Submit("d", "/descendant::summary/child::total");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->value.nodes(), (eval::NodeSet{8}));
+  EXPECT_EQ(svc.answer_cache().counters().hits, 1);
+
+  // And the invalidated family re-evaluates freshly.
+  auto fresh = svc.Submit("d", "//item");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->value.nodes().size(), 2u);
+}
+
+TEST(AnswerCacheDeltaTest, TextEditInvalidatesOnlyContentReaders) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d", kCatalog).ok());
+  ASSERT_TRUE(svc.Submit("d", "//sku").ok());               // names only
+  ASSERT_TRUE(svc.Submit("d", "//sku[. = 'a']").ok());      // content read
+  ASSERT_TRUE(svc.Submit("d", "count(//item)").ok());       // structural
+
+  // SetText on the first sku: no names change, no ids move — only content.
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kSetText;
+  edit.target = 3;  // <sku>a</sku>
+  edit.text = "z";
+  ASSERT_TRUE(svc.UpdateDocument("d", edit).ok());
+
+  AnswerCache::Counters counters = svc.answer_cache().counters();
+  EXPECT_EQ(counters.invalidations, 1);  // only the content reader
+  EXPECT_EQ(counters.retained, 2);
+  EXPECT_EQ(counters.remapped, 0);  // ids stable: nothing to re-base
+
+  // The content reader re-evaluates against the new text.
+  auto reread = svc.Submit("d", "//sku[. = 'a']");
+  ASSERT_TRUE(reread.ok());
+  EXPECT_TRUE(reread->value.nodes().empty());
+  // The name-only and structural entries keep hitting.
+  EXPECT_EQ(svc.answer_cache().counters().hits, 0);
+  ASSERT_TRUE(svc.Submit("d", "//sku").ok());
+  ASSERT_TRUE(svc.Submit("d", "count(//item)").ok());
+  EXPECT_EQ(svc.answer_cache().counters().hits, 2);
+}
+
+TEST(AnswerCacheDeltaTest, BaselineModeFallsBackToWholeDocumentNames) {
+  // delta_invalidation = false: the same subtree edit is reported as a
+  // whole-document replacement, and the name-union kills both families —
+  // the PR-4 baseline EXP-DELTA measures against.
+  QueryService::Options options;
+  options.delta_invalidation = false;
+  QueryService svc(options);
+  ASSERT_TRUE(svc.RegisterXml("d", kCatalog).ok());
+  ASSERT_TRUE(svc.Submit("d", "//item").ok());
+  ASSERT_TRUE(
+      svc.Submit("d", "/descendant::summary/child::total").ok());
+
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kReplaceSubtree;
+  edit.target = 4;
+  edit.subtree = *xml::ParseDocument("<item><sku>c</sku></item>");
+  ASSERT_TRUE(svc.UpdateDocument("d", edit).ok());
+
+  AnswerCache::Counters counters = svc.answer_cache().counters();
+  EXPECT_EQ(counters.invalidations, 2);
+  EXPECT_EQ(counters.retained, 0);
+
+  // The patch itself still applied, at full fidelity.
+  auto total = svc.Submit("d", "/descendant::summary/child::total");
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total->value.nodes().size(), 1u);
+}
+
+// Teeth for the new precision: with delta invalidation deliberately
+// skipped, a subtree edit that DOES intersect a cached footprint leaves the
+// stale answer servable — the failure mode the edit-churn soak must catch.
+TEST(AnswerCacheDeltaTest, FaultIgnoringDeltaServesStaleAnswers) {
+  QueryService::Options options;
+  options.answer_cache.fault_ignore_delta = true;
+  QueryService svc(options);
+  ASSERT_TRUE(svc.RegisterXml("d", kCatalog).ok());
+  auto before = svc.Submit("d", "//item");
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->value.nodes().size(), 2u);
+
+  // Remove the second <item>: footprint {item} intersects the region, but
+  // the fault retains (and does not remap) the entry.
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kRemoveSubtree;
+  edit.target = 4;
+  ASSERT_TRUE(svc.UpdateDocument("d", edit).ok());
+
+  auto after = svc.Submit("d", "//item");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->value.nodes().size(), 2u)  // the stale cached answer
+      << "fault injection did not serve stale data; the teeth test is dead";
+  EXPECT_EQ(svc.answer_cache().counters().hits, 1);
+
+  // Whole-document replacement still invalidates: the fault breaks exactly
+  // the delta machinery, nothing else.
+  ASSERT_TRUE(svc.RegisterXml("d", kCatalog).ok());
+  auto replaced = svc.Submit("d", "//item");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced->value.nodes().size(), 2u);
+  EXPECT_EQ(svc.answer_cache().counters().hits, 1);  // that was a miss
+}
+
+// The delta-churn flagship property: under random subtree edits (mixed with
+// whole-document replacements), a cached answer is never servable once
+// stale — every Submit equals a fresh naive evaluation against the current
+// document, including across id-shifting structural patches.
+TEST(AnswerCacheDeltaTest, PropertyNoStaleAnswerUnderSubtreeChurn) {
+  for (uint64_t seed : {7u, 31u, 83u}) {
+    Rng rng(seed);
+    QueryService svc;
+
+    xml::RandomDocumentOptions doc_options;
+    doc_options.tag_alphabet = 5;
+    doc_options.tag_zipf_s = 0.7;
+    doc_options.text_probability = 0.3;
+    xml::RandomEditOptions edit_options;
+    edit_options.subtree_options = doc_options;
+
+    const int kDocs = 3;
+    std::vector<xml::Document> current;
+    for (int d = 0; d < kDocs; ++d) {
+      doc_options.node_count = static_cast<int32_t>(rng.UniformInt(20, 60));
+      current.push_back(xml::RandomDocument(&rng, doc_options));
+      ASSERT_TRUE(svc.RegisterDocument("doc" + std::to_string(d),
+                                       xml::Document(current.back()))
+                      .ok());
+    }
+
+    xpath::RandomQueryOptions query_options;
+    query_options.max_path_steps = 3;
+    query_options.max_condition_depth = 2;
+    query_options.tag_alphabet = 5;
+    std::vector<std::string> pool;
+    std::vector<xpath::Query> parsed;
+    const xpath::Fragment fragments[] = {
+        xpath::Fragment::kPF, xpath::Fragment::kCore, xpath::Fragment::kPWF,
+        xpath::Fragment::kFullXPath};
+    for (int q = 0; q < 16; ++q) {
+      query_options.fragment = fragments[q % std::size(fragments)];
+      std::string text;
+      do {
+        text = xpath::ToXPathString(xpath::RandomQuery(&rng, query_options));
+      } while (!xpath::ParseQuery(text).ok());
+      pool.push_back(text);
+      parsed.push_back(xpath::MustParse(text));
+    }
+
+    eval::NaiveEvaluator naive;
+    for (int step = 0; step < 400; ++step) {
+      const int d = static_cast<int>(rng.UniformInt(0, kDocs - 1));
+      const std::string key = "doc" + std::to_string(d);
+      if (rng.Bernoulli(0.2)) {
+        xml::Document& doc = current[static_cast<size_t>(d)];
+        const xml::SubtreeEdit edit =
+            xml::RandomSubtreeEdit(&rng, doc, edit_options);
+        auto edited = xml::ApplyEdit(doc, edit);
+        ASSERT_TRUE(edited.ok()) << "seed=" << seed << " step=" << step;
+        doc = std::move(edited).value();
+        ASSERT_TRUE(svc.UpdateDocument(key, edit).ok())
+            << "seed=" << seed << " step=" << step;
+        continue;
+      }
+      const size_t q = static_cast<size_t>(rng.UniformInt(0, 15));
+      auto got = svc.Submit(key, pool[q]);
+      ASSERT_TRUE(got.ok()) << pool[q];
+      auto want = naive.EvaluateAtRoot(current[static_cast<size_t>(d)],
+                                       parsed[q]);
+      ASSERT_TRUE(want.ok()) << pool[q];
+      ASSERT_TRUE(got->value.Equals(*want))
+          << "stale or wrong answer: seed=" << seed << " step=" << step
+          << " doc=" << d << " query='" << pool[q] << "' got "
+          << got->value.DebugString() << " want " << want->DebugString();
+    }
+    AnswerCache::Counters counters = svc.answer_cache().counters();
+    EXPECT_GT(counters.hits, 0) << "seed=" << seed;
+    EXPECT_GT(counters.retained, 0) << "seed=" << seed;
+    EXPECT_GT(counters.invalidations, 0) << "seed=" << seed;
+  }
 }
 
 // ------------------------------------------------------- cache mechanics

@@ -18,6 +18,8 @@
 
 #include "mview/subscription.hpp"
 #include "service/query_service.hpp"
+#include "xml/edit.hpp"
+#include "xml/parser.hpp"
 
 namespace gkx::mview {
 namespace {
@@ -155,6 +157,45 @@ TEST(SubscriptionTest, FootprintDisjointChurnIsSkippedWithoutEvaluating) {
   EXPECT_EQ(stats.evaluations, evaluations_after_snapshot);
   EXPECT_GE(stats.skipped_disjoint, 1);
   EXPECT_TRUE(collector.Events().empty());
+}
+
+TEST(SubscriptionTest, IdsStableDeltaChurnIsSkippedWithoutEvaluating) {
+  QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("d", "<r><a/><b>x</b></r>").ok());
+  Collector collector;
+  ASSERT_TRUE(svc.Subscribe("d", "//a", collector.Callback()).ok());
+  svc.FlushSubscriptions();
+  const int64_t evaluations_after_snapshot =
+      svc.Stats().subscriptions.evaluations;
+
+  // A text edit under <b>: delta-local names are empty and NodeIds are
+  // stable, so the standing //a query is skipped outright — even though
+  // {a} is very much present in the (unchanged) rest of the document.
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kSetText;
+  edit.target = 2;
+  edit.text = "y";
+  ASSERT_TRUE(svc.UpdateDocument("d", edit).ok());
+  svc.FlushSubscriptions();
+  auto stats = svc.Stats().subscriptions;
+  EXPECT_EQ(stats.evaluations, evaluations_after_snapshot);
+  EXPECT_GE(stats.skipped_disjoint, 1);
+  ASSERT_EQ(collector.Events().size(), 1u);  // just the initial snapshot
+
+  // A structural edit in a foreign-named region is NOT skipped: the a-node
+  // keeps its identity but shifts id, and the subscriber must learn the
+  // new spelling through a real diff.
+  xml::SubtreeEdit insert;
+  insert.kind = xml::SubtreeEdit::Kind::kInsertSubtree;
+  insert.target = 0;
+  insert.position = 0;  // before <a/>: the a-node shifts from id 1 to id 2
+  insert.subtree = *xml::ParseDocument("<c/>");
+  ASSERT_TRUE(svc.UpdateDocument("d", insert).ok());
+  svc.FlushSubscriptions();
+  auto events = collector.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].added, (eval::NodeSet{2}));
+  EXPECT_EQ(events[1].removed, (eval::NodeSet{1}));
 }
 
 TEST(SubscriptionTest, WildcardSelectorCoversDocumentsRegisteredLater) {

@@ -286,7 +286,106 @@ TEST(FootprintTest, IntersectionIsExactOnSortedSets) {
 
   Footprint any = CompileText("/child::*").footprint;
   EXPECT_TRUE(any.Intersects({}));
-  EXPECT_EQ(any.ToString(), "any");
+  EXPECT_EQ(any.ToString(), "any+wild");
+}
+
+// ------------------------------------------- delta observation classes
+// The flags behind Footprint::AffectedBy's region×name sharpening
+// (footprint.hpp header): wildcard selection, content reads, name reads.
+
+TEST(FootprintTest, ObservationClassFlagsAreCollected) {
+  // Pure name selection: no observation class set.
+  Footprint fp = CompileText("//a/child::b[descendant::c]").footprint;
+  EXPECT_FALSE(fp.wildcard);
+  EXPECT_FALSE(fp.content_read);
+  EXPECT_FALSE(fp.name_read);
+  EXPECT_EQ(fp.ToString(), "{a,b,c}");
+
+  // Covered wildcards stay out of any_name but are flagged: they can
+  // select region nodes without naming them.
+  fp = CompileText("//a/child::*").footprint;
+  EXPECT_FALSE(fp.any_name);
+  EXPECT_TRUE(fp.wildcard);
+  EXPECT_EQ(fp.ToString(), "{a}+wild");
+
+  // "." is self::node(): an upward wildcard never selects region nodes, so
+  // the common "[. = 'x']" predicate stays structure-insensitive.
+  EXPECT_FALSE(CompileText("//a[. = 'x']").footprint.wildcard);
+  EXPECT_FALSE(CompileText("//a/parent::node()").footprint.wildcard);
+  EXPECT_TRUE(CompileText("//a/following-sibling::*").footprint.wildcard);
+
+  // Covered content reads: node-set coerced by comparison, function, or
+  // arithmetic.
+  EXPECT_TRUE(CompileText("//a[. = 'x']").footprint.content_read);
+  EXPECT_TRUE(CompileText("string(//b) = 'x'").footprint.content_read);
+  EXPECT_TRUE(CompileText("sum(//a)").footprint.content_read);
+  EXPECT_TRUE(CompileText("//a[string-length() > 1]").footprint.content_read);
+  EXPECT_TRUE(CompileText("count(//a[. = //b])").footprint.content_read);
+
+  // Structural observations are NOT content reads: existence, counting,
+  // and positions survive any text edit.
+  EXPECT_FALSE(CompileText("//a[child::b]").footprint.content_read);
+  EXPECT_FALSE(CompileText("count(//a) > 2").footprint.content_read);
+  EXPECT_FALSE(CompileText("//a[position() = 2]").footprint.content_read);
+
+  // name()/local-name() reads are their own class: a relabel can change
+  // them without the footprint naming the relabeled node.
+  fp = CompileText("//a[starts-with(name(), 't')]").footprint;
+  EXPECT_TRUE(fp.name_read);
+  EXPECT_FALSE(fp.content_read);
+  EXPECT_FALSE(CompileText("//a[. = 'x']").footprint.name_read);
+}
+
+TEST(FootprintTest, AffectedByWholeDocumentEqualsIntersects) {
+  // Null delta = whole-document replacement: the dead-query argument
+  // applies, so wildcard/content/name flags add nothing.
+  Footprint fp = CompileText("//a/child::*[. = 'x']").footprint;
+  EXPECT_TRUE(fp.wildcard);
+  EXPECT_TRUE(fp.content_read);
+  EXPECT_TRUE(fp.AffectedBy({"a", "b"}, nullptr));
+  EXPECT_FALSE(fp.AffectedBy({"b", "c"}, nullptr));
+}
+
+TEST(FootprintTest, AffectedByDeltaGatesObservationClasses) {
+  xml::DocumentDelta text_edit;  // SetText: ids stable, content changed
+  text_edit.ids_stable = true;
+  text_edit.content_changed = true;
+
+  xml::DocumentDelta structural;  // replace: ids shift, names spliced
+  structural.ids_stable = false;
+  structural.content_changed = true;
+  structural.old_names = {"u"};
+  structural.new_names = {"v"};
+
+  xml::DocumentDelta relabel;  // tag change only
+  relabel.ids_stable = true;
+  relabel.content_changed = false;
+  relabel.old_names = {"u"};
+  relabel.new_names = {"v"};
+
+  // Pure name selection: only the region's names matter. A text edit and
+  // even a structural splice of foreign-named nodes leave it unaffected —
+  // the region×name precision the delta pipeline buys (the structural case
+  // relies on the cache remapping ids).
+  Footprint names_only = CompileText("//a/child::b").footprint;
+  EXPECT_FALSE(names_only.AffectedBy({}, &text_edit));
+  EXPECT_FALSE(names_only.AffectedBy({"u", "v"}, &structural));
+  EXPECT_TRUE(names_only.AffectedBy({"b", "u"}, &structural));
+
+  // Content readers: affected exactly when the region's text changed.
+  Footprint content = CompileText("//a[. = 'x']").footprint;
+  EXPECT_TRUE(content.AffectedBy({}, &text_edit));
+  EXPECT_FALSE(content.AffectedBy({"u", "v"}, &relabel));
+
+  // Wildcards: affected exactly when structure changed.
+  Footprint wild = CompileText("//a/child::*").footprint;
+  EXPECT_TRUE(wild.AffectedBy({"u", "v"}, &structural));
+  EXPECT_FALSE(wild.AffectedBy({}, &text_edit));
+
+  // Name readers: affected whenever any name changed, even ids-stable.
+  Footprint reader = CompileText("//a[name() = 'x']").footprint;
+  EXPECT_TRUE(reader.AffectedBy({"u", "v"}, &relabel));
+  EXPECT_FALSE(reader.AffectedBy({}, &text_edit));
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -17,6 +18,7 @@
 #include "service/indexed_path.hpp"
 #include "service/query_service.hpp"
 #include "xml/generator.hpp"
+#include "xml/parser.hpp"
 #include "xpath/parser.hpp"
 
 namespace gkx::service {
@@ -61,6 +63,86 @@ TEST(DocumentStoreTest, IndexIsLazyAndCached) {
   EXPECT_TRUE(stored->index_built());
   EXPECT_EQ(&stored->index(), &index);  // same instance, built once
   EXPECT_EQ(index.NodesWithName("b").size(), 3u);
+}
+
+TEST(DocumentStoreTest, UpdateAppliesSubtreePatchAndReportsDelta) {
+  DocumentStore store;
+  std::vector<std::string> events;
+  std::vector<std::vector<std::string>> changed_sets;
+  std::vector<bool> had_delta;
+  store.SetUpdateListener([&](const CorpusUpdate& update) {
+    events.push_back(update.key);
+    changed_sets.push_back(update.changed_names);
+    had_delta.push_back(update.delta != nullptr);
+  });
+  ASSERT_TRUE(store.PutXml("a", kDocA).ok());
+  const int64_t first_revision = store.Get("a")->revision();
+
+  // Replace the <c><b/></c> subtree (nodes 5..6) with <d><e/><e/></d>.
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kReplaceSubtree;
+  edit.target = 5;
+  edit.subtree = *xml::ParseDocument("<d><e/><e/></d>");
+  ASSERT_TRUE(store.Update("a", edit).ok());
+
+  auto stored = store.Get("a");
+  EXPECT_EQ(stored->doc().size(), 8);
+  EXPECT_GT(stored->revision(), first_revision);
+  EXPECT_EQ(stored->doc().TagName(5), "d");
+
+  // The listener saw install (no names) then the delta-local update.
+  ASSERT_EQ(events, (std::vector<std::string>{"a", "a"}));
+  EXPECT_TRUE(changed_sets[0].empty());
+  EXPECT_FALSE(had_delta[0]);
+  EXPECT_TRUE(had_delta[1]);
+  EXPECT_EQ(changed_sets[1], (std::vector<std::string>{"b", "c", "d", "e"}));
+
+  // Cached name sets: the new revision's pool keeps dead entries as a
+  // superset, but stays sound — and failures are visible.
+  for (const char* name : {"a", "b", "d", "e", "r"}) {
+    EXPECT_TRUE(std::binary_search(stored->NameSet().begin(),
+                                   stored->NameSet().end(), name))
+        << name;
+  }
+
+  // Invalid edits fail cleanly and mutate nothing.
+  edit.target = 99;
+  EXPECT_FALSE(store.Update("a", edit).ok());
+  EXPECT_FALSE(store.Update("missing", edit).ok());
+  EXPECT_EQ(store.Get("a"), stored);
+}
+
+TEST(DocumentStoreTest, UpdateSplicesIndexInsteadOfRebuilding) {
+  DocumentStore store;
+  ASSERT_TRUE(store.PutXml("a", kDocA).ok());
+  auto before = store.Get("a");
+  before->index();  // the old revision was queried
+  ASSERT_TRUE(before->index_built());
+
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kInsertSubtree;
+  edit.target = 0;
+  edit.position = 0;
+  edit.subtree = *xml::ParseDocument("<b/>");
+  ASSERT_TRUE(store.Update("a", edit).ok());
+
+  auto after = store.Get("a");
+  // The spliced index was adopted at Update time — no lazy rebuild left.
+  EXPECT_TRUE(after->index_built());
+  EXPECT_EQ(after->index().NodesWithName("b").size(), 4u);
+  // ... and it matches a from-scratch index, posting for posting.
+  xml::DocumentIndex fresh(after->doc());
+  for (const std::string& name : fresh.PresentNames()) {
+    EXPECT_EQ(after->index().NodesWithName(name), fresh.NodesWithName(name))
+        << name;
+  }
+  EXPECT_EQ(after->NameSet(), fresh.PresentNames());
+
+  // An unindexed base stays lazy: no index is built just to patch.
+  DocumentStore lazy_store;
+  ASSERT_TRUE(lazy_store.PutXml("a", kDocA).ok());
+  ASSERT_TRUE(lazy_store.Update("a", edit).ok());
+  EXPECT_FALSE(lazy_store.Get("a")->index_built());
 }
 
 // ----------------------------------------------------------------- PlanCache

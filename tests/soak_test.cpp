@@ -69,24 +69,34 @@ TEST(WorkloadTest, CompileIsDeterministicInSeed) {
 }
 
 TEST(WorkloadTest, MixesFragmentsBatchesAndChurn) {
-  auto schedule = CompileWorkload(SoakSpec(11));
+  WorkloadSpec spec = SoakSpec(11);
+  spec.churn_probability = 0.01;  // enough events to see both churn kinds
+  auto schedule = CompileWorkload(spec);
   ASSERT_TRUE(schedule.ok());
-  int submits = 0, batches = 0, churns = 0;
+  int submits = 0, batches = 0, replacements = 0, edits = 0;
   for (const Operation& op : schedule->operations) {
     switch (op.kind) {
       case Operation::Kind::kSubmit: ++submits; break;
       case Operation::Kind::kBatch: ++batches; break;
-      case Operation::Kind::kAddDocument: ++churns; break;
+      case Operation::Kind::kAddDocument: ++replacements; break;
+      case Operation::Kind::kEditDocument: ++edits; break;
     }
   }
   EXPECT_GT(submits, 0);
   EXPECT_GT(batches, 0);
-  EXPECT_GT(churns, 0);
-  // Every churned revision exists in the corpus.
+  EXPECT_GT(replacements, 0);
+  EXPECT_GT(edits, 0);  // default edit_probability splits churn both ways
+  // Every churned revision exists in the corpus, and every edit op's
+  // precomputed result is its revision (the compile already cross-checked
+  // it against a from-scratch rebuild).
   for (const Operation& op : schedule->operations) {
-    if (op.kind != Operation::Kind::kAddDocument) continue;
+    if (op.kind != Operation::Kind::kAddDocument &&
+        op.kind != Operation::Kind::kEditDocument) {
+      continue;
+    }
     ASSERT_LT(static_cast<size_t>(op.revision),
               schedule->revisions[static_cast<size_t>(op.doc)].size());
+    ASSERT_GE(op.revision, 1);
   }
 }
 
@@ -119,6 +129,9 @@ TEST(WorkloadTest, RejectsInconsistentSpecs) {
   EXPECT_FALSE(CompileWorkload(spec).ok());
   spec = SoakSpec(1);
   spec.churn_probability = 1.5;
+  EXPECT_FALSE(CompileWorkload(spec).ok());
+  spec = SoakSpec(1);
+  spec.edit_probability = -0.25;
   EXPECT_FALSE(CompileWorkload(spec).ok());
 }
 
@@ -182,6 +195,46 @@ TEST(SoakTest, ChurnPlusSubscriptionSoakAgreesWithOracle) {
             0);
 }
 
+// Delta churn + subscriptions: subtree edits replayed through the live
+// delta pipeline (UpdateDocument), each patch differentially checked
+// against its precomputed full-replacement-equivalent revision, all query
+// answers checked against the oracle, diff streams re-applied and checked —
+// and the SAME schedule must also pass with delta invalidation disabled
+// (the whole-document baseline), proving the two invalidation modes are
+// answer-equivalent and only differ in what they retain.
+TEST(SoakTest, DeltaChurnSoakAgreesWithOracleInBothInvalidationModes) {
+  WorkloadSpec spec = SoakSpec(101);
+  spec.operations = 3000;
+  spec.churn_probability = 0.02;
+  spec.edit_probability = 0.7;  // mostly subtree patches, some replacements
+  auto schedule = CompileWorkload(spec);
+  ASSERT_TRUE(schedule.ok());
+
+  int64_t delta_retained = 0;
+  for (const bool delta_invalidation : {true, false}) {
+    SoakOptions options;
+    options.threads = 4;
+    options.standing_queries = 4;
+    options.service.plan_cache.capacity = 64;
+    options.service.delta_invalidation = delta_invalidation;
+    SoakReport report = RunSoak(*schedule, options);
+
+    EXPECT_TRUE(report.ok()) << report.Summary();
+    EXPECT_GT(report.patches, 0);
+    EXPECT_EQ(report.patch_divergences, 0);
+    EXPECT_EQ(report.divergences, 0);
+    EXPECT_EQ(report.lost_updates, 0);
+    EXPECT_EQ(report.subscription_violations, 0);
+    if (delta_invalidation) {
+      delta_retained = report.stats.answer_cache.retained;
+    } else {
+      // Region×name precision must retain at least as much as the
+      // document×name baseline on the identical schedule.
+      EXPECT_GE(delta_retained, report.stats.answer_cache.retained);
+    }
+  }
+}
+
 // A stale-answer fault injected via answer_tap — the tap serves a node-set
 // with its tail node dropped, modelling an answer cache that survived an
 // update it should not have — must be caught with the reproducing seed.
@@ -231,6 +284,33 @@ TEST(SoakTest, BrokenInvalidationServesStaleAnswersAndIsCaught) {
   EXPECT_GT(report.divergences, 0);
   ASSERT_FALSE(report.failures.empty());
   EXPECT_NE(report.failures[0].find("seed=59"), std::string::npos)
+      << report.failures[0];
+}
+
+// The delta fault tooth: invalidation that skips the region×name machinery
+// (retaining every entry, un-remapped, across every subtree edit) serves
+// truly stale answers under edit churn — the soak's oracle must flag them
+// and embed the reproducing seed. This is the defect mode the delta
+// pipeline introduces and therefore must be provably caught.
+TEST(SoakTest, BrokenDeltaInvalidationServesStaleAnswersAndIsCaught) {
+  WorkloadSpec spec = SoakSpec(67);
+  spec.operations = 4000;
+  spec.churn_probability = 0.05;  // heavy churn: stale entries get re-read
+  spec.edit_probability = 1.0;    // every churn event is a subtree patch
+  auto schedule = CompileWorkload(spec);
+  ASSERT_TRUE(schedule.ok());
+
+  SoakOptions options;
+  options.threads = 4;
+  options.service.answer_cache.fault_ignore_delta = true;
+  SoakReport report = RunSoak(*schedule, options);
+
+  EXPECT_FALSE(report.ok()) << "stale serves went undetected";
+  EXPECT_GT(report.divergences, 0);
+  EXPECT_GT(report.patches, 0);
+  EXPECT_EQ(report.patch_divergences, 0);  // the patches themselves applied
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_NE(report.failures[0].find("seed=67"), std::string::npos)
       << report.failures[0];
 }
 

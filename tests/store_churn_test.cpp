@@ -21,6 +21,7 @@
 
 #include "service/query_service.hpp"
 #include "xml/generator.hpp"
+#include "xml/parser.hpp"
 #include "xml/serializer.hpp"
 
 namespace gkx::service {
@@ -125,6 +126,68 @@ TEST(StoreChurnTest, RemovalNeverInvalidatesInFlightReaders) {
   ASSERT_NE(stored, nullptr);
   EXPECT_EQ(xml::SerializeDocument(stored->doc()),
             xml::SerializeDocument(Revision(4)));
+}
+
+// The delta-churn analogue of the snapshot test: a writer applies subtree
+// patches (UpdateDocument — splice, index maintenance, delta-scoped
+// invalidation) while readers submit and a standing query rides along.
+// Each insert grows the document by exactly one node, so a reader's count
+// answer is legal iff it lies in [base, base + edits applied so far] — a
+// torn splice, a stale cached answer, or a lost patch lands outside.
+TEST(StoreChurnTest, ConcurrentSubtreeUpdatesNeverTearSnapshots) {
+  constexpr int kEdits = 60;
+  constexpr int kReaders = 3;
+  constexpr int kReadsPerReader = 200;
+  QueryService service;
+  ASSERT_TRUE(service.RegisterXml("d", "<r><a/></r>").ok());
+  const std::string kQuery = "count(/descendant-or-self::*)";
+
+  std::atomic<int64_t> deliveries{0};
+  auto subscription = service.Subscribe(
+      "d", "//leaf",
+      [&](const mview::SubscriptionEvent&) { deliveries.fetch_add(1); });
+  ASSERT_TRUE(subscription.ok());
+
+  std::atomic<int> unexpected{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kEdits; ++i) {
+      xml::SubtreeEdit edit;
+      edit.kind = xml::SubtreeEdit::Kind::kInsertSubtree;
+      edit.target = 0;
+      edit.position = 0;
+      auto leaf = xml::ParseDocument("<leaf/>");
+      GKX_CHECK(leaf.ok());
+      edit.subtree = std::move(leaf).value();
+      GKX_CHECK(service.UpdateDocument("d", edit).ok());
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kReadsPerReader; ++i) {
+        auto answer = service.Submit("d", kQuery);
+        if (!answer.ok()) {
+          unexpected.fetch_add(1);
+          continue;
+        }
+        const double count = answer->value.number();
+        if (count < 2.0 || count > 2.0 + kEdits) unexpected.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  service.FlushSubscriptions();
+
+  EXPECT_EQ(unexpected.load(), 0);
+  // No patch was lost: the final document carries every insert.
+  auto final_count = service.Submit("d", kQuery);
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(final_count->value.number(), 2.0 + kEdits);
+  // The standing query followed the patches to the final state: deliveries
+  // are coalesced, but the last one must have brought it to kEdits leaves.
+  EXPECT_GT(deliveries.load(), 0);
+  EXPECT_TRUE(service.Unsubscribe(*subscription));
 }
 
 // A reader holding a shared_ptr across removal keeps a valid document AND a
