@@ -14,7 +14,8 @@
 // (default 0.004), --edits= fraction of churn carried out as subtree
 // patches through the delta pipeline (default 0.5; 0 = whole-document
 // replacement only), --subs= standing queries per round (default 4 — the
-// subscription soak; 0 disables).
+// subscription soak; 0 disables), --stats-json=PATH dump the last round's
+// QueryService::ExportStats(kJson) document (the CI schema check reads it).
 //
 // Emits BENCH_soak.json (per-round rows, repo root) for cross-PR tracking.
 
@@ -50,6 +51,17 @@ double FlagDouble(int argc, char** argv, const char* name, double fallback) {
   return fallback;
 }
 
+std::string FlagString(int argc, char** argv, const char* name,
+                       const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -68,6 +80,8 @@ int main(int argc, char** argv) {
   const double churn = FlagDouble(argc, argv, "churn", 0.004);
   const double edits = FlagDouble(argc, argv, "edits", 0.5);
   const int subs = static_cast<int>(FlagValue(argc, argv, "subs", 4));
+  const std::string stats_json_path =
+      FlagString(argc, argv, "stats-json", "");
 
   gkx::bench::PrintHeader(
       "soak — deterministic concurrent differential workload",
@@ -83,6 +97,7 @@ int main(int argc, char** argv) {
   int64_t round = 0;
   uint64_t seed = first_seed;
   bool failed = false;
+  std::string last_stats_json;
   while (!failed) {
     if (max_rounds > 0 && round >= max_rounds) break;
     if (round > 0 && budget.ElapsedSeconds() >= seconds) break;
@@ -105,6 +120,7 @@ int main(int argc, char** argv) {
     options.standing_queries = subs;
     options.service.plan_cache.capacity = 64;
     SoakReport report = RunSoak(*schedule, options);
+    last_stats_json = report.stats_json;
 
     table.AddRow({gkx::bench::Num(round), gkx::bench::Num(static_cast<int64_t>(seed)),
                   gkx::bench::Num(report.operations),
@@ -134,6 +150,7 @@ int main(int argc, char** argv) {
           gkx::bench::JsonNum(
               static_cast<double>(report.stats.subscriptions.coalesced))},
          {"p99_ms", gkx::bench::JsonNum(report.stats.latency.p99_ms)},
+         {"p999_ms", gkx::bench::JsonNum(report.stats.latency.p999_ms)},
          {"ok", gkx::bench::JsonNum(report.ok() ? 1.0 : 0.0)}});
     if (!report.ok()) {
       failed = true;
@@ -148,6 +165,13 @@ int main(int argc, char** argv) {
 
   table.Print();
   json.Write(gkx::bench::RepoRootPath("BENCH_soak.json"));
+  if (!stats_json_path.empty() && !last_stats_json.empty()) {
+    std::FILE* f = std::fopen(stats_json_path.c_str(), "w");
+    GKX_CHECK(f != nullptr);
+    std::fputs(last_stats_json.c_str(), f);
+    GKX_CHECK(std::fclose(f) == 0);
+    std::printf("  wrote %s (stats export, last round)\n", stats_json_path.c_str());
+  }
   std::printf("soaked %lld round(s) in %.1fs — %s\n",
               static_cast<long long>(round), budget.ElapsedSeconds(),
               failed ? "FAIL" : "ok");

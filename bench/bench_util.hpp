@@ -6,9 +6,11 @@
 #define GKX_BENCH_BENCH_UTIL_HPP_
 
 #include <cstdio>
+#include <ctime>
 #include <filesystem>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,7 +18,26 @@
 #include "base/stopwatch.hpp"
 #include "base/string_util.hpp"
 
+// Build provenance, stamped by CMake (add_compile_definitions); the
+// fallbacks cover out-of-tree compiles.
+#ifndef GKX_GIT_REV
+#define GKX_GIT_REV "unknown"
+#endif
+#ifndef GKX_BUILD_TYPE
+#define GKX_BUILD_TYPE "unknown"
+#endif
+
 namespace gkx::bench {
+
+/// Current UTC time as "YYYY-MM-DDTHH:MM:SSZ".
+inline std::string UtcTimestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return std::string(buf);
+}
 
 /// Prints the experiment banner: what the paper claims, what this binary
 /// measures, and how to read the shape.
@@ -133,13 +154,22 @@ class JsonReport {
     rows_.push_back(std::move(fields));
   }
 
-  /// Writes the report and prints the path (checked).
+  /// Writes the report and prints the path (checked). Every file carries
+  /// provenance — git rev, UTC timestamp, hardware threads, build type — so
+  /// the committed trajectory stays interpretable across machines and PRs.
   void Write(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     GKX_CHECK(f != nullptr);
-    std::fprintf(f, "{\"bench\": %s, \"seed\": %llu, \"rows\": [",
+    std::fprintf(f,
+                 "{\"bench\": %s, \"seed\": %llu, \"git_rev\": %s, "
+                 "\"utc\": %s, \"threads\": %u, \"build_type\": %s, "
+                 "\"rows\": [",
                  JsonStr(bench_).c_str(),
-                 static_cast<unsigned long long>(seed_));
+                 static_cast<unsigned long long>(seed_),
+                 JsonStr(GKX_GIT_REV).c_str(),
+                 JsonStr(UtcTimestamp()).c_str(),
+                 std::thread::hardware_concurrency(),
+                 JsonStr(GKX_BUILD_TYPE).c_str());
     for (size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
       for (size_t i = 0; i < rows_[r].size(); ++i) {

@@ -44,11 +44,12 @@ Result<Engine::Answer> Engine::RunDispatched(
 }
 
 Result<Engine::Answer> Engine::RunPlan(const xml::Document& doc,
-                                       const Plan& plan, const Context& ctx) {
+                                       const Plan& plan, const Context& ctx,
+                                       plan::ExecTrace* trace) {
   if (!plan.staged) {
     return RunDispatched(doc, plan.query, plan.fragment, plan.choice, ctx);
   }
-  auto value = plan::ExecuteStaged(doc, plan, ctx);
+  auto value = plan::ExecuteStaged(doc, plan, ctx, trace);
   if (!value.ok()) return value.status();
   Answer answer;
   answer.value = std::move(value).value();

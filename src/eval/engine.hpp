@@ -20,6 +20,7 @@
 #include "eval/evaluator.hpp"
 #include "eval/pf_evaluator.hpp"
 #include "eval/recursive_base.hpp"
+#include "plan/exec.hpp"
 #include "plan/physical.hpp"
 #include "xpath/fragment.hpp"
 #include "xpath/parser.hpp"
@@ -63,7 +64,16 @@ class Engine {
 
   /// Runs a compiled plan from a given context.
   Result<Answer> RunPlan(const xml::Document& doc, const Plan& plan,
-                         const Context& ctx);
+                         const Context& ctx) {
+    return RunPlan(doc, plan, ctx, nullptr);
+  }
+
+  /// Same, with per-segment timing capture: when `trace` is non-null and
+  /// the plan is staged, one SegmentTiming per plan segment is appended
+  /// (see plan/exec.hpp). Uniform plans ignore the trace — the whole
+  /// request-latency span already covers their single dispatch.
+  Result<Answer> RunPlan(const xml::Document& doc, const Plan& plan,
+                         const Context& ctx, plan::ExecTrace* trace);
 
   /// Parses, compiles, and runs a query from the root context.
   Result<Answer> Run(const xml::Document& doc, std::string_view query_text);

@@ -142,17 +142,17 @@ void AnswerCache::Insert(const std::string& doc_key, int64_t revision,
   }
 }
 
-void AnswerCache::RemapLocked(Entry& entry, const xml::DocumentDelta& delta) {
-  if (delta.shift() == 0) return;
+bool AnswerCache::RemapLocked(Entry& entry, const xml::DocumentDelta& delta) {
+  if (delta.shift() == 0) return false;
   const eval::Value& value = entry.cached->answer.value;
-  if (!value.is_node_set()) return;
+  if (!value.is_node_set()) return false;
   const eval::NodeSet& nodes = value.nodes();
   // Retained entries provably select no region node (plan/footprint.hpp),
   // so the answer splits cleanly at the old region's end: ids before the
   // region stand, ids at or after it shift by the delta's constant.
   const xml::NodeId boundary = delta.begin + delta.old_count;
   auto first_shifted = std::lower_bound(nodes.begin(), nodes.end(), boundary);
-  if (first_shifted == nodes.end()) return;
+  if (first_shifted == nodes.end()) return false;
   eval::NodeSet shifted(nodes.begin(), nodes.end());
   for (auto it = shifted.begin() + (first_shifted - nodes.begin());
        it != shifted.end(); ++it) {
@@ -164,12 +164,14 @@ void AnswerCache::RemapLocked(Entry& entry, const xml::DocumentDelta& delta) {
   remapped->bytes = entry.cached->bytes;  // same node count, same accounting
   entry.cached = std::move(remapped);
   remapped_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
-void AnswerCache::OnDocumentUpdate(
+AnswerCache::UpdateImpact AnswerCache::OnDocumentUpdate(
     const std::string& doc_key, int64_t old_revision, int64_t new_revision,
     const std::vector<std::string>& changed_names,
     const xml::DocumentDelta* delta) {
+  UpdateImpact impact;
   const bool replacement = old_revision >= 0 && new_revision >= 0;
   if (options_.mode == InvalidationMode::kFlushAll) {
     // The baseline mode: any update empties the whole cache. Shards are
@@ -180,9 +182,10 @@ void AnswerCache::OnDocumentUpdate(
       while (!shard->lru.empty()) {
         EraseLocked(*shard, std::prev(shard->lru.end()));
         invalidations_.fetch_add(1, std::memory_order_relaxed);
+        ++impact.invalidated;
       }
     }
-    return;
+    return impact;
   }
   // The injected delta defect: subtree updates skip invalidation (and the
   // id remap) wholesale — entries survive stale. Whole-document updates are
@@ -203,17 +206,20 @@ void AnswerCache::OnDocumentUpdate(
       if (retain) {
         it->revision = new_revision;
         retained_.fetch_add(1, std::memory_order_relaxed);
+        ++impact.retained;
         if (delta != nullptr && delta->structure_changed() &&
             !fault_retain_all) {
-          RemapLocked(*it, *delta);
+          if (RemapLocked(*it, *delta)) ++impact.remapped;
         }
       } else {
         EraseLocked(shard, it);
         invalidations_.fetch_add(1, std::memory_order_relaxed);
+        ++impact.invalidated;
       }
     }
     it = next;
   }
+  return impact;
 }
 
 AnswerCache::Counters AnswerCache::counters() const {

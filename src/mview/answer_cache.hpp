@@ -147,6 +147,15 @@ class AnswerCache {
               const eval::Engine::Answer& answer,
               const plan::Footprint& footprint);
 
+  /// What one OnDocumentUpdate call did — the per-update churn sample the
+  /// observability layer feeds into its update histograms (the Counters
+  /// fields with the same names are the running totals).
+  struct UpdateImpact {
+    int64_t invalidated = 0;
+    int64_t retained = 0;
+    int64_t remapped = 0;
+  };
+
   /// Invalidation hook for a corpus mutation of `doc_key`.
   ///   * Replacement (old_revision/new_revision both >= 0): under
   ///     kFootprint, entries stamped old_revision whose footprint is
@@ -161,11 +170,12 @@ class AnswerCache {
   ///     whose incarnation left entries behind.
   /// `changed_names` must be sorted and duplicate-free: the whole-document
   /// union when `delta` is null, the delta-local union otherwise. `delta`
-  /// need only live for the duration of the call.
-  void OnDocumentUpdate(const std::string& doc_key, int64_t old_revision,
-                        int64_t new_revision,
-                        const std::vector<std::string>& changed_names,
-                        const xml::DocumentDelta* delta = nullptr);
+  /// need only live for the duration of the call. Returns this update's
+  /// churn impact (entries erased / retained / id-remapped).
+  UpdateImpact OnDocumentUpdate(const std::string& doc_key,
+                                int64_t old_revision, int64_t new_revision,
+                                const std::vector<std::string>& changed_names,
+                                const xml::DocumentDelta* delta = nullptr);
 
   Counters counters() const;
 
@@ -198,8 +208,8 @@ class AnswerCache {
   /// Re-bases a retained entry's node-set answer across a structural delta:
   /// every node at or after the old region's end shifts by delta.shift().
   /// The cached answer is immutable (shared with in-flight readers), so a
-  /// shifted copy replaces it.
-  void RemapLocked(Entry& entry, const xml::DocumentDelta& delta);
+  /// shifted copy replaces it. Returns true when the answer actually moved.
+  bool RemapLocked(Entry& entry, const xml::DocumentDelta& delta);
 
   Options options_;
   size_t per_shard_capacity_ = 0;

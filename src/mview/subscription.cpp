@@ -7,6 +7,7 @@
 
 #include "base/check.hpp"
 #include "eval/engine.hpp"
+#include "obs/trace.hpp"
 
 namespace gkx::mview {
 
@@ -158,7 +159,11 @@ void SubscriptionManager::RunEvaluation(
       int64_t revision = -1;
       if (stored != nullptr) {
         eval::Engine engine;
+        const uint64_t t0 = obs::NowNs();
         auto run = engine.RunPlan(stored->doc(), *sub->plan);
+        if (evaluation_observer_) {
+          evaluation_observer_(static_cast<double>(obs::NowNs() - t0) * 1e-9);
+        }
         evaluations_.fetch_add(1, std::memory_order_relaxed);
         // Subscribe() pinned the plan to node-set type; evaluation of a
         // typed plan cannot fail at runtime.

@@ -92,6 +92,11 @@ class SubscriptionManager {
     int64_t evaluations = 0;       // plan evaluations performed
   };
 
+  /// Observes every plan evaluation a subscription performs (wall-clock
+  /// seconds of the RunPlan itself). Must be thread-safe; runs on pool
+  /// workers.
+  using EvaluationObserver = std::function<void(double seconds)>;
+
   /// `store` and `pool` must outlive the manager (the QueryService owns all
   /// three and destroys the manager first).
   SubscriptionManager(const service::DocumentStore* store, ThreadPool* pool);
@@ -132,6 +137,13 @@ class SubscriptionManager {
   /// meaningful once concurrent churn has stopped (tests, soak teardown).
   void Flush();
 
+  /// Installs the evaluation observer. Not thread-safe against in-flight
+  /// evaluations — set it once, before traffic (the QueryService does this
+  /// in its constructor). The observer must outlive the manager.
+  void set_evaluation_observer(EvaluationObserver observer) {
+    evaluation_observer_ = std::move(observer);
+  }
+
   Counters counters() const;
 
   /// True if `selector` matches `key` (exact, or prefix via trailing '*').
@@ -168,6 +180,7 @@ class SubscriptionManager {
 
   const service::DocumentStore* store_;
   ThreadPool* pool_;
+  EvaluationObserver evaluation_observer_;  // may be null
 
   mutable std::mutex mu_;  // registry + schedule + outstanding
   std::condition_variable idle_cv_;

@@ -1,0 +1,76 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gkx::obs {
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 1ull << kMinShift;
+  if (index >= kBucketCount - 1) return std::numeric_limits<uint64_t>::max();
+  const size_t octave = (index - 1) >> kSubBits;
+  const size_t sub = (index - 1) & ((1u << kSubBits) - 1);
+  // Bucket [ (8+sub) << (octave+3), (8+sub+1) << (octave+3) ).
+  return static_cast<uint64_t>((1u << kSubBits) + sub + 1)
+         << (octave + kMinShift - kSubBits);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    const uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  const uint64_t other_max = other.max_.load(std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen &&
+         !max_.compare_exchange_weak(seen, other_max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSummary Histogram::Summary() const {
+  std::array<uint64_t, kBucketCount> snapshot;
+  int64_t total = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += static_cast<int64_t>(snapshot[i]);
+  }
+  HistogramSummary out;
+  out.count = total;
+  if (total == 0) return out;
+
+  const uint64_t max_raw = max_.load(std::memory_order_relaxed);
+  const double scale = unit_ == Unit::kNanos ? 1e-6 : 1.0;  // ns -> ms
+  auto quantile = [&](double q) {
+    int64_t rank = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank < 1) rank = 1;
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < kBucketCount; ++i) {
+      cumulative += static_cast<int64_t>(snapshot[i]);
+      if (cumulative >= rank) {
+        // Exact-by-bucket: the rank-th sample is somewhere in bucket i, so
+        // its upper bound over-reports by at most the bucket width; the
+        // exact max caps the top buckets.
+        return static_cast<double>(std::min(BucketUpperBound(i), max_raw)) *
+               scale;
+      }
+    }
+    return static_cast<double>(max_raw) * scale;
+  };
+  out.p50 = quantile(0.50);
+  out.p90 = quantile(0.90);
+  out.p99 = quantile(0.99);
+  out.p999 = quantile(0.999);
+  out.max = static_cast<double>(max_raw) * scale;
+  out.mean = static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+             static_cast<double>(total) * scale;
+  return out;
+}
+
+}  // namespace gkx::obs

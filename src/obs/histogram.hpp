@@ -1,0 +1,115 @@
+// Fixed-bucket, log-scaled histogram for hot-path measurement. Record() is
+// lock-free (three relaxed atomic adds plus a CAS max) and safe from any
+// thread, so it can replace mutex-guarded reservoirs on the request path.
+//
+// Bucketing: values are raw uint64s (nanoseconds for Unit::kNanos, plain
+// counts for Unit::kCount). Bucket 0 holds everything below 64; above that,
+// buckets are geometric with 8 sub-buckets per octave (12.5% relative
+// width) across 30 octaves — for nanoseconds that spans 64ns to ~68s — plus
+// one overflow bucket. Percentiles are *exact by bucket*: given the bucket
+// counts, the reported quantile is deterministically the upper bound of the
+// bucket holding the rank-th sample (clamped to the exact observed max), so
+// the only error is the ≤12.5% bucket width — there is no sampling window
+// and no recency bias, unlike the sorted-reservoir recorder this replaced
+// (which silently reported a last-4096-samples percentile against an
+// all-time count).
+//
+// Summaries are taken from a point-in-time snapshot of the buckets;
+// concurrent Record()s may straddle the snapshot, so a summary's count is
+// the number of samples fully visible at snapshot time. Merge() folds
+// another histogram of the same unit in bucket-by-bucket.
+
+#ifndef GKX_OBS_HISTOGRAM_HPP_
+#define GKX_OBS_HISTOGRAM_HPP_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace gkx::obs {
+
+/// Point-in-time percentile summary, in display units: milliseconds for
+/// Unit::kNanos histograms, raw values for Unit::kCount.
+struct HistogramSummary {
+  int64_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;   // exact (tracked outside the buckets)
+  double mean = 0.0;  // exact sum / count
+};
+
+class Histogram {
+ public:
+  enum class Unit {
+    kNanos,  // time; Record(seconds) converts, summaries display milliseconds
+    kCount,  // dimensionless counts; summaries display raw values
+  };
+
+  // 64 = 2^kMinShift is bucket 0's upper bound; 8 = 2^kSubBits sub-buckets
+  // per octave; 30 octaves before the overflow bucket.
+  static constexpr int kMinShift = 6;
+  static constexpr int kSubBits = 3;
+  static constexpr int kOctaves = 30;
+  static constexpr size_t kBucketCount =
+      2 + static_cast<size_t>(kOctaves) * (1u << kSubBits);
+
+  explicit Histogram(Unit unit = Unit::kNanos) : unit_(unit) {}
+
+  Unit unit() const { return unit_; }
+
+  /// Lock-free; callable from any thread.
+  void RecordValue(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Convenience for Unit::kNanos: records a wall-clock duration.
+  void Record(double seconds) {
+    RecordValue(seconds <= 0.0 ? 0
+                               : static_cast<uint64_t>(seconds * 1e9 + 0.5));
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Folds `other` (same unit) into this histogram.
+  void Merge(const Histogram& other);
+
+  HistogramSummary Summary() const;
+
+  /// The bucket a raw value lands in (exposed for the oracle tests).
+  static size_t BucketIndex(uint64_t value) {
+    if (value < (1ull << kMinShift)) return 0;
+    const int msb = 63 - std::countl_zero(value);
+    const int octave = msb - kMinShift;
+    if (octave >= kOctaves) return kBucketCount - 1;
+    const uint64_t sub =
+        (value >> (msb - kSubBits)) & ((1u << kSubBits) - 1);
+    return 1 + static_cast<size_t>(octave) * (1u << kSubBits) +
+           static_cast<size_t>(sub);
+  }
+
+  /// Exclusive upper bound of a bucket in raw units (UINT64_MAX for the
+  /// overflow bucket).
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  Unit unit_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+};
+
+}  // namespace gkx::obs
+
+#endif  // GKX_OBS_HISTOGRAM_HPP_

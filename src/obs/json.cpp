@@ -1,0 +1,365 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gkx::obs::json {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double n) {
+  if (!std::isfinite(n)) {
+    *out += "0";
+    return;
+  }
+  // Integers print without a fraction; everything else with enough digits
+  // to round-trip the values we export.
+  if (n == std::floor(n) && std::fabs(n) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", n);
+    *out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", n);
+    *out += buf;
+  }
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    Value v;
+    if (auto st = ParseValue(&v); !st.ok()) return st;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("json: trailing characters at offset " +
+                                  std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const std::string& what) {
+    return InvalidArgumentError("json: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  Status ParseValue(Value* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      if (auto st = ParseString(&s); !st.ok()) return st;
+      *out = Value(std::move(s));
+      return Status::Ok();
+    }
+    if (c == 't') return ParseLiteral("true", Value(true), out);
+    if (c == 'f') return ParseLiteral("false", Value(false), out);
+    if (c == 'n') return ParseLiteral("null", Value(), out);
+    return ParseNumber(out);
+  }
+
+  Status ParseLiteral(std::string_view lit, Value v, Value* out) {
+    if (text_.substr(pos_, lit.size()) != lit) return Fail("bad literal");
+    pos_ += lit.size();
+    *out = std::move(v);
+    return Status::Ok();
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double n = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("bad number");
+    *out = Value(n);
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // We only emit \u for control characters; decode the ASCII range
+          // and replace anything wider with '?'.
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseObject(Value* out) {
+    if (!Consume('{')) return Fail("expected '{'");
+    *out = Value::Object();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      std::string key;
+      SkipWhitespace();
+      if (auto st = ParseString(&key); !st.ok()) return st;
+      if (!Consume(':')) return Fail("expected ':'");
+      Value member;
+      if (auto st = ParseValue(&member); !st.ok()) return st;
+      (*out)[key] = std::move(member);
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(Value* out) {
+    if (!Consume('[')) return Fail("expected '['");
+    *out = Value::Array();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      Value item;
+      if (auto st = ParseValue(&item); !st.ok()) return st;
+      out->Append(std::move(item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::FindPath(std::string_view dotted) const {
+  const Value* node = this;
+  while (!dotted.empty()) {
+    const size_t dot = dotted.find('.');
+    const std::string key(dotted.substr(0, dot));
+    node = node->Find(key);
+    if (node == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    dotted.remove_prefix(dot + 1);
+  }
+  return node;
+}
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      return;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        Indent(out, indent, depth + 1);
+        AppendEscaped(out, key);
+        *out += indent > 0 ? ": " : ":";
+        value.DumpTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      bool first = true;
+      for (const auto& item : items_) {
+        if (!first) out->push_back(',');
+        first = false;
+        Indent(out, indent, depth + 1);
+        item.DumpTo(out, indent, depth + 1);
+      }
+      Indent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+void Value::FlattenNumbers(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, double>>* out) const {
+  switch (type_) {
+    case Type::kNumber:
+      out->emplace_back(prefix, number_);
+      return;
+    case Type::kBool:
+      out->emplace_back(prefix, bool_ ? 1.0 : 0.0);
+      return;
+    case Type::kObject:
+      for (const auto& [key, value] : members_) {
+        std::string child = prefix;
+        if (!child.empty()) child.push_back('_');
+        child += SanitizeComponent(key);
+        value.FlattenNumbers(child, out);
+      }
+      return;
+    default:
+      return;  // strings/arrays/null have no flat numeric form
+  }
+}
+
+std::string SanitizeComponent(std::string_view component) {
+  std::string out;
+  out.reserve(component.size());
+  for (char c : component) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      out.push_back(static_cast<char>(std::tolower(u)));
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace gkx::obs::json

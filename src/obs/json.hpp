@@ -1,0 +1,106 @@
+// Minimal JSON document model for the stats exporter and its consumers
+// (ExportStats emits it, obs_test and tools/check_stats_json parse it
+// back). Supports exactly the JSON this repo produces: null, bool, finite
+// numbers, strings with the common escapes, objects, arrays. Object keys
+// are kept sorted (std::map), so Dump() is deterministic.
+
+#ifndef GKX_OBS_JSON_HPP_
+#define GKX_OBS_JSON_HPP_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace gkx::obs::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Value() = default;
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double n) : type_(Type::kNumber), number_(n) {}
+  Value(int64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(int n) : type_(Type::kNumber), number_(n) {}
+  Value(uint64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Value(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : type_(Type::kString), string_(s) {}
+  Value(const char* s) : type_(Type::kString), string_(s) {}
+
+  static Value Object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+  static Value Array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  double AsNumber() const { return number_; }
+  bool AsBool() const { return bool_; }
+  const std::string& AsString() const { return string_; }
+
+  /// Object access; inserts a null member on a fresh key (object-typed
+  /// values only — callers build objects with Object() first).
+  Value& operator[](const std::string& key) { return members_[key]; }
+
+  /// The member, or nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const {
+    if (type_ != Type::kObject) return nullptr;
+    auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+  }
+
+  /// Dotted-path lookup ("service.requests"), or nullptr.
+  const Value* FindPath(std::string_view dotted) const;
+
+  void Append(Value v) { items_.push_back(std::move(v)); }
+
+  const std::map<std::string, Value>& members() const { return members_; }
+  const std::vector<Value>& items() const { return items_; }
+
+  /// Serializes; indent > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Depth-first walk of numeric (and bool, as 0/1) leaves:
+  /// `prefix_a_b value` with path components joined by '_' and sanitized to
+  /// [a-z0-9_]. Strings and arrays are skipped — this is the Prometheus-ish
+  /// flat text view of the same document.
+  void FlattenNumbers(
+      const std::string& prefix,
+      std::vector<std::pair<std::string, double>>* out) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::map<std::string, Value> members_;
+  std::vector<Value> items_;
+};
+
+/// Parses a JSON text (the subset Dump() produces, which is the subset the
+/// exporters emit). Trailing garbage is an error.
+Result<Value> Parse(std::string_view text);
+
+/// Sanitizes one metric-name component: lowercase, [a-z0-9_] only.
+std::string SanitizeComponent(std::string_view component);
+
+}  // namespace gkx::obs::json
+
+#endif  // GKX_OBS_JSON_HPP_

@@ -1,0 +1,86 @@
+#include "obs/metrics.hpp"
+
+#include "base/check.hpp"
+
+namespace gkx::obs {
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        Histogram::Unit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(unit);
+  } else {
+    GKX_CHECK(slot->unit() == unit);
+  }
+  return slot.get();
+}
+
+void MetricRegistry::SetGauge(std::string_view name,
+                              std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = std::move(fn);
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricRegistry::CounterValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricRegistry::GaugeValues()
+    const {
+  std::vector<std::pair<std::string, std::function<double()>>> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) fns.emplace_back(name, fn);
+  }
+  // Gauges run outside the registry lock: they may touch other subsystems.
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(fns.size());
+  for (const auto& [name, fn] : fns) out.emplace_back(name, fn());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSummary>>
+MetricRegistry::HistogramSummaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramSummary>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.emplace_back(name, hist->Summary());
+  }
+  return out;
+}
+
+Histogram* HistogramFamily::Get(std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = members_.find(label);
+  if (it == members_.end()) {
+    it = members_.emplace(std::string(label), std::make_unique<Histogram>(unit_))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::map<std::string, HistogramSummary> HistogramFamily::Summaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSummary> out;
+  for (const auto& [label, hist] : members_) out[label] = hist->Summary();
+  return out;
+}
+
+}  // namespace gkx::obs

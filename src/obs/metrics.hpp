@@ -1,0 +1,85 @@
+// Named-metric registry: counters, gauges, and histograms addressable by
+// string name. Registration (GetCounter/GetHistogram) takes a mutex but
+// returns a stable pointer, so hot paths register once at construction and
+// then touch only lock-free atomics. Dotted names ("update.splice_ms")
+// group into nested objects in the JSON export.
+
+#ifndef GKX_OBS_METRICS_HPP_
+#define GKX_OBS_METRICS_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace gkx::obs {
+
+/// Monotonic counter; Add is a relaxed atomic fetch_add.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class MetricRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// The pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+
+  /// Same for histograms. The unit is fixed at first registration;
+  /// re-registering with a different unit is a programming error (checked).
+  Histogram* GetHistogram(std::string_view name,
+                          Histogram::Unit unit = Histogram::Unit::kNanos);
+
+  /// Registers a pull gauge: `fn` is invoked at export time. Re-setting an
+  /// existing name replaces the function.
+  void SetGauge(std::string_view name, std::function<double()> fn);
+
+  // Export accessors — sorted by name (std::map iteration order).
+  std::vector<std::pair<std::string, int64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramSummary>> HistogramSummaries()
+      const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<double()>> gauges_;
+};
+
+/// A set of histograms keyed by a dynamic label (e.g. route name). Get()
+/// takes a mutex only on first sighting of a label; the returned pointer is
+/// stable. Label cardinality is expected to be tiny (the four routes).
+class HistogramFamily {
+ public:
+  explicit HistogramFamily(Histogram::Unit unit = Histogram::Unit::kNanos)
+      : unit_(unit) {}
+
+  Histogram* Get(std::string_view label);
+
+  std::map<std::string, HistogramSummary> Summaries() const;
+
+ private:
+  Histogram::Unit unit_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> members_;
+};
+
+}  // namespace gkx::obs
+
+#endif  // GKX_OBS_METRICS_HPP_

@@ -1,0 +1,18 @@
+#include "obs/trace.hpp"
+
+namespace gkx::obs {
+
+void SlowQueryLog::Record(SlowQuery entry) {
+  if (!Eligible(entry.total_ms)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<SlowQuery> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQuery>(entries_.begin(), entries_.end());
+}
+
+}  // namespace gkx::obs

@@ -5,6 +5,7 @@
 #include "eval/core_linear_evaluator.hpp"
 #include "eval/cvt_evaluator.hpp"
 #include "eval/node_set.hpp"
+#include "obs/trace.hpp"
 
 namespace gkx::plan {
 
@@ -27,11 +28,19 @@ class StagedRun {
   Status BindCvt() { return cvt_.Bind(doc_, plan_.query); }
 
   Result<NodeBitset> RunBranch(const BranchProgram& branch,
-                               const eval::Context& ctx) {
+                               const eval::Context& ctx, ExecTrace* trace) {
     NodeBitset frontier(doc_.size());
     frontier.Set(branch.path->absolute() ? doc_.root() : ctx.node);
     for (const Segment& segment : branch.segments) {
-      if (frontier.Empty()) break;
+      if (frontier.Empty()) {
+        if (trace == nullptr) break;
+        // Traced runs report every segment (0.0s when skipped) so trace
+        // length always equals the plan's segment count — the exactness the
+        // soak reconciliation relies on.
+        trace->push_back({segment.route, 0.0});
+        continue;
+      }
+      const uint64_t t0 = trace != nullptr ? obs::NowNs() : 0;
       switch (segment.route) {
         case Route::kPfFrontier:
         case Route::kCoreLinear: {
@@ -63,6 +72,10 @@ class StagedRun {
           break;
         }
       }
+      if (trace != nullptr) {
+        trace->push_back(
+            {segment.route, static_cast<double>(obs::NowNs() - t0) * 1e-9});
+      }
     }
     return frontier;
   }
@@ -77,14 +90,14 @@ class StagedRun {
 }  // namespace
 
 Result<Value> ExecuteStaged(const xml::Document& doc, const Physical& plan,
-                            const eval::Context& ctx) {
+                            const eval::Context& ctx, ExecTrace* trace) {
   GKX_CHECK(plan.staged);
   if (doc.empty()) return InvalidArgumentError("empty document");
   StagedRun run(doc, plan);
   GKX_RETURN_IF_ERROR(run.BindCvt());
   NodeBitset merged(doc.size());
   for (const BranchProgram& branch : plan.branches) {
-    auto result = run.RunBranch(branch, ctx);
+    auto result = run.RunBranch(branch, ctx, trace);
     if (!result.ok()) return result.status();
     merged |= *result;
   }

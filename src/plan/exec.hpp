@@ -10,6 +10,8 @@
 #ifndef GKX_PLAN_EXEC_HPP_
 #define GKX_PLAN_EXEC_HPP_
 
+#include <vector>
+
 #include "base/status.hpp"
 #include "eval/context.hpp"
 #include "eval/value.hpp"
@@ -17,11 +19,24 @@
 
 namespace gkx::plan {
 
+/// Wall-clock of one executed segment. When a trace is requested, EVERY
+/// segment of every branch gets exactly one entry in plan order — segments
+/// skipped because the frontier emptied report 0.0 seconds — so the trace's
+/// length always equals the plan's segment count and per-route trace counts
+/// reconcile exactly against per-segment dispatch counters.
+struct SegmentTiming {
+  Route route = Route::kPfFrontier;
+  double seconds = 0.0;
+};
+using ExecTrace = std::vector<SegmentTiming>;
+
 /// Runs a staged plan (plan.staged must be true) from `ctx`. Thread-safe:
-/// all scratch state is local to the call; the plan is only read.
+/// all scratch state is local to the call; the plan is only read. When
+/// `trace` is non-null, per-segment timings are appended to it.
 Result<eval::Value> ExecuteStaged(const xml::Document& doc,
                                   const Physical& plan,
-                                  const eval::Context& ctx);
+                                  const eval::Context& ctx,
+                                  ExecTrace* trace = nullptr);
 
 }  // namespace gkx::plan
 

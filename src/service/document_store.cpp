@@ -4,6 +4,7 @@
 #include <iterator>
 #include <utility>
 
+#include "base/stopwatch.hpp"
 #include "xml/parser.hpp"
 
 namespace gkx::service {
@@ -101,16 +102,21 @@ Status DocumentStore::Update(std::string_view key,
     // The O(|D|) work — splice and (when warranted) index splice — happens
     // against the snapshot, outside the mutex.
     xml::DocumentDelta delta;
+    Stopwatch splice_sw;
     auto edited = xml::ApplyEdit(old->doc(), edit, &delta);
+    const double splice_seconds = splice_sw.ElapsedSeconds();
     if (!edited.ok()) return edited.status();
     auto stored = std::make_shared<StoredDocument>(
         std::move(edited).value(),
         next_revision_.fetch_add(1, std::memory_order_relaxed));
+    double index_splice_seconds = 0.0;
     if (old->index_built()) {
       // The old revision was queried: splice its posting lists so the next
       // query on the new revision pays no full rebuild either.
+      Stopwatch index_sw;
       stored->AdoptIndex(std::make_unique<xml::DocumentIndex>(
           stored->doc(), old->index(), delta));
+      index_splice_seconds = index_sw.ElapsedSeconds();
     }
 
     {
@@ -130,6 +136,8 @@ Status DocumentStore::Update(std::string_view key,
       update.key = std::string(key);
       update.old_doc = std::move(old);
       update.new_doc = std::move(stored);
+      update.splice_seconds = splice_seconds;
+      update.index_splice_seconds = index_splice_seconds;
       if (report_deltas_) {
         update.delta = &delta;
         update.changed_names = delta.ChangedNames();

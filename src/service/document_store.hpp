@@ -122,6 +122,13 @@ struct CorpusUpdate {
   /// whole-document replacement, empty for install/removal (which listeners
   /// must treat as all-changed).
   std::vector<std::string> changed_names;
+  /// Wall-clock of the subtree splice (ApplyEdit) and the posting-list
+  /// splice, for Update() mutations; 0.0 for whole-document mutations (and
+  /// index_splice_seconds is 0.0 when the old revision was never indexed).
+  /// Reported even in the set_report_deltas(false) baseline — the work
+  /// happened either way.
+  double splice_seconds = 0.0;
+  double index_splice_seconds = 0.0;
 
   bool replacement() const {
     return old_doc != nullptr && new_doc != nullptr;

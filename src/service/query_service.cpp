@@ -4,22 +4,57 @@
 #include <iterator>
 #include <utility>
 
-#include "base/stopwatch.hpp"
 #include "plan/ir.hpp"
 #include "service/indexed_path.hpp"
 
 namespace gkx::service {
+
+namespace {
+
+inline double MillisBetween(uint64_t begin_ns, uint64_t end_ns) {
+  return static_cast<double>(end_ns - begin_ns) * 1e-6;
+}
+
+inline double SecondsBetween(uint64_t begin_ns, uint64_t end_ns) {
+  return static_cast<double>(end_ns - begin_ns) * 1e-9;
+}
+
+}  // namespace
 
 QueryService::QueryService(const Options& options)
     : options_(options),
       pool_(options.pool ? options.pool : &ThreadPool::Shared()),
       plan_cache_(options.plan_cache),
       answer_cache_(options.answer_cache),
-      subscriptions_(&store_, pool_),
-      latency_(options.latency_window) {
+      latency_hist_(registry_.GetHistogram("request_latency_ms")),
+      stage_doc_lookup_(registry_.GetHistogram("stage.doc_lookup_ms")),
+      stage_plan_lookup_(registry_.GetHistogram("stage.plan_lookup_ms")),
+      stage_answer_cache_lookup_(
+          registry_.GetHistogram("stage.answer_cache_lookup_ms")),
+      stage_execute_(registry_.GetHistogram("stage.execute_ms")),
+      stage_cache_insert_(registry_.GetHistogram("stage.cache_insert_ms")),
+      update_count_(registry_.GetCounter("update.count")),
+      update_splice_(registry_.GetHistogram("update.splice_ms")),
+      update_index_splice_(registry_.GetHistogram("update.index_splice_ms")),
+      update_affected_scan_(
+          registry_.GetHistogram("update.affected_scan_ms")),
+      update_invalidated_(registry_.GetHistogram(
+          "update.invalidated_entries", obs::Histogram::Unit::kCount)),
+      update_retained_(registry_.GetHistogram(
+          "update.retained_entries", obs::Histogram::Unit::kCount)),
+      update_remapped_(registry_.GetHistogram(
+          "update.remapped_entries", obs::Histogram::Unit::kCount)),
+      update_sub_eval_(registry_.GetHistogram("update.subscription_eval_ms")),
+      slow_log_(options.obs.slow_query_ms, options.obs.slow_query_capacity),
+      tracing_(options.obs.tracing && !obs::kCompiledOut),
+      subscriptions_(&store_, pool_) {
   store_.set_report_deltas(options.delta_invalidation);
   store_.SetUpdateListener(
       [this](const CorpusUpdate& update) { OnCorpusUpdate(update); });
+  if (tracing_) {
+    subscriptions_.set_evaluation_observer(
+        [this](double seconds) { update_sub_eval_->Record(seconds); });
+  }
 }
 
 Status QueryService::RegisterDocument(std::string key, xml::Document doc) {
@@ -45,11 +80,27 @@ void QueryService::OnCorpusUpdate(const CorpusUpdate& update) {
   // churn rescans no intern pool and builds no posting list. A plan whose
   // footprint is unaffected by the set (plus, for deltas, the sharpened
   // region-local tests in plan/footprint.hpp) cannot see the difference.
+  if (tracing_) {
+    update_count_->Add();
+    update_splice_->Record(update.splice_seconds);
+    update_index_splice_->Record(update.index_splice_seconds);
+  }
   if (options_.answer_cache_enabled) {
-    answer_cache_.OnDocumentUpdate(
-        update.key, update.old_doc ? update.old_doc->revision() : -1,
-        update.new_doc ? update.new_doc->revision() : -1, update.changed_names,
-        update.delta);
+    const uint64_t t0 = tracing_ ? obs::NowNs() : 0;
+    const mview::AnswerCache::UpdateImpact impact =
+        answer_cache_.OnDocumentUpdate(
+            update.key, update.old_doc ? update.old_doc->revision() : -1,
+            update.new_doc ? update.new_doc->revision() : -1,
+            update.changed_names, update.delta);
+    if (tracing_) {
+      // The footprint AffectedBy scan dominates this call; the churn-impact
+      // histograms record how many entries each update touched.
+      update_affected_scan_->RecordValue(obs::NowNs() - t0);
+      update_invalidated_->RecordValue(
+          static_cast<uint64_t>(impact.invalidated));
+      update_retained_->RecordValue(static_cast<uint64_t>(impact.retained));
+      update_remapped_->RecordValue(static_cast<uint64_t>(impact.remapped));
+    }
   }
   subscriptions_.NotifyDocumentChanged(update.key, update.changed_names,
                                        /*all_changed=*/!update.replacement(),
@@ -60,8 +111,16 @@ void QueryService::OnCorpusUpdate(const CorpusUpdate& update) {
 Result<QueryService::Answer> QueryService::Process(
     eval::Engine& engine, const std::string& doc_key,
     const std::string& query_text) {
-  Stopwatch sw;
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t t_start = obs::NowNs();
+  const int64_t seq = requests_.fetch_add(1, std::memory_order_relaxed);
+  // Sub-microsecond lookup stages stamp the clock 1-in-kStageSampleEvery
+  // requests: on a warm answer-cache hit the whole request is ~0.5us, and
+  // per-request clock reads alone would cost tens of percent (the
+  // bench_obs_overhead bar is < 5%). Execution-side stamps stay
+  // per-request — they only run on answer-cache misses, where evaluation
+  // work amortizes them — which is also what keeps the route histograms
+  // exactly reconcilable against the segment counters.
+  const bool sampled = tracing_ && (seq & (kStageSampleEvery - 1)) == 0;
 
   auto fail = [this](Status status) -> Result<Answer> {
     failures_.fetch_add(1, std::memory_order_relaxed);
@@ -69,11 +128,13 @@ Result<QueryService::Answer> QueryService::Process(
   };
 
   std::shared_ptr<const StoredDocument> stored = store_.Get(doc_key);
+  const uint64_t t_doc = sampled ? obs::NowNs() : 0;
   if (stored == nullptr) {
     return fail(InvalidArgumentError("unknown document key '" + doc_key + "'"));
   }
 
   auto plan_or = plan_cache_.GetOrCompile(query_text);
+  const uint64_t t_plan = sampled ? obs::NowNs() : 0;
   if (!plan_or.ok()) return fail(plan_or.status());
   const std::shared_ptr<const eval::Engine::Plan>& plan = *plan_or;
 
@@ -90,24 +151,41 @@ Result<QueryService::Answer> QueryService::Process(
       from_answer_cache = true;
     }
   }
+  const uint64_t t_cache = sampled ? obs::NowNs() : 0;
+
+  // Per-segment timings for staged plans; empty for everything else. The
+  // trace has exactly one entry per plan segment (skipped segments report
+  // 0.0s), which is what keeps route-histogram counts reconcilable against
+  // segment_route_counts.
+  plan::ExecTrace exec_trace;
+  bool indexed = false;
+  const uint64_t t_exec_begin =
+      tracing_ && !answered ? obs::NowNs() : 0;
   if (!answered && options_.indexed_fast_path && plan->fragment.in_pf) {
     if (auto nodes = TryIndexedPath(stored->index(), plan->query)) {
       answer.value = eval::Value::Nodes(std::move(*nodes));
       answer.fragment = plan->fragment;
       answer.evaluator = "pf-indexed";
       answered = true;
+      indexed = true;
     }
   }
+  const bool evaluated = !from_answer_cache;
   if (!answered) {
-    auto run = engine.RunPlan(stored->doc(), *plan);
+    auto run = engine.RunPlan(stored->doc(), *plan,
+                              eval::RootContext(stored->doc()),
+                              tracing_ && plan->staged ? &exec_trace : nullptr);
     if (!run.ok()) return fail(run.status());
     answer = std::move(run).value();
   }
+  const uint64_t t_exec = tracing_ && evaluated ? obs::NowNs() : 0;
+
   if (options_.answer_cache_enabled && !from_answer_cache) {
     // Cache the true answer before the (test-only) tap can perturb it.
     answer_cache_.Insert(doc_key, stored->revision(), plan->canonical_text,
                          answer, plan->footprint);
   }
+  const uint64_t t_insert = tracing_ && evaluated ? obs::NowNs() : 0;
   if (options_.answer_tap) options_.answer_tap(&answer);
 
   evaluator_counters_.Increment(answer.evaluator);
@@ -123,7 +201,72 @@ Result<QueryService::Answer> QueryService::Process(
     // Uniform plan (or the index fast path): one whole-query segment.
     segment_route_counters_.Increment(answer.evaluator);
   }
-  latency_.Record(sw.ElapsedMillis());
+
+  const uint64_t t_end = obs::NowNs();
+  if (tracing_) {
+    if (sampled) {
+      stage_doc_lookup_->RecordValue(t_doc - t_start);
+      stage_plan_lookup_->RecordValue(t_plan - t_doc);
+      stage_answer_cache_lookup_->RecordValue(t_cache - t_plan);
+    }
+    if (evaluated) {
+      stage_execute_->RecordValue(t_exec - t_exec_begin);
+      stage_cache_insert_->RecordValue(t_insert - t_exec);
+    }
+    // Route histograms mirror the segment counters one-for-one: staged
+    // plans record each segment under its route, everything else records
+    // its single whole-query dispatch — except answer-cache hits, which
+    // executed nothing and increment no segment counter either.
+    if (from_answer_cache) {
+      // No route ran.
+    } else if (plan->staged) {
+      for (const plan::SegmentTiming& timing : exec_trace) {
+        route_hists_.Get(plan::RouteName(timing.route))
+            ->Record(timing.seconds);
+      }
+    } else {
+      route_hists_.Get(answer.evaluator)
+          ->Record(SecondsBetween(t_exec_begin, t_exec));
+    }
+    const double total_ms = MillisBetween(t_start, t_end);
+    if (slow_log_.Eligible(total_ms)) {
+      obs::SlowQuery slow;
+      slow.doc_key = doc_key;
+      slow.query = plan->canonical_text;
+      slow.revision = static_cast<uint64_t>(stored->revision());
+      slow.total_ms = total_ms;
+      if (from_answer_cache) {
+        slow.routes.push_back("answer-cache");
+      } else if (plan->staged) {
+        for (const plan::SegmentTiming& timing : exec_trace) {
+          slow.routes.emplace_back(plan::RouteName(timing.route));
+        }
+      } else {
+        slow.routes.push_back(indexed ? "pf-indexed" : answer.evaluator);
+      }
+      // The breakdown carries every span this request actually stamped:
+      // the lookup stages when it was a sampled request, the execution
+      // spans whenever it evaluated.
+      if (sampled) {
+        slow.stages_ms.emplace_back("doc_lookup",
+                                    MillisBetween(t_start, t_doc));
+        slow.stages_ms.emplace_back("plan_lookup",
+                                    MillisBetween(t_doc, t_plan));
+        slow.stages_ms.emplace_back("answer_cache_lookup",
+                                    MillisBetween(t_plan, t_cache));
+      }
+      if (evaluated) {
+        slow.stages_ms.emplace_back("execute",
+                                    MillisBetween(t_exec_begin, t_exec));
+        slow.stages_ms.emplace_back("cache_insert",
+                                    MillisBetween(t_exec, t_insert));
+      }
+      slow_log_.Record(std::move(slow));
+    }
+  }
+  // Always on (even with GKX_OBS_DISABLED): this histogram IS the request
+  // latency statistic — count == requests - failures in every build.
+  latency_hist_->RecordValue(t_end - t_start);
   return answer;
 }
 
@@ -205,7 +348,10 @@ ServiceStats QueryService::Stats() const {
   out.subscriptions = subscriptions_.counters();
   out.evaluator_counts = evaluator_counters_.Snapshot();
   out.segment_route_counts = segment_route_counters_.Snapshot();
-  out.latency = latency_.Summary();
+  out.route_latency = route_hists_.Summaries();
+  out.tracing = tracing_;
+  out.slow_queries = slow_log_.recorded();
+  out.latency = ToLatencySummary(latency_hist_->Summary());
   return out;
 }
 

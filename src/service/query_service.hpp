@@ -49,6 +49,8 @@
 #include "eval/engine.hpp"
 #include "mview/answer_cache.hpp"
 #include "mview/subscription.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/document_store.hpp"
 #include "service/plan_cache.hpp"
 #include "service/stats.hpp"
@@ -79,6 +81,19 @@ struct ServiceStats {
   /// increment no segment counter (their evaluator label still counts in
   /// evaluator_counts), so Σ segment counts tracks *evaluated* requests.
   std::map<std::string, int64_t> segment_route_counts;
+  /// Per-route execution-latency summaries, keyed exactly like
+  /// segment_route_counts. Populated only while tracing is active; when it
+  /// has been active since construction, each route's summary count equals
+  /// its segment_route_counts entry (the soak harness reconciles this).
+  std::map<std::string, obs::HistogramSummary> route_latency;
+  /// Whether per-stage/per-route tracing is active (Options::obs.tracing
+  /// and not compiled out via GKX_OBS_DISABLED).
+  bool tracing = false;
+  /// Requests that crossed the slow-query threshold (including entries the
+  /// bounded log has since evicted).
+  int64_t slow_queries = 0;
+  /// All-time total request latency (always recorded, even with tracing
+  /// off or compiled out): count == requests - failures.
   LatencySummary latency;
 };
 
@@ -104,8 +119,11 @@ class QueryService {
     int batch_workers = 0;
     /// Answer eligible PF queries from the DocumentIndex ("pf-indexed").
     bool indexed_fast_path = true;
-    /// Latency reservoir size.
-    size_t latency_window = 4096;
+    /// Request tracing: per-stage/per-route histograms and the slow-query
+    /// log (see obs/trace.hpp). Total request latency is recorded into the
+    /// all-time histogram regardless. Building with -DGKX_OBS_DISABLED
+    /// compiles the per-stage tracing out entirely.
+    obs::TraceOptions obs;
     /// Test-only fault-injection hook: invoked on every successful answer
     /// (after dispatch or answer-cache hit, before counters/latency are
     /// recorded) and may mutate it to simulate an engine defect. The soak
@@ -169,6 +187,19 @@ class QueryService {
 
   // -------------------------------------------------------------- admin
   ServiceStats Stats() const;
+
+  /// Serializes the full observability surface — the Stats() snapshot plus
+  /// every registered metric, per-route histograms, and the slow-query log.
+  /// kJson produces the structured "gkx-stats-v1" document; kText flattens
+  /// its numeric leaves into `gkx_section_name value` lines
+  /// (Prometheus-style). Implemented in stats_export.cpp.
+  std::string ExportStats(StatsFormat format = StatsFormat::kText) const;
+
+  /// The most recent slow queries (empty when tracing is off). Newest last.
+  std::vector<obs::SlowQuery> SlowQueries() const {
+    return slow_log_.Snapshot();
+  }
+
   const PlanCache& plan_cache() const { return plan_cache_; }
   const mview::AnswerCache& answer_cache() const { return answer_cache_; }
 
@@ -187,12 +218,47 @@ class QueryService {
   DocumentStore store_;
   PlanCache plan_cache_;
   mview::AnswerCache answer_cache_;
+
+  // Observability state. Declared BEFORE subscriptions_: subscription
+  // evaluations on pool threads record into these histograms via the
+  // evaluation observer, and the manager's destructor quiesces those tasks
+  // — so the metrics must be destroyed after it.
+  obs::MetricRegistry registry_;
+  // Stable pointers into registry_, wired once in the constructor so the
+  // request path never takes the registry lock.
+  obs::Histogram* latency_hist_;         // always-on total request latency
+  /// The sub-microsecond lookup stages (doc / plan / answer-cache lookup)
+  /// stamp the clock on every kStageSampleEvery-th request only: a warm
+  /// answer-cache hit serves in ~0.5us, so per-request stamps there would
+  /// cost tens of percent (bench_obs_overhead holds the bar at < 5%).
+  /// Execution-side spans and the route histograms are per-request — they
+  /// run only on answer-cache misses, where evaluation amortizes them, and
+  /// the route counts must reconcile exactly. Power of two.
+  static constexpr int64_t kStageSampleEvery = 64;
+  obs::Histogram* stage_doc_lookup_;
+  obs::Histogram* stage_plan_lookup_;
+  obs::Histogram* stage_answer_cache_lookup_;
+  obs::Histogram* stage_execute_;
+  obs::Histogram* stage_cache_insert_;
+  obs::Counter* update_count_;
+  obs::Histogram* update_splice_;
+  obs::Histogram* update_index_splice_;
+  obs::Histogram* update_affected_scan_;
+  obs::Histogram* update_invalidated_;   // kCount: entries per update
+  obs::Histogram* update_retained_;
+  obs::Histogram* update_remapped_;
+  obs::Histogram* update_sub_eval_;
+  /// Execution latency per route label, mirroring segment_route_counts.
+  obs::HistogramFamily route_hists_;
+  obs::SlowQueryLog slow_log_;
+  /// Options::obs.tracing && !obs::kCompiledOut, resolved once.
+  const bool tracing_;
+
   mview::SubscriptionManager subscriptions_;  // declared after store_/pool_:
                                               // destroyed first, quiescing
                                               // pool tasks that use them
   EvaluatorCounters evaluator_counters_;
   EvaluatorCounters segment_route_counters_;
-  LatencyRecorder latency_;
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> failures_{0};

@@ -1,75 +1,52 @@
-// Service-level observability: per-evaluator dispatch counters and latency
-// percentiles over a sliding window. Header-only; everything here is
-// thread-safe and cheap enough to sit on the request path.
+// Service-level observability primitives shared by the stats snapshot and
+// the exporter. Latency percentiles come from the obs::Histogram (all-time,
+// exact-by-bucket — see obs/histogram.hpp); the old sliding-window
+// LatencyRecorder is gone, and with it its recency bias: it kept only the
+// last 4096 samples, so its Summary() silently reported a window percentile
+// against an all-time count.
 
 #ifndef GKX_SERVICE_STATS_HPP_
 #define GKX_SERVICE_STATS_HPP_
 
-#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
-#include <vector>
+#include <string_view>
+
+#include "obs/histogram.hpp"
 
 namespace gkx::service {
 
-/// Percentile summary of recent request latencies.
+/// All-time percentile summary of request latencies, in milliseconds.
 struct LatencySummary {
-  int64_t count = 0;  // total requests recorded (not just the window)
+  int64_t count = 0;
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
-  double max_ms = 0.0;  // max within the window
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
 };
 
-/// Sliding-window latency reservoir: keeps the last `window` samples in a
-/// ring buffer; Summary() sorts a copy (called off the hot path).
-class LatencyRecorder {
- public:
-  explicit LatencyRecorder(size_t window = 4096)
-      : window_(window == 0 ? 1 : window) {}
+/// Converts an obs histogram summary (kNanos histograms already display in
+/// milliseconds) into the service-facing latency struct.
+inline LatencySummary ToLatencySummary(const obs::HistogramSummary& h) {
+  LatencySummary out;
+  out.count = h.count;
+  out.p50_ms = h.p50;
+  out.p90_ms = h.p90;
+  out.p99_ms = h.p99;
+  out.p999_ms = h.p999;
+  out.max_ms = h.max;
+  out.mean_ms = h.mean;
+  return out;
+}
 
-  void Record(double millis) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (samples_.size() < window_) {
-      samples_.push_back(millis);
-    } else {
-      samples_[next_ % window_] = millis;
-    }
-    ++next_;
-    ++count_;
-  }
-
-  LatencySummary Summary() const {
-    std::vector<double> sorted;
-    int64_t count = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      sorted = samples_;
-      count = count_;
-    }
-    LatencySummary out;
-    out.count = count;
-    if (sorted.empty()) return out;
-    std::sort(sorted.begin(), sorted.end());
-    auto at = [&](double q) {
-      size_t i = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
-      return sorted[i];
-    };
-    out.p50_ms = at(0.50);
-    out.p90_ms = at(0.90);
-    out.p99_ms = at(0.99);
-    out.max_ms = sorted.back();
-    return out;
-  }
-
- private:
-  mutable std::mutex mu_;
-  size_t window_;
-  size_t next_ = 0;
-  int64_t count_ = 0;
-  std::vector<double> samples_;
+/// Output flavour of QueryService::ExportStats.
+enum class StatsFormat {
+  kText,  // flat `gkx_section_name value` lines (Prometheus-style)
+  kJson,  // the structured "gkx-stats-v1" document
 };
 
 /// How often each evaluator produced an answer ("pf-frontier",

@@ -130,6 +130,7 @@ class Replay {
     report.patches = patches_.load();
     report.patch_divergences = patch_divergences_.load();
     report.stats = service_->Stats();
+    report.stats_json = service_->ExportStats(service::StatsFormat::kJson);
     CheckFinalDocuments(&report);
     CheckSubscriptions(&report);
     CheckStats(&report);
@@ -363,7 +364,32 @@ class Replay {
     require(SumCounts(stats.evaluator_counts) == stats.requests - stats.failures,
             "evaluator counts don't sum to successful requests");
     require(stats.latency.count == stats.requests - stats.failures,
-            "latency reservoir count != successful requests");
+            "latency histogram count != successful requests");
+    if (stats.tracing) {
+      // The per-route latency histograms mirror the segment dispatch
+      // counters one-for-one: same labels, same counts (traced runs emit a
+      // timing for every plan segment, including frontier-skipped ones).
+      int64_t route_hist_total = 0;
+      for (const auto& [label, summary] : stats.route_latency) {
+        auto it = stats.segment_route_counts.find(label);
+        require(it != stats.segment_route_counts.end(),
+                "route histogram '" + label + "' has no segment counter");
+        if (it != stats.segment_route_counts.end()) {
+          require(summary.count == it->second,
+                  "route histogram '" + label + "' count " +
+                      std::to_string(summary.count) + " != segment counter " +
+                      std::to_string(it->second));
+        }
+        route_hist_total += summary.count;
+      }
+      for (const auto& entry : stats.segment_route_counts) {
+        require(stats.route_latency.count(entry.first) == 1,
+                "segment route '" + entry.first +
+                    "' missing a latency histogram");
+      }
+      require(route_hist_total == SumCounts(stats.segment_route_counts),
+              "sum of route histogram counts != sum of segment counters");
+    }
     require(stats.plan_cache.evictions == observed_evictions_.load(),
             "eviction counter != evictions observed via on_evict");
     require(stats.plan_cache_entries <= service_->plan_cache().capacity_bound(),

@@ -90,6 +90,9 @@ struct SoakReport {
   /// First max_failures_reported messages, each embedding seed= and op=.
   std::vector<std::string> failures;
   service::ServiceStats stats;
+  /// ExportStats(kJson) captured at the same point as `stats` — what
+  /// bench_soak --stats-json= dumps and the CI schema check validates.
+  std::string stats_json;
 
   bool ok() const {
     return divergences == 0 && errors == 0 && lost_updates == 0 &&

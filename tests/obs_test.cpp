@@ -1,0 +1,371 @@
+// gkx::obs — the observability layer.
+//   * Histogram: bucket math round-trips, percentiles checked against a
+//     sorted-vector oracle within the documented 12.5% bucket width,
+//     concurrent Record (the TSan target for the lock-free path), Merge.
+//   * SlowQueryLog: threshold eligibility and bounded ring semantics.
+//   * MetricRegistry / json: stable pointers, flatten sanitization, and a
+//     Dump -> Parse round trip.
+//   * QueryService::ExportStats: the live end-to-end check — JSON parses
+//     back, text and JSON agree, route histograms reconcile against the
+//     per-segment counters, slow queries land in the log.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/query_service.hpp"
+
+namespace gkx::obs {
+namespace {
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketMathRoundTrips) {
+  // Every value lies strictly below its bucket's upper bound, and bucket
+  // indexes are non-decreasing in the value.
+  size_t last = 0;
+  for (uint64_t value : {0ull, 1ull, 63ull, 64ull, 65ull, 100ull, 127ull,
+                         128ull, 1000ull, 4095ull, 4096ull, 1000000ull,
+                         123456789ull, 1ull << 35, 1ull << 40}) {
+    const size_t index = Histogram::BucketIndex(value);
+    EXPECT_LT(value, Histogram::BucketUpperBound(index)) << value;
+    EXPECT_GE(index, last) << value;
+    last = index;
+  }
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(63), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 64u);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBucketCount - 1),
+            UINT64_MAX);
+  // Within an octave the 8 sub-buckets are contiguous: each bucket's upper
+  // bound is the next bucket's lower bound (spot-check one octave).
+  for (size_t i = 1; i + 1 < 1 + 8 * 3; ++i) {
+    const uint64_t hi = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(hi), i + 1);
+    EXPECT_EQ(Histogram::BucketIndex(hi - 1), i);
+  }
+}
+
+TEST(HistogramTest, PercentilesMatchSortedOracleWithinBucketWidth) {
+  // Golden check: reported quantiles vs the true order statistics of the
+  // same samples. The report is the upper bound of the rank-th sample's
+  // bucket (clamped to the exact max), so
+  //   oracle <= reported <= max(oracle * 9/8, 64).
+  Rng rng(4242);
+  Histogram hist(Histogram::Unit::kCount);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform-ish spread across 5 decades, the regime latencies live in.
+    const uint64_t value = static_cast<uint64_t>(
+        rng.UniformInt(1, 1 << rng.UniformInt(1, 24)));
+    samples.push_back(value);
+    hist.RecordValue(value);
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto summary = hist.Summary();
+  ASSERT_EQ(summary.count, static_cast<int64_t>(samples.size()));
+
+  const struct {
+    double q;
+    double reported;
+  } kQuantiles[] = {{0.5, summary.p50},
+                    {0.9, summary.p90},
+                    {0.99, summary.p99},
+                    {0.999, summary.p999}};
+  for (const auto& [q, reported] : kQuantiles) {
+    // Identical rank computation to Histogram::Summary.
+    const size_t rank = static_cast<size_t>(std::max<int64_t>(
+        1, static_cast<int64_t>(
+               std::ceil(q * static_cast<double>(samples.size())))));
+    const double oracle = static_cast<double>(samples[rank - 1]);
+    EXPECT_GE(reported, oracle) << "q=" << q;
+    EXPECT_LE(reported, std::max(oracle * 1.125, 64.0)) << "q=" << q;
+  }
+  EXPECT_EQ(summary.max, static_cast<double>(samples.back()));
+  double exact_mean = 0.0;
+  for (uint64_t s : samples) exact_mean += static_cast<double>(s);
+  exact_mean /= static_cast<double>(samples.size());
+  EXPECT_NEAR(summary.mean, exact_mean, 1e-9);
+}
+
+TEST(HistogramTest, NanosUnitScalesToMilliseconds) {
+  Histogram hist(Histogram::Unit::kNanos);
+  for (int i = 0; i < 100; ++i) hist.Record(0.002);  // 2ms
+  const auto summary = hist.Summary();
+  EXPECT_EQ(summary.count, 100);
+  // 2e6 ns sits in a 12.5%-wide bucket; max is exact.
+  EXPECT_GE(summary.p50, 2.0);
+  EXPECT_LE(summary.p50, 2.0 * 1.125);
+  EXPECT_DOUBLE_EQ(summary.max, 2.0);
+  EXPECT_DOUBLE_EQ(summary.mean, 2.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordIsLossless) {
+  // The TSan target: concurrent lock-free Record from several threads must
+  // lose nothing and tear nothing.
+  Histogram hist(Histogram::Unit::kCount);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.RecordValue(static_cast<uint64_t>(t * 1000 + (i % 7)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto summary = hist.Summary();
+  EXPECT_EQ(summary.count, int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(summary.max, 3006.0);  // t=3, i%7==6
+}
+
+TEST(HistogramTest, MergeFoldsBuckets) {
+  Histogram a(Histogram::Unit::kCount);
+  Histogram b(Histogram::Unit::kCount);
+  for (int i = 0; i < 100; ++i) a.RecordValue(10);
+  for (int i = 0; i < 50; ++i) b.RecordValue(5000);
+  a.Merge(b);
+  const auto summary = a.Summary();
+  EXPECT_EQ(summary.count, 150);
+  EXPECT_EQ(summary.max, 5000.0);
+  EXPECT_LE(summary.p50, 64.0);      // median still in bucket 0
+  EXPECT_GE(summary.p99, 5000.0);    // tail from b
+}
+
+// ------------------------------------------------------------- SlowQueryLog
+
+TEST(SlowQueryLogTest, ThresholdAndBoundedRing) {
+  SlowQueryLog log(/*threshold_ms=*/5.0, /*capacity=*/4);
+  EXPECT_FALSE(log.Eligible(4.999));
+  EXPECT_TRUE(log.Eligible(5.0));
+
+  for (int i = 0; i < 10; ++i) {
+    SlowQuery entry;
+    entry.query = "q" + std::to_string(i);
+    entry.total_ms = 6.0;
+    log.Record(std::move(entry));
+  }
+  EXPECT_EQ(log.recorded(), 10);  // all crossings counted...
+  const auto snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);  // ...but the ring keeps the newest 4
+  EXPECT_EQ(snapshot.front().query, "q6");
+  EXPECT_EQ(snapshot.back().query, "q9");
+}
+
+TEST(SlowQueryLogTest, ZeroCapacityNeverEligible) {
+  SlowQueryLog log(/*threshold_ms=*/0.0, /*capacity=*/0);
+  EXPECT_FALSE(log.Eligible(1e9));
+}
+
+// ----------------------------------------------------------- MetricRegistry
+
+TEST(MetricRegistryTest, StablePointersAndExport) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("requests");
+  EXPECT_EQ(registry.GetCounter("requests"), counter);  // stable
+  counter->Add(3);
+
+  Histogram* hist =
+      registry.GetHistogram("latency_ms", Histogram::Unit::kNanos);
+  EXPECT_EQ(registry.GetHistogram("latency_ms"), hist);
+  hist->Record(0.001);
+
+  registry.SetGauge("entries", [] { return 7.0; });
+
+  const auto counters = registry.CounterValues();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "requests");
+  EXPECT_EQ(counters[0].second, 3);
+  const auto gauges = registry.GaugeValues();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges[0].second, 7.0);
+  const auto hists = registry.HistogramSummaries();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].second.count, 1);
+}
+
+TEST(HistogramFamilyTest, PerLabelHistograms) {
+  HistogramFamily family(Histogram::Unit::kNanos);
+  family.Get("pf-indexed")->Record(0.001);
+  family.Get("pf-indexed")->Record(0.002);
+  family.Get("cvt")->Record(0.004);
+  const auto summaries = family.Summaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries.at("pf-indexed").count, 2);
+  EXPECT_EQ(summaries.at("cvt").count, 1);
+}
+
+// --------------------------------------------------------------------- json
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  json::Value root = json::Value::Object();
+  root["name"] = json::Value("gkx \"quoted\"\n");
+  root["pi"] = json::Value(3.25);
+  root["n"] = json::Value(int64_t{-42});
+  root["flag"] = json::Value(true);
+  root["nothing"] = json::Value();
+  json::Value items = json::Value::Array();
+  items.Append(json::Value(1));
+  items.Append(json::Value("two"));
+  root["items"] = std::move(items);
+
+  for (int indent : {0, 2}) {
+    auto parsed = json::Parse(root.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Find("name")->AsString(), "gkx \"quoted\"\n");
+    EXPECT_DOUBLE_EQ(parsed->Find("pi")->AsNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(parsed->Find("n")->AsNumber(), -42.0);
+    EXPECT_TRUE(parsed->Find("flag")->AsBool());
+    EXPECT_EQ(parsed->Find("nothing")->type(), json::Value::Type::kNull);
+    ASSERT_EQ(parsed->Find("items")->items().size(), 2u);
+    EXPECT_EQ(parsed->Find("items")->items()[1].AsString(), "two");
+  }
+  EXPECT_FALSE(json::Parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(json::Parse("{\"a\": }").ok());
+}
+
+TEST(JsonTest, FlattenNumbersSanitizesComponents) {
+  json::Value root = json::Value::Object();
+  root["routes"] = json::Value::Object();
+  root["routes"]["pf-indexed"] = json::Value::Object();
+  root["routes"]["pf-indexed"]["count"] = json::Value(5);
+  root["skip_me"] = json::Value("strings are not series");
+  root["on"] = json::Value(true);
+
+  std::vector<std::pair<std::string, double>> out;
+  root.FlattenNumbers("gkx", &out);
+  ASSERT_EQ(out.size(), 2u);  // sorted map order: "on" < "routes"
+  EXPECT_EQ(out[0].first, "gkx_on");
+  EXPECT_DOUBLE_EQ(out[0].second, 1.0);
+  EXPECT_EQ(out[1].first, "gkx_routes_pf_indexed_count");
+  EXPECT_DOUBLE_EQ(out[1].second, 5.0);
+}
+
+// ------------------------------------------------- QueryService::ExportStats
+
+const char kDoc[] =
+    "<r><a><b/><b/></a><a><b><c/></b></a><c><b/></c><d>text</d></r>";
+
+TEST(ExportStatsTest, JsonRoundTripReconciles) {
+  service::QueryService svc;
+  ASSERT_TRUE(svc.RegisterXml("doc", kDoc).ok());
+  const std::vector<std::string> queries = {
+      "/descendant::b",                          // PF, indexed fast path
+      "/descendant::a[child::b]",                // PF with condition
+      "count(/descendant::c)",                   // full XPath scalar
+      "/descendant::b[position() = 2]",          // positional
+      "/descendant::a/child::b[position() = 1]/descendant::c",  // staged
+  };
+  int64_t requests = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& query : queries) {
+      ASSERT_TRUE(svc.Submit("doc", query).ok());
+      ++requests;
+    }
+  }
+
+  const std::string text = svc.ExportStats(service::StatsFormat::kJson);
+  auto parsed = json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value& root = *parsed;
+
+  EXPECT_EQ(root.Find("schema")->AsString(), "gkx-stats-v1");
+  EXPECT_EQ(root.FindPath("service.requests")->AsNumber(),
+            static_cast<double>(requests));
+  EXPECT_EQ(root.FindPath("service.failures")->AsNumber(), 0.0);
+  EXPECT_EQ(root.FindPath("latency_ms.count")->AsNumber(),
+            static_cast<double>(requests));
+
+  // Route histograms mirror the per-segment counters exactly (tracing has
+  // been on since construction). With -DGKX_OBS_DISABLED the per-route
+  // section is empty by design — only the always-on latency remains.
+  EXPECT_EQ(root.FindPath("service.tracing")->AsBool(), !kCompiledOut);
+  if (kCompiledOut) {
+    EXPECT_TRUE(root.Find("routes")->members().empty());
+    return;
+  }
+  const auto& stats = svc.Stats();
+  EXPECT_FALSE(stats.segment_route_counts.empty());
+  const json::Value* routes = root.Find("routes");
+  ASSERT_NE(routes, nullptr);
+  double route_total = 0.0;
+  int64_t segment_total = 0;
+  for (const auto& [label, count] : stats.segment_route_counts) {
+    const json::Value* summary = routes->Find(label);
+    ASSERT_NE(summary, nullptr) << label;
+    EXPECT_EQ(summary->Find("count")->AsNumber(),
+              static_cast<double>(count))
+        << label;
+    route_total += summary->Find("count")->AsNumber();
+    segment_total += count;
+  }
+  EXPECT_EQ(routes->members().size(), stats.segment_route_counts.size());
+  EXPECT_EQ(route_total, static_cast<double>(segment_total));
+
+  // The text format is the same document flattened: the headline series
+  // must agree with the JSON numbers.
+  const std::string flat = svc.ExportStats(service::StatsFormat::kText);
+  const std::string want =
+      "gkx_service_requests " + std::to_string(requests);
+  EXPECT_NE(flat.find(want + "\n"), std::string::npos) << flat;
+  EXPECT_NE(flat.find("gkx_latency_ms_p99 "), std::string::npos);
+}
+
+TEST(ExportStatsTest, SlowQueryLogCapturesBreakdown) {
+  service::QueryService::Options options;
+  options.obs.slow_query_ms = 0.0;  // every request is "slow"
+  options.obs.slow_query_capacity = 8;
+  service::QueryService svc(options);
+  ASSERT_TRUE(svc.RegisterXml("doc", kDoc).ok());
+  ASSERT_TRUE(svc.Submit("doc", "/descendant::b").ok());
+  ASSERT_TRUE(svc.Submit("doc", "count(/descendant::c)").ok());
+
+  if (kCompiledOut) {
+    // The escape hatch removes the slow-query path entirely.
+    EXPECT_TRUE(svc.SlowQueries().empty());
+    EXPECT_EQ(svc.Stats().slow_queries, 0);
+    return;
+  }
+  const auto slow = svc.SlowQueries();
+  ASSERT_EQ(slow.size(), 2u);
+  for (const auto& entry : slow) {
+    EXPECT_EQ(entry.doc_key, "doc");
+    EXPECT_FALSE(entry.query.empty());
+    EXPECT_FALSE(entry.routes.empty());
+    EXPECT_FALSE(entry.stages_ms.empty());
+    EXPECT_GE(entry.total_ms, 0.0);
+  }
+  EXPECT_EQ(svc.Stats().slow_queries, 2);
+
+  // And the export carries them.
+  auto parsed = json::Parse(svc.ExportStats(service::StatsFormat::kJson));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("slow_queries")->items().size(), 2u);
+}
+
+TEST(ExportStatsTest, TracingOffStillRecordsLatency) {
+  service::QueryService::Options options;
+  options.obs.tracing = false;
+  service::QueryService svc(options);
+  ASSERT_TRUE(svc.RegisterXml("doc", kDoc).ok());
+  ASSERT_TRUE(svc.Submit("doc", "/descendant::b").ok());
+  const auto stats = svc.Stats();
+  EXPECT_FALSE(stats.tracing);
+  EXPECT_EQ(stats.latency.count, 1);          // always-on histogram
+  EXPECT_TRUE(stats.route_latency.empty());   // no per-route tracing
+  EXPECT_TRUE(svc.SlowQueries().empty());
+}
+
+}  // namespace
+}  // namespace gkx::obs

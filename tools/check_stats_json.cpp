@@ -1,0 +1,114 @@
+// CI schema check for QueryService::ExportStats(kJson) dumps (the
+// "gkx-stats-v1" document bench_soak writes via --stats-json=). Parses the
+// file back through obs::json, requires every top-level section the schema
+// promises, and re-proves the reconciliation invariant offline: when
+// tracing was active, the per-route histogram counts must sum to the
+// per-segment route counters exactly.
+//
+//   ./check_stats_json BENCH_soak_stats.json
+//
+// Exits 0 on a valid document, 1 with a diagnostic otherwise.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "check_stats_json: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    return Fail("usage: check_stats_json <stats.json>");
+  }
+  std::ifstream in(argv[1]);
+  if (!in) return Fail(std::string("cannot open ") + argv[1]);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  auto parsed = gkx::obs::json::Parse(text);
+  if (!parsed.ok()) {
+    return Fail("parse error: " + parsed.status().ToString());
+  }
+  const gkx::obs::json::Value& root = *parsed;
+
+  const auto* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->AsString() != "gkx-stats-v1") {
+    return Fail("missing or wrong \"schema\" (want \"gkx-stats-v1\")");
+  }
+
+  for (const char* section :
+       {"service", "plan_cache", "answer_cache", "subscriptions",
+        "evaluator_counts", "segment_route_counts", "latency_ms", "routes",
+        "metrics", "slow_queries"}) {
+    if (root.Find(section) == nullptr) {
+      return Fail(std::string("missing section \"") + section + "\"");
+    }
+  }
+
+  for (const char* path :
+       {"service.requests", "service.failures", "service.tracing",
+        "latency_ms.count", "latency_ms.p50", "latency_ms.p99",
+        "latency_ms.p999", "latency_ms.max"}) {
+    if (root.FindPath(path) == nullptr) {
+      return Fail(std::string("missing field \"") + path + "\"");
+    }
+  }
+
+  // Always-on latency: one sample per successful request.
+  const double requests = root.FindPath("service.requests")->AsNumber();
+  const double failures = root.FindPath("service.failures")->AsNumber();
+  const double latency_count = root.FindPath("latency_ms.count")->AsNumber();
+  if (latency_count != requests - failures) {
+    return Fail("latency_ms.count != service.requests - service.failures");
+  }
+
+  // Route-histogram reconciliation, offline: with tracing active since
+  // construction, each route's histogram count equals its segment counter
+  // and the totals match exactly.
+  const bool tracing = root.FindPath("service.tracing")->AsBool();
+  if (tracing) {
+    const auto& routes = *root.Find("routes");
+    const auto& segments = *root.Find("segment_route_counts");
+    double route_total = 0.0, segment_total = 0.0;
+    for (const auto& [label, summary] : routes.members()) {
+      const auto* count = summary.Find("count");
+      if (count == nullptr) {
+        return Fail("routes." + label + " has no count");
+      }
+      route_total += count->AsNumber();
+      const auto* segment = segments.Find(label);
+      if (segment == nullptr) {
+        return Fail("routes." + label + " has no segment_route_counts twin");
+      }
+      if (segment->AsNumber() != count->AsNumber()) {
+        return Fail("routes." + label + ".count != segment_route_counts." +
+                    label);
+      }
+    }
+    for (const auto& [label, count] : segments.members()) {
+      segment_total += count.AsNumber();
+      if (routes.Find(label) == nullptr) {
+        return Fail("segment_route_counts." + label + " has no routes twin");
+      }
+    }
+    if (route_total != segment_total) {
+      return Fail("sum(routes.*.count) != sum(segment_route_counts.*)");
+    }
+  }
+
+  std::printf("check_stats_json: %s ok (%zu bytes, tracing %s)\n", argv[1],
+              text.size(), tracing ? "on" : "off");
+  return 0;
+}
