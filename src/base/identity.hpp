@@ -1,0 +1,52 @@
+// Bind-identity serials. Long-lived evaluators keep caches keyed by "the
+// document/query I am bound to"; a raw pointer is not a safe key because an
+// allocator can hand a freed object's address to a brand-new object (the
+// classic stale-prepared-statement bug). An IdentitySerial gives every
+// constructed object — including copies and move targets, whose content
+// lineage differs from the source object — a process-unique serial, so the
+// pair (address, serial) matches only the exact object a cache was built
+// against. Comparing both is O(1) and never false-positives: a recycled
+// address carries a different serial, and a stale serial can't reappear at
+// a new address because serials are never reused.
+
+#ifndef GKX_BASE_IDENTITY_HPP_
+#define GKX_BASE_IDENTITY_HPP_
+
+#include <atomic>
+#include <cstdint>
+
+namespace gkx {
+
+class IdentitySerial {
+ public:
+  IdentitySerial() noexcept : serial_(Next()) {}
+  // Copies and moves are NEW objects: they get fresh serials, and the
+  // target of an assignment changes content, so it re-serials too. (A
+  // moved-from object keeps its old serial; its content is gutted, so any
+  // evaluator still bound to it fails loudly before a cache could lie.)
+  IdentitySerial(const IdentitySerial&) noexcept : serial_(Next()) {}
+  IdentitySerial(IdentitySerial&&) noexcept : serial_(Next()) {}
+  IdentitySerial& operator=(const IdentitySerial&) noexcept {
+    serial_ = Next();
+    return *this;
+  }
+  IdentitySerial& operator=(IdentitySerial&&) noexcept {
+    serial_ = Next();
+    return *this;
+  }
+
+  uint64_t value() const noexcept { return serial_; }
+
+ private:
+  static uint64_t Next() noexcept {
+    static std::atomic<uint64_t> counter{0};
+    // Serials start at 1 so an unbound cache can use 0 as "never bound".
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  uint64_t serial_;
+};
+
+}  // namespace gkx
+
+#endif  // GKX_BASE_IDENTITY_HPP_

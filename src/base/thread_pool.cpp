@@ -1,7 +1,5 @@
 #include "base/thread_pool.hpp"
 
-#include <atomic>
-#include <memory>
 #include <utility>
 
 namespace gkx {
@@ -29,22 +27,65 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Entry{std::move(task), nullptr});
   }
   cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ && drained
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (entry.group != nullptr) {
+      DrainGroup(entry.group);
+    } else {
+      // Detached-task contract: exceptions are contained (the worker — and
+      // with it the whole service — must survive a throwing task) and
+      // counted so the defect is observable.
+      try {
+        entry.task();
+      } catch (...) {
+        detached_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void ThreadPool::DrainGroup(const std::shared_ptr<Group>& group) {
+  int contributed = 0;
+  while (true) {
+    const int i = group->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= group->total) break;
+    // After the first exception the group is abandoned: remaining indices
+    // are claimed and counted but not run, so the caller unblocks at the
+    // speed of the claim loop instead of finishing doomed work.
+    if (!group->abandoned.load(std::memory_order_relaxed)) {
+      try {
+        (*group->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(group->mu);
+        if (group->error == nullptr) group->error = std::current_exception();
+        group->abandoned.store(true, std::memory_order_relaxed);
+      }
+    }
+    ++contributed;
+  }
+  if (contributed > 0 &&
+      group->finished.fetch_add(contributed, std::memory_order_acq_rel) +
+              contributed ==
+          group->total) {
+    // Group-local wake-up: only this group's caller waits on done_cv, so
+    // completion no longer broadcasts on the pool-wide queue cv (which used
+    // to wake every idle worker once per finished group).
+    std::lock_guard<std::mutex> lock(group->mu);
+    group->done = true;
+    group->done_cv.notify_all();
   }
 }
 
@@ -55,44 +96,41 @@ void ThreadPool::ParallelFor(int tasks, const std::function<void(int)>& fn) {
     return;
   }
 
-  struct State {
-    std::atomic<int> done{0};
-    int total = 0;
-  };
-  auto state = std::make_shared<State>();
-  state->total = tasks;
+  auto group = std::make_shared<Group>();
+  group->fn = &fn;  // ParallelFor outlives the group: rejoin below is strict
+  group->total = tasks;
 
-  // fn is captured by pointer: ParallelFor blocks until every task has run,
-  // so the referent outlives all uses.
-  const std::function<void(int)>* fn_ptr = &fn;
-  for (int i = 0; i < tasks; ++i) {
-    Submit([this, state, fn_ptr, i] {
-      (*fn_ptr)(i);
-      if (state->done.fetch_add(1) + 1 == state->total) {
-        // Wake the ParallelFor caller (it waits on the pool cv).
-        std::lock_guard<std::mutex> lock(mu_);
-        cv_.notify_all();
+  // Proxy entries, not one entry per index: a dequeuing worker drains the
+  // group via the shared claim counter, so `tasks` can be large without
+  // flooding the queue. One proxy per worker saturates the pool.
+  const int proxies =
+      std::min(tasks - 1, static_cast<int>(workers_.size()));
+  if (proxies > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int p = 0; p < proxies; ++p) {
+        queue_.push_back(Entry{nullptr, group});
       }
-    });
-  }
-
-  // Help: run queued tasks (ours or anybody's) until all our tasks are done.
-  // This guarantees progress even when every pool thread is itself blocked
-  // inside a nested ParallelFor.
-  std::unique_lock<std::mutex> lock(mu_);
-  while (state->done.load() < state->total) {
-    if (!queue_.empty()) {
-      std::function<void()> task = std::move(queue_.front());
-      queue_.pop_front();
-      lock.unlock();
-      task();
-      lock.lock();
+    }
+    if (proxies == 1) {
+      cv_.notify_one();
     } else {
-      cv_.wait(lock, [this, &state] {
-        return state->done.load() >= state->total || !queue_.empty();
-      });
+      cv_.notify_all();
     }
   }
+
+  // The caller claims indices of its OWN group only. It never pops the pool
+  // queue: an unrelated slow task queued there must not delay this return,
+  // and own-group claiming alone guarantees progress (this thread can
+  // finish the whole group by itself, including when every pool worker is
+  // blocked inside nested ParallelFors of their own).
+  DrainGroup(group);
+
+  {
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->done_cv.wait(lock, [&group] { return group->done; });
+  }
+  if (group->error != nullptr) std::rethrow_exception(group->error);
 }
 
 ThreadPool& ThreadPool::Shared() {

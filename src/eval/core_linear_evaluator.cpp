@@ -1,6 +1,8 @@
 #include "eval/core_linear_evaluator.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "xpath/fragment.hpp"
 
@@ -12,6 +14,86 @@ using xpath::Expr;
 using xpath::Function;
 using xpath::PathExpr;
 using xpath::Step;
+
+namespace {
+
+// One sweep's partition of the node universe into word-aligned preorder
+// intervals: chunk c covers words [c*words_per, ...), i.e. nodes
+// [c*words_per*64, ...). Word-aligned means no two chunks ever write the
+// same output uint64_t. pool == nullptr ⇒ chunks == 1 ⇒ the sweep runs
+// sequentially on the calling thread with zero fork/join overhead.
+struct SweepPlan {
+  ThreadPool* pool = nullptr;
+  int chunks = 1;
+  size_t words_per = 0;
+  size_t words = 0;
+
+  static SweepPlan Make(const SweepOptions& sweep, int32_t universe,
+                        size_t words) {
+    SweepPlan plan;
+    plan.words = words;
+    if (sweep.ShouldPartition(universe) && words > 1) {
+      plan.chunks = static_cast<int>(
+          std::min(static_cast<size_t>(sweep.workers), words));
+      plan.pool = sweep.pool != nullptr ? sweep.pool : &ThreadPool::Shared();
+    }
+    plan.words_per =
+        (words + static_cast<size_t>(plan.chunks) - 1) /
+        static_cast<size_t>(plan.chunks);
+    return plan;
+  }
+
+  int32_t NodeLo(size_t w_begin) const {
+    return static_cast<int32_t>(w_begin * 64);
+  }
+  int32_t NodeHi(size_t w_end, int32_t universe) const {
+    const size_t hi = w_end * 64;
+    return hi < static_cast<size_t>(universe) ? static_cast<int32_t>(hi)
+                                              : universe;
+  }
+
+  /// Runs body(chunk, word_begin, word_end) for every chunk — on the pool
+  /// when partitioned, inline otherwise.
+  template <typename Body>
+  void Run(Body&& body) const {
+    if (pool == nullptr) {
+      body(0, size_t{0}, words);
+      return;
+    }
+    pool->ParallelFor(chunks, [&](int c) {
+      const size_t b = static_cast<size_t>(c) * words_per;
+      const size_t e = std::min(words, b + words_per);
+      if (b < e) body(c, b, e);
+    });
+  }
+};
+
+/// Calls fn(v) for every member of `set` with id in words [w_begin, w_end).
+template <typename Fn>
+void ForEachMember(const NodeBitset& set, size_t w_begin, size_t w_end,
+                   Fn&& fn) {
+  const uint64_t* words = set.words();
+  for (size_t wi = w_begin; wi < w_end; ++wi) {
+    uint64_t w = words[wi];
+    while (w != 0) {
+      const int bit = __builtin_ctzll(w);
+      fn(static_cast<xml::NodeId>(wi * 64 + static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+}
+
+/// Sparse-frontier gate. The per-node sweeps are O(|D|) regardless of the
+/// frontier; the member-walk formulations below are O(|frontier| + output)
+/// but write to arbitrary words, so they cannot partition. The cost model:
+/// a member walk touching ~4 nodes per member beats a full per-node pass
+/// (and beats forking, on any machine) whenever members*4 < |D| — the
+/// "tiny frontiers must not pay fork/join" rule applied per sweep.
+bool UseSparse(const NodeBitset& input, int32_t universe) {
+  return input.Count() * 4 < universe;
+}
+
+}  // namespace
 
 Axis InverseAxis(Axis axis) {
   switch (axis) {
@@ -31,115 +113,221 @@ Axis InverseAxis(Axis axis) {
   return Axis::kSelf;
 }
 
+// Each axis has up to two formulations. The dense, partitionable one keeps
+// output-interval-local stores so SweepPlan chunks never race: a chunk only
+// ever Set()s node ids inside its own word range (prefix-carrying
+// recurrences become block scans: per-chunk partials, an O(chunks)
+// sequential carry, an independent per-chunk pass). The sparse one walks
+// the frontier members directly — O(|frontier| + output) instead of
+// O(|D|) — but writes arbitrary words, so it runs on the calling thread;
+// UseSparse picks it exactly when that is cheaper than any per-node pass.
 NodeBitset AxisImage(const xml::Document& doc, Axis axis,
-                     const NodeBitset& input) {
+                     const NodeBitset& input, const SweepOptions& sweep) {
   const int32_t n = doc.size();
   GKX_CHECK_EQ(input.universe(), n);
   NodeBitset out(n);
+  const SweepPlan plan = SweepPlan::Make(sweep, n, out.word_count());
   switch (axis) {
     case Axis::kSelf:
       out = input;
       return out;
     case Axis::kChild:
-      // y is a child of some x in input iff parent(y) ∈ input.
-      for (xml::NodeId v = 1; v < n; ++v) {
-        if (input.Test(doc.node(v).parent)) out.Set(v);
+      if (UseSparse(input, n)) {
+        // Child sets of distinct parents are disjoint — emit each member's
+        // child list directly, O(Σ children of members).
+        ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
+          for (xml::NodeId c = doc.node(u).first_child; c != xml::kNullNode;
+               c = doc.node(c).next_sibling) {
+            out.Set(c);
+          }
+        });
+        return out;
       }
+      // Dense: y is a child of some x in input iff parent(y) ∈ input — a
+      // pure per-output-node test, partitionable.
+      plan.Run([&](int, size_t wb, size_t we) {
+        const int32_t hi = plan.NodeHi(we, n);
+        for (int32_t v = std::max(plan.NodeLo(wb), int32_t{1}); v < hi; ++v) {
+          if (input.Test(doc.node(v).parent)) out.Set(v);
+        }
+      });
       return out;
     case Axis::kParent:
-      for (xml::NodeId v = 0; v < n; ++v) {
-        if (input.Test(v) && doc.node(v).parent != xml::kNullNode) {
-          out.Set(doc.node(v).parent);
-        }
+      if (UseSparse(input, n)) {
+        // O(|frontier|): one parent store per member.
+        ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
+          const xml::NodeId p = doc.node(u).parent;
+          if (p != xml::kNullNode) out.Set(p);
+        });
+        return out;
       }
+      // Dense: v is a parent of some input node iff one of v's children is
+      // in input — walk each output node's child list (O(n) aggregate;
+      // every node is inspected once as a child).
+      plan.Run([&](int, size_t wb, size_t we) {
+        const int32_t hi = plan.NodeHi(we, n);
+        for (int32_t v = plan.NodeLo(wb); v < hi; ++v) {
+          for (xml::NodeId c = doc.node(v).first_child; c != xml::kNullNode;
+               c = doc.node(c).next_sibling) {
+            if (input.Test(c)) {
+              out.Set(v);
+              break;
+            }
+          }
+        }
+      });
       return out;
     case Axis::kDescendant:
     case Axis::kDescendantOrSelf: {
-      // Subtrees are contiguous preorder ranges: difference-array sweep.
-      std::vector<int32_t> diff(static_cast<size_t>(n) + 1, 0);
-      for (xml::NodeId v = 0; v < n; ++v) {
-        if (!input.Test(v)) continue;
-        const int32_t lo = axis == Axis::kDescendant ? v + 1 : v;
-        const int32_t hi = v + doc.node(v).subtree_size;
-        ++diff[static_cast<size_t>(lo)];
-        --diff[static_cast<size_t>(hi)];
-      }
-      int32_t active = 0;
-      for (xml::NodeId v = 0; v < n; ++v) {
-        active += diff[static_cast<size_t>(v)];
-        if (active > 0) out.Set(v);
+      // A subtree is the contiguous preorder range [u, u + size(u)), so the
+      // image is a union of intervals — and subtree intervals are nested or
+      // disjoint, so members inside an already-covered interval contribute
+      // nothing. Phase 1 (partitioned): each chunk walks its members in
+      // preorder keeping a chunk-local cover watermark and emits only the
+      // intervals that extend it. Phase 2 (sequential, O(intervals) word
+      // fills): clip each interval against the global watermark and
+      // SetRange the rest. Workers only read the input and append to
+      // private vectors, so there is nothing to race on.
+      const bool or_self = axis == Axis::kDescendantOrSelf;
+      std::vector<std::vector<std::pair<int32_t, int32_t>>> intervals(
+          static_cast<size_t>(plan.chunks));
+      plan.Run([&](int c, size_t wb, size_t we) {
+        auto& local = intervals[static_cast<size_t>(c)];
+        int32_t cover = 0;
+        ForEachMember(input, wb, we, [&](xml::NodeId u) {
+          const int32_t end = u + doc.node(u).subtree_size;
+          if (end <= cover) return;  // nested under an earlier member
+          const int32_t begin = or_self ? u : u + 1;
+          if (begin < end) local.emplace_back(begin, end);
+          cover = end;
+        });
+      });
+      int32_t cover = 0;
+      for (const auto& chunk : intervals) {
+        for (const auto& [begin, end] : chunk) {
+          const int32_t from = std::max(begin, cover);
+          if (from < end) out.SetRange(from, end);
+          cover = std::max(cover, end);
+        }
       }
       return out;
     }
     case Axis::kAncestor:
     case Axis::kAncestorOrSelf: {
-      // subtree_count[v] = |input ∩ subtree(v)|, by a reverse (bottom-up)
-      // sweep; y is an ancestor of some input node iff its subtree minus
-      // itself contains one.
-      std::vector<int32_t> count(static_cast<size_t>(n), 0);
-      for (xml::NodeId v = n - 1; v >= 0; --v) {
-        if (input.Test(v)) ++count[static_cast<size_t>(v)];
-        if (v > 0) {
-          count[static_cast<size_t>(doc.node(v).parent)] +=
-              count[static_cast<size_t>(v)];
-        }
+      const bool sparse_or_self = axis == Axis::kAncestorOrSelf;
+      if (UseSparse(input, n)) {
+        // Chain walk with stop-on-marked: once a walk reaches a node some
+        // earlier walk marked, everything above it is already (or will be)
+        // marked by that walk — O(unique ancestors + |frontier|) total.
+        ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
+          if (sparse_or_self) out.Set(u);
+          for (xml::NodeId a = doc.node(u).parent;
+               a != xml::kNullNode && !out.Test(a); a = doc.node(a).parent) {
+            out.Set(a);
+          }
+        });
+        return out;
       }
-      for (xml::NodeId v = 0; v < n; ++v) {
-        const int32_t below =
-            count[static_cast<size_t>(v)] - (input.Test(v) ? 1 : 0);
-        if (axis == Axis::kAncestor ? below > 0
-                                    : count[static_cast<size_t>(v)] > 0) {
-          out.Set(v);
+      // prefix[v] = |input ∩ [0, v)|; the members inside subtree(v) number
+      // prefix[v + size(v)] − prefix[v]. Strict ancestors exclude v itself
+      // (start the window at v + 1). prefix is a block scan: per-chunk
+      // popcounts, sequential carry, per-chunk fill; the output pass then
+      // only reads prefix (at indices that may cross chunks — fine).
+      std::vector<int32_t> prefix(static_cast<size_t>(n) + 1, 0);
+      std::vector<int32_t> base(static_cast<size_t>(plan.chunks) + 1, 0);
+      plan.Run([&](int c, size_t wb, size_t we) {
+        const uint64_t* words = input.words();
+        int32_t count = 0;
+        for (size_t w = wb; w < we; ++w) {
+          count += static_cast<int32_t>(__builtin_popcountll(words[w]));
         }
+        base[static_cast<size_t>(c) + 1] = count;
+      });
+      for (int c = 0; c < plan.chunks; ++c) {
+        base[static_cast<size_t>(c) + 1] += base[static_cast<size_t>(c)];
       }
+      plan.Run([&](int c, size_t wb, size_t we) {
+        int32_t running = base[static_cast<size_t>(c)];
+        const int32_t hi = plan.NodeHi(we, n);
+        for (int32_t v = plan.NodeLo(wb); v < hi; ++v) {
+          if (input.Test(v)) ++running;
+          prefix[static_cast<size_t>(v) + 1] = running;
+        }
+      });
+      const bool or_self = axis == Axis::kAncestorOrSelf;
+      plan.Run([&](int, size_t wb, size_t we) {
+        const int32_t hi = plan.NodeHi(we, n);
+        for (int32_t v = plan.NodeLo(wb); v < hi; ++v) {
+          const int32_t end = v + doc.node(v).subtree_size;
+          const int32_t from = or_self ? v : v + 1;
+          if (prefix[static_cast<size_t>(end)] -
+                  prefix[static_cast<size_t>(from)] >
+              0) {
+            out.Set(v);
+          }
+        }
+      });
       return out;
     }
     case Axis::kFollowing: {
       // following(x) = [x + size(x), n); the union over input is the suffix
       // from the minimal cutoff (note a descendant of an input node can have
-      // a smaller cutoff than the input node itself).
+      // a smaller cutoff than the input node itself). Parallel min-reduce,
+      // then one word-fill.
+      std::vector<int32_t> local(static_cast<size_t>(plan.chunks), n);
+      plan.Run([&](int c, size_t wb, size_t we) {
+        int32_t m = n;
+        ForEachMember(input, wb, we, [&](xml::NodeId v) {
+          m = std::min(m, v + doc.node(v).subtree_size);
+        });
+        local[static_cast<size_t>(c)] = m;
+      });
       int32_t cutoff = n;
-      for (xml::NodeId v = 0; v < n; ++v) {
-        if (input.Test(v)) {
-          cutoff = std::min(cutoff, v + doc.node(v).subtree_size);
-        }
-      }
-      for (xml::NodeId v = cutoff; v < n; ++v) out.Set(v);
+      for (int32_t m : local) cutoff = std::min(cutoff, m);
+      out.SetRange(cutoff, n);
       return out;
     }
     case Axis::kPreceding: {
-      // y ∈ preceding(x) iff y + size(y) <= x; take the maximal input x.
+      // y ∈ preceding(x) iff y + size(y) <= x; take the maximal input x
+      // (parallel max-reduce), then a per-output-node test.
+      std::vector<int32_t> local(static_cast<size_t>(plan.chunks), -1);
+      plan.Run([&](int c, size_t wb, size_t we) {
+        int32_t m = -1;
+        ForEachMember(input, wb, we, [&](xml::NodeId v) { m = v; });
+        local[static_cast<size_t>(c)] = m;
+      });
       int32_t max_input = -1;
-      for (xml::NodeId v = n - 1; v >= 0; --v) {
-        if (input.Test(v)) {
-          max_input = v;
-          break;
-        }
-      }
+      for (int32_t m : local) max_input = std::max(max_input, m);
       if (max_input < 0) return out;
-      for (xml::NodeId v = 0; v < n; ++v) {
-        if (v + doc.node(v).subtree_size <= max_input) out.Set(v);
-      }
+      plan.Run([&](int, size_t wb, size_t we) {
+        const int32_t hi = plan.NodeHi(we, n);
+        for (int32_t v = plan.NodeLo(wb); v < hi; ++v) {
+          if (v + doc.node(v).subtree_size <= max_input) out.Set(v);
+        }
+      });
       return out;
     }
     case Axis::kFollowingSibling:
-      // Recurrence along sibling chains in increasing id order:
-      // y qualifies iff its previous sibling is in input or qualifies.
-      for (xml::NodeId v = 0; v < n; ++v) {
-        const xml::NodeId prev = doc.node(v).prev_sibling;
-        if (prev != xml::kNullNode && (input.Test(prev) || out.Test(prev))) {
-          out.Set(v);
+      // Sibling chains are pointer chases, not preorder prefixes, so they
+      // stay sequential — but member walks with stop-on-marked make them
+      // O(output + |frontier|) instead of O(|D|): once a walk reaches a
+      // sibling an earlier walk marked, the rest of the chain is already
+      // marked by that walk.
+      ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
+        for (xml::NodeId s = doc.node(u).next_sibling;
+             s != xml::kNullNode && !out.Test(s); s = doc.node(s).next_sibling) {
+          out.Set(s);
         }
-      }
+      });
       return out;
     case Axis::kPrecedingSibling:
-      // Mirror recurrence in decreasing id order.
-      for (xml::NodeId v = n - 1; v >= 0; --v) {
-        const xml::NodeId next = doc.node(v).next_sibling;
-        if (next != xml::kNullNode && (input.Test(next) || out.Test(next))) {
-          out.Set(v);
+      // Mirror walk along prev_sibling; sequential, as above.
+      ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
+        for (xml::NodeId s = doc.node(u).prev_sibling;
+             s != xml::kNullNode && !out.Test(s); s = doc.node(s).prev_sibling) {
+          out.Set(s);
         }
-      }
+      });
       return out;
   }
   GKX_CHECK(false);
@@ -180,14 +368,29 @@ Result<NodeBitset> CoreLinearEvaluator::EvalNodeSetForward(
   return EvalPathForward(expr.As<PathExpr>(), start);
 }
 
-NodeBitset CoreLinearEvaluator::TestSet(const Step& step) {
+const NodeBitset& CoreLinearEvaluator::TestSet(const Step& step) {
   const xml::Document& doc = *doc_;
+  const ResolvedTest test = ResolvedTest::Resolve(doc, step.test);
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(test.kind)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(test.name));
+  auto cached = test_cache_.find(key);
+  if (cached != test_cache_.end()) return cached->second;
+
   NodeBitset out(doc.size());
-  ResolvedTest test = ResolvedTest::Resolve(doc, step.test);
-  for (xml::NodeId v = 0; v < doc.size(); ++v) {
-    if (test.Matches(doc, v)) out.Set(v);
+  if (test.kind != xpath::NodeTest::Kind::kName) {
+    out.SetAll();  // kAny / kNode match every element node
+  } else if (test.name != xml::kNoName) {
+    const SweepPlan plan = SweepPlan::Make(sweep_, doc.size(), out.word_count());
+    plan.Run([&](int, size_t wb, size_t we) {
+      const int32_t hi = plan.NodeHi(we, doc.size());
+      for (int32_t v = plan.NodeLo(wb); v < hi; ++v) {
+        if (doc.NodeHasName(v, test.name)) out.Set(v);
+      }
+    });
   }
-  return out;
+  // else: name never occurs in the document — empty set.
+  return test_cache_.emplace(key, std::move(out)).first->second;
 }
 
 Result<NodeBitset> CoreLinearEvaluator::EvalStepRange(const PathExpr& path,
@@ -197,15 +400,30 @@ Result<NodeBitset> CoreLinearEvaluator::EvalStepRange(const PathExpr& path,
   GKX_CHECK(begin <= end && end <= path.step_count());
   const xml::Document& doc = *doc_;
   NodeBitset current = frontier;
+  std::vector<const NodeBitset*> masks;
   for (size_t s = begin; s < end; ++s) {
     const Step& step = path.step(s);
-    current = AxisImage(doc, step.axis, current);
-    current &= TestSet(step);
+    current = AxisImage(doc, step.axis, current, sweep_);
+    // Fused intersection: the test set and every predicate set are ANDed
+    // into `current` in a single word-at-a-time pass over each chunk
+    // instead of one full-bitset pass per mask.
+    masks.clear();
+    masks.push_back(&TestSet(step));
     for (const xpath::ExprPtr& predicate : step.predicates) {
       auto cond = ConditionSet(*predicate);
       if (!cond.ok()) return cond.status();
-      current &= *cond;
+      masks.push_back(*cond);
     }
+    const SweepPlan plan =
+        SweepPlan::Make(sweep_, doc.size(), current.word_count());
+    uint64_t* cur = current.words();
+    plan.Run([&](int, size_t wb, size_t we) {
+      for (size_t w = wb; w < we; ++w) {
+        uint64_t word = cur[w];
+        for (const NodeBitset* mask : masks) word &= mask->words()[w];
+        cur[w] = word;
+      }
+    });
     if (current.Empty()) break;
   }
   return current;
@@ -235,9 +453,9 @@ Result<NodeBitset> CoreLinearEvaluator::PathOriginSet(const PathExpr& path) {
     for (const xpath::ExprPtr& predicate : step.predicates) {
       auto cond = ConditionSet(*predicate);
       if (!cond.ok()) return cond.status();
-      target &= *cond;
+      target &= **cond;
     }
-    reach = AxisImage(doc, InverseAxis(step.axis), target);
+    reach = AxisImage(doc, InverseAxis(step.axis), target, sweep_);
   }
   if (path.absolute()) {
     // The path matches from anywhere iff it matches from the root.
@@ -248,9 +466,9 @@ Result<NodeBitset> CoreLinearEvaluator::PathOriginSet(const PathExpr& path) {
   return reach;
 }
 
-Result<NodeBitset> CoreLinearEvaluator::ConditionSet(const Expr& expr) {
+Result<const NodeBitset*> CoreLinearEvaluator::ConditionSet(const Expr& expr) {
   auto cached = condition_cache_.find(expr.id());
-  if (cached != condition_cache_.end()) return cached->second;
+  if (cached != condition_cache_.end()) return &cached->second;
 
   Result<NodeBitset> result = [&]() -> Result<NodeBitset> {
     switch (expr.kind()) {
@@ -260,12 +478,12 @@ Result<NodeBitset> CoreLinearEvaluator::ConditionSet(const Expr& expr) {
         if (!lhs.ok()) return lhs.status();
         auto rhs = ConditionSet(binary.rhs());
         if (!rhs.ok()) return rhs.status();
-        NodeBitset out = *lhs;
+        NodeBitset out = **lhs;
         if (binary.op() == BinaryOp::kAnd) {
-          out &= *rhs;
+          out &= **rhs;
         } else {
           GKX_CHECK(binary.op() == BinaryOp::kOr);
-          out |= *rhs;
+          out |= **rhs;
         }
         return out;
       }
@@ -274,7 +492,7 @@ Result<NodeBitset> CoreLinearEvaluator::ConditionSet(const Expr& expr) {
         GKX_CHECK(call.function() == Function::kNot);
         auto arg = ConditionSet(call.arg(0));
         if (!arg.ok()) return arg.status();
-        NodeBitset out = *arg;
+        NodeBitset out = **arg;
         out.Complement();
         return out;
       }
@@ -286,7 +504,7 @@ Result<NodeBitset> CoreLinearEvaluator::ConditionSet(const Expr& expr) {
         for (size_t i = 0; i < u.branch_count(); ++i) {
           auto branch = ConditionSet(u.branch(i));
           if (!branch.ok()) return branch.status();
-          out |= *branch;
+          out |= **branch;
         }
         return out;
       }
@@ -295,8 +513,8 @@ Result<NodeBitset> CoreLinearEvaluator::ConditionSet(const Expr& expr) {
     }
   }();
 
-  if (result.ok()) condition_cache_.emplace(expr.id(), *result);
-  return result;
+  if (!result.ok()) return result.status();
+  return &condition_cache_.emplace(expr.id(), std::move(*result)).first->second;
 }
 
 }  // namespace gkx::eval

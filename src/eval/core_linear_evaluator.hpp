@@ -4,21 +4,62 @@
 // every axis image is computed by an O(|D|) tree sweep, so total time is
 // O(|D|·|Q|). Supports exactly Core XPath (Def 2.5): paths, predicates with
 // and/or/not, union — anything else returns kUnsupported.
+//
+// Parallel sweeps: the Core/PF fragments sit in LOGCFL — the paper's whole
+// point is that they are highly parallelizable — and the O(|D|) sweeps
+// realize that directly: the node universe is partitioned into
+// word-aligned preorder intervals (subtrees are contiguous preorder
+// ranges), each ThreadPool worker sweeps its interval, and no two workers
+// ever touch the same output uint64_t. Axes whose sequential recurrence
+// carries a prefix (descendant*/ancestor*) run as two-phase block scans
+// (per-interval partials, a tiny sequential carry combine, then an
+// independent per-interval pass). The sibling axes keep their sequential
+// chain recurrence — their pointer-chase order resists interval
+// partitioning and they are rare in the measured workloads (the cost model
+// in plan/physical.hpp treats them as sequential-only).
 
 #ifndef GKX_EVAL_CORE_LINEAR_EVALUATOR_HPP_
 #define GKX_EVAL_CORE_LINEAR_EVALUATOR_HPP_
 
+#include <cstdint>
 #include <unordered_map>
 
+#include "base/thread_pool.hpp"
 #include "eval/evaluator.hpp"
 
 namespace gkx::eval {
 
+/// How bitset sweeps (axis images, test-set fills, predicate
+/// intersections) are partitioned across a ThreadPool. workers <= 1 — or a
+/// universe below min_parallel_nodes — keeps every sweep sequential: a
+/// fork/join over a tiny frontier costs more than the sweep itself.
+struct SweepOptions {
+  /// Pool to fan out on; nullptr with workers > 1 = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+  /// Concurrent sweep workers (the calling thread participates); <= 1 runs
+  /// sequentially.
+  int workers = 1;
+  /// Documents smaller than this never partition (fork/join overhead
+  /// dominates sub-millisecond sweeps; see the cost model notes in
+  /// plan/physical.hpp).
+  int32_t min_parallel_nodes = 4096;
+
+  bool ShouldPartition(int32_t universe) const {
+    return workers > 1 && universe >= min_parallel_nodes;
+  }
+};
+
 /// Computes the image of `input` under `axis`: { y : ∃x ∈ input, y ∈ axis(x) }.
 /// One O(|D|) sweep per call (document order / subtree-range / sibling-chain
-/// recurrences — see the implementation notes).
+/// recurrences — see the implementation notes), partitioned per `sweep`.
 NodeBitset AxisImage(const xml::Document& doc, xpath::Axis axis,
-                     const NodeBitset& input);
+                     const NodeBitset& input, const SweepOptions& sweep);
+
+/// Sequential convenience overload.
+inline NodeBitset AxisImage(const xml::Document& doc, xpath::Axis axis,
+                            const NodeBitset& input) {
+  return AxisImage(doc, axis, input, SweepOptions{});
+}
 
 /// The axis χ' with y ∈ χ'(x) iff x ∈ χ(y) (child↔parent, descendant↔ancestor,
 /// following↔preceding, self↔self, ...-sibling mirrored).
@@ -31,12 +72,24 @@ class CoreLinearEvaluator : public Evaluator {
   Result<Value> Evaluate(const xml::Document& doc, const xpath::Query& query,
                          const Context& ctx) override;
 
-  /// Binds a document, clearing the per-query condition cache. The staged
-  /// plan executor binds once per execution and then runs step ranges.
+  /// Binds a document. The condition cache is query-scoped (keyed by
+  /// expression id, which collides across queries), so it always clears;
+  /// the test-set cache is document-scoped, so rebinding the SAME document
+  /// — identified by (address, serial), never by address alone — keeps it
+  /// warm. A long-lived evaluator thus pays each O(|D|) test fill once per
+  /// (document, name), not once per run; answers are identical either way
+  /// because documents are immutable.
   void Bind(const xml::Document& doc) {
-    doc_ = &doc;
     condition_cache_.clear();
+    if (doc_ == &doc && bound_serial_ == doc.serial()) return;
+    doc_ = &doc;
+    bound_serial_ = doc.serial();
+    test_cache_.clear();
   }
+
+  /// Sweep partitioning for this evaluator's axis images / test fills /
+  /// predicate intersections. Defaults to sequential.
+  void set_sweep_options(const SweepOptions& sweep) { sweep_ = sweep; }
 
   /// Applies steps [begin, end) of `path` to the `frontier` set-at-a-time:
   /// one axis image + test/condition intersection per step, O(|D|) each.
@@ -47,7 +100,9 @@ class CoreLinearEvaluator : public Evaluator {
 
  private:
   /// Set of nodes where the Core XPath condition holds (bexpr of Def 2.5).
-  Result<NodeBitset> ConditionSet(const xpath::Expr& expr);
+  /// Returns a pointer into condition_cache_ (stable until the next Bind) so
+  /// fused intersection passes can AND several cached sets without copying.
+  Result<const NodeBitset*> ConditionSet(const xpath::Expr& expr);
 
   /// Set of nodes from which the path (suffix starting at `step_index`)
   /// selects at least one node — computed right-to-left via inverse axes.
@@ -61,12 +116,20 @@ class CoreLinearEvaluator : public Evaluator {
   Result<NodeBitset> EvalNodeSetForward(const xpath::Expr& expr,
                                         const NodeBitset& start);
 
-  NodeBitset TestSet(const xpath::Step& step);
+  /// Nodes passing the step's node test. Cached per Bind, keyed by the
+  /// resolved test — a query touching the same name on several steps used
+  /// to rescan all of doc (and re-resolve the name) once per step of every
+  /// segment; now each distinct test is one O(|D|) fill per bound document.
+  const NodeBitset& TestSet(const xpath::Step& step);
 
   const xml::Document* doc_ = nullptr;
+  uint64_t bound_serial_ = 0;  // serial of *doc_ when test_cache_ was built
+  SweepOptions sweep_;
   // Condition sets are shared across all uses of a subexpression (the query
   // is processed as a DAG of conditions), keyed by expression id.
   std::unordered_map<int, NodeBitset> condition_cache_;
+  // Resolved-test bitsets, keyed by (test kind, resolved name id).
+  std::unordered_map<uint64_t, NodeBitset> test_cache_;
 };
 
 }  // namespace gkx::eval

@@ -49,7 +49,15 @@ Result<Engine::Answer> Engine::RunPlan(const xml::Document& doc,
   if (!plan.staged) {
     return RunDispatched(doc, plan.query, plan.fragment, plan.choice, ctx);
   }
-  auto value = plan::ExecuteStaged(doc, plan, ctx, trace);
+  // Lend this engine's evaluators to the run: an Engine lives across
+  // requests, so its binds (test-set bitsets, context-value tables) stay
+  // warm for repeat executions of the same plan on the same document —
+  // the prepared-statement pattern. Safe because Engine is single-
+  // threaded by contract and the evaluators rebuild on any identity change.
+  plan::ExecOptions opts = exec_opts_;
+  opts.linear = &linear_;
+  opts.cvt = &cvt_;
+  auto value = plan::ExecuteStaged(doc, plan, ctx, trace, opts, exec_stats_);
   if (!value.ok()) return value.status();
   Answer answer;
   answer.value = std::move(value).value();

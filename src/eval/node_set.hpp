@@ -65,6 +65,30 @@ class NodeBitset {
     ClearSlack();
   }
 
+  /// Sets every bit in [lo, hi) word-at-a-time.
+  void SetRange(int32_t lo, int32_t hi) {
+    GKX_CHECK(0 <= lo && lo <= hi && hi <= universe_);
+    if (lo == hi) return;
+    const size_t first = static_cast<size_t>(lo >> 6);
+    const size_t last = static_cast<size_t>((hi - 1) >> 6);
+    const uint64_t head = ~uint64_t{0} << (lo & 63);
+    const uint64_t tail = ~uint64_t{0} >> (63 - ((hi - 1) & 63));
+    if (first == last) {
+      words_[first] |= head & tail;
+      return;
+    }
+    words_[first] |= head;
+    for (size_t w = first + 1; w < last; ++w) words_[w] = ~uint64_t{0};
+    words_[last] |= tail;
+  }
+
+  /// Raw word storage (64 node bits per word, little-endian bit order). The
+  /// partitioned sweeps intersect sets word-at-a-time over disjoint word
+  /// ranges — no two workers touch the same uint64_t.
+  size_t word_count() const { return words_.size(); }
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+
   void Clear() {
     for (auto& w : words_) w = 0;
   }

@@ -9,6 +9,7 @@
 #ifndef GKX_EVAL_PF_EVALUATOR_HPP_
 #define GKX_EVAL_PF_EVALUATOR_HPP_
 
+#include "eval/core_linear_evaluator.hpp"  // SweepOptions
 #include "eval/evaluator.hpp"
 
 namespace gkx::eval {
@@ -19,6 +20,14 @@ class PfEvaluator : public Evaluator {
 
   Result<Value> Evaluate(const xml::Document& doc, const xpath::Query& query,
                          const Context& ctx) override;
+
+  /// Partitioned-sweep settings for the frontier sweeps (the PF fragment is
+  /// in NL ⊆ LOGCFL — the same interval parallelism applies). Defaults to
+  /// sequential.
+  void set_sweep_options(const SweepOptions& sweep) { sweep_ = sweep; }
+
+ private:
+  SweepOptions sweep_;
 };
 
 }  // namespace gkx::eval

@@ -21,7 +21,7 @@ Status RecursiveEvaluatorBase::Bind(const xml::Document& doc,
   if (doc.empty()) return InvalidArgumentError("empty document");
   doc_ = &doc;
   query_ = &query;
-  eval_count_ = 0;
+  eval_count_.store(0, std::memory_order_relaxed);
   tests_.clear();
   tests_.reserve(static_cast<size_t>(query.num_steps()));
   for (int id = 0; id < query.num_steps(); ++id) {
@@ -64,7 +64,7 @@ Status RecursiveEvaluatorBase::Prepare() { return Status::Ok(); }
 Result<Value> RecursiveEvaluatorBase::Eval(const Expr& expr, const Context& ctx) {
   Value memoized;
   if (LookupMemo(expr, ctx, &memoized)) return memoized;
-  ++eval_count_;
+  eval_count_.fetch_add(1, std::memory_order_relaxed);
 
   Result<Value> result = [&]() -> Result<Value> {
     switch (expr.kind()) {
@@ -184,6 +184,25 @@ Result<Value> RecursiveEvaluatorBase::EvalFunction(const FunctionCall& call,
       return Value::String(std::move(text).value());
     }
     case Function::kCount: {
+      // Count pushdown: a single predicate-free step needs no node set —
+      // stream the axis and count matches (duplicate-free by construction,
+      // so the materialize + SortUnique of the general path is pure
+      // overhead here).
+      const Expr& arg = call.arg(0);
+      if (arg.kind() == Expr::Kind::kPath) {
+        const auto& path = arg.As<PathExpr>();
+        if (!path.absolute() && path.step_count() == 1 &&
+            path.step(0).predicates.empty()) {
+          const xpath::Step& step = path.step(0);
+          const ResolvedTest& test = tests_[static_cast<size_t>(step.id)];
+          int64_t count = 0;
+          ForEachOnAxis(doc(), ctx.node, step.axis, [&](xml::NodeId v) {
+            if (test.Matches(doc(), v)) ++count;
+            return true;
+          });
+          return Value::Number(static_cast<double>(count));
+        }
+      }
       auto nodes = EvalNodeSetExpr(call.arg(0), ctx);
       if (!nodes.ok()) return nodes.status();
       return Value::Number(static_cast<double>(nodes->size()));

@@ -48,6 +48,9 @@ QueryService::QueryService(const Options& options)
       slow_log_(options.obs.slow_query_ms, options.obs.slow_query_capacity),
       tracing_(options.obs.tracing && !obs::kCompiledOut),
       subscriptions_(&store_, pool_) {
+  // Intra-query parallelism shares the service pool unless the caller
+  // provided a dedicated one.
+  if (options_.exec.pool == nullptr) options_.exec.pool = pool_;
   store_.set_report_deltas(options.delta_invalidation);
   store_.SetUpdateListener(
       [this](const CorpusUpdate& update) { OnCorpusUpdate(update); });
@@ -192,11 +195,14 @@ Result<QueryService::Answer> QueryService::Process(
   if (from_answer_cache) {
     // Nothing executed; segment counters track evaluated plans only.
   } else if (plan->staged) {
+    int64_t segments = 0;
     for (const auto& branch : plan->branches) {
       for (const auto& segment : branch.segments) {
         segment_route_counters_.Increment(plan::RouteName(segment.route));
+        ++segments;
       }
     }
+    staged_segments_.fetch_add(segments, std::memory_order_relaxed);
   } else {
     // Uniform plan (or the index fast path): one whole-query segment.
     segment_route_counters_.Increment(answer.evaluator);
@@ -273,6 +279,8 @@ Result<QueryService::Answer> QueryService::Process(
 Result<QueryService::Answer> QueryService::Submit(
     const std::string& doc_key, const std::string& query_text) {
   eval::Engine engine;
+  engine.set_exec_options(options_.exec);
+  engine.set_exec_stats(&exec_stats_);
   return Process(engine, doc_key, query_text);
 }
 
@@ -296,6 +304,8 @@ std::vector<Result<QueryService::Answer>> QueryService::SubmitBatch(
   std::atomic<int> cursor{0};
   auto worker = [&](int) {
     eval::Engine engine;
+    engine.set_exec_options(options_.exec);
+    engine.set_exec_stats(&exec_stats_);
     while (true) {
       const int i = cursor.fetch_add(1);
       if (i >= n) return;
@@ -350,6 +360,13 @@ ServiceStats QueryService::Stats() const {
   out.segment_route_counts = segment_route_counters_.Snapshot();
   out.route_latency = route_hists_.Summaries();
   out.tracing = tracing_;
+  out.staged_segments = staged_segments_.load(std::memory_order_relaxed);
+  out.exec_parallel_segments =
+      exec_stats_.parallel_segments.load(std::memory_order_relaxed);
+  out.exec_sequential_segments =
+      exec_stats_.sequential_segments.load(std::memory_order_relaxed);
+  out.exec_skipped_segments =
+      exec_stats_.skipped_segments.load(std::memory_order_relaxed);
   out.slow_queries = slow_log_.recorded();
   out.latency = ToLatencySummary(latency_hist_->Summary());
   return out;

@@ -89,6 +89,16 @@ struct ServiceStats {
   /// Whether per-stage/per-route tracing is active (Options::obs.tracing
   /// and not compiled out via GKX_OBS_DISABLED).
   bool tracing = false;
+  /// Segments dispatched by staged (hybrid) evaluated plans — the subset of
+  /// Σ segment_route_counts that went through the staged executor.
+  int64_t staged_segments = 0;
+  /// How those staged segments actually executed (see plan/exec.hpp).
+  /// Invariant, checked by the soak reconciliation and check_stats_json:
+  /// parallel + sequential + skipped == staged_segments, exactly — also
+  /// when segments execute concurrently.
+  int64_t exec_parallel_segments = 0;
+  int64_t exec_sequential_segments = 0;
+  int64_t exec_skipped_segments = 0;
   /// Requests that crossed the slow-query threshold (including entries the
   /// bounded log has since evicted).
   int64_t slow_queries = 0;
@@ -119,6 +129,11 @@ class QueryService {
     int batch_workers = 0;
     /// Answer eligible PF queries from the DocumentIndex ("pf-indexed").
     bool indexed_fast_path = true;
+    /// Intra-query parallelism (plan/exec.hpp): workers > 1 partitions
+    /// bitset sweeps and cvt origin loops of each request across the pool.
+    /// exec.pool == nullptr uses the service pool. Answers are identical at
+    /// any setting; only latency changes.
+    plan::ExecOptions exec;
     /// Request tracing: per-stage/per-route histograms and the slow-query
     /// log (see obs/trace.hpp). Total request latency is recorded into the
     /// all-time histogram regardless. Building with -DGKX_OBS_DISABLED
@@ -259,6 +274,13 @@ class QueryService {
                                               // pool tasks that use them
   EvaluatorCounters evaluator_counters_;
   EvaluatorCounters segment_route_counters_;
+  /// Per-segment parallel/sequential/skipped execution counts, shared by
+  /// every request engine (Submit and batch workers alike). Subscription
+  /// re-evaluations use their own engines and do NOT feed these — the
+  /// reconciliation invariant is against staged_segments_, which counts the
+  /// same request paths.
+  plan::ExecStats exec_stats_;
+  std::atomic<int64_t> staged_segments_{0};
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> failures_{0};

@@ -97,6 +97,19 @@ std::string QueryService::ExportStats(StatsFormat format) const {
     root["segment_route_counts"] = std::move(counts);
   }
   {
+    // Staged-executor dispatch accounting. Invariant (checked by
+    // tools/check_stats_json and the soak reconciliation):
+    // parallel + sequential + skipped == staged_segments, exactly — the
+    // per-segment buckets are flushed atomically per successful run, so
+    // the identity holds even while segments execute concurrently.
+    Value exec = Value::Object();
+    exec["staged_segments"] = Value(stats.staged_segments);
+    exec["parallel_segments"] = Value(stats.exec_parallel_segments);
+    exec["sequential_segments"] = Value(stats.exec_sequential_segments);
+    exec["skipped_segments"] = Value(stats.exec_skipped_segments);
+    root["exec"] = std::move(exec);
+  }
+  {
     Value latency = Value::Object();
     latency["count"] = Value(stats.latency.count);
     latency["p50"] = Value(stats.latency.p50_ms);

@@ -71,6 +71,7 @@ class Replay {
         threads_(std::max(1, options.threads)),
         max_reported_(options.max_failures_reported),
         answer_cache_enabled_(options.service.answer_cache_enabled),
+        exec_workers_(options.service.exec.workers),
         standing_(PickStandingQueries(schedule, options.standing_queries)),
         oracle_(schedule, standing_) {
     // Compose the eviction observation on top of any caller-provided hook.
@@ -390,6 +391,20 @@ class Replay {
       require(route_hist_total == SumCounts(stats.segment_route_counts),
               "sum of route histogram counts != sum of segment counters");
     }
+    // Staged-executor accounting: every segment a staged run dispatched
+    // landed in exactly one of the parallel/sequential/skipped buckets —
+    // also when segments executed concurrently (exec.workers > 1; the
+    // parallel soak rounds run this way under TSan).
+    require(stats.exec_parallel_segments + stats.exec_sequential_segments +
+                    stats.exec_skipped_segments ==
+                stats.staged_segments,
+            "exec parallel+sequential+skipped buckets != staged segments");
+    require(stats.staged_segments <= SumCounts(stats.segment_route_counts),
+            "staged segments exceed total segment dispatches");
+    if (exec_workers_ <= 1) {
+      require(stats.exec_parallel_segments == 0,
+              "parallel segments recorded with exec.workers <= 1");
+    }
     require(stats.plan_cache.evictions == observed_evictions_.load(),
             "eviction counter != evictions observed via on_evict");
     require(stats.plan_cache_entries <= service_->plan_cache().capacity_bound(),
@@ -422,6 +437,7 @@ class Replay {
   const int threads_;
   const size_t max_reported_;
   const bool answer_cache_enabled_;
+  const int exec_workers_;
   std::vector<int32_t> standing_;  // pool indexes (before oracle_: init order)
   Oracle oracle_;
   std::unique_ptr<QueryService> service_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/check.hpp"
+#include "base/identity.hpp"
 
 namespace gkx::xml {
 
@@ -70,6 +71,12 @@ struct DocumentStats {
 /// ParseDocument; Documents are movable and cheaply shareable by const ref.
 class Document {
  public:
+  /// Process-unique bind identity (base/identity.hpp). Evaluators that keep
+  /// per-document caches across Bind calls compare (address, serial) — a
+  /// match guarantees this is the exact object the cache was built against,
+  /// even if the allocator recycled a freed document's address.
+  uint64_t serial() const { return identity_.value(); }
+
   /// Root node id (always 0 for a non-empty document).
   NodeId root() const { return 0; }
 
@@ -143,6 +150,7 @@ class Document {
 
   NameId InternName(std::string_view name);
 
+  IdentitySerial identity_;
   std::vector<Node> nodes_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, NameId> name_ids_;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "base/check.hpp"
+#include "base/identity.hpp"
 
 namespace gkx::xpath {
 
@@ -289,6 +290,11 @@ class Query {
 
   const Expr& root() const { return *root_; }
 
+  /// Process-unique bind identity (base/identity.hpp): evaluators that keep
+  /// memo tables across Bind calls compare (address, serial) so a recycled
+  /// allocation can never masquerade as the query the tables were built for.
+  uint64_t serial() const { return identity_.value(); }
+
   /// Number of expressions / steps (ids are dense in [0, count)).
   int num_exprs() const { return static_cast<int>(exprs_.size()); }
   int num_steps() const { return static_cast<int>(steps_.size()); }
@@ -309,6 +315,7 @@ class Query {
   Query() = default;
   void Index(Expr* expr);
 
+  IdentitySerial identity_;
   ExprPtr root_;
   std::vector<Expr*> exprs_;
   std::vector<Step*> steps_;

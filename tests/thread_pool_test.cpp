@@ -1,10 +1,13 @@
 // ThreadPool: task execution, ParallelFor coverage, nesting (the service
 // fans batches out while the parallel PDA engine fans candidates out on the
-// same pool — progress must be guaranteed even at width 1).
+// same pool — progress must be guaranteed even at width 1), the
+// group-isolation tail-latency regression, and the exception contract.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -59,6 +62,76 @@ TEST(ThreadPoolTest, ZeroAndOneTaskEdgeCases) {
     ++calls;
   });
   EXPECT_EQ(calls, 1);
+}
+
+// Regression: the helping loop used to pop *any* queued task — with a slow
+// unrelated task at the queue front, a ParallelFor caller would steal it
+// and not return until it finished, long after its own group was done.
+// Group-isolated helping bounds ParallelFor return latency by the group's
+// own work.
+TEST(ThreadPoolTest, ParallelForIsNotDelayedByUnrelatedSlowTask) {
+  ThreadPool pool(1);
+  constexpr auto kSlow = std::chrono::milliseconds(400);
+  std::atomic<bool> slow_done{false};
+  // The slow task sits at the queue front; the single worker (or, in the
+  // old code, the helping caller) picks it up first.
+  pool.Submit([&slow_done, kSlow] {
+    std::this_thread::sleep_for(kSlow);
+    slow_done.store(true);
+  });
+  std::atomic<int> ran{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  pool.ParallelFor(8, [&ran](int) { ran.fetch_add(1); });
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(ran.load(), 8);
+  // The caller must complete its own 8 trivial indices without waiting out
+  // the unrelated 400ms task. Generous margin for sanitizer/CI jitter.
+  EXPECT_LT(elapsed, kSlow / 2);
+  // Drain the slow task so its captures outlive it.
+  while (!slow_done.load()) std::this_thread::yield();
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(16,
+                       [&ran](int i) {
+                         ran.fetch_add(1);
+                         if (i == 3) throw std::runtime_error("task failure");
+                       }),
+      std::runtime_error);
+  // Every index was claimed (run or abandoned) before the rethrow — the
+  // group quiesced, so the lambda's captures are safe to destroy.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 16);
+  // The pool survives and stays usable.
+  std::atomic<int> after{0};
+  pool.ParallelFor(4, [&after](int) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(ThreadPoolTest, ThrowingDetachedTaskIsContainedAndCounted) {
+  ThreadPool pool(1);
+  const int64_t before = pool.detached_exceptions();
+  pool.Submit([] { throw std::runtime_error("detached failure"); });
+  // The worker must survive; a follow-up ParallelFor proves liveness.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(4, [&ran](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+  while (pool.detached_exceptions() == before) std::this_thread::yield();
+  EXPECT_EQ(pool.detached_exceptions(), before + 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForUnderConcurrentGroups) {
+  // Two groups interleave on a width-2 pool, each nesting further
+  // ParallelFors; every leaf must run exactly once per group.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(4, [&pool, &leaves](int) {
+    pool.ParallelFor(8, [&leaves](int) { leaves.fetch_add(1); });
+  });
+  EXPECT_EQ(leaves.load(), 32);
 }
 
 TEST(ThreadPoolTest, SharedPoolIsUsable) {

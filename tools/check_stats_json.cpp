@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
 
   for (const char* section :
        {"service", "plan_cache", "answer_cache", "subscriptions",
-        "evaluator_counts", "segment_route_counts", "latency_ms", "routes",
-        "metrics", "slow_queries"}) {
+        "evaluator_counts", "segment_route_counts", "exec", "latency_ms",
+        "routes", "metrics", "slow_queries"}) {
     if (root.Find(section) == nullptr) {
       return Fail(std::string("missing section \"") + section + "\"");
     }
@@ -72,6 +72,28 @@ int main(int argc, char** argv) {
   const double latency_count = root.FindPath("latency_ms.count")->AsNumber();
   if (latency_count != requests - failures) {
     return Fail("latency_ms.count != service.requests - service.failures");
+  }
+
+  // Staged-executor dispatch accounting, offline: every segment a
+  // successful staged run dispatched landed in exactly one bucket, so the
+  // three buckets must sum to the staged-segment counter — for sequential
+  // and parallel (exec.workers > 1) services alike.
+  for (const char* path :
+       {"exec.staged_segments", "exec.parallel_segments",
+        "exec.sequential_segments", "exec.skipped_segments"}) {
+    if (root.FindPath(path) == nullptr) {
+      return Fail(std::string("missing field \"") + path + "\"");
+    }
+  }
+  const double staged = root.FindPath("exec.staged_segments")->AsNumber();
+  const double exec_buckets =
+      root.FindPath("exec.parallel_segments")->AsNumber() +
+      root.FindPath("exec.sequential_segments")->AsNumber() +
+      root.FindPath("exec.skipped_segments")->AsNumber();
+  if (exec_buckets != staged) {
+    return Fail(
+        "exec.parallel_segments + exec.sequential_segments + "
+        "exec.skipped_segments != exec.staged_segments");
   }
 
   // Route-histogram reconciliation, offline: with tracing active since
