@@ -377,8 +377,8 @@ xml::SubtreeEdit ReplaceItemEdit(const xml::Document& doc, Rng* rng,
   // Replace a uniformly chosen <item> subtree with a regenerated one —
   // same tag family (overlapping names), slightly different shape.
   std::vector<xml::NodeId> items;
-  for (xml::NodeId c = doc.node(doc.root()).first_child; c != xml::kNullNode;
-       c = doc.node(c).next_sibling) {
+  for (xml::NodeId c = doc.first_child(doc.root()); c != xml::kNullNode;
+       c = doc.next_sibling(c)) {
     if (doc.TagName(c) == "item") items.push_back(c);
   }
   xml::SubtreeEdit edit;

@@ -5,7 +5,10 @@
 #ifndef GKX_BENCH_BENCH_UTIL_HPP_
 #define GKX_BENCH_BENCH_UTIL_HPP_
 
+#include <sys/resource.h>
+
 #include <cstdio>
+#include <cstring>
 #include <ctime>
 #include <filesystem>
 #include <string>
@@ -37,6 +40,28 @@ inline std::string UtcTimestamp() {
   char buf[32];
   std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
   return std::string(buf);
+}
+
+/// Peak resident set size of this process, in bytes (VmHWM from
+/// /proc/self/status, with a getrusage fallback). A high-water mark: once
+/// a phase has touched N bytes the value never drops, so benches that care
+/// about per-phase footprint must run phases in separate processes or
+/// record the delta against the mark at phase start.
+inline int64_t PeakRssBytes() {
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    long kb = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb > 0) return static_cast<int64_t>(kb) * 1024;
+  }
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // kB on Linux
+  }
+  return 0;
 }
 
 /// Prints the experiment banner: what the paper claims, what this binary
@@ -150,7 +175,11 @@ class JsonReport {
   JsonReport(std::string bench, uint64_t seed)
       : bench_(std::move(bench)), seed_(seed) {}
 
+  /// Every row is stamped with the process's peak RSS at emission time, so
+  /// the committed trajectory tracks memory footprint alongside latency.
   void AddRow(std::vector<std::pair<std::string, std::string>> fields) {
+    fields.emplace_back("peak_rss_bytes",
+                        JsonNum(static_cast<double>(PeakRssBytes())));
     rows_.push_back(std::move(fields));
   }
 

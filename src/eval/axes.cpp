@@ -6,32 +6,31 @@ using xpath::Axis;
 
 bool AxisContains(const xml::Document& doc, xml::NodeId origin, Axis axis,
                   xml::NodeId target) {
-  const xml::Node& o = doc.node(origin);
   switch (axis) {
     case Axis::kSelf:
       return target == origin;
     case Axis::kChild:
-      return doc.node(target).parent == origin;
+      return doc.parent(target) == origin;
     case Axis::kParent:
-      return o.parent == target;
+      return doc.parent(origin) == target;
     case Axis::kDescendant:
-      return target > origin && target < origin + o.subtree_size;
+      return target > origin && target < origin + doc.subtree_size(origin);
     case Axis::kDescendantOrSelf:
-      return target >= origin && target < origin + o.subtree_size;
+      return target >= origin && target < origin + doc.subtree_size(origin);
     case Axis::kAncestor:
       return target != origin && doc.IsAncestorOrSelf(target, origin);
     case Axis::kAncestorOrSelf:
       return doc.IsAncestorOrSelf(target, origin);
     case Axis::kFollowing:
-      return target >= origin + o.subtree_size;
+      return target >= origin + doc.subtree_size(origin);
     case Axis::kFollowingSibling:
-      return target != origin && doc.node(target).parent == o.parent &&
-             o.parent != xml::kNullNode && target > origin;
+      return target != origin && doc.parent(target) == doc.parent(origin) &&
+             doc.parent(origin) != xml::kNullNode && target > origin;
     case Axis::kPreceding:
-      return target + doc.node(target).subtree_size <= origin;
+      return target + doc.subtree_size(target) <= origin;
     case Axis::kPrecedingSibling:
-      return target != origin && doc.node(target).parent == o.parent &&
-             o.parent != xml::kNullNode && target < origin;
+      return target != origin && doc.parent(target) == doc.parent(origin) &&
+             doc.parent(origin) != xml::kNullNode && target < origin;
   }
   GKX_CHECK(false);
   return false;

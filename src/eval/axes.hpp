@@ -51,63 +51,65 @@ template <typename Fn>
 void ForEachOnAxis(const xml::Document& doc, xml::NodeId origin,
                    xpath::Axis axis, Fn&& fn) {
   using xpath::Axis;
-  const xml::Node& node = doc.node(origin);
   switch (axis) {
     case Axis::kSelf:
       fn(origin);
       return;
     case Axis::kChild:
-      for (xml::NodeId c = node.first_child; c != xml::kNullNode;
-           c = doc.node(c).next_sibling) {
+      for (xml::NodeId c = doc.first_child(origin); c != xml::kNullNode;
+           c = doc.next_sibling(c)) {
         if (!fn(c)) return;
       }
       return;
     case Axis::kParent:
-      if (node.parent != xml::kNullNode) fn(node.parent);
+      if (doc.parent(origin) != xml::kNullNode) fn(doc.parent(origin));
       return;
     case Axis::kDescendant:
-      for (xml::NodeId v = origin + 1; v < origin + node.subtree_size; ++v) {
+      for (xml::NodeId v = origin + 1; v < origin + doc.subtree_size(origin);
+           ++v) {
         if (!fn(v)) return;
       }
       return;
     case Axis::kDescendantOrSelf:
-      for (xml::NodeId v = origin; v < origin + node.subtree_size; ++v) {
+      for (xml::NodeId v = origin; v < origin + doc.subtree_size(origin);
+           ++v) {
         if (!fn(v)) return;
       }
       return;
     case Axis::kAncestor:
-      for (xml::NodeId a = node.parent; a != xml::kNullNode;
-           a = doc.node(a).parent) {
+      for (xml::NodeId a = doc.parent(origin); a != xml::kNullNode;
+           a = doc.parent(a)) {
         if (!fn(a)) return;
       }
       return;
     case Axis::kAncestorOrSelf:
-      for (xml::NodeId a = origin; a != xml::kNullNode; a = doc.node(a).parent) {
+      for (xml::NodeId a = origin; a != xml::kNullNode; a = doc.parent(a)) {
         if (!fn(a)) return;
       }
       return;
     case Axis::kFollowing:
-      for (xml::NodeId v = origin + node.subtree_size; v < doc.size(); ++v) {
+      for (xml::NodeId v = origin + doc.subtree_size(origin); v < doc.size();
+           ++v) {
         if (!fn(v)) return;
       }
       return;
     case Axis::kFollowingSibling:
-      for (xml::NodeId s = node.next_sibling; s != xml::kNullNode;
-           s = doc.node(s).next_sibling) {
+      for (xml::NodeId s = doc.next_sibling(origin); s != xml::kNullNode;
+           s = doc.next_sibling(s)) {
         if (!fn(s)) return;
       }
       return;
     case Axis::kPreceding:
       // Reverse document order, skipping ancestors.
       for (xml::NodeId v = origin - 1; v >= 0; --v) {
-        if (v + doc.node(v).subtree_size <= origin) {
+        if (v + doc.subtree_size(v) <= origin) {
           if (!fn(v)) return;
         }
       }
       return;
     case Axis::kPrecedingSibling:
-      for (xml::NodeId s = node.prev_sibling; s != xml::kNullNode;
-           s = doc.node(s).prev_sibling) {
+      for (xml::NodeId s = doc.prev_sibling(origin); s != xml::kNullNode;
+           s = doc.prev_sibling(s)) {
         if (!fn(s)) return;
       }
       return;

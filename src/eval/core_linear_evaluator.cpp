@@ -125,6 +125,13 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
                      const NodeBitset& input, const SweepOptions& sweep) {
   const int32_t n = doc.size();
   GKX_CHECK_EQ(input.universe(), n);
+  // Raw SoA columns: the sweeps below stream exactly the 4-byte stripe they
+  // need, and every index is already range-proved by the plan/frontier.
+  const xml::NodeId* const parent = doc.parent_data();
+  const xml::NodeId* const first_child = doc.first_child_data();
+  const xml::NodeId* const next_sibling = doc.next_sibling_data();
+  const xml::NodeId* const prev_sibling = doc.prev_sibling_data();
+  const int32_t* const subtree_size = doc.subtree_size_data();
   NodeBitset out(n);
   const SweepPlan plan = SweepPlan::Make(sweep, n, out.word_count());
   switch (axis) {
@@ -136,8 +143,8 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
         // Child sets of distinct parents are disjoint — emit each member's
         // child list directly, O(Σ children of members).
         ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
-          for (xml::NodeId c = doc.node(u).first_child; c != xml::kNullNode;
-               c = doc.node(c).next_sibling) {
+          for (xml::NodeId c = first_child[u]; c != xml::kNullNode;
+               c = next_sibling[c]) {
             out.Set(c);
           }
         });
@@ -148,7 +155,7 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
       plan.Run([&](int, size_t wb, size_t we) {
         const int32_t hi = plan.NodeHi(we, n);
         for (int32_t v = std::max(plan.NodeLo(wb), int32_t{1}); v < hi; ++v) {
-          if (input.Test(doc.node(v).parent)) out.Set(v);
+          if (input.Test(parent[v])) out.Set(v);
         }
       });
       return out;
@@ -156,7 +163,7 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
       if (UseSparse(input, n)) {
         // O(|frontier|): one parent store per member.
         ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
-          const xml::NodeId p = doc.node(u).parent;
+          const xml::NodeId p = parent[u];
           if (p != xml::kNullNode) out.Set(p);
         });
         return out;
@@ -167,8 +174,8 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
       plan.Run([&](int, size_t wb, size_t we) {
         const int32_t hi = plan.NodeHi(we, n);
         for (int32_t v = plan.NodeLo(wb); v < hi; ++v) {
-          for (xml::NodeId c = doc.node(v).first_child; c != xml::kNullNode;
-               c = doc.node(c).next_sibling) {
+          for (xml::NodeId c = first_child[v]; c != xml::kNullNode;
+               c = next_sibling[c]) {
             if (input.Test(c)) {
               out.Set(v);
               break;
@@ -195,7 +202,7 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
         auto& local = intervals[static_cast<size_t>(c)];
         int32_t cover = 0;
         ForEachMember(input, wb, we, [&](xml::NodeId u) {
-          const int32_t end = u + doc.node(u).subtree_size;
+          const int32_t end = u + subtree_size[u];
           if (end <= cover) return;  // nested under an earlier member
           const int32_t begin = or_self ? u : u + 1;
           if (begin < end) local.emplace_back(begin, end);
@@ -221,8 +228,8 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
         // marked by that walk — O(unique ancestors + |frontier|) total.
         ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
           if (sparse_or_self) out.Set(u);
-          for (xml::NodeId a = doc.node(u).parent;
-               a != xml::kNullNode && !out.Test(a); a = doc.node(a).parent) {
+          for (xml::NodeId a = parent[u];
+               a != xml::kNullNode && !out.Test(a); a = parent[a]) {
             out.Set(a);
           }
         });
@@ -258,7 +265,7 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
       plan.Run([&](int, size_t wb, size_t we) {
         const int32_t hi = plan.NodeHi(we, n);
         for (int32_t v = plan.NodeLo(wb); v < hi; ++v) {
-          const int32_t end = v + doc.node(v).subtree_size;
+          const int32_t end = v + subtree_size[v];
           const int32_t from = or_self ? v : v + 1;
           if (prefix[static_cast<size_t>(end)] -
                   prefix[static_cast<size_t>(from)] >
@@ -278,7 +285,7 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
       plan.Run([&](int c, size_t wb, size_t we) {
         int32_t m = n;
         ForEachMember(input, wb, we, [&](xml::NodeId v) {
-          m = std::min(m, v + doc.node(v).subtree_size);
+          m = std::min(m, v + subtree_size[v]);
         });
         local[static_cast<size_t>(c)] = m;
       });
@@ -302,7 +309,7 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
       plan.Run([&](int, size_t wb, size_t we) {
         const int32_t hi = plan.NodeHi(we, n);
         for (int32_t v = plan.NodeLo(wb); v < hi; ++v) {
-          if (v + doc.node(v).subtree_size <= max_input) out.Set(v);
+          if (v + subtree_size[v] <= max_input) out.Set(v);
         }
       });
       return out;
@@ -314,8 +321,8 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
       // sibling an earlier walk marked, the rest of the chain is already
       // marked by that walk.
       ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
-        for (xml::NodeId s = doc.node(u).next_sibling;
-             s != xml::kNullNode && !out.Test(s); s = doc.node(s).next_sibling) {
+        for (xml::NodeId s = next_sibling[u];
+             s != xml::kNullNode && !out.Test(s); s = next_sibling[s]) {
           out.Set(s);
         }
       });
@@ -323,8 +330,8 @@ NodeBitset AxisImage(const xml::Document& doc, Axis axis,
     case Axis::kPrecedingSibling:
       // Mirror walk along prev_sibling; sequential, as above.
       ForEachMember(input, 0, plan.words, [&](xml::NodeId u) {
-        for (xml::NodeId s = doc.node(u).prev_sibling;
-             s != xml::kNullNode && !out.Test(s); s = doc.node(s).prev_sibling) {
+        for (xml::NodeId s = prev_sibling[u];
+             s != xml::kNullNode && !out.Test(s); s = prev_sibling[s]) {
           out.Set(s);
         }
       });

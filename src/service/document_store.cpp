@@ -6,6 +6,8 @@
 
 #include "base/stopwatch.hpp"
 #include "xml/parser.hpp"
+#include "xml/snapshot.hpp"
+#include "xml/stream_parser.hpp"
 
 namespace gkx::service {
 
@@ -57,8 +59,14 @@ Status DocumentStore::Put(std::string key, xml::Document doc) {
     return InvalidArgumentError("cannot register empty document under key '" +
                                 key + "'");
   }
-  auto stored = std::make_shared<const StoredDocument>(
-      std::move(doc), next_revision_.fetch_add(1, std::memory_order_relaxed));
+  return Install(std::move(key),
+                 std::make_shared<const StoredDocument>(
+                     std::move(doc), next_revision_.fetch_add(
+                                         1, std::memory_order_relaxed)));
+}
+
+Status DocumentStore::Install(std::string key,
+                              std::shared_ptr<const StoredDocument> stored) {
   std::shared_ptr<const StoredDocument> old;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -82,6 +90,33 @@ Status DocumentStore::Put(std::string key, xml::Document doc) {
 Status DocumentStore::PutXml(std::string key, std::string_view xml) {
   auto doc = xml::ParseDocument(xml);
   if (!doc.ok()) return doc.status();
+  return Put(std::move(key), std::move(doc).value());
+}
+
+Status DocumentStore::PutXmlStreamed(std::string key, std::string_view xml) {
+  auto parsed = xml::ParseDocumentStream(xml);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->doc.empty()) {
+    return InvalidArgumentError("cannot register empty document under key '" +
+                                key + "'");
+  }
+  auto stored = std::make_shared<StoredDocument>(
+      std::move(parsed->doc),
+      next_revision_.fetch_add(1, std::memory_order_relaxed));
+  // The parse already built the posting lists; adopt them so the first
+  // query pays no index-building walk.
+  stored->AdoptIndex(std::make_unique<xml::DocumentIndex>(
+      stored->doc(), std::move(parsed->postings)));
+  return Install(std::move(key), std::move(stored));
+}
+
+Status DocumentStore::PutSnapshot(std::string key, const std::string& path) {
+  auto doc = xml::MapSnapshot(path);
+  if (!doc.ok()) return doc.status();
+  if (doc->empty()) {
+    return InvalidArgumentError("cannot register empty snapshot under key '" +
+                                key + "'");
+  }
   return Put(std::move(key), std::move(doc).value());
 }
 

@@ -162,6 +162,18 @@ class DocumentStore {
   /// Parses `xml` and registers the result under `key`.
   Status PutXml(std::string key, std::string_view xml);
 
+  /// Parses `xml` with the one-pass streaming arena parser and registers the
+  /// result under `key`. The posting lists built during the parse are
+  /// adopted as the stored document's index, so the first query pays neither
+  /// a DOM intermediate nor an index-building document walk.
+  Status PutXmlStreamed(std::string key, std::string_view xml);
+
+  /// Memory-maps the arena snapshot at `path` (xml/snapshot.hpp) and
+  /// registers the mapped document under `key`. The document serves queries
+  /// straight out of the mapping — no parse, no copy, page-fault-bound cold
+  /// start.
+  Status PutSnapshot(std::string key, const std::string& path);
+
   /// Applies a subtree edit to the current revision of `key` (see the
   /// header comment). Fails if the key is absent or the edit is invalid
   /// for the current revision.
@@ -184,6 +196,10 @@ class DocumentStore {
   /// Sorted union of the two revisions' cached name sets.
   static std::vector<std::string> UnionNameSets(const StoredDocument& before,
                                                 const StoredDocument& after);
+
+  /// Installs an already-constructed revision under `key` and fires the
+  /// listener. Shared tail of every Put* flavor.
+  Status Install(std::string key, std::shared_ptr<const StoredDocument> stored);
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const StoredDocument>,

@@ -80,8 +80,8 @@ NodeSet ApplyFlatStep(const xml::DocumentIndex& index, const FlatStep& step,
       return next;  // subset of a sorted set stays sorted
     case Axis::kChild:
       for (NodeId f : frontier) {
-        for (NodeId c = doc.node(f).first_child; c != xml::kNullNode;
-             c = doc.node(c).next_sibling) {
+        for (NodeId c = doc.first_child(f); c != xml::kNullNode;
+             c = doc.next_sibling(c)) {
           if (step.wildcard || doc.NodeHasName(c, step.name)) {
             next.push_back(c);
           }
@@ -93,7 +93,7 @@ NodeSet ApplyFlatStep(const xml::DocumentIndex& index, const FlatStep& step,
       const NodeId self_offset = step.axis == Axis::kDescendant ? 1 : 0;
       for (NodeId f : frontier) {
         const NodeId first = f + self_offset;
-        const NodeId limit = f + doc.node(f).subtree_size;
+        const NodeId limit = f + doc.subtree_size(f);
         if (step.wildcard) {
           for (NodeId v = first; v < limit; ++v) next.push_back(v);
         } else {

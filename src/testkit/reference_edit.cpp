@@ -23,9 +23,10 @@ using xml::TreeBuilder;
 void CopySubtree(TreeBuilder* b, BuildNodeId parent, const Document& src,
                  NodeId v) {
   BuildNodeId id = b->AddChild(parent, src.TagName(v));
-  for (NameId label : src.node(v).labels) b->AddLabel(id, src.NameText(label));
-  b->SetText(id, src.node(v).text);
-  for (const Attribute& attribute : src.node(v).attributes) {
+  for (NameId label : src.labels(v)) b->AddLabel(id, src.NameText(label));
+  b->SetText(id, src.text(v));
+  for (int32_t i = 0; i < src.attribute_count(v); ++i) {
+    const xml::AttributeRef attribute = src.attribute(v, i);
     b->AddAttribute(id, attribute.name, attribute.value);
   }
   for (NodeId c : src.Children(v)) CopySubtree(b, id, src, c);
@@ -65,24 +66,26 @@ class Rebuilder {
 
   static void EmitForeignDecorations(TreeBuilder* b, BuildNodeId id,
                                      const Document& src, NodeId v) {
-    for (NameId label : src.node(v).labels) {
+    for (NameId label : src.labels(v)) {
       b->AddLabel(id, src.NameText(label));
     }
-    b->SetText(id, src.node(v).text);
-    for (const Attribute& attribute : src.node(v).attributes) {
+    b->SetText(id, src.text(v));
+    for (int32_t i = 0; i < src.attribute_count(v); ++i) {
+      const xml::AttributeRef attribute = src.attribute(v, i);
       b->AddAttribute(id, attribute.name, attribute.value);
     }
   }
 
   void EmitDecorations(TreeBuilder* b, BuildNodeId id, NodeId v) const {
-    for (NameId label : doc_.node(v).labels) {
+    for (NameId label : doc_.labels(v)) {
       b->AddLabel(id, doc_.NameText(label));
     }
     b->SetText(id, edit_.kind == SubtreeEdit::Kind::kSetText &&
                        v == edit_.target
                    ? std::string_view(edit_.text)
-                   : std::string_view(doc_.node(v).text));
-    for (const Attribute& attribute : doc_.node(v).attributes) {
+                   : doc_.text(v));
+    for (int32_t i = 0; i < doc_.attribute_count(v); ++i) {
+      const xml::AttributeRef attribute = doc_.attribute(v, i);
       b->AddAttribute(id, attribute.name, attribute.value);
     }
   }
@@ -141,31 +144,30 @@ bool ExhaustiveEquals(const Document& a, const Document& b, std::string* why) {
                         std::to_string(b.size()));
   }
   for (NodeId v = 0; v < a.size(); ++v) {
-    const xml::Node& na = a.node(v);
-    const xml::Node& nb = b.node(v);
-    if (na.parent != nb.parent) return fail(v, "parent");
-    if (na.first_child != nb.first_child) return fail(v, "first_child");
-    if (na.last_child != nb.last_child) return fail(v, "last_child");
-    if (na.prev_sibling != nb.prev_sibling) return fail(v, "prev_sibling");
-    if (na.next_sibling != nb.next_sibling) return fail(v, "next_sibling");
-    if (na.subtree_size != nb.subtree_size) return fail(v, "subtree_size");
-    if (na.depth != nb.depth) return fail(v, "depth");
-    if (na.text != nb.text) return fail(v, "text");
+    if (a.parent(v) != b.parent(v)) return fail(v, "parent");
+    if (a.first_child(v) != b.first_child(v)) return fail(v, "first_child");
+    if (a.last_child(v) != b.last_child(v)) return fail(v, "last_child");
+    if (a.prev_sibling(v) != b.prev_sibling(v)) return fail(v, "prev_sibling");
+    if (a.next_sibling(v) != b.next_sibling(v)) return fail(v, "next_sibling");
+    if (a.subtree_size(v) != b.subtree_size(v)) return fail(v, "subtree_size");
+    if (a.depth(v) != b.depth(v)) return fail(v, "depth");
+    if (a.text(v) != b.text(v)) return fail(v, "text");
     if (a.TagName(v) != b.TagName(v)) return fail(v, "tag");
     // Label NameIds depend on interning history; compare as name sets.
     std::vector<std::string_view> la, lb;
-    for (NameId label : na.labels) la.push_back(a.NameText(label));
-    for (NameId label : nb.labels) lb.push_back(b.NameText(label));
+    for (NameId label : a.labels(v)) la.push_back(a.NameText(label));
+    for (NameId label : b.labels(v)) lb.push_back(b.NameText(label));
     std::sort(la.begin(), la.end());
     std::sort(lb.begin(), lb.end());
     if (la != lb) return fail(v, "labels");
-    if (na.attributes.size() != nb.attributes.size()) {
+    if (a.attribute_count(v) != b.attribute_count(v)) {
       return fail(v, "attribute count");
     }
-    for (size_t i = 0; i < na.attributes.size(); ++i) {
-      if (na.attributes[i].name != nb.attributes[i].name ||
-          na.attributes[i].value != nb.attributes[i].value) {
-        return fail(v, "attribute " + na.attributes[i].name);
+    for (int32_t i = 0; i < a.attribute_count(v); ++i) {
+      const xml::AttributeRef aa = a.attribute(v, i);
+      const xml::AttributeRef ab = b.attribute(v, i);
+      if (aa.name != ab.name || aa.value != ab.value) {
+        return fail(v, "attribute " + std::string(aa.name));
       }
     }
   }

@@ -9,6 +9,10 @@ TreeBuilder::TreeBuilder(std::string_view root_tag) {
   nodes_.push_back(PendingNode{std::string(root_tag), {}, {}, {}, {}});
 }
 
+void TreeBuilder::Reserve(int32_t node_count) {
+  if (node_count > 0) nodes_.reserve(static_cast<size_t>(node_count));
+}
+
 TreeBuilder::PendingNode& TreeBuilder::At(BuildNodeId id) {
   GKX_CHECK(id >= 0 && id < size());
   return nodes_[static_cast<size_t>(id)];
@@ -51,7 +55,19 @@ void TreeBuilder::AddAttribute(BuildNodeId node, std::string_view name,
 
 Document TreeBuilder::Build() && {
   Document doc;
-  doc.nodes_.reserve(nodes_.size());
+  Document::Owned& a = doc.owned_;
+  const size_t n = nodes_.size();
+  a.parent.reserve(n);
+  a.first_child.reserve(n);
+  a.last_child.reserve(n);
+  a.prev_sibling.reserve(n);
+  a.next_sibling.reserve(n);
+  a.subtree_size.reserve(n);
+  a.depth.reserve(n);
+  a.tag.reserve(n);
+  a.text_span.reserve(n);
+  a.label_span.reserve(n);
+  a.attr_span.reserve(n);
 
   // Iterative preorder DFS: documents can be deep chains (the reductions
   // build Θ(n)-deep spines), so no recursion.
@@ -60,6 +76,7 @@ Document TreeBuilder::Build() && {
     NodeId parent;
     int32_t depth;
   };
+  std::vector<NameId> label_ids;
   std::vector<Frame> stack;
   stack.push_back(Frame{0, kNullNode, 0});
   while (!stack.empty()) {
@@ -67,31 +84,48 @@ Document TreeBuilder::Build() && {
     stack.pop_back();
     PendingNode& pending = nodes_[static_cast<size_t>(frame.build_id)];
 
-    NodeId id = static_cast<NodeId>(doc.nodes_.size());
-    doc.nodes_.emplace_back();
-    Node& node = doc.nodes_.back();
-    node.parent = frame.parent;
-    node.depth = frame.depth;
-    node.tag = doc.InternName(pending.tag);
-    node.text = std::move(pending.text);
-    node.attributes = std::move(pending.attributes);
+    const NodeId id = static_cast<NodeId>(a.parent.size());
+    a.parent.push_back(frame.parent);
+    a.first_child.push_back(kNullNode);
+    a.last_child.push_back(kNullNode);
+    a.prev_sibling.push_back(kNullNode);
+    a.next_sibling.push_back(kNullNode);
+    a.subtree_size.push_back(1);
+    a.depth.push_back(frame.depth);
+    const NameId tag = doc.InternName(pending.tag);
+    a.tag.push_back(tag);
+
+    a.text_span.push_back(doc.AppendHeapBytes(pending.text));
+
+    label_ids.clear();
     for (const std::string& label : pending.labels) {
       NameId name = doc.InternName(label);
-      if (name != node.tag) node.labels.push_back(name);
+      if (name != tag) label_ids.push_back(name);
     }
-    std::sort(node.labels.begin(), node.labels.end());
-    node.labels.erase(std::unique(node.labels.begin(), node.labels.end()),
-                      node.labels.end());
+    std::sort(label_ids.begin(), label_ids.end());
+    label_ids.erase(std::unique(label_ids.begin(), label_ids.end()),
+                    label_ids.end());
+    a.label_span.push_back(
+        PayloadSpan{static_cast<uint32_t>(a.label_pool.size()),
+                    static_cast<uint32_t>(label_ids.size())});
+    a.label_pool.insert(a.label_pool.end(), label_ids.begin(), label_ids.end());
+
+    a.attr_span.push_back(
+        PayloadSpan{static_cast<uint32_t>(a.attr_pool.size()),
+                    static_cast<uint32_t>(pending.attributes.size())});
+    for (const Attribute& attr : pending.attributes) {
+      a.attr_pool.push_back(doc.MakeAttrEntry(attr.name, attr.value));
+    }
 
     if (frame.parent != kNullNode) {
-      Node& parent = doc.nodes_[static_cast<size_t>(frame.parent)];
-      if (parent.first_child == kNullNode) {
-        parent.first_child = id;
+      const size_t p = static_cast<size_t>(frame.parent);
+      if (a.first_child[p] == kNullNode) {
+        a.first_child[p] = id;
       } else {
-        doc.nodes_[static_cast<size_t>(parent.last_child)].next_sibling = id;
-        node.prev_sibling = parent.last_child;
+        a.next_sibling[static_cast<size_t>(a.last_child[p])] = id;
+        a.prev_sibling[static_cast<size_t>(id)] = a.last_child[p];
       }
-      parent.last_child = id;
+      a.last_child[p] = id;
     }
 
     // Push children in reverse so they pop in document order.
@@ -102,10 +136,11 @@ Document TreeBuilder::Build() && {
 
   // subtree_size: children have larger preorder ids, so a reverse sweep
   // accumulates sizes bottom-up.
-  for (NodeId v = static_cast<NodeId>(doc.nodes_.size()) - 1; v > 0; --v) {
-    doc.nodes_[static_cast<size_t>(doc.nodes_[static_cast<size_t>(v)].parent)]
-        .subtree_size += doc.nodes_[static_cast<size_t>(v)].subtree_size;
+  for (NodeId v = static_cast<NodeId>(a.parent.size()) - 1; v > 0; --v) {
+    a.subtree_size[static_cast<size_t>(a.parent[static_cast<size_t>(v)])] +=
+        a.subtree_size[static_cast<size_t>(v)];
   }
+  doc.SealViews();
   return doc;
 }
 

@@ -31,6 +31,9 @@ class TreeBuilder {
   /// Handle of the root element.
   BuildNodeId root() const { return 0; }
 
+  /// Pre-reserves capacity for `node_count` nodes (parser pre-scan sizing).
+  void Reserve(int32_t node_count);
+
   /// Appends a new last child with the given tag; returns its handle.
   BuildNodeId AddChild(BuildNodeId parent, std::string_view tag);
 

@@ -18,14 +18,81 @@ NameId Document::InternName(std::string_view name) {
   return id;
 }
 
-bool Document::NodeHasName(NodeId id, NameId name) const {
-  const Node& n = node(id);
-  if (n.tag == name) return true;
-  return std::binary_search(n.labels.begin(), n.labels.end(), name);
+PayloadSpan Document::AppendHeapBytes(std::string_view bytes) {
+  GKX_CHECK(mapping_ == nullptr);
+  GKX_CHECK(owned_.heap.size() + bytes.size() <= UINT32_MAX);
+  const PayloadSpan span{static_cast<uint32_t>(owned_.heap.size()),
+                         static_cast<uint32_t>(bytes.size())};
+  owned_.heap.insert(owned_.heap.end(), bytes.begin(), bytes.end());
+  return span;
 }
 
-std::string_view Document::AttributeValue(NodeId id, std::string_view name) const {
-  for (const Attribute& attr : node(id).attributes) {
+AttrEntry Document::MakeAttrEntry(std::string_view name,
+                                  std::string_view value) {
+  const PayloadSpan n = AppendHeapBytes(name);
+  const PayloadSpan v = AppendHeapBytes(value);
+  return AttrEntry{n.offset, n.length, v.offset, v.length};
+}
+
+void Document::SealViews() {
+  GKX_CHECK(mapping_ == nullptr);
+  v_.parent = owned_.parent.data();
+  v_.first_child = owned_.first_child.data();
+  v_.last_child = owned_.last_child.data();
+  v_.prev_sibling = owned_.prev_sibling.data();
+  v_.next_sibling = owned_.next_sibling.data();
+  v_.subtree_size = owned_.subtree_size.data();
+  v_.depth = owned_.depth.data();
+  v_.tag = owned_.tag.data();
+  v_.text_span = owned_.text_span.data();
+  v_.label_span = owned_.label_span.data();
+  v_.attr_span = owned_.attr_span.data();
+  v_.label_pool = owned_.label_pool.data();
+  v_.attr_pool = owned_.attr_pool.data();
+  v_.heap = owned_.heap.data();
+  v_.size = static_cast<int32_t>(owned_.parent.size());
+  v_.label_pool_size = owned_.label_pool.size();
+  v_.attr_pool_size = owned_.attr_pool.size();
+  v_.heap_size = owned_.heap.size();
+}
+
+void Document::CopyFrom(const Document& other) {
+  // Copy through the views, not the owned vectors: this materializes owned
+  // storage whether `other` is owned or mapped.
+  const Views& o = other.v_;
+  const size_t n = static_cast<size_t>(o.size);
+  owned_.parent.assign(o.parent, o.parent + n);
+  owned_.first_child.assign(o.first_child, o.first_child + n);
+  owned_.last_child.assign(o.last_child, o.last_child + n);
+  owned_.prev_sibling.assign(o.prev_sibling, o.prev_sibling + n);
+  owned_.next_sibling.assign(o.next_sibling, o.next_sibling + n);
+  owned_.subtree_size.assign(o.subtree_size, o.subtree_size + n);
+  owned_.depth.assign(o.depth, o.depth + n);
+  owned_.tag.assign(o.tag, o.tag + n);
+  owned_.text_span.assign(o.text_span, o.text_span + n);
+  owned_.label_span.assign(o.label_span, o.label_span + n);
+  owned_.attr_span.assign(o.attr_span, o.attr_span + n);
+  owned_.label_pool.assign(o.label_pool, o.label_pool + o.label_pool_size);
+  owned_.attr_pool.assign(o.attr_pool, o.attr_pool + o.attr_pool_size);
+  owned_.heap.assign(o.heap, o.heap + o.heap_size);
+  names_ = other.names_;
+  name_ids_ = other.name_ids_;
+  mapping_.reset();
+  identity_ = IdentitySerial();  // copies are new bind identities
+  SealViews();
+}
+
+bool Document::NodeHasName(NodeId id, NameId name) const {
+  if (tag(id) == name) return true;
+  const std::span<const NameId> l = labels(id);
+  return std::binary_search(l.begin(), l.end(), name);
+}
+
+std::string_view Document::AttributeValue(NodeId id,
+                                          std::string_view name) const {
+  const int32_t count = attribute_count(id);
+  for (int32_t i = 0; i < count; ++i) {
+    const AttributeRef attr = attribute(id, i);
     if (attr.name == name) return attr.value;
   }
   return {};
@@ -33,7 +100,7 @@ std::string_view Document::AttributeValue(NodeId id, std::string_view name) cons
 
 std::vector<NodeId> Document::Children(NodeId id) const {
   std::vector<NodeId> out;
-  for (NodeId c = node(id).first_child; c != kNullNode; c = node(c).next_sibling) {
+  for (NodeId c = first_child(id); c != kNullNode; c = next_sibling(c)) {
     out.push_back(c);
   }
   return out;
@@ -41,7 +108,7 @@ std::vector<NodeId> Document::Children(NodeId id) const {
 
 int32_t Document::ChildCount(NodeId id) const {
   int32_t count = 0;
-  for (NodeId c = node(id).first_child; c != kNullNode; c = node(c).next_sibling) {
+  for (NodeId c = first_child(id); c != kNullNode; c = next_sibling(c)) {
     ++count;
   }
   return count;
@@ -49,47 +116,53 @@ int32_t Document::ChildCount(NodeId id) const {
 
 std::string Document::StringValue(NodeId id) const {
   std::string out;
-  const NodeId end = id + node(id).subtree_size;
-  for (NodeId v = id; v < end; ++v) out += node(v).text;
+  const NodeId end = id + subtree_size(id);
+  for (NodeId v = id; v < end; ++v) out += text(v);
   return out;
 }
 
 DocumentStats Document::Stats() const {
   DocumentStats stats;
   stats.node_count = size();
-  for (const Node& n : nodes_) {
-    stats.max_depth = std::max(stats.max_depth, n.depth);
-    stats.label_count += static_cast<int64_t>(n.labels.size());
-  }
   for (NodeId v = 0; v < size(); ++v) {
+    stats.max_depth = std::max(stats.max_depth, depth(v));
+    stats.label_count += static_cast<int64_t>(labels(v).size());
     stats.max_fanout = std::max(stats.max_fanout, ChildCount(v));
   }
   return stats;
 }
 
+int64_t Document::ArenaBytes() const {
+  const int64_t n = size();
+  return n * static_cast<int64_t>(5 * sizeof(NodeId) + 2 * sizeof(int32_t) +
+                                  sizeof(NameId) + 3 * sizeof(PayloadSpan)) +
+         static_cast<int64_t>(v_.label_pool_size * sizeof(NameId)) +
+         static_cast<int64_t>(v_.attr_pool_size * sizeof(AttrEntry)) +
+         static_cast<int64_t>(v_.heap_size);
+}
+
 bool Document::StructurallyEquals(const Document& other) const {
   if (size() != other.size()) return false;
   for (NodeId v = 0; v < size(); ++v) {
-    const Node& a = node(v);
-    const Node& b = other.node(v);
-    if (a.parent != b.parent || a.text != b.text) return false;
+    if (parent(v) != other.parent(v) || text(v) != other.text(v)) return false;
     if (TagName(v) != other.TagName(v)) return false;
-    if (a.labels.size() != b.labels.size()) return false;
+    const std::span<const NameId> la = labels(v);
+    const std::span<const NameId> lb = other.labels(v);
+    if (la.size() != lb.size()) return false;
     // Labels are sorted by per-document NameId, whose order depends on
     // interning history — compare as sets of names.
     std::vector<std::string_view> a_names;
     std::vector<std::string_view> b_names;
-    for (NameId name : a.labels) a_names.push_back(NameText(name));
-    for (NameId name : b.labels) b_names.push_back(other.NameText(name));
+    for (NameId name : la) a_names.push_back(NameText(name));
+    for (NameId name : lb) b_names.push_back(other.NameText(name));
     std::sort(a_names.begin(), a_names.end());
     std::sort(b_names.begin(), b_names.end());
     if (a_names != b_names) return false;
-    if (a.attributes.size() != b.attributes.size()) return false;
-    for (size_t i = 0; i < a.attributes.size(); ++i) {
-      if (a.attributes[i].name != b.attributes[i].name ||
-          a.attributes[i].value != b.attributes[i].value) {
-        return false;
-      }
+    if (attribute_count(v) != other.attribute_count(v)) return false;
+    for (int32_t i = 0; i < attribute_count(v); ++i) {
+      const AttributeRef a = attribute(v, i);
+      const AttributeRef b = other.attribute(v, i);
+      if (a.name != b.name || a.value != b.value) return false;
     }
   }
   return true;

@@ -12,7 +12,7 @@ namespace {
 /// exactly the region's contribution to every enclosing string-value.
 std::string RegionText(const Document& doc, NodeId begin, int32_t count) {
   std::string out;
-  for (NodeId v = begin; v < begin + count; ++v) out += doc.node(v).text;
+  for (NodeId v = begin; v < begin + count; ++v) out += doc.text(v);
   return out;
 }
 
@@ -22,9 +22,9 @@ std::vector<std::string> RegionNames(const Document& doc, NodeId begin,
                                      int32_t count) {
   std::vector<NameId> ids;
   for (NodeId v = begin; v < begin + count; ++v) {
-    const Node& node = doc.node(v);
-    ids.push_back(node.tag);
-    ids.insert(ids.end(), node.labels.begin(), node.labels.end());
+    ids.push_back(doc.tag(v));
+    const std::span<const NameId> labels = doc.labels(v);
+    ids.insert(ids.end(), labels.begin(), labels.end());
   }
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
@@ -59,7 +59,7 @@ std::string DocumentDelta::ToString() const {
   return out.str();
 }
 
-/// Friend of Document: performs the splice with direct node-array access.
+/// Friend of Document: performs the splice with direct column access.
 class EditSplicer {
  public:
   static Result<Document> Apply(const Document& doc, const SubtreeEdit& edit,
@@ -73,7 +73,75 @@ class EditSplicer {
   static Document Splice(const Document& doc, NodeId r, int32_t old_count,
                          const Document* sub, NodeId parent, NodeId prev,
                          NodeId next, int32_t root_depth);
+
+  /// Id-stable clone (kSetText/kRelabel): dense columns are copied verbatim
+  /// while the payload pools are rebuilt compactly, so a churn of text edits
+  /// cannot accumulate orphaned heap bytes. `text_override`/`tag_override`
+  /// (nullable) apply to `target`.
+  static Document CloneCompacted(const Document& doc, NodeId target,
+                                 const std::string* text_override,
+                                 const std::string* tag_override);
 };
+
+Document EditSplicer::CloneCompacted(const Document& doc, NodeId target,
+                                     const std::string* text_override,
+                                     const std::string* tag_override) {
+  const int32_t n = doc.size();
+  Document out;
+  out.names_ = doc.names_;
+  out.name_ids_ = doc.name_ids_;
+  Document::Owned& a = out.owned_;
+  const Document::Views& o = doc.v_;
+
+  // Dense link/meta columns are unchanged by id-stable edits.
+  a.parent.assign(o.parent, o.parent + n);
+  a.first_child.assign(o.first_child, o.first_child + n);
+  a.last_child.assign(o.last_child, o.last_child + n);
+  a.prev_sibling.assign(o.prev_sibling, o.prev_sibling + n);
+  a.next_sibling.assign(o.next_sibling, o.next_sibling + n);
+  a.subtree_size.assign(o.subtree_size, o.subtree_size + n);
+  a.depth.assign(o.depth, o.depth + n);
+  a.tag.assign(o.tag, o.tag + n);
+
+  const NameId new_tag =
+      tag_override ? out.InternName(*tag_override) : kNoName;
+  if (tag_override) a.tag[static_cast<size_t>(target)] = new_tag;
+
+  a.text_span.reserve(static_cast<size_t>(n));
+  a.label_span.reserve(static_cast<size_t>(n));
+  a.attr_span.reserve(static_cast<size_t>(n));
+  a.label_pool.reserve(o.label_pool_size);
+  a.heap.reserve(o.heap_size);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::string_view text =
+        (text_override && v == target) ? std::string_view(*text_override)
+                                       : doc.text(v);
+    a.text_span.push_back(out.AppendHeapBytes(text));
+
+    const std::span<const NameId> labels = doc.labels(v);
+    const uint32_t label_start = static_cast<uint32_t>(a.label_pool.size());
+    for (NameId label : labels) {
+      // Keep the tag/labels disjointness invariant: if the new tag was an
+      // extra label of the relabelled node, it is now redundant.
+      if (tag_override && v == target && label == new_tag) continue;
+      a.label_pool.push_back(label);
+    }
+    a.label_span.push_back(PayloadSpan{
+        label_start,
+        static_cast<uint32_t>(a.label_pool.size()) - label_start});
+
+    const uint32_t attr_start = static_cast<uint32_t>(a.attr_pool.size());
+    const int32_t attr_count = doc.attribute_count(v);
+    for (int32_t i = 0; i < attr_count; ++i) {
+      const AttributeRef attr = doc.attribute(v, i);
+      a.attr_pool.push_back(out.MakeAttrEntry(attr.name, attr.value));
+    }
+    a.attr_span.push_back(
+        PayloadSpan{attr_start, static_cast<uint32_t>(attr_count)});
+  }
+  out.SealViews();
+  return out;
+}
 
 Result<Document> EditSplicer::Apply(const Document& doc,
                                     const SubtreeEdit& edit,
@@ -88,14 +156,11 @@ Result<Document> EditSplicer::Apply(const Document& doc,
       if (edit.target < 0 || edit.target >= doc.size()) {
         return InvalidArgumentError("SetText target out of range");
       }
-      Document out = doc;
-      Node& node = out.nodes_[static_cast<size_t>(edit.target)];
       d.begin = edit.target;
       d.old_count = d.new_count = 1;
       d.ids_stable = true;
-      d.content_changed = node.text != edit.text;
-      node.text = edit.text;
-      return out;
+      d.content_changed = doc.text(edit.target) != edit.text;
+      return CloneCompacted(doc, edit.target, &edit.text, nullptr);
     }
 
     case SubtreeEdit::Kind::kRelabel: {
@@ -105,20 +170,13 @@ Result<Document> EditSplicer::Apply(const Document& doc,
       if (edit.label.empty()) {
         return InvalidArgumentError("Relabel needs a non-empty tag");
       }
-      Document out = doc;
-      Node& node = out.nodes_[static_cast<size_t>(edit.target)];
       d.begin = edit.target;
       d.old_count = d.new_count = 1;
       d.ids_stable = true;
       d.content_changed = false;
-      d.old_names = {std::string(doc.NameText(node.tag))};
+      d.old_names = {std::string(doc.TagName(edit.target))};
       d.new_names = {edit.label};
-      node.tag = out.InternName(edit.label);
-      // Keep the tag/labels disjointness invariant: if the new tag was an
-      // extra label, it is now redundant.
-      auto dup = std::find(node.labels.begin(), node.labels.end(), node.tag);
-      if (dup != node.labels.end()) node.labels.erase(dup);
-      return out;
+      return CloneCompacted(doc, edit.target, nullptr, &edit.label);
     }
 
     case SubtreeEdit::Kind::kReplaceSubtree: {
@@ -128,18 +186,17 @@ Result<Document> EditSplicer::Apply(const Document& doc,
       if (edit.subtree.empty()) {
         return InvalidArgumentError("ReplaceSubtree needs a non-empty subtree");
       }
-      const Node& old_root = doc.node(edit.target);
       d.begin = edit.target;
-      d.old_count = old_root.subtree_size;
+      d.old_count = doc.subtree_size(edit.target);
       d.new_count = edit.subtree.size();
       d.ids_stable = false;
       d.content_changed = RegionText(doc, d.begin, d.old_count) !=
                           RegionText(edit.subtree, 0, d.new_count);
       d.old_names = RegionNames(doc, d.begin, d.old_count);
       d.new_names = RegionNames(edit.subtree, 0, d.new_count);
-      return Splice(doc, d.begin, d.old_count, &edit.subtree, old_root.parent,
-                    old_root.prev_sibling, old_root.next_sibling,
-                    old_root.depth);
+      return Splice(doc, d.begin, d.old_count, &edit.subtree,
+                    doc.parent(edit.target), doc.prev_sibling(edit.target),
+                    doc.next_sibling(edit.target), doc.depth(edit.target));
     }
 
     case SubtreeEdit::Kind::kRemoveSubtree: {
@@ -147,16 +204,15 @@ Result<Document> EditSplicer::Apply(const Document& doc,
         return InvalidArgumentError(
             "RemoveSubtree target must be a non-root node");
       }
-      const Node& old_root = doc.node(edit.target);
       d.begin = edit.target;
-      d.old_count = old_root.subtree_size;
+      d.old_count = doc.subtree_size(edit.target);
       d.new_count = 0;
       d.ids_stable = false;
       d.content_changed = !RegionText(doc, d.begin, d.old_count).empty();
       d.old_names = RegionNames(doc, d.begin, d.old_count);
-      return Splice(doc, d.begin, d.old_count, nullptr, old_root.parent,
-                    old_root.prev_sibling, old_root.next_sibling,
-                    old_root.depth);
+      return Splice(doc, d.begin, d.old_count, nullptr,
+                    doc.parent(edit.target), doc.prev_sibling(edit.target),
+                    doc.next_sibling(edit.target), doc.depth(edit.target));
     }
 
     case SubtreeEdit::Kind::kInsertSubtree: {
@@ -166,21 +222,21 @@ Result<Document> EditSplicer::Apply(const Document& doc,
       if (edit.subtree.empty()) {
         return InvalidArgumentError("InsertSubtree needs a non-empty subtree");
       }
-      const Node& parent = doc.node(edit.target);
       const int32_t child_count = doc.ChildCount(edit.target);
       if (edit.position < 0 || edit.position > child_count) {
         return InvalidArgumentError("InsertSubtree position out of range");
       }
       // The new subtree's preorder slot: right before the position-th child,
       // or (appending) right after the parent's whole subtree interval.
-      NodeId next = parent.first_child;
+      NodeId next = doc.first_child(edit.target);
       NodeId prev = kNullNode;
       for (int32_t i = 0; i < edit.position; ++i) {
         prev = next;
-        next = doc.node(next).next_sibling;
+        next = doc.next_sibling(next);
       }
-      const NodeId r = next != kNullNode ? next
-                                         : edit.target + parent.subtree_size;
+      const NodeId r = next != kNullNode
+                           ? next
+                           : edit.target + doc.subtree_size(edit.target);
       d.begin = r;
       d.old_count = 0;
       d.new_count = edit.subtree.size();
@@ -188,7 +244,7 @@ Result<Document> EditSplicer::Apply(const Document& doc,
       d.content_changed = !RegionText(edit.subtree, 0, d.new_count).empty();
       d.new_names = RegionNames(edit.subtree, 0, d.new_count);
       return Splice(doc, r, 0, &edit.subtree, edit.target, prev, next,
-                    parent.depth + 1);
+                    doc.depth(edit.target) + 1);
     }
   }
   return InternalError("unreachable edit kind");
@@ -200,6 +256,7 @@ Document EditSplicer::Splice(const Document& doc, NodeId r, int32_t old_count,
   const int32_t new_count = sub ? sub->size() : 0;
   const int32_t shift = new_count - old_count;
   const NodeId old_end = r + old_count;
+  const size_t out_size = static_cast<size_t>(doc.size() + shift);
 
   Document out;
   // Old pool first (surviving NameIds are identity-mapped), then the
@@ -224,94 +281,133 @@ Document EditSplicer::Splice(const Document& doc, NodeId r, int32_t old_count,
     GKX_CHECK(id == r);  // interior region nodes are unreachable from outside
     return r;
   };
-
-  out.nodes_.reserve(static_cast<size_t>(doc.size() + shift));
-
-  // Prefix [0, r): verbatim except for remapped links.
-  for (NodeId v = 0; v < r; ++v) {
-    const Node& src = doc.nodes_[static_cast<size_t>(v)];
-    Node node = src;
-    node.parent = remap(src.parent);
-    node.first_child = remap(src.first_child);
-    node.last_child = remap(src.last_child);
-    node.prev_sibling = remap(src.prev_sibling);
-    node.next_sibling = remap(src.next_sibling);
-    out.nodes_.push_back(std::move(node));
-  }
-
-  // Region: the spliced-in subtree, re-based to ids [r, r+new_count).
   auto rebase = [&](NodeId id) -> NodeId {
     return id == kNullNode ? kNullNode : r + id;
   };
-  for (NodeId i = 0; i < new_count; ++i) {
-    const Node& src = sub->nodes_[static_cast<size_t>(i)];
-    Node node;
-    node.parent = i == 0 ? parent : rebase(src.parent);
-    node.first_child = rebase(src.first_child);
-    node.last_child = rebase(src.last_child);
-    node.prev_sibling = i == 0 ? prev : rebase(src.prev_sibling);
-    node.next_sibling = i == 0 ? remap(next) : rebase(src.next_sibling);
-    node.subtree_size = src.subtree_size;
-    node.depth = root_depth + src.depth;
-    node.tag = sub_name_map[static_cast<size_t>(src.tag)];
-    node.labels.reserve(src.labels.size());
-    for (NameId label : src.labels) {
-      node.labels.push_back(sub_name_map[static_cast<size_t>(label)]);
+
+  Document::Owned& a = out.owned_;
+  a.parent.reserve(out_size);
+  a.first_child.reserve(out_size);
+  a.last_child.reserve(out_size);
+  a.prev_sibling.reserve(out_size);
+  a.next_sibling.reserve(out_size);
+  a.subtree_size.reserve(out_size);
+  a.depth.reserve(out_size);
+  a.tag.reserve(out_size);
+  a.text_span.reserve(out_size);
+  a.label_span.reserve(out_size);
+  a.attr_span.reserve(out_size);
+
+  // Payloads are re-appended compactly into the output's own pools; the
+  // surviving part needs no name translation, the region goes through
+  // sub_name_map.
+  std::vector<NameId> mapped_labels;
+  auto append_payload = [&](const Document& src, NodeId v, bool map_names) {
+    a.text_span.push_back(out.AppendHeapBytes(src.text(v)));
+
+    const std::span<const NameId> labels = src.labels(v);
+    const uint32_t label_start = static_cast<uint32_t>(a.label_pool.size());
+    if (map_names) {
+      mapped_labels.clear();
+      for (NameId label : labels) {
+        mapped_labels.push_back(sub_name_map[static_cast<size_t>(label)]);
+      }
+      std::sort(mapped_labels.begin(), mapped_labels.end());
+      a.label_pool.insert(a.label_pool.end(), mapped_labels.begin(),
+                          mapped_labels.end());
+    } else {
+      a.label_pool.insert(a.label_pool.end(), labels.begin(), labels.end());
     }
-    std::sort(node.labels.begin(), node.labels.end());
-    node.attributes = src.attributes;
-    node.text = src.text;
-    out.nodes_.push_back(std::move(node));
+    a.label_span.push_back(
+        PayloadSpan{label_start, static_cast<uint32_t>(labels.size())});
+
+    const uint32_t attr_start = static_cast<uint32_t>(a.attr_pool.size());
+    const int32_t attr_count = src.attribute_count(v);
+    for (int32_t i = 0; i < attr_count; ++i) {
+      const AttributeRef attr = src.attribute(v, i);
+      a.attr_pool.push_back(out.MakeAttrEntry(attr.name, attr.value));
+    }
+    a.attr_span.push_back(
+        PayloadSpan{attr_start, static_cast<uint32_t>(attr_count)});
+  };
+
+  // Prefix [0, r): verbatim except for remapped links.
+  for (NodeId v = 0; v < r; ++v) {
+    a.parent.push_back(remap(doc.parent(v)));
+    a.first_child.push_back(remap(doc.first_child(v)));
+    a.last_child.push_back(remap(doc.last_child(v)));
+    a.prev_sibling.push_back(remap(doc.prev_sibling(v)));
+    a.next_sibling.push_back(remap(doc.next_sibling(v)));
+    a.subtree_size.push_back(doc.subtree_size(v));
+    a.depth.push_back(doc.depth(v));
+    a.tag.push_back(doc.tag(v));
+    append_payload(doc, v, /*map_names=*/false);
+  }
+
+  // Region: the spliced-in subtree, re-based to ids [r, r+new_count).
+  for (NodeId i = 0; i < new_count; ++i) {
+    a.parent.push_back(i == 0 ? parent : rebase(sub->parent(i)));
+    a.first_child.push_back(rebase(sub->first_child(i)));
+    a.last_child.push_back(rebase(sub->last_child(i)));
+    a.prev_sibling.push_back(i == 0 ? prev : rebase(sub->prev_sibling(i)));
+    a.next_sibling.push_back(i == 0 ? remap(next)
+                                    : rebase(sub->next_sibling(i)));
+    a.subtree_size.push_back(sub->subtree_size(i));
+    a.depth.push_back(root_depth + sub->depth(i));
+    a.tag.push_back(sub_name_map[static_cast<size_t>(sub->tag(i))]);
+    append_payload(*sub, i, /*map_names=*/true);
   }
 
   // Suffix [old_end, |D|): verbatim except for remapped links; depths and
   // subtree sizes of nodes outside the region and off the ancestor chain
   // are untouched by a sibling-subtree splice.
   for (NodeId v = old_end; v < doc.size(); ++v) {
-    const Node& src = doc.nodes_[static_cast<size_t>(v)];
-    Node node = src;
-    node.parent = remap(src.parent);
-    node.first_child = remap(src.first_child);
-    node.last_child = remap(src.last_child);
-    node.prev_sibling = remap(src.prev_sibling);
-    node.next_sibling = remap(src.next_sibling);
-    out.nodes_.push_back(std::move(node));
+    a.parent.push_back(remap(doc.parent(v)));
+    a.first_child.push_back(remap(doc.first_child(v)));
+    a.last_child.push_back(remap(doc.last_child(v)));
+    a.prev_sibling.push_back(remap(doc.prev_sibling(v)));
+    a.next_sibling.push_back(remap(doc.next_sibling(v)));
+    a.subtree_size.push_back(doc.subtree_size(v));
+    a.depth.push_back(doc.depth(v));
+    a.tag.push_back(doc.tag(v));
+    append_payload(doc, v, /*map_names=*/false);
   }
 
   // Ancestors of the region absorb the size shift (all precede r).
-  for (NodeId a = parent; a != kNullNode; a = doc.node(a).parent) {
-    out.nodes_[static_cast<size_t>(a)].subtree_size += shift;
+  for (NodeId anc = parent; anc != kNullNode; anc = doc.parent(anc)) {
+    a.subtree_size[static_cast<size_t>(anc)] += shift;
   }
 
   // Explicit wiring of the links that referenced the old region root.
   if (sub == nullptr) {
     // Removal: the parent's child list and the adjacent siblings bypass r.
-    Node& p = out.nodes_[static_cast<size_t>(parent)];
-    if (doc.node(parent).first_child == r) p.first_child = remap(next);
-    if (doc.node(parent).last_child == r) p.last_child = prev;
+    const size_t p = static_cast<size_t>(parent);
+    if (doc.first_child(parent) == r) a.first_child[p] = remap(next);
+    if (doc.last_child(parent) == r) a.last_child[p] = prev;
     if (prev != kNullNode) {
-      out.nodes_[static_cast<size_t>(prev)].next_sibling = remap(next);
+      a.next_sibling[static_cast<size_t>(prev)] = remap(next);
     }
     if (next != kNullNode) {
-      out.nodes_[static_cast<size_t>(remap(next))].prev_sibling = prev;
+      a.prev_sibling[static_cast<size_t>(remap(next))] = prev;
     }
   } else if (old_count == 0) {
     // Insertion: the new root slots in between prev and next.
-    Node& p = out.nodes_[static_cast<size_t>(parent)];
+    const size_t p = static_cast<size_t>(parent);
     if (prev == kNullNode) {
-      p.first_child = r;
+      a.first_child[p] = r;
     } else {
-      out.nodes_[static_cast<size_t>(prev)].next_sibling = r;
+      a.next_sibling[static_cast<size_t>(prev)] = r;
     }
     if (next == kNullNode) {
-      p.last_child = r;
+      a.last_child[p] = r;
     } else {
-      out.nodes_[static_cast<size_t>(remap(next))].prev_sibling = r;
+      a.prev_sibling[static_cast<size_t>(remap(next))] = r;
     }
   }
   // Replacement: the new root already occupies id r, which every
   // surrounding link was remapped to.
 
+  out.SealViews();
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "xml/index.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace gkx::xml {
 
@@ -15,23 +16,40 @@ DocumentIndex::DocumentIndex(const Document& doc) : doc_(&doc) {
   // One preorder pass; node ids ascend, so each posting list is born sorted.
   NameId max_name = kNoName;
   for (NodeId v = 0; v < doc.size(); ++v) {
-    const Node& node = doc.node(v);
-    max_name = std::max(max_name, node.tag);
-    for (NameId label : node.labels) max_name = std::max(max_name, label);
+    max_name = std::max(max_name, doc.tag(v));
+    for (NameId label : doc.labels(v)) max_name = std::max(max_name, label);
   }
   by_name_.resize(static_cast<size_t>(max_name + 1));
   for (NodeId v = 0; v < doc.size(); ++v) {
-    const Node& node = doc.node(v);
-    by_name_[static_cast<size_t>(node.tag)].push_back(v);
+    by_name_[static_cast<size_t>(doc.tag(v))].push_back(v);
     ++posting_count_;
-    for (NameId label : node.labels) {
+    for (NameId label : doc.labels(v)) {
       by_name_[static_cast<size_t>(label)].push_back(v);
       ++posting_count_;
     }
-    for (const Attribute& attribute : node.attributes) {
-      by_attribute_[attribute.name].push_back(v);
+    const int32_t attr_count = doc.attribute_count(v);
+    for (int32_t i = 0; i < attr_count; ++i) {
+      by_attribute_[std::string(doc.attribute(v, i).name)].push_back(v);
       ++posting_count_;
     }
+  }
+  for (NameId name = 0; name < static_cast<NameId>(by_name_.size()); ++name) {
+    if (!by_name_[static_cast<size_t>(name)].empty()) {
+      name_set_.emplace_back(doc.NameText(name));
+    }
+  }
+  std::sort(name_set_.begin(), name_set_.end());
+}
+
+DocumentIndex::DocumentIndex(const Document& doc, Prebuilt prebuilt)
+    : doc_(&doc),
+      by_name_(std::move(prebuilt.by_name)),
+      by_attribute_(std::move(prebuilt.by_attribute)) {
+  for (const std::vector<NodeId>& postings : by_name_) {
+    posting_count_ += static_cast<int64_t>(postings.size());
+  }
+  for (const auto& [attribute, postings] : by_attribute_) {
+    posting_count_ += static_cast<int64_t>(postings.size());
   }
   for (NameId name = 0; name < static_cast<NameId>(by_name_.size()); ++name) {
     if (!by_name_[static_cast<size_t>(name)].empty()) {
@@ -56,13 +74,13 @@ DocumentIndex::DocumentIndex(const Document& doc,
   std::vector<std::vector<NodeId>> region_by_name(pool);
   std::unordered_map<std::string, std::vector<NodeId>> region_by_attribute;
   for (NodeId v = begin; v < new_end; ++v) {
-    const Node& node = doc.node(v);
-    region_by_name[static_cast<size_t>(node.tag)].push_back(v);
-    for (NameId label : node.labels) {
+    region_by_name[static_cast<size_t>(doc.tag(v))].push_back(v);
+    for (NameId label : doc.labels(v)) {
       region_by_name[static_cast<size_t>(label)].push_back(v);
     }
-    for (const Attribute& attribute : node.attributes) {
-      region_by_attribute[attribute.name].push_back(v);
+    const int32_t attr_count = doc.attribute_count(v);
+    for (int32_t i = 0; i < attr_count; ++i) {
+      region_by_attribute[std::string(doc.attribute(v, i).name)].push_back(v);
     }
   }
 
@@ -131,7 +149,7 @@ const std::vector<NodeId>& DocumentIndex::NodesWithAttribute(
 
 int32_t DocumentIndex::CountWithNameInSubtree(NameId name, NodeId v) const {
   const std::vector<NodeId>& postings = NodesWithName(name);
-  const NodeId limit = v + doc_->node(v).subtree_size;
+  const NodeId limit = v + doc_->subtree_size(v);
   auto lo = std::lower_bound(postings.begin(), postings.end(), v);
   auto hi = std::lower_bound(lo, postings.end(), limit);
   return static_cast<int32_t>(hi - lo);

@@ -18,13 +18,13 @@ void Newline(std::string* out, int width) {
 
 void OpenTag(const Document& doc, NodeId id, const SerializeOptions& options,
              bool self_close, std::string* out) {
-  const Node& node = doc.node(id);
   out->push_back('<');
   out->append(doc.TagName(id));
-  if (!options.labels_attribute.empty() && !node.labels.empty()) {
+  const std::span<const NameId> label_ids = doc.labels(id);
+  if (!options.labels_attribute.empty() && !label_ids.empty()) {
     std::vector<std::string> labels;
-    labels.reserve(node.labels.size());
-    for (NameId label : node.labels) {
+    labels.reserve(label_ids.size());
+    for (NameId label : label_ids) {
       labels.emplace_back(doc.NameText(label));
     }
     out->push_back(' ');
@@ -33,7 +33,9 @@ void OpenTag(const Document& doc, NodeId id, const SerializeOptions& options,
     out->append(EscapeXml(Join(labels, " ")));
     out->push_back('"');
   }
-  for (const Attribute& attr : node.attributes) {
+  const int32_t attr_count = doc.attribute_count(id);
+  for (int32_t i = 0; i < attr_count; ++i) {
+    const AttributeRef attr = doc.attribute(id, i);
     out->push_back(' ');
     out->append(attr.name);
     out->append("=\"");
@@ -61,12 +63,11 @@ std::string SerializeSubtree(const Document& doc, NodeId root,
     bool closing;
   };
   std::vector<Frame> stack = {{root, false}};
-  const int base_depth = doc.node(root).depth;
+  const int base_depth = doc.depth(root);
   while (!stack.empty()) {
     Frame frame = stack.back();
     stack.pop_back();
-    const Node& node = doc.node(frame.node);
-    const int level = node.depth - base_depth;
+    const int level = doc.depth(frame.node) - base_depth;
     if (frame.closing) {
       Indent(&out, level, options.indent);
       out.append("</");
@@ -76,23 +77,25 @@ std::string SerializeSubtree(const Document& doc, NodeId root,
       continue;
     }
 
+    const std::string_view text = doc.text(frame.node);
+    const NodeId first_child = doc.first_child(frame.node);
     Indent(&out, level, options.indent);
-    if (node.text.empty() && node.first_child == kNullNode) {
+    if (text.empty() && first_child == kNullNode) {
       OpenTag(doc, frame.node, options, /*self_close=*/true, &out);
       Newline(&out, options.indent);
       continue;
     }
     OpenTag(doc, frame.node, options, /*self_close=*/false, &out);
-    if (node.first_child == kNullNode) {
+    if (first_child == kNullNode) {
       // Text-only element, kept on one line.
-      out.append(EscapeXml(node.text));
+      out.append(EscapeXml(text));
       out.append("</");
       out.append(doc.TagName(frame.node));
       out.push_back('>');
       Newline(&out, options.indent);
       continue;
     }
-    if (!node.text.empty()) out.append(EscapeXml(node.text));
+    if (!text.empty()) out.append(EscapeXml(text));
     Newline(&out, options.indent);
     stack.push_back(Frame{frame.node, true});
     // Children in reverse so they pop in document order.

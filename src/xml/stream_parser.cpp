@@ -1,0 +1,161 @@
+#include "xml/stream_parser.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xml/parser_core.hpp"
+
+namespace gkx::xml {
+
+/// Event sink building the arena columns and posting lists directly (friend
+/// of Document). Invariants it relies on, guaranteed by the event core:
+/// events are strictly nested, and an element's attribute/label events all
+/// arrive before its first child/text/EndElement event.
+class StreamBuilder {
+ public:
+  explicit StreamBuilder(int32_t reserve_hint) {
+    if (reserve_hint > 0) {
+      const size_t n = static_cast<size_t>(reserve_hint);
+      Document::Owned& a = doc_.owned_;
+      a.parent.reserve(n);
+      a.first_child.reserve(n);
+      a.last_child.reserve(n);
+      a.prev_sibling.reserve(n);
+      a.next_sibling.reserve(n);
+      a.subtree_size.reserve(n);
+      a.depth.reserve(n);
+      a.tag.reserve(n);
+      a.text_span.reserve(n);
+      a.label_span.reserve(n);
+      a.attr_span.reserve(n);
+    }
+  }
+
+  void StartElement(std::string_view tag) {
+    FlushLabels();
+    Document::Owned& a = doc_.owned_;
+    const NodeId id = static_cast<NodeId>(a.parent.size());
+    const NodeId parent = depth_ == 0 ? kNullNode : open_ids_[depth_ - 1];
+
+    a.parent.push_back(parent);
+    a.first_child.push_back(kNullNode);
+    a.last_child.push_back(kNullNode);
+    a.prev_sibling.push_back(kNullNode);
+    a.next_sibling.push_back(kNullNode);
+    a.subtree_size.push_back(1);  // finalized at EndElement
+    a.depth.push_back(depth_);
+    const NameId tag_id = doc_.InternName(tag);
+    a.tag.push_back(tag_id);
+    a.text_span.push_back(PayloadSpan{});   // finalized at EndElement
+    a.label_span.push_back(PayloadSpan{});  // finalized at FlushLabels
+    a.attr_span.push_back(
+        PayloadSpan{static_cast<uint32_t>(a.attr_pool.size()), 0});
+
+    if (parent != kNullNode) {
+      const size_t p = static_cast<size_t>(parent);
+      if (a.first_child[p] == kNullNode) {
+        a.first_child[p] = id;
+      } else {
+        a.next_sibling[static_cast<size_t>(a.last_child[p])] = id;
+        a.prev_sibling[static_cast<size_t>(id)] = a.last_child[p];
+      }
+      a.last_child[p] = id;
+    }
+
+    PostName(tag_id, id);
+    labels_node_ = id;
+
+    if (open_ids_.size() == static_cast<size_t>(depth_)) {
+      open_ids_.push_back(id);
+      open_texts_.emplace_back();
+    } else {
+      open_ids_[static_cast<size_t>(depth_)] = id;
+      open_texts_[static_cast<size_t>(depth_)].clear();
+    }
+    ++depth_;
+  }
+
+  void AddAttribute(std::string_view name, std::string_view value) {
+    Document::Owned& a = doc_.owned_;
+    a.attr_pool.push_back(doc_.MakeAttrEntry(name, value));
+    ++a.attr_span.back().length;
+    postings_.by_attribute[std::string(name)].push_back(labels_node_);
+  }
+
+  void AddLabel(std::string_view label) {
+    pending_labels_.push_back(doc_.InternName(label));
+  }
+
+  void AppendText(std::string_view text) {
+    FlushLabels();
+    open_texts_[static_cast<size_t>(depth_ - 1)] += text;
+  }
+
+  void EndElement() {
+    FlushLabels();
+    Document::Owned& a = doc_.owned_;
+    --depth_;
+    const NodeId id = open_ids_[static_cast<size_t>(depth_)];
+    a.subtree_size[static_cast<size_t>(id)] =
+        static_cast<int32_t>(a.parent.size()) - id;
+    a.text_span[static_cast<size_t>(id)] =
+        doc_.AppendHeapBytes(open_texts_[static_cast<size_t>(depth_)]);
+  }
+
+  StreamParseResult Finish() && {
+    doc_.SealViews();
+    return StreamParseResult{std::move(doc_), std::move(postings_)};
+  }
+
+ private:
+  /// Interns are append-only, so a node's label set is sorted/deduped once,
+  /// when the next event proves no more labels can arrive for it.
+  void FlushLabels() {
+    if (labels_node_ == kNullNode) return;
+    const NodeId id = labels_node_;
+    labels_node_ = kNullNode;
+    if (pending_labels_.empty()) return;
+    Document::Owned& a = doc_.owned_;
+    const NameId tag_id = a.tag[static_cast<size_t>(id)];
+    std::sort(pending_labels_.begin(), pending_labels_.end());
+    pending_labels_.erase(
+        std::unique(pending_labels_.begin(), pending_labels_.end()),
+        pending_labels_.end());
+    const uint32_t start = static_cast<uint32_t>(a.label_pool.size());
+    for (NameId label : pending_labels_) {
+      if (label == tag_id) continue;  // tag/labels stay disjoint
+      a.label_pool.push_back(label);
+      PostName(label, id);
+    }
+    a.label_span[static_cast<size_t>(id)] = PayloadSpan{
+        start, static_cast<uint32_t>(a.label_pool.size()) - start};
+    pending_labels_.clear();
+  }
+
+  void PostName(NameId name, NodeId id) {
+    if (postings_.by_name.size() <= static_cast<size_t>(name)) {
+      postings_.by_name.resize(static_cast<size_t>(name) + 1);
+    }
+    postings_.by_name[static_cast<size_t>(name)].push_back(id);
+  }
+
+  Document doc_;
+  DocumentIndex::Prebuilt postings_;
+  std::vector<NodeId> open_ids_;
+  std::vector<std::string> open_texts_;  // reused across siblings per depth
+  std::vector<NameId> pending_labels_;
+  NodeId labels_node_ = kNullNode;
+  int32_t depth_ = 0;
+};
+
+Result<StreamParseResult> ParseDocumentStream(std::string_view xml,
+                                              const ParseOptions& options) {
+  StreamBuilder sink(parser_internal::EstimateNodeCount(xml));
+  parser_internal::EventParser<StreamBuilder> parser(xml, options, &sink);
+  GKX_RETURN_IF_ERROR(parser.Run());
+  return std::move(sink).Finish();
+}
+
+}  // namespace gkx::xml

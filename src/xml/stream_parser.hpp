@@ -1,0 +1,40 @@
+// One-pass streaming ingestion: parses XML straight into the SoA arena and
+// its DocumentIndex posting lists with no DOM intermediate. Elements appear
+// in the source text in preorder — exactly the order the arena stores them —
+// so the sink appends column entries as tags open, buffers per-open-element
+// text (chunks interleave with child elements), and finalizes subtree sizes
+// as tags close. Posting lists are born sorted because node ids only ascend.
+//
+// The grammar, entity decoding, and error positions are shared with
+// ParseDocument through parser_core.hpp; for any input, the two frontends
+// accept/reject identically and produce testkit::ExhaustiveEquals-identical
+// documents (the differential fuzz suite in xml_fuzz_test enforces this).
+
+#ifndef GKX_XML_STREAM_PARSER_HPP_
+#define GKX_XML_STREAM_PARSER_HPP_
+
+#include <string_view>
+
+#include "base/status.hpp"
+#include "xml/document.hpp"
+#include "xml/index.hpp"
+#include "xml/parser.hpp"
+
+namespace gkx::xml {
+
+/// The arena plus the posting lists built alongside it. Hand `postings` to
+/// DocumentIndex(doc, std::move(postings)) to get a query-ready index
+/// without a second document walk.
+struct StreamParseResult {
+  Document doc;
+  DocumentIndex::Prebuilt postings;
+};
+
+/// Streaming counterpart of ParseDocument: same language, same errors, one
+/// pass, no DOM. Pre-scans the input to reserve the arena columns up front.
+Result<StreamParseResult> ParseDocumentStream(std::string_view xml,
+                                              const ParseOptions& options = {});
+
+}  // namespace gkx::xml
+
+#endif  // GKX_XML_STREAM_PARSER_HPP_

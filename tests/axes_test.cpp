@@ -22,12 +22,12 @@ using xpath::Axis;
 bool BruteContains(const Document& doc, NodeId origin, Axis axis, NodeId u) {
   const bool is_descendant = doc.IsAncestorOrSelf(origin, u) && u != origin;
   const bool is_ancestor = doc.IsAncestorOrSelf(u, origin) && u != origin;
-  const bool same_parent = doc.node(u).parent == doc.node(origin).parent &&
-                           doc.node(origin).parent != xml::kNullNode;
+  const bool same_parent = doc.parent(u) == doc.parent(origin) &&
+                           doc.parent(origin) != xml::kNullNode;
   switch (axis) {
     case Axis::kSelf: return u == origin;
-    case Axis::kChild: return doc.node(u).parent == origin;
-    case Axis::kParent: return doc.node(origin).parent == u;
+    case Axis::kChild: return doc.parent(u) == origin;
+    case Axis::kParent: return doc.parent(origin) == u;
     case Axis::kDescendant: return is_descendant;
     case Axis::kDescendantOrSelf: return is_descendant || u == origin;
     case Axis::kAncestor: return is_ancestor;

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <thread>
 
 #include "base/rng.hpp"
@@ -19,6 +20,7 @@
 #include "service/query_service.hpp"
 #include "xml/generator.hpp"
 #include "xml/parser.hpp"
+#include "xml/snapshot.hpp"
 #include "xpath/parser.hpp"
 
 namespace gkx::service {
@@ -143,6 +145,56 @@ TEST(DocumentStoreTest, UpdateSplicesIndexInsteadOfRebuilding) {
   ASSERT_TRUE(lazy_store.PutXml("a", kDocA).ok());
   ASSERT_TRUE(lazy_store.Update("a", edit).ok());
   EXPECT_FALSE(lazy_store.Get("a")->index_built());
+}
+
+TEST(DocumentStoreTest, PutXmlStreamedAdoptsParseTimeIndex) {
+  DocumentStore store;
+  ASSERT_TRUE(store.PutXmlStreamed("a", kDocA).ok());
+  auto stored = store.Get("a");
+  ASSERT_NE(stored, nullptr);
+  // The index arrived with the parse — no lazy build pending.
+  EXPECT_TRUE(stored->index_built());
+  EXPECT_EQ(stored->index().NodesWithName("b").size(), 3u);
+  // Document and postings match the DOM path exactly.
+  DocumentStore dom_store;
+  ASSERT_TRUE(dom_store.PutXml("a", kDocA).ok());
+  auto dom = dom_store.Get("a");
+  EXPECT_TRUE(stored->doc().StructurallyEquals(dom->doc()));
+  xml::DocumentIndex fresh(stored->doc());
+  for (const std::string& name : fresh.PresentNames()) {
+    EXPECT_EQ(stored->index().NodesWithName(name), fresh.NodesWithName(name))
+        << name;
+  }
+  EXPECT_EQ(stored->NameSet(), fresh.PresentNames());
+  // Streamed parse errors surface like DOM parse errors.
+  EXPECT_FALSE(store.PutXmlStreamed("bad", "<r><unclosed>").ok());
+}
+
+TEST(DocumentStoreTest, PutSnapshotServesFromMapping) {
+  const std::string path = ::testing::TempDir() + "/store_snapshot.gkx";
+  {
+    auto doc = xml::ParseDocument(kDocA);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(xml::SaveSnapshot(*doc, path).ok());
+  }
+  DocumentStore store;
+  ASSERT_TRUE(store.PutSnapshot("a", path).ok());
+  auto stored = store.Get("a");
+  ASSERT_NE(stored, nullptr);
+  EXPECT_TRUE(stored->doc().mapped());
+  EXPECT_EQ(stored->doc().size(), 7);
+  EXPECT_EQ(stored->index().NodesWithName("b").size(), 3u);
+  // Mapped documents still take subtree updates: ApplyEdit materializes.
+  xml::SubtreeEdit edit;
+  edit.kind = xml::SubtreeEdit::Kind::kRemoveSubtree;
+  edit.target = 5;
+  ASSERT_TRUE(store.Update("a", edit).ok());
+  auto after = store.Get("a");
+  EXPECT_FALSE(after->doc().mapped());
+  EXPECT_EQ(after->doc().size(), 5);
+  // Missing files fail cleanly.
+  EXPECT_FALSE(store.PutSnapshot("b", path + ".missing").ok());
+  std::remove(path.c_str());
 }
 
 // ----------------------------------------------------------------- PlanCache

@@ -32,32 +32,32 @@ TEST(DocumentTest, PreorderNumbering) {
 
 TEST(DocumentTest, TreeLinks) {
   Document doc = SampleDoc();
-  EXPECT_EQ(doc.node(0).parent, kNullNode);
-  EXPECT_EQ(doc.node(1).parent, 0);
-  EXPECT_EQ(doc.node(2).parent, 1);
-  EXPECT_EQ(doc.node(4).parent, 0);
-  EXPECT_EQ(doc.node(0).first_child, 1);
-  EXPECT_EQ(doc.node(0).last_child, 4);
-  EXPECT_EQ(doc.node(1).next_sibling, 4);
-  EXPECT_EQ(doc.node(4).prev_sibling, 1);
-  EXPECT_EQ(doc.node(2).next_sibling, 3);
-  EXPECT_EQ(doc.node(3).prev_sibling, 2);
+  EXPECT_EQ(doc.parent(0), kNullNode);
+  EXPECT_EQ(doc.parent(1), 0);
+  EXPECT_EQ(doc.parent(2), 1);
+  EXPECT_EQ(doc.parent(4), 0);
+  EXPECT_EQ(doc.first_child(0), 1);
+  EXPECT_EQ(doc.last_child(0), 4);
+  EXPECT_EQ(doc.next_sibling(1), 4);
+  EXPECT_EQ(doc.prev_sibling(4), 1);
+  EXPECT_EQ(doc.next_sibling(2), 3);
+  EXPECT_EQ(doc.prev_sibling(3), 2);
 }
 
 TEST(DocumentTest, SubtreeSizes) {
   Document doc = SampleDoc();
-  EXPECT_EQ(doc.node(0).subtree_size, 5);
-  EXPECT_EQ(doc.node(1).subtree_size, 3);
-  EXPECT_EQ(doc.node(2).subtree_size, 1);
-  EXPECT_EQ(doc.node(4).subtree_size, 1);
+  EXPECT_EQ(doc.subtree_size(0), 5);
+  EXPECT_EQ(doc.subtree_size(1), 3);
+  EXPECT_EQ(doc.subtree_size(2), 1);
+  EXPECT_EQ(doc.subtree_size(4), 1);
 }
 
 TEST(DocumentTest, Depths) {
   Document doc = SampleDoc();
-  EXPECT_EQ(doc.node(0).depth, 0);
-  EXPECT_EQ(doc.node(1).depth, 1);
-  EXPECT_EQ(doc.node(2).depth, 2);
-  EXPECT_EQ(doc.node(4).depth, 1);
+  EXPECT_EQ(doc.depth(0), 0);
+  EXPECT_EQ(doc.depth(1), 1);
+  EXPECT_EQ(doc.depth(2), 2);
+  EXPECT_EQ(doc.depth(4), 1);
 }
 
 TEST(DocumentTest, ChildrenHelper) {
@@ -89,7 +89,7 @@ TEST(DocumentTest, MultiLabels) {
   EXPECT_TRUE(doc.NodeHasName(1, "I3"));
   EXPECT_FALSE(doc.NodeHasName(1, "R"));
   EXPECT_FALSE(doc.NodeHasName(0, "G"));
-  EXPECT_EQ(doc.node(1).labels.size(), 2u);
+  EXPECT_EQ(doc.labels(1).size(), 2u);
 }
 
 TEST(DocumentTest, LabelEqualToTagIsNotDuplicated) {
@@ -97,7 +97,7 @@ TEST(DocumentTest, LabelEqualToTagIsNotDuplicated) {
   BuildNodeId v = builder.AddChild(builder.root(), "G");
   builder.AddLabel(v, "G");
   Document doc = std::move(builder).Build();
-  EXPECT_TRUE(doc.node(1).labels.empty());
+  EXPECT_TRUE(doc.labels(1).empty());
   EXPECT_TRUE(doc.NodeHasName(1, "G"));
 }
 
@@ -151,7 +151,7 @@ TEST(BuilderTest, AddChain) {
   Document doc = std::move(builder).Build();
   (void)tip;
   ASSERT_EQ(doc.size(), 5);
-  EXPECT_EQ(doc.node(4).depth, 4);
+  EXPECT_EQ(doc.depth(4), 4);
   EXPECT_EQ(doc.Stats().max_depth, 4);
 }
 
@@ -209,27 +209,26 @@ TEST_P(RandomDocInvariantTest, Invariants) {
   ASSERT_EQ(doc.size(), options.node_count);
   int64_t subtree_sum = 0;
   for (NodeId v = 0; v < doc.size(); ++v) {
-    const Node& node = doc.node(v);
-    subtree_sum += node.subtree_size;
+    subtree_sum += doc.subtree_size(v);
     if (v == 0) {
-      EXPECT_EQ(node.parent, kNullNode);
-      EXPECT_EQ(node.depth, 0);
+      EXPECT_EQ(doc.parent(v), kNullNode);
+      EXPECT_EQ(doc.depth(v), 0);
     } else {
-      ASSERT_GE(node.parent, 0);
-      ASSERT_LT(node.parent, v);  // parents precede children in preorder
-      EXPECT_EQ(node.depth, doc.node(node.parent).depth + 1);
-      EXPECT_TRUE(doc.IsAncestorOrSelf(node.parent, v));
+      ASSERT_GE(doc.parent(v), 0);
+      ASSERT_LT(doc.parent(v), v);  // parents precede children in preorder
+      EXPECT_EQ(doc.depth(v), doc.depth(doc.parent(v)) + 1);
+      EXPECT_TRUE(doc.IsAncestorOrSelf(doc.parent(v), v));
     }
     // Children enumeration matches parent pointers.
-    for (NodeId c : doc.Children(v)) EXPECT_EQ(doc.node(c).parent, v);
+    for (NodeId c : doc.Children(v)) EXPECT_EQ(doc.parent(c), v);
     // Subtree range property: nodes in (v, v+size) have v as an ancestor.
-    for (NodeId u = v + 1; u < v + node.subtree_size; ++u) {
+    for (NodeId u = v + 1; u < v + doc.subtree_size(v); ++u) {
       EXPECT_TRUE(doc.IsAncestorOrSelf(v, u));
     }
   }
   // Sum of subtree sizes = sum over nodes of (depth+1).
   int64_t depth_sum = 0;
-  for (NodeId v = 0; v < doc.size(); ++v) depth_sum += doc.node(v).depth + 1;
+  for (NodeId v = 0; v < doc.size(); ++v) depth_sum += doc.depth(v) + 1;
   EXPECT_EQ(subtree_sum, depth_sum);
 }
 

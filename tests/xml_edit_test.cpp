@@ -46,34 +46,33 @@ std::string OneLine(const Document& doc) {
 /// (sizes, depths, link symmetry, preorder layout).
 void ExpectWellFormed(const Document& doc) {
   for (NodeId v = 0; v < doc.size(); ++v) {
-    const Node& node = doc.node(v);
-    ASSERT_GE(node.subtree_size, 1);
-    ASSERT_LE(v + node.subtree_size, doc.size());
+    ASSERT_GE(doc.subtree_size(v), 1);
+    ASSERT_LE(v + doc.subtree_size(v), doc.size());
     if (v == 0) {
-      ASSERT_EQ(node.parent, kNullNode);
-      ASSERT_EQ(node.depth, 0);
-      ASSERT_EQ(node.subtree_size, doc.size());
+      ASSERT_EQ(doc.parent(v), kNullNode);
+      ASSERT_EQ(doc.depth(v), 0);
+      ASSERT_EQ(doc.subtree_size(v), doc.size());
     } else {
-      ASSERT_GE(node.parent, 0);
-      ASSERT_LT(node.parent, v);
-      ASSERT_EQ(node.depth, doc.node(node.parent).depth + 1);
-      ASSERT_TRUE(doc.IsAncestorOrSelf(node.parent, v));
+      ASSERT_GE(doc.parent(v), 0);
+      ASSERT_LT(doc.parent(v), v);
+      ASSERT_EQ(doc.depth(v), doc.depth(doc.parent(v)) + 1);
+      ASSERT_TRUE(doc.IsAncestorOrSelf(doc.parent(v), v));
     }
     // Children partition (v, v + subtree_size) and link both ways.
     int64_t child_total = 0;
     NodeId expected_child = v + 1;
     NodeId previous = kNullNode;
-    for (NodeId c = node.first_child; c != kNullNode;
-         c = doc.node(c).next_sibling) {
+    for (NodeId c = doc.first_child(v); c != kNullNode;
+         c = doc.next_sibling(c)) {
       ASSERT_EQ(c, expected_child);
-      ASSERT_EQ(doc.node(c).parent, v);
-      ASSERT_EQ(doc.node(c).prev_sibling, previous);
+      ASSERT_EQ(doc.parent(c), v);
+      ASSERT_EQ(doc.prev_sibling(c), previous);
       previous = c;
-      child_total += doc.node(c).subtree_size;
-      expected_child = c + doc.node(c).subtree_size;
+      child_total += doc.subtree_size(c);
+      expected_child = c + doc.subtree_size(c);
     }
-    ASSERT_EQ(node.last_child, previous);
-    ASSERT_EQ(child_total, node.subtree_size - 1);
+    ASSERT_EQ(doc.last_child(v), previous);
+    ASSERT_EQ(child_total, doc.subtree_size(v) - 1);
   }
 }
 
@@ -144,8 +143,8 @@ TEST(ApplyEditTest, RemoveSubtreeBypassesSiblingsAndShrinksAncestors) {
   EXPECT_TRUE(delta.content_changed);
   EXPECT_TRUE(delta.new_names.empty());
   // first <item> and <summary> are now adjacent siblings.
-  EXPECT_EQ(edited->node(1).next_sibling, 4);
-  EXPECT_EQ(edited->node(4).prev_sibling, 1);
+  EXPECT_EQ(edited->next_sibling(1), 4);
+  EXPECT_EQ(edited->prev_sibling(4), 1);
 }
 
 TEST(ApplyEditTest, InsertSubtreeAtEveryPosition) {

@@ -1,21 +1,53 @@
 // Robustness tests for the XML and XPath parsers: random byte soup, mutated
 // well-formed inputs, and truncations must never crash or hang — they must
 // return clean Status errors (or succeed). The XPath printer round-trip is
-// additionally applied whenever a mutated query still parses.
+// additionally applied whenever a mutated query still parses. The streaming
+// arena parser is differential-fuzzed against the DOM parser on every input
+// class (identical accept/reject decisions, ExhaustiveEquals-identical
+// documents, identical index postings), and accepted documents additionally
+// round-trip through the snapshot save/map path.
 
+#include <cstdio>
 #include <string>
 
 #include <gtest/gtest.h>
 
 #include "base/rng.hpp"
+#include "testkit/reference_edit.hpp"
 #include "xml/generator.hpp"
+#include "xml/index.hpp"
 #include "xml/parser.hpp"
 #include "xml/serializer.hpp"
+#include "xml/snapshot.hpp"
+#include "xml/stream_parser.hpp"
 #include "xpath/parser.hpp"
 #include "xpath/printer.hpp"
 
 namespace gkx {
 namespace {
+
+// Streaming and DOM parsers must agree exactly: same accept/reject decision,
+// same error text, and — on accept — documents that are indistinguishable to
+// an exhaustive field-by-field comparison, with streaming-built posting
+// lists identical to a from-scratch index.
+void ExpectParsersAgree(std::string_view input) {
+  auto dom = xml::ParseDocument(input);
+  auto stream = xml::ParseDocumentStream(input);
+  ASSERT_EQ(dom.ok(), stream.ok())
+      << "accept/reject disagreement on: " << input;
+  if (!dom.ok()) {
+    EXPECT_EQ(dom.status().message(), stream.status().message());
+    return;
+  }
+  std::string why;
+  EXPECT_TRUE(testkit::ExhaustiveEquals(*dom, stream->doc, &why)) << why;
+  xml::DocumentIndex streamed(stream->doc, std::move(stream->postings));
+  xml::DocumentIndex fresh(stream->doc);
+  for (const std::string& name : fresh.PresentNames()) {
+    EXPECT_EQ(streamed.NodesWithName(name), fresh.NodesWithName(name)) << name;
+  }
+  EXPECT_EQ(streamed.PresentNames(), fresh.PresentNames());
+}
 
 std::string RandomBytes(Rng* rng, size_t length, bool xmlish) {
   static constexpr char kXmlish[] = "<>/=\"' abcdefgh&;![]-?";
@@ -85,6 +117,65 @@ TEST(XmlFuzzTest, TruncationsNeverCrash) {
       EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
     }
   }
+}
+
+TEST(XmlFuzzTest, StreamingParserAgreesOnByteSoup) {
+  Rng rng(90210);
+  for (int i = 0; i < 400; ++i) {
+    ExpectParsersAgree(RandomBytes(&rng, 1 + i % 120, i % 2 == 0));
+  }
+}
+
+TEST(XmlFuzzTest, StreamingParserAgreesOnMutatedDocuments) {
+  Rng rng(2468);
+  xml::RandomDocumentOptions options;
+  options.node_count = 30;
+  options.max_extra_labels = 2;
+  options.text_probability = 0.5;
+  for (int i = 0; i < 150; ++i) {
+    xml::Document doc = xml::RandomDocument(&rng, options);
+    std::string xml = xml::SerializeDocument(doc);
+    // Unmutated first: the accept path must agree too, not just rejections.
+    ExpectParsersAgree(xml);
+    for (int m = 0; m < 2; ++m) {
+      size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(xml.size()) - 1));
+      xml[at] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    ExpectParsersAgree(xml);
+  }
+}
+
+TEST(XmlFuzzTest, StreamingParserAgreesOnTruncations) {
+  std::string xml =
+      "<?xml version=\"1.0\"?><!DOCTYPE r [<!ELEMENT r ANY>]>"
+      "<r a=\"v\"><x labels=\"G R\">t&amp;x<![CDATA[raw]]></x><!--c--></r>";
+  for (size_t length = 0; length <= xml.size(); ++length) {
+    ExpectParsersAgree(std::string_view(xml).substr(0, length));
+  }
+}
+
+TEST(XmlFuzzTest, SnapshotRoundTripOnRandomDocuments) {
+  const std::string path = ::testing::TempDir() + "/fuzz_snapshot.gkx";
+  Rng rng(31337);
+  xml::RandomDocumentOptions options;
+  options.max_extra_labels = 2;
+  options.text_probability = 0.5;
+  for (int i = 0; i < 40; ++i) {
+    options.node_count = 1 + static_cast<int32_t>(rng.UniformInt(0, 300));
+    xml::Document doc = xml::RandomDocument(&rng, options);
+    ASSERT_TRUE(xml::SaveSnapshot(doc, path).ok());
+    auto mapped = xml::MapSnapshot(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_TRUE(mapped->mapped());
+    std::string why;
+    EXPECT_TRUE(testkit::ExhaustiveEquals(doc, *mapped, &why)) << why;
+    // A copy of a mapped document materializes and still compares equal.
+    xml::Document copy = *mapped;
+    EXPECT_FALSE(copy.mapped());
+    EXPECT_TRUE(testkit::ExhaustiveEquals(doc, copy, &why)) << why;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(XPathFuzzTest, RandomQueriesNeverCrash) {

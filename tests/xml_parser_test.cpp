@@ -28,21 +28,21 @@ TEST(XmlParserTest, NestedElements) {
   Document doc = MustParseXml("<a><b><c/></b><d/></a>");
   ASSERT_EQ(doc.size(), 4);
   EXPECT_EQ(doc.TagName(1), "b");
-  EXPECT_EQ(doc.node(2).parent, 1);
-  EXPECT_EQ(doc.node(3).parent, 0);
+  EXPECT_EQ(doc.parent(2), 1);
+  EXPECT_EQ(doc.parent(3), 0);
 }
 
 TEST(XmlParserTest, TextContent) {
   // In whitespace-stripping mode (the default), each text chunk is trimmed.
   Document doc = MustParseXml("<a>hello <b>world</b> tail</a>");
-  EXPECT_EQ(doc.node(0).text, "hellotail");
-  EXPECT_EQ(doc.node(1).text, "world");
+  EXPECT_EQ(doc.text(0), "hellotail");
+  EXPECT_EQ(doc.text(1), "world");
   EXPECT_EQ(doc.StringValue(0), "hellotailworld");
 }
 
 TEST(XmlParserTest, WhitespaceOnlyTextDropped) {
   Document doc = MustParseXml("<a>\n  <b/>\n</a>");
-  EXPECT_TRUE(doc.node(0).text.empty());
+  EXPECT_TRUE(doc.text(0).empty());
 }
 
 TEST(XmlParserTest, WhitespacePreservedWhenConfigured) {
@@ -50,7 +50,7 @@ TEST(XmlParserTest, WhitespacePreservedWhenConfigured) {
   options.strip_whitespace_text = false;
   auto doc = ParseDocument("<a> <b/> </a>", options);
   ASSERT_TRUE(doc.ok());
-  EXPECT_EQ(doc->node(0).text, "  ");
+  EXPECT_EQ(doc->text(0), "  ");
 }
 
 TEST(XmlParserTest, Attributes) {
@@ -64,7 +64,7 @@ TEST(XmlParserTest, LabelsAttributeBecomesLabels) {
   EXPECT_TRUE(doc.NodeHasName(0, "G"));
   EXPECT_TRUE(doc.NodeHasName(0, "R"));
   EXPECT_TRUE(doc.NodeHasName(0, "I1"));
-  EXPECT_TRUE(doc.node(0).attributes.empty());
+  EXPECT_EQ(doc.attribute_count(0), 0);
 }
 
 TEST(XmlParserTest, LabelsConventionCanBeDisabled) {
@@ -78,12 +78,12 @@ TEST(XmlParserTest, LabelsConventionCanBeDisabled) {
 
 TEST(XmlParserTest, EntitiesDecoded) {
   Document doc = MustParseXml("<a>&lt;&gt;&amp;&quot;&apos;</a>");
-  EXPECT_EQ(doc.node(0).text, "<>&\"'");
+  EXPECT_EQ(doc.text(0), "<>&\"'");
 }
 
 TEST(XmlParserTest, NumericCharacterReferences) {
   Document doc = MustParseXml("<a>&#65;&#x42;&#xe9;</a>");
-  EXPECT_EQ(doc.node(0).text, "AB\xC3\xA9");  // é in UTF-8
+  EXPECT_EQ(doc.text(0), "AB\xC3\xA9");  // é in UTF-8
 }
 
 TEST(XmlParserTest, CommentsIgnored) {
@@ -93,7 +93,7 @@ TEST(XmlParserTest, CommentsIgnored) {
 
 TEST(XmlParserTest, CdataBecomesText) {
   Document doc = MustParseXml("<a><![CDATA[<raw>&stuff;]]></a>");
-  EXPECT_EQ(doc.node(0).text, "<raw>&stuff;");
+  EXPECT_EQ(doc.text(0), "<raw>&stuff;");
 }
 
 TEST(XmlParserTest, PrologAndDoctypeSkipped) {

@@ -1,0 +1,186 @@
+// Snapshot format tests: save/map round-trips (including payload-heavy and
+// mapped-copy cases), serving queries straight off a mapping, and the
+// corruption matrix — truncations at every prefix length, version bumps,
+// checksum damage, bad magic, and missing files must all fail with clean
+// diagnostics, never UB.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testkit/reference_edit.hpp"
+#include "xml/edit.hpp"
+#include "xml/generator.hpp"
+#include "xml/index.hpp"
+#include "xml/parser.hpp"
+#include "xml/snapshot.hpp"
+
+namespace gkx::xml {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+Document PayloadHeavyDoc() {
+  auto doc = ParseDocument(
+      "<r id='1' class='x y'><a labels='G R I1'>alpha</a>"
+      "<b>beta<b2 k='v'/>gamma</b><c labels='G'/><d/></r>");
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+void ExpectMapFails(const std::string& path, std::string_view fragment) {
+  auto mapped = MapSnapshot(path);
+  ASSERT_FALSE(mapped.ok()) << "expected failure containing '" << fragment
+                            << "'";
+  EXPECT_EQ(mapped.status().code(), StatusCode::kInvalidArgument)
+      << mapped.status().ToString();
+  EXPECT_NE(mapped.status().message().find(fragment), std::string::npos)
+      << mapped.status().message();
+}
+
+TEST(SnapshotTest, RoundTripPreservesEveryField) {
+  const std::string path = TempPath("roundtrip.gkx");
+  Document original = PayloadHeavyDoc();
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  auto mapped = MapSnapshot(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->mapped());
+  std::string why;
+  EXPECT_TRUE(testkit::ExhaustiveEquals(original, *mapped, &why)) << why;
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MappedDocumentServesQueries) {
+  const std::string path = TempPath("serving.gkx");
+  Document original = PayloadHeavyDoc();
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  auto mapped = MapSnapshot(path);
+  ASSERT_TRUE(mapped.ok());
+  // Name lookups, payload reads, and the index all work off the mapping.
+  EXPECT_TRUE(mapped->NodeHasName(1, "G"));
+  EXPECT_EQ(mapped->AttributeValue(0, "class"), "x y");
+  EXPECT_EQ(mapped->StringValue(2), "betagamma");
+  DocumentIndex index(*mapped);
+  DocumentIndex fresh(original);
+  for (const std::string& name : fresh.PresentNames()) {
+    EXPECT_EQ(index.NodesWithName(name), fresh.NodesWithName(name)) << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MappedDocumentCopiesMaterializeAndEdit) {
+  const std::string path = TempPath("editable.gkx");
+  Document original = PayloadHeavyDoc();
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  auto mapped = MapSnapshot(path);
+  ASSERT_TRUE(mapped.ok());
+  SubtreeEdit edit;
+  edit.kind = SubtreeEdit::Kind::kSetText;
+  edit.target = 1;
+  edit.text = "edited";
+  auto edited = ApplyEdit(*mapped, edit);
+  ASSERT_TRUE(edited.ok()) << edited.status().ToString();
+  EXPECT_FALSE(edited->mapped());
+  EXPECT_EQ(edited->text(1), "edited");
+  // The mapping is untouched.
+  EXPECT_EQ(mapped->text(1), "alpha");
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SaveOverwritesAtomically) {
+  const std::string path = TempPath("overwrite.gkx");
+  Document original = PayloadHeavyDoc();
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  Document small = ChainDocument(3);
+  ASSERT_TRUE(SaveSnapshot(small, path).ok());
+  auto mapped = MapSnapshot(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->size(), 3);
+  std::remove(path.c_str());
+}
+
+// --- the corruption matrix ---
+
+TEST(SnapshotCorruptionTest, EveryTruncationFailsCleanly) {
+  const std::string path = TempPath("truncated.gkx");
+  ASSERT_TRUE(SaveSnapshot(ChainDocument(5), path).ok());
+  const std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 0u);
+  // Every proper prefix must be rejected (header-size check or the
+  // header-declared file_size check), never mapped.
+  for (size_t length = 0; length < bytes.size();
+       length += (length < 400 ? 1 : 97)) {
+    WriteFile(path, std::string_view(bytes).substr(0, length));
+    ExpectMapFails(path, "truncated");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorruptionTest, VersionBumpIsDiagnosed) {
+  const std::string path = TempPath("version.gkx");
+  ASSERT_TRUE(SaveSnapshot(ChainDocument(5), path).ok());
+  std::string bytes = ReadFile(path);
+  // The version field sits right after the 8-byte magic.
+  bytes[8] = static_cast<char>(kSnapshotFormatVersion + 1);
+  WriteFile(path, bytes);
+  ExpectMapFails(path, "format version");
+}
+
+TEST(SnapshotCorruptionTest, HeaderBitFlipFailsChecksum) {
+  const std::string path = TempPath("bitflip.gkx");
+  ASSERT_TRUE(SaveSnapshot(ChainDocument(5), path).ok());
+  const std::string pristine = ReadFile(path);
+  // Flip one byte at several header positions past magic+version (node
+  // count, pool counts, section offsets/sizes): all must fail the checksum
+  // (or a later structural check), none may map.
+  for (size_t at : {16u, 24u, 40u, 56u, 120u, 200u}) {
+    std::string bytes = pristine;
+    ASSERT_LT(at, bytes.size());
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x5a);
+    WriteFile(path, bytes);
+    auto mapped = MapSnapshot(path);
+    ASSERT_FALSE(mapped.ok()) << "byte " << at;
+    EXPECT_EQ(mapped.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorruptionTest, BadMagicIsDiagnosed) {
+  const std::string path = TempPath("magic.gkx");
+  ASSERT_TRUE(SaveSnapshot(ChainDocument(5), path).ok());
+  std::string bytes = ReadFile(path);
+  bytes[0] = 'Z';
+  WriteFile(path, bytes);
+  ExpectMapFails(path, "bad magic");
+  // An unrelated file of plausible size is also just "not a snapshot".
+  WriteFile(path, std::string(4096, 'x'));
+  ExpectMapFails(path, "bad magic");
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCorruptionTest, MissingFileFailsWithoutCreating) {
+  const std::string path = TempPath("never_written.gkx");
+  auto mapped = MapSnapshot(path);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_NE(mapped.status().ToString().find(path), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gkx::xml
