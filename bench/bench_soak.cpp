@@ -17,7 +17,9 @@
 // subscription soak; 0 disables), --exec-threads= intra-query workers for
 // staged execution (default 1 = sequential; >1 partitions sweeps and runs
 // the per-origin cvt loop concurrently — the TSan parallel soak round sets
-// this), --stats-json=PATH dump the last round's
+// this), --wal-dir=DIR run every round with the durable write-ahead log
+// under DIR/round<N> (each round's directory is wiped first; default off =
+// in-memory), --stats-json=PATH dump the last round's
 // QueryService::ExportStats(kJson) document (the CI schema check reads it).
 //
 // Emits BENCH_soak.json (per-round rows, repo root) for cross-PR tracking.
@@ -25,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 
 #include "base/stopwatch.hpp"
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
       static_cast<int>(FlagValue(argc, argv, "exec-threads", 1));
   const std::string stats_json_path =
       FlagString(argc, argv, "stats-json", "");
+  const std::string wal_dir = FlagString(argc, argv, "wal-dir", "");
 
   gkx::bench::PrintHeader(
       "soak — deterministic concurrent differential workload",
@@ -134,6 +138,13 @@ int main(int argc, char** argv) {
       options.service.exec.min_parallel_nodes = 1;
       options.service.exec.min_parallel_origins = 1;
     }
+    if (!wal_dir.empty()) {
+      // Durable soak: every mutation rides through the group-commit WAL.
+      // Fresh directory per round — the soak oracle checks the live corpus,
+      // recovery is bench_wal/wal_recovery_test territory.
+      options.service.wal_dir = wal_dir + "/round" + std::to_string(round);
+      std::filesystem::remove_all(options.service.wal_dir);
+    }
     SoakReport report = RunSoak(*schedule, options);
     last_stats_json = report.stats_json;
 
@@ -170,9 +181,11 @@ int main(int argc, char** argv) {
     if (!report.ok()) {
       failed = true;
       std::printf("%s\n", report.Summary().c_str());
-      std::printf("\nREPRODUCE: %s --seed=%llu --rounds=1 --threads=%d --ops=%d --churn=%g --subs=%d --exec-threads=%d\n",
+      std::printf("\nREPRODUCE: %s --seed=%llu --rounds=1 --threads=%d --ops=%d --churn=%g --subs=%d --exec-threads=%d%s%s\n",
                   argv[0], static_cast<unsigned long long>(seed), threads, ops,
-                  churn, subs, exec_threads);
+                  churn, subs, exec_threads,
+                  wal_dir.empty() ? "" : " --wal-dir=",
+                  wal_dir.empty() ? "" : wal_dir.c_str());
     }
     ++round;
     ++seed;

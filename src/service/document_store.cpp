@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/stopwatch.hpp"
+#include "wal/wal.hpp"
 #include "xml/parser.hpp"
 #include "xml/snapshot.hpp"
 #include "xml/stream_parser.hpp"
@@ -60,20 +61,28 @@ Status DocumentStore::Put(std::string key, xml::Document doc) {
                                 key + "'");
   }
   return Install(std::move(key),
-                 std::make_shared<const StoredDocument>(
-                     std::move(doc), next_revision_.fetch_add(
-                                         1, std::memory_order_relaxed)));
+                 std::make_shared<StoredDocument>(std::move(doc)));
 }
 
 Status DocumentStore::Install(std::string key,
-                              std::shared_ptr<const StoredDocument> stored) {
+                              std::shared_ptr<StoredDocument> stored) {
+  // The expensive WAL record encoding (a whole-document snapshot) happens
+  // before the lock; only the revision stamp + buffer append go inside.
+  wal::Wal::PendingRecord record;
+  if (wal_ != nullptr) record = wal::Wal::MakePut(key, stored->doc());
   std::shared_ptr<const StoredDocument> old;
+  wal::Wal::Ticket ticket;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    stored->revision_ = ++last_revision_;
+    if (wal_ != nullptr) {
+      ticket = wal_->Enqueue(std::move(record), stored->revision_);
+    }
     auto& slot = docs_[key];
     old = std::move(slot);
     slot = stored;
   }
+  if (wal_ != nullptr) GKX_RETURN_IF_ERROR(wal_->WaitDurable(ticket));
   if (listener_) {
     CorpusUpdate update;
     update.key = std::move(key);
@@ -100,9 +109,7 @@ Status DocumentStore::PutXmlStreamed(std::string key, std::string_view xml) {
     return InvalidArgumentError("cannot register empty document under key '" +
                                 key + "'");
   }
-  auto stored = std::make_shared<StoredDocument>(
-      std::move(parsed->doc),
-      next_revision_.fetch_add(1, std::memory_order_relaxed));
+  auto stored = std::make_shared<StoredDocument>(std::move(parsed->doc));
   // The parse already built the posting lists; adopt them so the first
   // query pays no index-building walk.
   stored->AdoptIndex(std::make_unique<xml::DocumentIndex>(
@@ -122,6 +129,12 @@ Status DocumentStore::PutSnapshot(std::string key, const std::string& path) {
 
 Status DocumentStore::Update(std::string_view key,
                              const xml::SubtreeEdit& edit) {
+  // Encoded once, outside the retry loop and every lock: the edit is the
+  // caller's constant, so a retried splice reuses the same record body. It
+  // is enqueued only when this attempt wins the install race — an
+  // abandoned attempt must leave no journal trace.
+  wal::Wal::PendingRecord record;
+  if (wal_ != nullptr) record = wal::Wal::MakeUpdate(key, edit);
   for (;;) {
     std::shared_ptr<const StoredDocument> old;
     {
@@ -141,9 +154,7 @@ Status DocumentStore::Update(std::string_view key,
     auto edited = xml::ApplyEdit(old->doc(), edit, &delta);
     const double splice_seconds = splice_sw.ElapsedSeconds();
     if (!edited.ok()) return edited.status();
-    auto stored = std::make_shared<StoredDocument>(
-        std::move(edited).value(),
-        next_revision_.fetch_add(1, std::memory_order_relaxed));
+    auto stored = std::make_shared<StoredDocument>(std::move(edited).value());
     double index_splice_seconds = 0.0;
     if (old->index_built()) {
       // The old revision was queried: splice its posting lists so the next
@@ -154,17 +165,26 @@ Status DocumentStore::Update(std::string_view key,
       index_splice_seconds = index_sw.ElapsedSeconds();
     }
 
+    wal::Wal::Ticket ticket;
+    bool logged = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = docs_.find(key);
       if (it == docs_.end() || it->second != old) {
         // A racing Put/Remove/Update changed the base revision under us:
-        // the splice is stale, redo it against the current state. (The
-        // abandoned revision id is never observable — monotonicity holds.)
+        // the splice is stale, redo it against the current state. (No
+        // revision was drawn for the abandoned attempt — ids are assigned
+        // only at install, so monotonicity holds trivially.)
         continue;
+      }
+      stored->revision_ = ++last_revision_;
+      if (wal_ != nullptr) {
+        ticket = wal_->Enqueue(std::move(record), stored->revision_);
+        logged = true;
       }
       it->second = stored;
     }
+    if (logged) GKX_RETURN_IF_ERROR(wal_->WaitDurable(ticket));
 
     if (listener_) {
       CorpusUpdate update;
@@ -195,13 +215,29 @@ std::shared_ptr<const StoredDocument> DocumentStore::Get(
 }
 
 bool DocumentStore::Remove(std::string_view key) {
+  wal::Wal::PendingRecord record;
+  if (wal_ != nullptr) record = wal::Wal::MakeRemove(key);
   std::shared_ptr<const StoredDocument> old;
+  wal::Wal::Ticket ticket;
+  bool logged = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = docs_.find(key);
     if (it == docs_.end()) return false;
     old = std::move(it->second);
     docs_.erase(it);
+    if (wal_ != nullptr) {
+      // Removal burns a revision so its journal record is totally ordered
+      // against Put/Update records for the same key at replay time.
+      ticket = wal_->Enqueue(std::move(record), ++last_revision_);
+      logged = true;
+    }
+  }
+  if (logged) {
+    // The bool signature has no error channel; a durability failure is
+    // sticky in the WAL and surfaces on the next Status-returning mutation
+    // (and via QueryService::wal_status-style probes).
+    (void)wal_->WaitDurable(ticket);
   }
   if (listener_) {
     CorpusUpdate update;
@@ -210,6 +246,51 @@ bool DocumentStore::Remove(std::string_view key) {
     listener_(update);
   }
   return true;
+}
+
+int64_t DocumentStore::last_revision() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_revision_;
+}
+
+void DocumentStore::RecoverPut(std::string key, xml::Document doc,
+                               int64_t revision) {
+  auto stored = std::make_shared<const StoredDocument>(std::move(doc), revision);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (revision > last_revision_) last_revision_ = revision;
+  docs_[std::move(key)] = std::move(stored);
+}
+
+Status DocumentStore::RecoverUpdate(std::string_view key,
+                                    const xml::SubtreeEdit& edit,
+                                    int64_t revision) {
+  // Replay is single-threaded and pre-traffic: no install race to guard.
+  std::shared_ptr<const StoredDocument> old = Get(key);
+  if (old == nullptr) {
+    return InvalidArgumentError(
+        "wal replay: update record for unknown document key '" +
+        std::string(key) + "'");
+  }
+  auto edited = xml::ApplyEdit(old->doc(), edit);
+  if (!edited.ok()) {
+    return InternalError("wal replay: edit for key '" + std::string(key) +
+                         "' no longer applies: " + edited.status().message());
+  }
+  RecoverPut(std::string(key), std::move(edited).value(), revision);
+  return Status::Ok();
+}
+
+bool DocumentStore::RecoverRemove(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(key);
+  if (it == docs_.end()) return false;
+  docs_.erase(it);
+  return true;
+}
+
+void DocumentStore::RestoreRevisionFloor(int64_t floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (floor > last_revision_) last_revision_ = floor;
 }
 
 std::vector<std::string> DocumentStore::Keys() const {

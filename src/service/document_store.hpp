@@ -57,6 +57,10 @@
 #include "xml/edit.hpp"
 #include "xml/index.hpp"
 
+namespace gkx::wal {
+class Wal;
+}
+
 namespace gkx::service {
 
 /// A registered document plus its lazily-built index, store revision, and
@@ -192,20 +196,49 @@ class DocumentStore {
 
   size_t size() const;
 
+  // ---------------------------------------------------------- durability
+  /// Attaches the write-ahead log. Once attached, every successful mutation
+  /// appends its record inside the install critical section — at the moment
+  /// the revision is assigned, so journal order IS revision order — and the
+  /// mutating call blocks (outside the lock) until the record's group-
+  /// commit batch is durable. A mutation whose WaitDurable fails is
+  /// installed in memory but reported as failed; the WAL's I/O error is
+  /// sticky, so the service is effectively read-only from then on. Attach
+  /// once, before traffic (QueryService does this after recovery).
+  void AttachWal(wal::Wal* wal) { wal_ = wal; }
+
+  /// The most recently assigned revision id — the checkpoint watermark.
+  int64_t last_revision() const;
+
+  // Recovery entry points (wal::Wal replay only): install state carrying
+  // pre-assigned revisions, bypassing both the log and the listener.
+  void RecoverPut(std::string key, xml::Document doc, int64_t revision);
+  Status RecoverUpdate(std::string_view key, const xml::SubtreeEdit& edit,
+                       int64_t revision);
+  bool RecoverRemove(std::string_view key);
+  /// Raises the revision counter to at least `floor`, so post-recovery
+  /// mutations can never reuse a revision id a pre-crash observer saw.
+  void RestoreRevisionFloor(int64_t floor);
+
  private:
   /// Sorted union of the two revisions' cached name sets.
   static std::vector<std::string> UnionNameSets(const StoredDocument& before,
                                                 const StoredDocument& after);
 
-  /// Installs an already-constructed revision under `key` and fires the
-  /// listener. Shared tail of every Put* flavor.
-  Status Install(std::string key, std::shared_ptr<const StoredDocument> stored);
+  /// Stamps the next revision onto `stored`, installs it under `key`
+  /// (logging through the WAL when attached), and fires the listener.
+  /// Shared tail of every Put* flavor.
+  Status Install(std::string key, std::shared_ptr<StoredDocument> stored);
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const StoredDocument>,
                      TransparentStringHash, std::equal_to<>>
       docs_;
-  std::atomic<int64_t> next_revision_{1};
+  /// The single store-wide revision authority (guarded by mu_): every
+  /// mutation draws its id inside the install critical section, which is
+  /// what lets the WAL stamp records in exactly install order.
+  int64_t last_revision_ = 0;
+  wal::Wal* wal_ = nullptr;
   UpdateListener listener_;
   bool report_deltas_ = true;
 };

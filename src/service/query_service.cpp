@@ -52,6 +52,23 @@ QueryService::QueryService(const Options& options)
   // provided a dedicated one.
   if (options_.exec.pool == nullptr) options_.exec.pool = pool_;
   store_.set_report_deltas(options.delta_invalidation);
+  if (!options_.wal_dir.empty()) {
+    // Open + recover BEFORE the update listener is installed: replay feeds
+    // the store through the Recover* paths (no journaling, no listener), so
+    // the mview layer starts cold against the recovered corpus instead of
+    // re-processing history as churn. On failure the service still serves —
+    // in memory, WAL-less — and wal_status() carries the reason.
+    wal::WalOptions wal_options = options_.wal;
+    wal_options.dir = options_.wal_dir;
+    auto wal = wal::Wal::OpenAndRecover(wal_options, &store_, &wal_recovery_,
+                                        &registry_);
+    if (wal.ok()) {
+      wal_ = std::move(wal).value();
+      store_.AttachWal(wal_.get());
+    } else {
+      wal_status_ = wal.status();
+    }
+  }
   store_.SetUpdateListener(
       [this](const CorpusUpdate& update) { OnCorpusUpdate(update); });
   if (tracing_) {
@@ -109,6 +126,29 @@ void QueryService::OnCorpusUpdate(const CorpusUpdate& update) {
                                        /*all_changed=*/!update.replacement(),
                                        /*removed=*/update.new_doc == nullptr,
                                        update.delta);
+  // Auto-checkpoint: the listener runs post-install, post-durability, and
+  // outside the store mutex — exactly the place the journal may be folded
+  // into a snapshot set. Checkpoint errors are non-fatal by design (the
+  // previous manifest stays valid, the journal just keeps growing, and the
+  // next mutation retries); explicit CheckpointNow() callers see the Status.
+  if (wal_ != nullptr && wal_->options().checkpoint_every_bytes > 0 &&
+      wal_->BytesSinceCheckpoint() >= wal_->options().checkpoint_every_bytes) {
+    (void)wal_->Checkpoint(store_);
+  }
+}
+
+Status QueryService::CheckpointNow() {
+  if (wal_ == nullptr) return Status::Ok();
+  return wal_->Checkpoint(store_);
+}
+
+void QueryService::CrashWalForTest() {
+  if (wal_ == nullptr) return;
+  // Detach first: a mutation racing the crash must not block forever on a
+  // committer that is gone. (WaitDurable also wakes on crashed_, but new
+  // enqueues would CHECK-fail — the soak quiesces writers before killing.)
+  store_.AttachWal(nullptr);
+  wal_->SimulateCrash();
 }
 
 Result<QueryService::Answer> QueryService::Process(

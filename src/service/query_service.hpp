@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +55,7 @@
 #include "service/document_store.hpp"
 #include "service/plan_cache.hpp"
 #include "service/stats.hpp"
+#include "wal/wal.hpp"
 
 namespace gkx::service {
 
@@ -147,6 +149,17 @@ class QueryService {
     /// true answers and the tap perturbs every serve alike. Must be
     /// thread-safe. nullptr (the default) = production behaviour.
     std::function<void(eval::Engine::Answer* answer)> answer_tap;
+    /// Durability (src/wal/wal.hpp). Non-empty = open a write-ahead log in
+    /// this directory at construction: recover whatever a previous
+    /// incarnation persisted there (checkpoint snapshots + journal replay,
+    /// torn tail truncated), then journal every subsequent corpus mutation
+    /// before it is acknowledged. Empty (the default) = in-memory only.
+    /// If open/recovery fails the service still constructs and serves — in
+    /// memory, without a WAL — and wal_status() carries the reason.
+    std::string wal_dir;
+    /// WAL tuning (group-commit window, fsync, checkpoint threshold).
+    /// `wal.dir` is ignored; wal_dir above is the switch and the path.
+    wal::WalOptions wal;
   };
 
   struct Request {
@@ -218,6 +231,26 @@ class QueryService {
   const PlanCache& plan_cache() const { return plan_cache_; }
   const mview::AnswerCache& answer_cache() const { return answer_cache_; }
 
+  // ----------------------------------------------------------- durability
+  /// True when Options::wal_dir was set and the log opened (and recovered)
+  /// successfully — every mutation from now on is durable before it is
+  /// acknowledged.
+  bool wal_enabled() const { return wal_ != nullptr; }
+  /// Ok when there is no WAL configured or it opened cleanly; otherwise the
+  /// open/recovery error (the service then runs in-memory only).
+  const Status& wal_status() const { return wal_status_; }
+  /// What recovery found at construction: snapshots loaded, records
+  /// replayed/skipped, torn-tail bytes truncated. Zeroes without a WAL.
+  const wal::RecoveryReport& wal_recovery() const { return wal_recovery_; }
+  /// Forces a checkpoint now (snapshot set + manifest + journal reset) in
+  /// the calling thread, independent of the byte-threshold trigger. No-op
+  /// Ok without a WAL.
+  Status CheckpointNow();
+  /// Test hook: drops the WAL's in-memory tail and stops journaling, as a
+  /// kill -9 would — acknowledged records stay durable on disk, everything
+  /// else is gone. The recovery soak reopens the directory afterwards.
+  void CrashWalForTest();
+
  private:
   /// Full request path; `engine` is the calling worker's private engine.
   Result<Answer> Process(eval::Engine& engine, const std::string& doc_key,
@@ -284,6 +317,15 @@ class QueryService {
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> failures_{0};
+
+  // Durability. Declared LAST: the Wal destructor joins its committer
+  // thread, which records into registry_ metrics — everything above must
+  // still be alive while it drains. The store holds a raw wal_ pointer
+  // (AttachWal), but by the time wal_ is destroyed no mutations can be in
+  // flight (callers of a dying service are already UB).
+  Status wal_status_;
+  wal::RecoveryReport wal_recovery_;
+  std::unique_ptr<wal::Wal> wal_;
 };
 
 }  // namespace gkx::service

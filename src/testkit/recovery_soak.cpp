@@ -1,0 +1,257 @@
+#include "testkit/recovery_soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "base/check.hpp"
+#include "testkit/reference_edit.hpp"
+
+namespace gkx::testkit {
+namespace {
+
+using service::QueryService;
+
+class RecoveryReplay {
+ public:
+  RecoveryReplay(const Schedule& schedule, const RecoverySoakOptions& options)
+      : schedule_(schedule),
+        options_(options),
+        rounds_(std::max(1, options.rounds)),
+        threads_(std::max(1, options.threads)),
+        watermark_(schedule.revisions.size(), 0) {
+    GKX_CHECK(!options.wal_dir.empty());
+    for (size_t i = 0; i < schedule.operations.size(); ++i) {
+      const Operation& op = schedule.operations[i];
+      if (op.kind == Operation::Kind::kAddDocument ||
+          op.kind == Operation::Kind::kEditDocument) {
+        churn_.push_back(i);
+      }
+    }
+  }
+
+  RecoverySoakReport Run() {
+    report_.seed = schedule_.seed;
+    report_.rounds = rounds_;
+    report_.threads = threads_;
+    for (int round = 0; round < rounds_; ++round) {
+      RunRound(round);
+    }
+    // One extra incarnation proves the LAST kill's state recovers too.
+    auto service = Open(rounds_);
+    VerifyCorpus(*service, rounds_, "final recovery");
+    report_.errors = errors_.load();
+    {
+      std::lock_guard<std::mutex> lock(failures_mu_);
+      report_.failures = failures_;
+    }
+    return report_;
+  }
+
+ private:
+  std::unique_ptr<QueryService> Open(int round) {
+    QueryService::Options service_options = options_.service;
+    service_options.wal_dir = options_.wal_dir;
+    auto service = std::make_unique<QueryService>(service_options);
+    if (!service->wal_status().ok()) {
+      Fail(round, "wal failed to open: " + service->wal_status().ToString());
+    } else if (!service->wal_enabled()) {
+      Fail(round, "wal_dir set but wal_enabled() is false");
+    }
+    if (round > 0) {
+      ++report_.recoveries;
+      const wal::RecoveryReport& recovered = service->wal_recovery();
+      report_.snapshots_loaded += recovered.snapshots_loaded;
+      report_.records_replayed += recovered.records_replayed;
+      report_.records_skipped += recovered.records_skipped;
+      // Writers were joined before every kill, so each acknowledged record
+      // was fully flushed: a torn tail here is a WAL bug, not a crash
+      // artifact. (The fault-injection tests tear tails on purpose.)
+      if (recovered.torn()) {
+        Fail(round, "unexpected torn tail (" +
+                        std::to_string(recovered.torn_tail_bytes) +
+                        " bytes): " + recovered.torn_tail_reason);
+      }
+    }
+    return service;
+  }
+
+  /// Every document must sit at exactly its watermark revision,
+  /// node-for-node. `when` labels the check (post-recovery vs pre-kill).
+  void VerifyCorpus(QueryService& service, int round, const std::string& when) {
+    for (size_t d = 0; d < schedule_.revisions.size(); ++d) {
+      auto stored = service.documents().Get(schedule_.doc_keys[d]);
+      const int32_t revision = watermark_[d];
+      std::string why;
+      if (stored == nullptr) {
+        why = "document vanished";
+      } else if (ExhaustiveEquals(
+                     stored->doc(),
+                     schedule_.revisions[d][static_cast<size_t>(revision)],
+                     &why)) {
+        continue;
+      }
+      ++report_.recovery_divergences;
+      std::ostringstream message;
+      message << "recovery divergence (" << when << "): doc="
+              << schedule_.doc_keys[d] << " expected revision " << revision
+              << ": " << why;
+      Fail(round, message.str());
+    }
+    if (!options_.probe_queries) return;
+    // The recovered corpus must serve, not just compare equal: one query
+    // per document forces a document lookup + index build + evaluation.
+    for (size_t d = 0; d < schedule_.doc_keys.size(); ++d) {
+      if (schedule_.queries.empty()) break;
+      const std::string& query =
+          schedule_.queries[d % schedule_.queries.size()];
+      auto answer = service.Submit(schedule_.doc_keys[d], query);
+      if (!answer.ok()) {
+        Fail(round, "probe query '" + query + "' on " + schedule_.doc_keys[d] +
+                        " failed " + when + ": " + answer.status().ToString());
+      }
+    }
+  }
+
+  void RunRound(int round) {
+    auto service = Open(round);
+    if (round == 0) {
+      // First incarnation: the initial corpus goes through the WAL like any
+      // other mutation (these Puts are what round 1 must recover).
+      for (size_t d = 0; d < schedule_.revisions.size(); ++d) {
+        Status put = service->RegisterDocument(
+            schedule_.doc_keys[d], xml::Document(schedule_.revisions[d][0]));
+        if (!put.ok()) {
+          Fail(round, "initial Put of " + schedule_.doc_keys[d] +
+                          " failed: " + put.ToString());
+        }
+      }
+    } else {
+      VerifyCorpus(*service, round, "post-recovery");
+    }
+
+    // This round's contiguous slice of the global churn order.
+    const size_t begin = churn_.size() * static_cast<size_t>(round) /
+                         static_cast<size_t>(rounds_);
+    const size_t end = churn_.size() * static_cast<size_t>(round + 1) /
+                       static_cast<size_t>(rounds_);
+    const size_t halfway = begin + (end - begin) / 2;
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads_));
+    for (int t = 0; t < threads_; ++t) {
+      workers.emplace_back([this, t, begin, end, halfway, round,
+                            svc = service.get()] {
+        for (size_t c = begin; c < end; ++c) {
+          const Operation& op =
+              schedule_.operations[churn_[c]];
+          // Churn pinned per document: per-document revision order is the
+          // schedule order, which is what makes watermark_ the oracle.
+          if (op.doc % threads_ != t) continue;
+          const size_t doc = static_cast<size_t>(op.doc);
+          Status applied =
+              op.kind == Operation::Kind::kAddDocument
+                  ? svc->RegisterDocument(
+                        schedule_.doc_keys[doc],
+                        xml::Document(schedule_.revisions[doc][static_cast<
+                            size_t>(op.revision)]))
+                  : svc->UpdateDocument(schedule_.doc_keys[doc], op.edit);
+          if (!applied.ok()) {
+            Fail(round, "mutation op=" + std::to_string(churn_[c]) +
+                            " failed: " + applied.ToString());
+            return;
+          }
+          mutations_.fetch_add(1, std::memory_order_relaxed);
+          if (options_.checkpoint_midway && c == halfway) {
+            // Forced mid-traffic: the manifest capture races the other
+            // writer threads' appends, every round.
+            Status checkpoint = svc->CheckpointNow();
+            if (!checkpoint.ok()) {
+              Fail(round, "mid-round checkpoint failed: " +
+                              checkpoint.ToString());
+            } else {
+              checkpoints_.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (size_t c = begin; c < end; ++c) {
+      const Operation& op = schedule_.operations[churn_[c]];
+      watermark_[static_cast<size_t>(op.doc)] = op.revision;
+    }
+    report_.mutations = mutations_.load();
+    report_.checkpoints = checkpoints_.load();
+
+    // Pre-kill sanity separates "lost before the crash" from "lost in
+    // recovery" when a divergence does show up.
+    VerifyCorpus(*service, round, "pre-kill");
+
+    if (round % 2 == 1) {
+      // Hard kill: drop the WAL's volatile tail exactly as kill -9 would.
+      // Everything above was acknowledged, so nothing may be lost anyway.
+      service->CrashWalForTest();
+      ++report_.crashes;
+    } else {
+      ++report_.clean_closes;
+    }
+    service.reset();
+  }
+
+  // Thread-safe (worker threads report mutation failures through it); the
+  // report's error count is folded in after the joins.
+  void Fail(int round, const std::string& what) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream message;
+    message << "recovery soak: seed=" << schedule_.seed << " round=" << round
+            << " " << what << " | replay: CompileWorkload(seed="
+            << schedule_.seed << ")";
+    std::lock_guard<std::mutex> lock(failures_mu_);
+    if (failures_.size() < options_.max_failures_reported) {
+      failures_.push_back(message.str());
+    }
+  }
+
+  const Schedule& schedule_;
+  const RecoverySoakOptions& options_;
+  const int rounds_;
+  const int threads_;
+  std::vector<size_t> churn_;      // operation indices, schedule order
+  std::vector<int32_t> watermark_; // highest acknowledged revision per doc
+  RecoverySoakReport report_;
+  std::atomic<int64_t> mutations_{0};
+  std::atomic<int64_t> checkpoints_{0};
+  std::atomic<int64_t> errors_{0};
+  std::mutex failures_mu_;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace
+
+std::string RecoverySoakReport::Summary() const {
+  std::ostringstream out;
+  out << "recovery soak seed=" << seed << ": " << mutations
+      << " durable mutations over " << rounds << " rounds x " << threads
+      << " threads (" << crashes << " crashes, " << clean_closes
+      << " clean closes, " << checkpoints << " mid-round checkpoints) — "
+      << (ok() ? "PASS" : "FAIL") << " (recoveries=" << recoveries
+      << " snapshots_loaded=" << snapshots_loaded << " records_replayed="
+      << records_replayed << " records_skipped=" << records_skipped
+      << " divergences=" << recovery_divergences << " errors=" << errors
+      << ")";
+  for (const std::string& failure : failures) out << "\n  " << failure;
+  return out.str();
+}
+
+RecoverySoakReport RunRecoverySoak(const Schedule& schedule,
+                                   const RecoverySoakOptions& options) {
+  RecoveryReplay replay(schedule, options);
+  return replay.Run();
+}
+
+}  // namespace gkx::testkit

@@ -1,0 +1,85 @@
+// Kill/checkpoint/reopen soak for the write-ahead log (src/wal/wal.hpp).
+//
+// The durability oracle is the compiled Schedule itself: churn for a given
+// document is pinned to one thread (as in the SoakDriver), so per-document
+// revisions are installed in schedule order and every acknowledged mutation
+// has a unique precomputed expected state — revisions[doc][watermark]. The
+// soak replays the schedule's churn operations in rounds against a
+// WAL-backed QueryService; after each round it joins the writer threads
+// (every mutation is acknowledged, hence durable), kills the service —
+// alternating a clean destructor close with Wal::SimulateCrash, which drops
+// the in-memory tail exactly as kill -9 would — and reopens the same
+// directory. Recovery must reconstruct every document node-for-node
+// (testkit::ExhaustiveEquals) at its watermark revision: anything else is a
+// lost acknowledged write, a replay mis-ordering, or snapshot corruption.
+//
+// Mid-round, the thread that executes the round's halfway operation forces
+// a checkpoint, so reopen exercises the general case — a snapshot set plus
+// a journal suffix, not just one or the other — and concurrent mutations
+// race the checkpoint's manifest capture on every round.
+//
+// Every failure message embeds the schedule seed and round, so a divergence
+// reproduces with a single-threaded replay of the same (spec, seed).
+
+#ifndef GKX_TESTKIT_RECOVERY_SOAK_HPP_
+#define GKX_TESTKIT_RECOVERY_SOAK_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/query_service.hpp"
+#include "testkit/workload.hpp"
+
+namespace gkx::testkit {
+
+struct RecoverySoakOptions {
+  /// Kill/reopen rounds the schedule's churn is divided over. The final
+  /// verification opens one extra (read-only) incarnation.
+  int rounds = 4;
+  /// Writer threads per round (churn stays pinned per document).
+  int threads = 4;
+  /// WAL directory — required, and wiped by the caller, not the soak (a
+  /// pre-populated directory is itself a recovery test).
+  std::string wal_dir;
+  /// Service under test; wal_dir above overrides service.wal_dir.
+  service::QueryService::Options service;
+  /// Force a checkpoint from the thread executing each round's halfway
+  /// operation (concurrently with the other writers).
+  bool checkpoint_midway = true;
+  /// After each reopen, submit one pool query per document and require it
+  /// to answer — the recovered corpus must be servable, not just present.
+  bool probe_queries = true;
+  size_t max_failures_reported = 8;
+};
+
+struct RecoverySoakReport {
+  uint64_t seed = 0;
+  int rounds = 0;
+  int threads = 0;
+  int64_t mutations = 0;          // churn operations replayed (all rounds)
+  int64_t checkpoints = 0;        // explicit mid-round checkpoints forced
+  int64_t crashes = 0;            // SimulateCrash kills
+  int64_t clean_closes = 0;       // destructor-only kills
+  int64_t recoveries = 0;         // reopens of a non-empty directory
+  int64_t snapshots_loaded = 0;   // summed over recoveries
+  int64_t records_replayed = 0;   // summed over recoveries
+  int64_t records_skipped = 0;    // summed over recoveries
+  int64_t recovery_divergences = 0;  // recovered corpus != watermark state
+  int64_t errors = 0;             // failed mutations/probes/wal_status
+  /// First max_failures_reported messages, each embedding seed= and round=.
+  std::vector<std::string> failures;
+
+  bool ok() const { return recovery_divergences == 0 && errors == 0; }
+  std::string Summary() const;
+};
+
+/// Replays the schedule's churn in kill/reopen rounds (see the header
+/// comment). The schedule's read operations (kSubmit/kBatch) are ignored —
+/// RunSoak covers those; this soak is about what survives a crash.
+RecoverySoakReport RunRecoverySoak(const Schedule& schedule,
+                                   const RecoverySoakOptions& options);
+
+}  // namespace gkx::testkit
+
+#endif  // GKX_TESTKIT_RECOVERY_SOAK_HPP_

@@ -1,0 +1,215 @@
+#include "wal/record.hpp"
+
+#include <cstring>
+#include <type_traits>
+
+#include "xml/snapshot.hpp"
+
+namespace gkx::wal {
+
+namespace {
+
+/// CRC-32 lookup table (IEEE 802.3 polynomial 0xEDB88320, reflected),
+/// generated once at first use.
+const uint32_t* CrcTable() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+void AppendBytes(const void* data, size_t size, std::string* out) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+using wire::Reader;
+
+template <typename T>
+void AppendInt(T value, std::string* out) {
+  if constexpr (std::is_enum_v<T>) {
+    wire::Append(static_cast<std::underlying_type_t<T>>(value), out);
+  } else {
+    wire::Append(value, out);
+  }
+}
+
+void AppendString(std::string_view s, std::string* out) {
+  wire::AppendString(s, out);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint32_t* table = CrcTable();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void EncodePayload(const Record& record, std::string* payload) {
+  payload->clear();
+  AppendInt(record.revision, payload);
+  AppendInt(static_cast<uint8_t>(record.op), payload);
+  AppendString(record.key, payload);
+  switch (record.op) {
+    case Op::kPut: {
+      std::string doc_bytes;
+      xml::SaveSnapshotBytes(record.doc, &doc_bytes);
+      AppendInt(static_cast<uint64_t>(doc_bytes.size()), payload);
+      payload->append(doc_bytes);
+      break;
+    }
+    case Op::kUpdate: {
+      AppendInt(static_cast<uint8_t>(record.edit.kind), payload);
+      AppendInt(record.edit.target, payload);
+      AppendInt(record.edit.position, payload);
+      AppendString(record.edit.text, payload);
+      AppendString(record.edit.label, payload);
+      if (record.edit.subtree.empty()) {
+        AppendInt(uint64_t{0}, payload);
+      } else {
+        std::string subtree_bytes;
+        xml::SaveSnapshotBytes(record.edit.subtree, &subtree_bytes);
+        AppendInt(static_cast<uint64_t>(subtree_bytes.size()), payload);
+        payload->append(subtree_bytes);
+      }
+      break;
+    }
+    case Op::kRemove:
+      break;
+  }
+}
+
+void StampRevision(std::string* payload, int64_t revision) {
+  GKX_CHECK(payload->size() >= sizeof(revision));
+  std::memcpy(payload->data(), &revision, sizeof(revision));
+}
+
+Result<Record> DecodePayload(std::string_view payload) {
+  auto corrupt = [](const std::string& what) {
+    return InvalidArgumentError("wal record: " + what);
+  };
+  Reader reader(payload);
+  Record record;
+  uint8_t op = 0;
+  if (!reader.Read(&record.revision) || !reader.Read(&op) ||
+      !reader.ReadString(&record.key)) {
+    return corrupt("truncated envelope");
+  }
+  if (op < static_cast<uint8_t>(Op::kPut) ||
+      op > static_cast<uint8_t>(Op::kRemove)) {
+    return corrupt("unknown op " + std::to_string(op));
+  }
+  record.op = static_cast<Op>(op);
+  switch (record.op) {
+    case Op::kPut: {
+      uint64_t doc_size = 0;
+      std::string_view doc_bytes;
+      if (!reader.Read(&doc_size) || !reader.ReadBlob(doc_size, &doc_bytes)) {
+        return corrupt("truncated document body");
+      }
+      GKX_ASSIGN_OR_RETURN(
+          record.doc, xml::LoadSnapshotBytes(doc_bytes, "wal put payload"));
+      break;
+    }
+    case Op::kUpdate: {
+      uint8_t kind = 0;
+      if (!reader.Read(&kind) || !reader.Read(&record.edit.target) ||
+          !reader.Read(&record.edit.position) ||
+          !reader.ReadString(&record.edit.text) ||
+          !reader.ReadString(&record.edit.label)) {
+        return corrupt("truncated edit body");
+      }
+      if (kind > static_cast<uint8_t>(xml::SubtreeEdit::Kind::kRelabel)) {
+        return corrupt("unknown edit kind " + std::to_string(kind));
+      }
+      record.edit.kind = static_cast<xml::SubtreeEdit::Kind>(kind);
+      uint64_t subtree_size = 0;
+      std::string_view subtree_bytes;
+      if (!reader.Read(&subtree_size) ||
+          !reader.ReadBlob(subtree_size, &subtree_bytes)) {
+        return corrupt("truncated edit subtree");
+      }
+      if (subtree_size > 0) {
+        GKX_ASSIGN_OR_RETURN(
+            record.edit.subtree,
+            xml::LoadSnapshotBytes(subtree_bytes, "wal edit subtree"));
+      }
+      break;
+    }
+    case Op::kRemove:
+      break;
+  }
+  if (!reader.AtEnd()) return corrupt("trailing bytes after body");
+  return record;
+}
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  AppendInt(static_cast<uint32_t>(payload.size()), out);
+  AppendInt(Crc32(payload.data(), payload.size()), out);
+  AppendBytes(payload.data(), payload.size(), out);
+}
+
+Result<std::string_view> ReadFrame(std::string_view data, uint64_t* offset) {
+  GKX_CHECK(*offset < data.size());
+  auto torn = [&](const std::string& what) {
+    return InvalidArgumentError("wal frame at offset " +
+                                std::to_string(*offset) + ": " + what);
+  };
+  const uint64_t remaining = data.size() - *offset;
+  if (remaining < kFrameHeaderBytes) return torn("short frame header");
+  uint32_t payload_size = 0;
+  uint32_t crc = 0;
+  std::memcpy(&payload_size, data.data() + *offset, sizeof(payload_size));
+  std::memcpy(&crc, data.data() + *offset + sizeof(payload_size), sizeof(crc));
+  if (payload_size < kMinPayloadBytes ||
+      uint64_t{payload_size} > kMaxPayloadBytes ||
+      uint64_t{payload_size} > remaining - kFrameHeaderBytes) {
+    return torn("implausible payload size " + std::to_string(payload_size));
+  }
+  std::string_view payload =
+      data.substr(static_cast<size_t>(*offset + kFrameHeaderBytes),
+                  payload_size);
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return torn("payload CRC mismatch");
+  }
+  *offset += kFrameHeaderBytes + payload_size;
+  return payload;
+}
+
+void AppendJournalHeader(std::string* out) {
+  AppendBytes(kJournalMagic, sizeof(kJournalMagic), out);
+  AppendInt(kJournalFormatVersion, out);
+  AppendInt(uint32_t{0}, out);
+}
+
+Result<uint64_t> CheckJournalHeader(std::string_view data) {
+  if (data.size() < kJournalHeaderBytes) {
+    return InvalidArgumentError("wal journal: truncated before header (" +
+                                std::to_string(data.size()) + " bytes)");
+  }
+  if (std::memcmp(data.data(), kJournalMagic, sizeof(kJournalMagic)) != 0) {
+    return InvalidArgumentError("wal journal: bad magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, data.data() + sizeof(kJournalMagic), sizeof(version));
+  if (version != kJournalFormatVersion) {
+    return InvalidArgumentError(
+        "wal journal: format version " + std::to_string(version) +
+        ", this build reads version " + std::to_string(kJournalFormatVersion));
+  }
+  return kJournalHeaderBytes;
+}
+
+}  // namespace gkx::wal

@@ -12,6 +12,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -98,28 +99,51 @@ Status IoError(const std::string& what, const std::string& path) {
 
 }  // namespace
 
-/// Friend of Document: reads the views for Save, installs them for Map.
+/// Friend of Document: reads the views for Save/Encode, installs them for
+/// Map/Decode. The file and in-memory paths share one layout computation
+/// and one validating decoder, so the two byte formats cannot drift.
 class SnapshotCodec {
  public:
   static Status Save(const Document& doc, const std::string& path);
   static Result<Document> Map(const std::string& path);
+  static void EncodeBytes(const Document& doc, std::string* out);
+  static Result<Document> DecodeBytes(std::string_view bytes,
+                                      const std::string& label);
+
+ private:
+  /// Header + section pointers for one serialization. `names_blob` backs
+  /// section_data[kNames]; keep the Layout alive while writing.
+  struct Layout {
+    SnapshotHeader header;
+    const void* section_data[kSectionCount];
+    std::vector<char> names_blob;
+  };
+  static Layout ComputeLayout(const Document& doc);
+
+  /// Validates and wires up a Document over `size` bytes at `data`. When
+  /// `mapping` is null the views alias the caller's buffer — the caller
+  /// must deep-copy before the buffer goes away.
+  static Result<Document> Decode(
+      const char* data, uint64_t size, const std::string& label,
+      std::shared_ptr<internal::MappedSnapshot> mapping);
 };
 
-Status SnapshotCodec::Save(const Document& doc, const std::string& path) {
+SnapshotCodec::Layout SnapshotCodec::ComputeLayout(const Document& doc) {
   const Document::Views& v = doc.v_;
   const uint64_t n = static_cast<uint64_t>(v.size);
+  Layout out;
 
   // The interned-name table, as (uint32 length, bytes) records.
-  std::vector<char> names_blob;
   for (const std::string& name : doc.names_) {
     const uint32_t length = static_cast<uint32_t>(name.size());
     const char* length_bytes = reinterpret_cast<const char*>(&length);
-    names_blob.insert(names_blob.end(), length_bytes,
-                      length_bytes + sizeof(length));
-    names_blob.insert(names_blob.end(), name.begin(), name.end());
+    out.names_blob.insert(out.names_blob.end(), length_bytes,
+                          length_bytes + sizeof(length));
+    out.names_blob.insert(out.names_blob.end(), name.begin(), name.end());
   }
 
-  SnapshotHeader header{};
+  SnapshotHeader& header = out.header;
+  header = SnapshotHeader{};
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
   header.version = kSnapshotFormatVersion;
   header.name_count = static_cast<uint32_t>(doc.names_.size());
@@ -128,22 +152,21 @@ Status SnapshotCodec::Save(const Document& doc, const std::string& path) {
   header.attr_pool_count = v.attr_pool_size;
   header.heap_size = v.heap_size;
 
-  const void* section_data[kSectionCount];
-  section_data[kParent] = v.parent;
-  section_data[kFirstChild] = v.first_child;
-  section_data[kLastChild] = v.last_child;
-  section_data[kPrevSibling] = v.prev_sibling;
-  section_data[kNextSibling] = v.next_sibling;
-  section_data[kSubtreeSize] = v.subtree_size;
-  section_data[kDepth] = v.depth;
-  section_data[kTag] = v.tag;
-  section_data[kTextSpan] = v.text_span;
-  section_data[kLabelSpan] = v.label_span;
-  section_data[kAttrSpan] = v.attr_span;
-  section_data[kLabelPool] = v.label_pool;
-  section_data[kAttrPool] = v.attr_pool;
-  section_data[kHeap] = v.heap;
-  section_data[kNames] = names_blob.data();
+  out.section_data[kParent] = v.parent;
+  out.section_data[kFirstChild] = v.first_child;
+  out.section_data[kLastChild] = v.last_child;
+  out.section_data[kPrevSibling] = v.prev_sibling;
+  out.section_data[kNextSibling] = v.next_sibling;
+  out.section_data[kSubtreeSize] = v.subtree_size;
+  out.section_data[kDepth] = v.depth;
+  out.section_data[kTag] = v.tag;
+  out.section_data[kTextSpan] = v.text_span;
+  out.section_data[kLabelSpan] = v.label_span;
+  out.section_data[kAttrSpan] = v.attr_span;
+  out.section_data[kLabelPool] = v.label_pool;
+  out.section_data[kAttrPool] = v.attr_pool;
+  out.section_data[kHeap] = v.heap;
+  out.section_data[kNames] = out.names_blob.data();
 
   header.section_bytes[kParent] = n * sizeof(NodeId);
   header.section_bytes[kFirstChild] = n * sizeof(NodeId);
@@ -159,7 +182,7 @@ Status SnapshotCodec::Save(const Document& doc, const std::string& path) {
   header.section_bytes[kLabelPool] = v.label_pool_size * sizeof(NameId);
   header.section_bytes[kAttrPool] = v.attr_pool_size * sizeof(AttrEntry);
   header.section_bytes[kHeap] = v.heap_size;
-  header.section_bytes[kNames] = names_blob.size();
+  header.section_bytes[kNames] = out.names_blob.size();
 
   uint64_t offset = sizeof(SnapshotHeader);
   for (int s = 0; s < kSectionCount; ++s) {
@@ -168,6 +191,12 @@ Status SnapshotCodec::Save(const Document& doc, const std::string& path) {
   }
   header.file_size = offset;
   header.checksum = HeaderChecksum(header);
+  return out;
+}
+
+Status SnapshotCodec::Save(const Document& doc, const std::string& path) {
+  const Layout layout = ComputeLayout(doc);
+  const SnapshotHeader& header = layout.header;
 
   // Write to a temp sibling and rename: a crashed save never leaves a
   // half-written file at `path`.
@@ -181,10 +210,14 @@ Status SnapshotCodec::Save(const Document& doc, const std::string& path) {
   bool ok = write_all(&header, sizeof(header));
   static constexpr char kPadding[8] = {};
   for (int s = 0; ok && s < kSectionCount; ++s) {
-    ok = write_all(section_data[s], header.section_bytes[s]) &&
+    ok = write_all(layout.section_data[s], header.section_bytes[s]) &&
          write_all(kPadding,
                    AlignUp8(header.section_bytes[s]) - header.section_bytes[s]);
   }
+  // fflush + fsync before the rename: the WAL's checkpoint manifest must
+  // never name a snapshot whose bytes are still in the page cache when the
+  // machine dies. (rename alone orders the directory entry, not the data.)
+  ok = ok && std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
   ok = std::fclose(file) == 0 && ok;
   if (!ok) {
     std::remove(temp_path.c_str());
@@ -197,6 +230,32 @@ Status SnapshotCodec::Save(const Document& doc, const std::string& path) {
   return Status::Ok();
 }
 
+void SnapshotCodec::EncodeBytes(const Document& doc, std::string* out) {
+  const Layout layout = ComputeLayout(doc);
+  const SnapshotHeader& header = layout.header;
+  out->clear();
+  out->reserve(static_cast<size_t>(header.file_size));
+  out->append(reinterpret_cast<const char*>(&header), sizeof(header));
+  static constexpr char kPadding[8] = {};
+  for (int s = 0; s < kSectionCount; ++s) {
+    if (header.section_bytes[s] != 0) {
+      out->append(static_cast<const char*>(layout.section_data[s]),
+                  static_cast<size_t>(header.section_bytes[s]));
+    }
+    out->append(kPadding, static_cast<size_t>(AlignUp8(header.section_bytes[s]) -
+                                              header.section_bytes[s]));
+  }
+}
+
+Result<Document> SnapshotCodec::DecodeBytes(std::string_view bytes,
+                                            const std::string& label) {
+  Result<Document> viewed = Decode(bytes.data(), bytes.size(), label, nullptr);
+  if (!viewed.ok()) return viewed;
+  // The decoded views alias `bytes`; the copy constructor materializes
+  // owned storage, so the result outlives the input buffer.
+  return Document(*viewed);
+}
+
 Result<Document> SnapshotCodec::Map(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return IoError("cannot open snapshot", path);
@@ -206,13 +265,11 @@ Result<Document> SnapshotCodec::Map(const std::string& path) {
     return IoError("cannot stat snapshot", path);
   }
   const uint64_t file_size = static_cast<uint64_t>(file_stat.st_size);
-  auto corrupt = [&](const std::string& what) {
-    return InvalidArgumentError("snapshot " + path + ": " + what);
-  };
   if (file_size < sizeof(SnapshotHeader)) {
     ::close(fd);
-    return corrupt("truncated before header (" + std::to_string(file_size) +
-                   " bytes)");
+    return InvalidArgumentError("snapshot " + path +
+                                ": truncated before header (" +
+                                std::to_string(file_size) + " bytes)");
   }
   void* base = ::mmap(nullptr, static_cast<size_t>(file_size), PROT_READ,
                       MAP_PRIVATE, fd, 0);
@@ -221,6 +278,20 @@ Result<Document> SnapshotCodec::Map(const std::string& path) {
   auto mapping = std::make_shared<internal::MappedSnapshot>(
       base, static_cast<size_t>(file_size));
   const char* data = mapping->data();
+  return Decode(data, file_size, path, std::move(mapping));
+}
+
+Result<Document> SnapshotCodec::Decode(
+    const char* data, uint64_t size, const std::string& label,
+    std::shared_ptr<internal::MappedSnapshot> mapping) {
+  const uint64_t file_size = size;
+  auto corrupt = [&](const std::string& what) {
+    return InvalidArgumentError("snapshot " + label + ": " + what);
+  };
+  if (file_size < sizeof(SnapshotHeader)) {
+    return corrupt("truncated before header (" + std::to_string(file_size) +
+                   " bytes)");
+  }
 
   // Validate the header completely before touching any section: nothing
   // below may read through an offset the checks have not bounded.
@@ -324,6 +395,15 @@ Status SaveSnapshot(const Document& doc, const std::string& path) {
 
 Result<Document> MapSnapshot(const std::string& path) {
   return SnapshotCodec::Map(path);
+}
+
+void SaveSnapshotBytes(const Document& doc, std::string* out) {
+  SnapshotCodec::EncodeBytes(doc, out);
+}
+
+Result<Document> LoadSnapshotBytes(std::string_view bytes,
+                                   const std::string& label) {
+  return SnapshotCodec::DecodeBytes(bytes, label);
 }
 
 }  // namespace gkx::xml

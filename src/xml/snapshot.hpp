@@ -21,6 +21,7 @@
 #define GKX_XML_SNAPSHOT_HPP_
 
 #include <string>
+#include <string_view>
 
 #include "base/status.hpp"
 #include "xml/document.hpp"
@@ -37,6 +38,18 @@ Status SaveSnapshot(const Document& doc, const std::string& path);
 /// Memory-maps a snapshot written by SaveSnapshot. The returned Document
 /// serves queries directly out of the mapping.
 Result<Document> MapSnapshot(const std::string& path);
+
+/// Serializes `doc`'s arena into `out` — byte-identical to the file
+/// SaveSnapshot writes, but in memory. The WAL uses this to embed whole
+/// documents (Put payloads, edit subtrees) inside journal records.
+void SaveSnapshotBytes(const Document& doc, std::string* out);
+
+/// Decodes a snapshot byte string produced by SaveSnapshotBytes with the
+/// same full validation MapSnapshot performs (magic, version, checksum,
+/// section bounds). Returns an owned deep copy — the result does not alias
+/// `bytes`. `label` names the source in error diagnostics.
+Result<Document> LoadSnapshotBytes(std::string_view bytes,
+                                   const std::string& label = "snapshot bytes");
 
 }  // namespace gkx::xml
 

@@ -5,6 +5,7 @@
 // diagnostics, never UB.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -180,6 +181,102 @@ TEST(SnapshotCorruptionTest, MissingFileFailsWithoutCreating) {
   auto mapped = MapSnapshot(path);
   ASSERT_FALSE(mapped.ok());
   EXPECT_NE(mapped.status().ToString().find(path), std::string::npos);
+}
+
+// --- crash-mid-save teeth (the WAL's checkpoint atomicity rests on these) ---
+
+// A crash can strand a stale ".tmp" sibling from an earlier save. The next
+// save must plow through it, and the final file must be the new snapshot.
+TEST(SnapshotCrashTest, StaleTempFileNeverPoisonsTheNextSave) {
+  const std::string path = TempPath("stale_tmp.gkx");
+  WriteFile(path + ".tmp", "garbage left by a crashed saver");
+  Document original = PayloadHeavyDoc();
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  auto mapped = MapSnapshot(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  std::string why;
+  EXPECT_TRUE(testkit::ExhaustiveEquals(original, *mapped, &why)) << why;
+  // The temp sibling was consumed by the rename, not left behind.
+  EXPECT_FALSE(MapSnapshot(path + ".tmp").ok());
+  std::remove(path.c_str());
+}
+
+// A crash between the temp write and the rename leaves a partial ".tmp" and
+// an intact previous snapshot: readers of `path` must still see the OLD
+// document — the half-written bytes are invisible until the atomic rename.
+TEST(SnapshotCrashTest, PartialTempWriteLeavesPreviousSnapshotReadable) {
+  const std::string path = TempPath("partial_tmp.gkx");
+  ASSERT_TRUE(SaveSnapshot(ChainDocument(4), path).ok());
+  // Fabricate the crash: a prefix of a real snapshot, parked at the temp
+  // name (never renamed).
+  const std::string next = TempPath("partial_tmp_next.gkx");
+  ASSERT_TRUE(SaveSnapshot(PayloadHeavyDoc(), next).ok());
+  WriteFile(path + ".tmp", ReadFile(next).substr(0, 100));
+  auto mapped = MapSnapshot(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->size(), 4);
+  // And if the crash happened before ANY snapshot existed, the target path
+  // simply does not exist — a clean, diagnosable miss, not a torn read.
+  const std::string never = TempPath("crashed_first_save.gkx");
+  WriteFile(never + ".tmp", ReadFile(next).substr(0, 100));
+  EXPECT_FALSE(MapSnapshot(never).ok());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  std::remove(next.c_str());
+  std::remove((never + ".tmp").c_str());
+}
+
+// An unwritable temp path (here: the ".tmp" name is a directory) fails the
+// save cleanly and leaves the existing snapshot untouched.
+TEST(SnapshotCrashTest, UnwritableTempFailsWithoutTouchingTarget) {
+  const std::string path = TempPath("blocked_tmp.gkx");
+  ASSERT_TRUE(SaveSnapshot(ChainDocument(6), path).ok());
+  ASSERT_TRUE(std::filesystem::create_directory(path + ".tmp"));
+  EXPECT_FALSE(SaveSnapshot(PayloadHeavyDoc(), path).ok());
+  auto mapped = MapSnapshot(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped->size(), 6);
+  std::filesystem::remove(path + ".tmp");
+  std::remove(path.c_str());
+}
+
+// --- the in-memory bytes codec (the WAL embeds snapshots in records) ---
+
+TEST(SnapshotBytesTest, BytesRoundTripPreservesEveryField) {
+  Document original = PayloadHeavyDoc();
+  std::string bytes;
+  SaveSnapshotBytes(original, &bytes);
+  auto loaded = LoadSnapshotBytes(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->mapped());  // owned copy, independently editable
+  std::string why;
+  EXPECT_TRUE(testkit::ExhaustiveEquals(original, *loaded, &why)) << why;
+}
+
+TEST(SnapshotBytesTest, BytesMatchTheFileFormat) {
+  // One codec, two carriers: the bytes SaveSnapshotBytes produces are the
+  // same bytes SaveSnapshot writes (so WAL-embedded and checkpoint-file
+  // snapshots can never drift apart).
+  const std::string path = TempPath("bytes_vs_file.gkx");
+  Document original = PayloadHeavyDoc();
+  ASSERT_TRUE(SaveSnapshot(original, path).ok());
+  std::string bytes;
+  SaveSnapshotBytes(original, &bytes);
+  EXPECT_EQ(bytes, ReadFile(path));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotBytesTest, CorruptBytesAreRejected) {
+  std::string bytes;
+  SaveSnapshotBytes(ChainDocument(5), &bytes);
+  for (size_t length = 0; length < bytes.size();
+       length += (length < 400 ? 7 : 111)) {
+    EXPECT_FALSE(LoadSnapshotBytes(bytes.substr(0, length)).ok())
+        << "prefix " << length;
+  }
+  std::string flipped = bytes;
+  flipped[24] = static_cast<char>(flipped[24] ^ 0x5a);
+  EXPECT_FALSE(LoadSnapshotBytes(flipped).ok());
 }
 
 }  // namespace

@@ -130,7 +130,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("check_stats_json: %s ok (%zu bytes, tracing %s)\n", argv[1],
-              text.size(), tracing ? "on" : "off");
+  // Durable services export the wal.* family (src/wal/wal.hpp). The
+  // section is optional — an in-memory service never creates the metrics —
+  // but when a WAL was attached the whole family must be present and
+  // reconcile: each enqueued record is awaited exactly once (records ==
+  // append_ms.count) and occupies at least the minimum frame on disk
+  // (8-byte frame header + 13-byte minimum payload, src/wal/record.hpp).
+  const auto* wal = root.FindPath("metrics.wal");
+  if (wal != nullptr) {
+    for (const char* field :
+         {"append_ms", "fsync_batch_ms", "checkpoint_ms", "replay_ms",
+          "records", "bytes", "torn_tail"}) {
+      if (wal->Find(field) == nullptr) {
+        return Fail(std::string("metrics.wal present but missing \"") + field +
+                    "\"");
+      }
+    }
+    const double wal_records = wal->Find("records")->AsNumber();
+    const auto* append_count = wal->FindPath("append_ms.count");
+    if (append_count == nullptr) {
+      return Fail("metrics.wal.append_ms has no count");
+    }
+    if (append_count->AsNumber() != wal_records) {
+      return Fail("metrics.wal.records != metrics.wal.append_ms.count");
+    }
+    if (wal->Find("bytes")->AsNumber() < wal_records * 21.0) {
+      return Fail("metrics.wal.bytes < records * minimum frame size (21)");
+    }
+    if (wal->Find("torn_tail")->AsNumber() < 0.0) {
+      return Fail("metrics.wal.torn_tail is negative");
+    }
+  }
+
+  std::printf("check_stats_json: %s ok (%zu bytes, tracing %s, wal %s)\n",
+              argv[1], text.size(), tracing ? "on" : "off",
+              wal != nullptr ? "on" : "off");
   return 0;
 }
