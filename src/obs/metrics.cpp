@@ -66,6 +66,41 @@ MetricRegistry::HistogramSummaries() const {
   return out;
 }
 
+void MetricRegistry::MergeInto(MetricRegistry* out) const {
+  // Snapshot under our lock, apply under the target's (via the public
+  // accessors) — never both at once, so two registries can merge into a
+  // third concurrently and a registry can even merge into itself-shaped
+  // graphs without lock-order cycles.
+  std::vector<std::pair<std::string, int64_t>> counters = CounterValues();
+  std::vector<std::pair<std::string, double>> gauges = GaugeValues();
+  std::vector<std::pair<std::string, const Histogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hists.reserve(histograms_.size());
+    for (const auto& [name, hist] : histograms_) {
+      hists.emplace_back(name, hist.get());
+    }
+  }
+  for (const auto& [name, value] : counters) {
+    out->GetCounter(name)->Add(value);
+  }
+  for (const auto& [name, value] : gauges) {
+    // Accumulate the sampled value into a constant sum gauge: merging N
+    // registries yields the sum of their gauge readings at merge time.
+    double sum;
+    {
+      std::lock_guard<std::mutex> lock(out->mu_);
+      sum = (out->merged_gauge_sums_[name] += value);
+    }
+    out->SetGauge(name, [sum]() { return sum; });
+  }
+  // Histogram pointers are stable for this registry's lifetime; Merge reads
+  // the source buckets atomically, so concurrent recording is safe.
+  for (const auto& [name, hist] : hists) {
+    out->GetHistogram(name, hist->unit())->Merge(*hist);
+  }
+}
+
 Histogram* HistogramFamily::Get(std::string_view label) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = members_.find(label);
@@ -81,6 +116,20 @@ std::map<std::string, HistogramSummary> HistogramFamily::Summaries() const {
   std::map<std::string, HistogramSummary> out;
   for (const auto& [label, hist] : members_) out[label] = hist->Summary();
   return out;
+}
+
+void HistogramFamily::MergeInto(HistogramFamily* out) const {
+  std::vector<std::pair<std::string, const Histogram*>> members;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    members.reserve(members_.size());
+    for (const auto& [label, hist] : members_) {
+      members.emplace_back(label, hist.get());
+    }
+  }
+  for (const auto& [label, hist] : members) {
+    out->Get(label)->Merge(*hist);
+  }
 }
 
 }  // namespace gkx::obs

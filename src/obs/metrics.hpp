@@ -55,11 +55,23 @@ class MetricRegistry {
   std::vector<std::pair<std::string, HistogramSummary>> HistogramSummaries()
       const;
 
+  /// Folds this registry into `out`: counters add into same-named counters,
+  /// histograms merge bucket-exact (units must agree across registries —
+  /// checked), and gauges are sampled now and added into a constant gauge in
+  /// `out`. Percentiles of N merged registries are therefore exact, not
+  /// summary-of-summaries approximations. Safe against concurrent recording
+  /// on either side (the merged snapshot is per-bucket atomic, like
+  /// Histogram::Merge).
+  void MergeInto(MetricRegistry* out) const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::function<double()>> gauges_;
+  /// Running per-gauge sums accumulated by MergeInto (this registry as the
+  /// merge *target*) so repeated merges from several sources add up.
+  std::map<std::string, double> merged_gauge_sums_;
 };
 
 /// A set of histograms keyed by a dynamic label (e.g. route name). Get()
@@ -73,6 +85,10 @@ class HistogramFamily {
   Histogram* Get(std::string_view label);
 
   std::map<std::string, HistogramSummary> Summaries() const;
+
+  /// Folds every member into the same-labelled member of `out` (created on
+  /// demand with this family's unit), bucket-exact like Histogram::Merge.
+  void MergeInto(HistogramFamily* out) const;
 
  private:
   Histogram::Unit unit_;

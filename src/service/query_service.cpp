@@ -412,4 +412,12 @@ ServiceStats QueryService::Stats() const {
   return out;
 }
 
+void QueryService::MergeObservabilityInto(obs::Histogram* latency,
+                                          obs::HistogramFamily* routes,
+                                          obs::MetricRegistry* registry) const {
+  if (latency != nullptr) latency->Merge(*latency_hist_);
+  if (routes != nullptr) route_hists_.MergeInto(routes);
+  if (registry != nullptr) registry_.MergeInto(registry);
+}
+
 }  // namespace gkx::service

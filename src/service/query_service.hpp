@@ -57,6 +57,10 @@
 #include "service/stats.hpp"
 #include "wal/wal.hpp"
 
+namespace gkx::obs::json {
+class Value;
+}  // namespace gkx::obs::json
+
 namespace gkx::service {
 
 /// A point-in-time stats snapshot.
@@ -222,6 +226,23 @@ class QueryService {
   /// its numeric leaves into `gkx_section_name value` lines
   /// (Prometheus-style). Implemented in stats_export.cpp.
   std::string ExportStats(StatsFormat format = StatsFormat::kText) const;
+
+  /// The structured stats document ExportStats serializes, as a JSON value.
+  /// The sharded router embeds one of these per shard under "shards".
+  obs::json::Value ExportStatsDocument() const;
+
+  /// Router support: folds this service's observability state into
+  /// cross-shard aggregates — the always-on latency histogram into
+  /// `latency`, the per-route execution histograms into `routes`, and the
+  /// whole metric registry into `registry` (counters add, histograms merge
+  /// bucket-exact). Null destinations are skipped. Safe to call while the
+  /// service is serving.
+  void MergeObservabilityInto(obs::Histogram* latency,
+                              obs::HistogramFamily* routes,
+                              obs::MetricRegistry* registry) const;
+
+  /// The slow-query threshold the trace options resolved to.
+  double slow_query_threshold_ms() const { return slow_log_.threshold_ms(); }
 
   /// The most recent slow queries (empty when tracing is off). Newest last.
   std::vector<obs::SlowQuery> SlowQueries() const {

@@ -1,0 +1,52 @@
+// Stable document-key → shard partitioning. The map is a pure function of
+// the key bytes and the shard count: FNV-1a 64 reduced mod N. Stability is
+// a durability contract, not an implementation detail — per-shard WAL
+// directories are laid out by shard index, so a key must land on the same
+// shard across process restarts, library versions, and platforms for
+// recovery to find its journal. The fingerprint constants are therefore
+// pinned by golden values in shard_service_test.cpp; changing them is a
+// data-format break.
+
+#ifndef GKX_SERVICE_SHARD_MAP_HPP_
+#define GKX_SERVICE_SHARD_MAP_HPP_
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/check.hpp"
+
+namespace gkx::service {
+
+class ShardMap {
+ public:
+  explicit ShardMap(int shards) : shards_(shards) { GKX_CHECK(shards >= 1); }
+
+  int shards() const { return shards_; }
+
+  int ShardOf(std::string_view key) const {
+    return static_cast<int>(Fingerprint(key) %
+                            static_cast<uint64_t>(shards_));
+  }
+
+  /// FNV-1a 64 over the key bytes. Deliberately boring: documented
+  /// constants, byte-order independent, trivially reimplementable by any
+  /// future out-of-process router that needs to agree on placement.
+  static constexpr uint64_t Fingerprint(std::string_view key) {
+    uint64_t hash = kOffsetBasis;
+    for (char c : key) {
+      hash ^= static_cast<uint8_t>(c);
+      hash *= kPrime;
+    }
+    return hash;
+  }
+
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+ private:
+  int shards_;
+};
+
+}  // namespace gkx::service
+
+#endif  // GKX_SERVICE_SHARD_MAP_HPP_

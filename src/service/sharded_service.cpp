@@ -1,0 +1,313 @@
+#include "service/sharded_service.hpp"
+
+#include <exception>
+#include <iterator>
+#include <utility>
+
+#include "base/check.hpp"
+#include "obs/json.hpp"
+#include "service/stats_json.hpp"
+
+namespace gkx::service {
+
+ShardedQueryService::ShardedQueryService(const Options& options)
+    : options_(options), map_(options.shards) {
+  GKX_CHECK(options.shard.wal_dir.empty());  // configure via Options::wal_dir
+  pool_ = options.pool != nullptr     ? options.pool
+          : options.shard.pool != nullptr ? options.shard.pool
+                                          : &ThreadPool::Shared();
+  shards_.reserve(static_cast<size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    QueryService::Options shard_options = options.shard;
+    if (!options.wal_dir.empty()) {
+      shard_options.wal_dir = options.wal_dir + "/shard" + std::to_string(i);
+    }
+    shards_.push_back(std::make_unique<QueryService>(shard_options));
+  }
+}
+
+// ---------------------------------------------------------------- corpus
+
+Status ShardedQueryService::RegisterDocument(std::string key,
+                                             xml::Document doc) {
+  QueryService& shard = Owner(key);
+  return shard.RegisterDocument(std::move(key), std::move(doc));
+}
+
+Status ShardedQueryService::RegisterXml(std::string key,
+                                        std::string_view xml) {
+  QueryService& shard = Owner(key);
+  return shard.RegisterXml(std::move(key), xml);
+}
+
+Status ShardedQueryService::UpdateDocument(std::string_view key,
+                                           const xml::SubtreeEdit& edit) {
+  return Owner(key).UpdateDocument(key, edit);
+}
+
+bool ShardedQueryService::RemoveDocument(std::string_view key) {
+  return Owner(key).RemoveDocument(key);
+}
+
+size_t ShardedQueryService::document_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->documents().size();
+  return total;
+}
+
+// ---------------------------------------------------------------- queries
+
+Result<ShardedQueryService::Answer> ShardedQueryService::Submit(
+    const std::string& doc_key, const std::string& query_text) {
+  return Owner(doc_key).Submit(doc_key, query_text);
+}
+
+std::vector<Result<ShardedQueryService::Answer>>
+ShardedQueryService::SubmitBatch(const std::vector<Request>& requests) {
+  if (shards_.size() == 1) return shards_[0]->SubmitBatch(requests);
+
+  // Scatter: request index lists per owning shard, original order kept
+  // within each shard so the gather is a positional re-stitch.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    by_shard[static_cast<size_t>(map_.ShardOf(requests[i].doc_key))]
+        .push_back(i);
+  }
+  std::vector<size_t> active;
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (!by_shard[s].empty()) active.push_back(s);
+  }
+
+  std::vector<Result<Answer>> responses(
+      requests.size(), Result<Answer>(InternalError("request not routed")));
+  auto run_shard = [&](size_t s) {
+    const std::vector<size_t>& indices = by_shard[s];
+    std::vector<Request> sub_batch;
+    sub_batch.reserve(indices.size());
+    for (size_t i : indices) sub_batch.push_back(requests[i]);
+    // Partial-failure stitching: an exception out of one shard's batch
+    // executor (ThreadPool::ParallelFor rethrows the first task exception)
+    // poisons only that shard's slots — sibling shards already wrote, or
+    // will still write, their own results.
+    try {
+      std::vector<Result<Answer>> sub = shards_[s]->SubmitBatch(sub_batch);
+      GKX_CHECK(sub.size() == indices.size());
+      for (size_t k = 0; k < indices.size(); ++k) {
+        responses[indices[k]] = std::move(sub[k]);
+      }
+    } catch (const std::exception& e) {
+      const Status failure = InternalError(
+          "shard " + std::to_string(s) + " sub-batch failed: " + e.what());
+      for (size_t i : indices) responses[i] = failure;
+    } catch (...) {
+      const Status failure = InternalError(
+          "shard " + std::to_string(s) + " sub-batch failed");
+      for (size_t i : indices) responses[i] = failure;
+    }
+  };
+
+  if (active.size() == 1) {
+    run_shard(active[0]);
+  } else if (!active.empty()) {
+    pool_->ParallelFor(static_cast<int>(active.size()),
+                       [&](int k) { run_shard(active[static_cast<size_t>(k)]); });
+  }
+  return responses;
+}
+
+// ---------------------------------------------------------- subscriptions
+
+Result<int64_t> ShardedQueryService::Subscribe(
+    std::string doc_selector, const std::string& query_text,
+    mview::SubscriptionCallback callback) {
+  auto merged = std::make_shared<MergedSubscription>();
+  merged->callback = std::move(callback);
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    merged->id = next_subscription_id_++;
+  }
+  // Every member shard delivers through this one fan-in: the event's
+  // shard-level id is rewritten to the router id and the caller's callback
+  // runs under one mutex, so deliveries from different shards never overlap
+  // and per-document order (one shard, serialized per member) is preserved.
+  auto fan_in = [merged](const mview::SubscriptionEvent& event) {
+    mview::SubscriptionEvent rewritten = event;
+    rewritten.subscription = merged->id;
+    std::lock_guard<std::mutex> lock(merged->mu);
+    merged->callback(rewritten);
+  };
+
+  const bool prefix =
+      !doc_selector.empty() && doc_selector.back() == '*';
+  std::vector<std::pair<int, int64_t>> members;
+  auto subscribe_on = [&](int shard_index) -> Status {
+    Result<int64_t> member =
+        shards_[static_cast<size_t>(shard_index)]->Subscribe(
+            doc_selector, query_text, fan_in);
+    if (!member.ok()) return member.status();
+    members.emplace_back(shard_index, *member);
+    return Status::Ok();
+  };
+  if (prefix) {
+    // A prefix selector can match keys on any shard.
+    for (int s = 0; s < shard_count(); ++s) {
+      Status status = subscribe_on(s);
+      if (!status.ok()) {
+        for (const auto& [shard_index, member_id] : members) {
+          shards_[static_cast<size_t>(shard_index)]->Unsubscribe(member_id);
+        }
+        return status;
+      }
+    }
+  } else {
+    // Exact key: only the owning shard can ever match.
+    GKX_RETURN_IF_ERROR(subscribe_on(map_.ShardOf(doc_selector)));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs_[merged->id] = std::move(members);
+  }
+  return merged->id;
+}
+
+bool ShardedQueryService::Unsubscribe(int64_t subscription_id) {
+  std::vector<std::pair<int, int64_t>> members;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subs_.find(subscription_id);
+    if (it == subs_.end()) return false;
+    members = std::move(it->second);
+    subs_.erase(it);
+  }
+  bool ok = true;
+  for (const auto& [shard_index, member_id] : members) {
+    ok = shards_[static_cast<size_t>(shard_index)]->Unsubscribe(member_id) && ok;
+  }
+  return ok;
+}
+
+void ShardedQueryService::FlushSubscriptions() {
+  for (const auto& shard : shards_) shard->FlushSubscriptions();
+}
+
+// ------------------------------------------------------------------ admin
+
+ServiceStats ShardedQueryService::AggregateStats(
+    obs::Histogram* latency, obs::HistogramFamily* routes,
+    obs::MetricRegistry* registry) const {
+  ServiceStats agg;
+  for (const auto& shard : shards_) {
+    const ServiceStats s = shard->Stats();
+    agg.requests += s.requests;
+    agg.batches += s.batches;
+    agg.failures += s.failures;
+    agg.documents += s.documents;
+    agg.plan_cache_entries += s.plan_cache_entries;
+
+    agg.plan_cache.hits += s.plan_cache.hits;
+    agg.plan_cache.canonical_hits += s.plan_cache.canonical_hits;
+    agg.plan_cache.misses += s.plan_cache.misses;
+    agg.plan_cache.parse_failures += s.plan_cache.parse_failures;
+    agg.plan_cache.evictions += s.plan_cache.evictions;
+
+    agg.answer_cache_enabled = s.answer_cache_enabled;
+    agg.answer_cache.hits += s.answer_cache.hits;
+    agg.answer_cache.misses += s.answer_cache.misses;
+    agg.answer_cache.inserts += s.answer_cache.inserts;
+    agg.answer_cache.invalidations += s.answer_cache.invalidations;
+    agg.answer_cache.retained += s.answer_cache.retained;
+    agg.answer_cache.remapped += s.answer_cache.remapped;
+    agg.answer_cache.evictions += s.answer_cache.evictions;
+    agg.answer_cache.declined += s.answer_cache.declined;
+    agg.answer_cache.bytes += s.answer_cache.bytes;
+    agg.answer_cache.entries += s.answer_cache.entries;
+
+    agg.subscriptions.active += s.subscriptions.active;
+    agg.subscriptions.fired += s.subscriptions.fired;
+    agg.subscriptions.coalesced += s.subscriptions.coalesced;
+    agg.subscriptions.skipped_disjoint += s.subscriptions.skipped_disjoint;
+    agg.subscriptions.evaluations += s.subscriptions.evaluations;
+
+    for (const auto& [name, count] : s.evaluator_counts) {
+      agg.evaluator_counts[name] += count;
+    }
+    for (const auto& [name, count] : s.segment_route_counts) {
+      agg.segment_route_counts[name] += count;
+    }
+    agg.tracing = s.tracing;  // identical options across shards
+    agg.staged_segments += s.staged_segments;
+    agg.exec_parallel_segments += s.exec_parallel_segments;
+    agg.exec_sequential_segments += s.exec_sequential_segments;
+    agg.exec_skipped_segments += s.exec_skipped_segments;
+    agg.slow_queries += s.slow_queries;
+
+    shard->MergeObservabilityInto(latency, routes, registry);
+  }
+  if (latency != nullptr) {
+    agg.latency = ToLatencySummary(latency->Summary());
+  }
+  if (routes != nullptr) {
+    agg.route_latency = routes->Summaries();
+  }
+  return agg;
+}
+
+ServiceStats ShardedQueryService::Stats() const {
+  obs::Histogram latency(obs::Histogram::Unit::kNanos);
+  obs::HistogramFamily routes(obs::Histogram::Unit::kNanos);
+  return AggregateStats(&latency, &routes, nullptr);
+}
+
+std::vector<ServiceStats> ShardedQueryService::ShardStats() const {
+  std::vector<ServiceStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->Stats());
+  return out;
+}
+
+std::string ShardedQueryService::ExportStats(StatsFormat format) const {
+  obs::Histogram latency(obs::Histogram::Unit::kNanos);
+  obs::HistogramFamily routes(obs::Histogram::Unit::kNanos);
+  obs::MetricRegistry registry;
+
+  StatsExportInputs inputs;
+  inputs.stats = AggregateStats(&latency, &routes, &registry);
+  inputs.registry = &registry;
+  inputs.slow_query_threshold_ms = shards_[0]->slow_query_threshold_ms();
+  for (const auto& shard : shards_) {
+    std::vector<obs::SlowQuery> slow = shard->SlowQueries();
+    inputs.slow_queries.insert(inputs.slow_queries.end(),
+                               std::make_move_iterator(slow.begin()),
+                               std::make_move_iterator(slow.end()));
+  }
+
+  obs::json::Value root = BuildStatsDocument(inputs);
+  {
+    obs::json::Value sharding = obs::json::Value::Object();
+    sharding["shards"] = obs::json::Value(
+        static_cast<int64_t>(shards_.size()));
+    root["sharding"] = std::move(sharding);
+  }
+  {
+    obs::json::Value breakdown = obs::json::Value::Array();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      obs::json::Value doc = shards_[i]->ExportStatsDocument();
+      doc["shard"] = obs::json::Value(static_cast<int64_t>(i));
+      breakdown.Append(std::move(doc));
+    }
+    root["shards"] = std::move(breakdown);
+  }
+  return RenderStatsDocument(root, format);
+}
+
+Status ShardedQueryService::CheckpointNow() {
+  Status first = Status::Ok();
+  for (const auto& shard : shards_) {
+    Status status = shard->CheckpointNow();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+}  // namespace gkx::service

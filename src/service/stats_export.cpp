@@ -1,8 +1,10 @@
-// QueryService::ExportStats — the machine-readable face of the stats
-// surface. One builder produces the structured "gkx-stats-v1" JSON
-// document; the text format is its numeric leaves flattened into
-// `gkx_<path> value` lines (obs::json::Value::FlattenNumbers), so the two
-// views can never drift apart.
+// The machine-readable face of the stats surface. One builder
+// (BuildStatsDocument) produces the structured "gkx-stats-v1" JSON document
+// from a StatsExportInputs bundle; the text format is its numeric leaves
+// flattened into `gkx_<path> value` lines (obs::json::Value::FlattenNumbers),
+// so the two views can never drift apart. QueryService::ExportStats feeds it
+// one service's snapshot; ShardedQueryService::ExportStats feeds it the
+// merged aggregate and embeds the per-shard documents (sharded_service.cpp).
 
 #include <cstdio>
 #include <string>
@@ -10,6 +12,7 @@
 
 #include "obs/json.hpp"
 #include "service/query_service.hpp"
+#include "service/stats_json.hpp"
 
 namespace gkx::service {
 
@@ -31,8 +34,8 @@ Value SummaryJson(const obs::HistogramSummary& s) {
 
 }  // namespace
 
-std::string QueryService::ExportStats(StatsFormat format) const {
-  const ServiceStats stats = Stats();
+Value BuildStatsDocument(const StatsExportInputs& inputs) {
+  const ServiceStats& stats = inputs.stats;
 
   Value root = Value::Object();
   root["schema"] = Value("gkx-stats-v1");
@@ -45,7 +48,7 @@ std::string QueryService::ExportStats(StatsFormat format) const {
     service["documents"] = Value(stats.documents);
     service["tracing"] = Value(stats.tracing);
     service["slow_queries"] = Value(stats.slow_queries);
-    service["slow_query_threshold_ms"] = Value(slow_log_.threshold_ms());
+    service["slow_query_threshold_ms"] = Value(inputs.slow_query_threshold_ms);
     root["service"] = std::move(service);
   }
   {
@@ -101,7 +104,8 @@ std::string QueryService::ExportStats(StatsFormat format) const {
     // tools/check_stats_json and the soak reconciliation):
     // parallel + sequential + skipped == staged_segments, exactly — the
     // per-segment buckets are flushed atomically per successful run, so
-    // the identity holds even while segments execute concurrently.
+    // the identity holds even while segments execute concurrently (and
+    // across shards: every term is a plain sum).
     Value exec = Value::Object();
     exec["staged_segments"] = Value(stats.staged_segments);
     exec["parallel_segments"] = Value(stats.exec_parallel_segments);
@@ -147,20 +151,20 @@ std::string QueryService::ExportStats(StatsFormat format) const {
       }
       return (*node)[std::string(rest)];
     };
-    for (const auto& [name, value] : registry_.CounterValues()) {
+    for (const auto& [name, value] : inputs.registry->CounterValues()) {
       slot(name) = Value(value);
     }
-    for (const auto& [name, value] : registry_.GaugeValues()) {
+    for (const auto& [name, value] : inputs.registry->GaugeValues()) {
       slot(name) = Value(value);
     }
-    for (const auto& [name, summary] : registry_.HistogramSummaries()) {
+    for (const auto& [name, summary] : inputs.registry->HistogramSummaries()) {
       slot(name) = SummaryJson(summary);
     }
     root["metrics"] = std::move(metrics);
   }
   {
     Value entries = Value::Array();
-    for (const obs::SlowQuery& slow : slow_log_.Snapshot()) {
+    for (const obs::SlowQuery& slow : inputs.slow_queries) {
       Value entry = Value::Object();
       entry["doc_key"] = Value(slow.doc_key);
       entry["query"] = Value(slow.query);
@@ -177,6 +181,10 @@ std::string QueryService::ExportStats(StatsFormat format) const {
     root["slow_queries"] = std::move(entries);
   }
 
+  return root;
+}
+
+std::string RenderStatsDocument(const Value& root, StatsFormat format) {
   if (format == StatsFormat::kJson) return root.Dump(2) + "\n";
 
   // Text: every numeric leaf of the same document, one per line.
@@ -198,6 +206,19 @@ std::string QueryService::ExportStats(StatsFormat format) const {
     out.push_back('\n');
   }
   return out;
+}
+
+Value QueryService::ExportStatsDocument() const {
+  StatsExportInputs inputs;
+  inputs.stats = Stats();
+  inputs.slow_query_threshold_ms = slow_log_.threshold_ms();
+  inputs.slow_queries = slow_log_.Snapshot();
+  inputs.registry = &registry_;
+  return BuildStatsDocument(inputs);
+}
+
+std::string QueryService::ExportStats(StatsFormat format) const {
+  return RenderStatsDocument(ExportStatsDocument(), format);
 }
 
 }  // namespace gkx::service

@@ -1,0 +1,498 @@
+#include "testkit/shard_soak.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "base/check.hpp"
+#include "base/rng.hpp"
+#include "eval/engine.hpp"
+#include "testkit/oracle.hpp"
+#include "testkit/reference_edit.hpp"
+#include "xml/edit.hpp"
+#include "xml/parser.hpp"
+
+namespace gkx::testkit {
+
+namespace {
+
+// Per-document query templates; <T> is the document's private tag suffix.
+// Query 0 is the node-set query subscriptions watch.
+constexpr int kQueriesPerDoc = 3;
+
+std::string DocKey(int k) { return "doc" + std::to_string(k); }
+
+std::string DocQuery(int k, int q) {
+  const std::string t = std::to_string(k);
+  switch (q) {
+    case 0: return "//a" + t;
+    case 1: return "count(//a" + t + ")";
+    default: return "/d" + t + "/b" + t + "/a" + t;
+  }
+}
+
+// Every tag embeds the document number, so no two documents share a name:
+// footprints, cache keys, and subscriptions are pairwise disjoint across
+// the corpus by construction.
+std::string DocXml(int k, Rng* rng) {
+  const std::string t = std::to_string(k);
+  std::ostringstream xml;
+  xml << "<d" << t << ">";
+  const int sections = static_cast<int>(rng->UniformInt(2, 4));
+  for (int s = 0; s < sections; ++s) {
+    xml << "<b" << t << ">";
+    const int leaves = static_cast<int>(rng->UniformInt(1, 3));
+    for (int l = 0; l < leaves; ++l) {
+      xml << "<a" << t << ">v" << s << l << "</a" << t << ">";
+    }
+    xml << "</b" << t << ">";
+  }
+  xml << "<c" << t << ">tail</c" << t << "></d" << t << ">";
+  return xml.str();
+}
+
+// One churn edit against the oracle's current revision of doc k. Mostly
+// cheap text churn; every fourth edit is structural (insert a fresh a<k>
+// leaf) so node-sets actually change and subscription diffs carry adds.
+xml::SubtreeEdit MakeEdit(const xml::Document& doc, int k, int step,
+                          Rng* rng) {
+  xml::SubtreeEdit edit;
+  const auto target = static_cast<xml::NodeId>(
+      rng->UniformInt(0, static_cast<int64_t>(doc.size()) - 1));
+  if (step % 4 == 3) {
+    const std::string t = std::to_string(k);
+    edit.kind = xml::SubtreeEdit::Kind::kInsertSubtree;
+    edit.target = doc.root();
+    edit.position = static_cast<int32_t>(
+        rng->UniformInt(0, doc.ChildCount(doc.root())));
+    Result<xml::Document> subtree = xml::ParseDocument(
+        "<a" + t + ">n" + std::to_string(step) + "</a" + t + ">");
+    GKX_CHECK(subtree.ok());
+    edit.subtree = std::move(*subtree);
+  } else {
+    edit.kind = xml::SubtreeEdit::Kind::kSetText;
+    edit.target = target;
+    edit.text = "r" + std::to_string(step);
+  }
+  return edit;
+}
+
+struct SubStream {
+  std::mutex mu;
+  std::vector<mview::SubscriptionEvent> events;
+};
+
+class Failures {
+ public:
+  Failures(ShardSoakReport* report, const ShardSoakOptions& options)
+      : report_(report), options_(options) {}
+
+  void Diverged(const std::string& what) { Add(&report_->divergences, what); }
+  void Errored(const std::string& what) { Add(&report_->errors, what); }
+
+ private:
+  void Add(int64_t* counter, const std::string& what) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++*counter;
+    if (report_->failures.size() < options_.max_failures_reported) {
+      report_->failures.push_back("seed=" + std::to_string(options_.seed) +
+                                  " " + what);
+    }
+  }
+
+  std::mutex mu_;
+  ShardSoakReport* report_;
+  const ShardSoakOptions& options_;
+};
+
+}  // namespace
+
+std::string ShardSoakReport::Summary() const {
+  std::ostringstream out;
+  out << "shard soak: seed=" << seed << " shards=" << shards
+      << " rounds=" << rounds << " mutations=" << mutations
+      << " reads=" << reads << " cache_hits=" << answer_cache_hits
+      << " sub_events=" << subscription_events
+      << " oracle_evals=" << oracle_evaluations;
+  if (recovery_ran) {
+    out << " recovery(shard0_replayed=" << records_replayed_shard0 << ")";
+  }
+  out << " divergences=" << divergences << " errors=" << errors
+      << (ok() ? " OK" : " FAILED");
+  for (const std::string& failure : failures) out << "\n  " << failure;
+  return out.str();
+}
+
+ShardSoakReport RunShardSoak(const ShardSoakOptions& options) {
+  ShardSoakReport report;
+  report.seed = options.seed;
+  report.shards = options.shards;
+  report.rounds = options.rounds;
+  Failures failures(&report, options);
+
+  GKX_CHECK(options.shards >= 2);  // isolation needs a sibling to poison
+  GKX_CHECK(options.documents >= options.shards);
+  GKX_CHECK(options.threads >= 1 && options.rounds >= 1);
+
+  service::ShardedQueryService::Options router_options;
+  router_options.shards = options.shards;
+  router_options.shard = options.service;
+  router_options.wal_dir = options.wal_dir;
+  auto router =
+      std::make_unique<service::ShardedQueryService>(router_options);
+
+  // ------------------------------------------------------------ compile
+  // Oracle documents, per-round edit chains for the shard-0 documents, and
+  // per-(doc, round, query) expected digests — all before any concurrency.
+  Rng rng(options.seed);
+  eval::Engine engine;
+  const int docs = options.documents;
+  const bool durable = !options.wal_dir.empty();
+  const int churn_rounds = options.rounds + (durable ? 1 : 0);
+
+  std::vector<xml::Document> oracle_docs;
+  std::vector<int> churn_docs;  // indexes of the docs living on shard 0
+  for (int k = 0; k < docs; ++k) {
+    Result<xml::Document> doc = xml::ParseDocument(DocXml(k, &rng));
+    GKX_CHECK(doc.ok());
+    oracle_docs.push_back(std::move(*doc));
+    if (router->ShardOf(DocKey(k)) == 0) churn_docs.push_back(k);
+  }
+  GKX_CHECK(!churn_docs.empty());
+  GKX_CHECK(churn_docs.size() < static_cast<size_t>(docs));
+
+  // edits[doc][round] = the round's edit slice; digests[doc][round][query]
+  // with round 0 = pre-churn. Unchurned documents keep round-0 digests.
+  std::map<int, std::vector<std::vector<xml::SubtreeEdit>>> edits;
+  std::vector<std::vector<std::vector<std::string>>> digests(
+      static_cast<size_t>(docs));
+  auto digest_round = [&](int k, std::vector<std::vector<std::string>>* out) {
+    std::vector<std::string> row;
+    for (int q = 0; q < kQueriesPerDoc; ++q) {
+      Result<eval::Engine::Answer> answer =
+          engine.Run(oracle_docs[static_cast<size_t>(k)], DocQuery(k, q));
+      GKX_CHECK(answer.ok());
+      row.push_back(AnswerDigest(answer->value));
+      ++report.oracle_evaluations;
+    }
+    out->push_back(std::move(row));
+  };
+  for (int k = 0; k < docs; ++k) {
+    digest_round(k, &digests[static_cast<size_t>(k)]);
+  }
+  int step = 0;
+  for (int k : churn_docs) {
+    edits[k].resize(static_cast<size_t>(churn_rounds));
+  }
+  // Oracle node-set of query 0 per churned doc as of round `options.rounds`
+  // — where the subscription streams are checked (the durable variant's
+  // extra round happens after that check).
+  std::map<int, std::set<xml::NodeId>> final_nodes;
+  for (int round = 0; round < churn_rounds; ++round) {
+    for (int k : churn_docs) {
+      for (int e = 0; e < options.edits_per_doc_per_round; ++e) {
+        xml::SubtreeEdit edit =
+            MakeEdit(oracle_docs[static_cast<size_t>(k)], k, step++, &rng);
+        Result<xml::Document> next =
+            xml::ApplyEdit(oracle_docs[static_cast<size_t>(k)], edit);
+        GKX_CHECK(next.ok());
+        oracle_docs[static_cast<size_t>(k)] = std::move(*next);
+        edits[k][static_cast<size_t>(round)].push_back(std::move(edit));
+      }
+      digest_round(k, &digests[static_cast<size_t>(k)]);
+      if (round == options.rounds - 1) {
+        Result<eval::Engine::Answer> answer =
+            engine.Run(oracle_docs[static_cast<size_t>(k)], DocQuery(k, 0));
+        GKX_CHECK(answer.ok() &&
+                  answer->value.type() == xpath::ValueType::kNodeSet);
+        final_nodes[k] = {answer->value.nodes().begin(),
+                          answer->value.nodes().end()};
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ register
+  {
+    Rng reg_rng(options.seed);
+    for (int k = 0; k < docs; ++k) {
+      Result<xml::Document> doc = xml::ParseDocument(DocXml(k, &reg_rng));
+      GKX_CHECK(doc.ok());
+      Status status = router->RegisterDocument(DocKey(k), std::move(*doc));
+      if (!status.ok()) {
+        failures.Errored("register " + DocKey(k) + ": " +
+                         std::string(status.message()));
+      }
+    }
+  }
+
+  // One exact-key subscription per document on the node-set query. Events
+  // fan in from whichever shard owns the document; streams are recorded
+  // per document and replayed against the oracle at the end.
+  std::vector<std::unique_ptr<SubStream>> streams;
+  std::vector<int64_t> sub_ids(static_cast<size_t>(docs), -1);
+  for (int k = 0; k < docs; ++k) {
+    streams.push_back(std::make_unique<SubStream>());
+    SubStream* stream = streams.back().get();
+    Result<int64_t> sub = router->Subscribe(
+        DocKey(k), DocQuery(k, 0), [stream](const mview::SubscriptionEvent& event) {
+          std::lock_guard<std::mutex> lock(stream->mu);
+          stream->events.push_back(event);
+        });
+    if (!sub.ok()) {
+      failures.Errored("subscribe " + DocKey(k) + ": " +
+                       std::string(sub.status().message()));
+    } else {
+      sub_ids[static_cast<size_t>(k)] = *sub;
+    }
+  }
+  router->FlushSubscriptions();  // drain the initial answers
+
+  // -------------------------------------------------------------- rounds
+  auto write_round = [&](int round) {
+    std::vector<std::thread> writers;
+    std::mutex mutation_mu;
+    for (int t = 0; t < options.threads; ++t) {
+      writers.emplace_back([&, t] {
+        int64_t applied = 0;
+        for (size_t c = static_cast<size_t>(t); c < churn_docs.size();
+             c += static_cast<size_t>(options.threads)) {
+          const int k = churn_docs[c];
+          const std::string key = DocKey(k);
+          for (const xml::SubtreeEdit& edit :
+               edits[k][static_cast<size_t>(round)]) {
+            Status status = router->UpdateDocument(key, edit);
+            if (!status.ok()) {
+              failures.Errored("round " + std::to_string(round) + " update " +
+                               key + ": " + std::string(status.message()));
+            }
+            ++applied;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mutation_mu);
+        report.mutations += applied;
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  };
+
+  auto read_round = [&](service::ShardedQueryService* svc, int round) {
+    // Two passes: the second must be answerable from warm caches. Requests
+    // are sliced contiguously across reader threads; every thread runs its
+    // own scatter-gather batches concurrently with the others.
+    std::vector<service::ShardedQueryService::Request> all;
+    for (int k = 0; k < docs; ++k) {
+      for (int q = 0; q < kQueriesPerDoc; ++q) {
+        all.push_back({DocKey(k), DocQuery(k, q)});
+      }
+    }
+    auto expected = [&](size_t request_index) -> const std::string& {
+      const int k = static_cast<int>(request_index) / kQueriesPerDoc;
+      const int q = static_cast<int>(request_index) % kQueriesPerDoc;
+      const auto& rounds = digests[static_cast<size_t>(k)];
+      const size_t row = edits.count(k) ? static_cast<size_t>(round)
+                                        : size_t{0};
+      return rounds[row][static_cast<size_t>(q)];
+    };
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<std::thread> readers;
+      std::mutex read_mu;
+      const size_t chunk =
+          (all.size() + static_cast<size_t>(options.threads) - 1) /
+          static_cast<size_t>(options.threads);
+      for (int t = 0; t < options.threads; ++t) {
+        readers.emplace_back([&, t] {
+          const size_t begin = static_cast<size_t>(t) * chunk;
+          const size_t end = std::min(all.size(), begin + chunk);
+          if (begin >= end) return;
+          std::vector<service::ShardedQueryService::Request> slice(
+              all.begin() + static_cast<int64_t>(begin),
+              all.begin() + static_cast<int64_t>(end));
+          std::vector<Result<service::ShardedQueryService::Answer>> answers =
+              svc->SubmitBatch(slice);
+          int64_t checked = 0;
+          for (size_t i = 0; i < answers.size(); ++i) {
+            const size_t request_index = begin + i;
+            if (!answers[i].ok()) {
+              failures.Errored("round " + std::to_string(round) + " submit " +
+                               slice[i].doc_key + " [" + slice[i].query +
+                               "]: " +
+                               std::string(answers[i].status().message()));
+              continue;
+            }
+            const std::string got = AnswerDigest(answers[i]->value);
+            if (got != expected(request_index)) {
+              failures.Diverged(
+                  "round " + std::to_string(round) + " pass " +
+                  std::to_string(pass) + " " + slice[i].doc_key + " [" +
+                  slice[i].query + "]: got " + got + " want " +
+                  expected(request_index));
+            }
+            ++checked;
+          }
+          std::lock_guard<std::mutex> lock(read_mu);
+          report.reads += checked;
+        });
+      }
+      for (std::thread& r : readers) r.join();
+    }
+  };
+
+  read_round(router.get(), 0);  // cold pass against the initial corpus
+  for (int round = 1; round <= options.rounds; ++round) {
+    write_round(round - 1);
+    router->FlushSubscriptions();
+    read_round(router.get(), round);
+  }
+
+  // --------------------------------------------------- isolation checks
+  // Shared-nothing proof by counters: a shard that owns no churned
+  // document must never have invalidated, retained, or remapped a cached
+  // answer, and its subscriptions must never have re-fired.
+  {
+    std::vector<service::ServiceStats> per_shard = router->ShardStats();
+    for (size_t s = 1; s < per_shard.size(); ++s) {
+      const auto& ac = per_shard[s].answer_cache;
+      if (ac.invalidations != 0 || ac.retained != 0 || ac.remapped != 0) {
+        failures.Diverged("shard " + std::to_string(s) +
+                          " saw churn it does not own: invalidations=" +
+                          std::to_string(ac.invalidations) + " retained=" +
+                          std::to_string(ac.retained) + " remapped=" +
+                          std::to_string(ac.remapped));
+      }
+      if (per_shard[s].answer_cache_enabled && ac.hits == 0) {
+        failures.Diverged("shard " + std::to_string(s) +
+                          " served no warm answers — cache never engaged");
+      }
+    }
+    for (const auto& stats : per_shard) {
+      report.answer_cache_hits += stats.answer_cache.hits;
+    }
+  }
+  // Subscription streams: an unchurned document gets exactly the initial
+  // answer; a churned document's stream, replayed add/remove by add/remove,
+  // must reconstruct the final oracle node-set.
+  for (int k = 0; k < docs; ++k) {
+    if (sub_ids[static_cast<size_t>(k)] < 0) continue;
+    std::vector<mview::SubscriptionEvent> events;
+    {
+      std::lock_guard<std::mutex> lock(streams[static_cast<size_t>(k)]->mu);
+      events = streams[static_cast<size_t>(k)]->events;
+    }
+    if (events.empty()) {
+      failures.Diverged(DocKey(k) + ": no initial subscription answer");
+      continue;
+    }
+    for (const auto& event : events) {
+      if (event.subscription != sub_ids[static_cast<size_t>(k)]) {
+        failures.Diverged(DocKey(k) + ": event carries foreign sub id " +
+                          std::to_string(event.subscription));
+      }
+      if (event.doc_key != DocKey(k)) {
+        failures.Diverged(DocKey(k) + ": event for foreign doc " +
+                          event.doc_key);
+      }
+    }
+    report.subscription_events += static_cast<int64_t>(events.size()) - 1;
+    if (!edits.count(k)) {
+      if (events.size() != 1) {
+        failures.Diverged(DocKey(k) + ": unchurned doc received " +
+                          std::to_string(events.size() - 1) +
+                          " churn events from sibling shards");
+      }
+      continue;
+    }
+    std::set<xml::NodeId> state;
+    for (const auto& event : events) {
+      for (xml::NodeId node : event.removed) state.erase(node);
+      for (xml::NodeId node : event.added) state.insert(node);
+    }
+    if (state != final_nodes[k]) {
+      failures.Diverged(DocKey(k) + ": replayed subscription stream has " +
+                        std::to_string(state.size()) + " nodes, oracle has " +
+                        std::to_string(final_nodes[k].size()));
+    }
+  }
+
+  // ------------------------------------------------------------ recovery
+  if (durable) {
+    report.recovery_ran = true;
+    // Checkpoint every shard EXCEPT 0, then churn shard 0 once more and
+    // crash only its WAL: reopen must replay a journal suffix on shard 0
+    // and pure snapshots everywhere else.
+    for (int s = 1; s < router->shard_count(); ++s) {
+      Status status = router->shard(s).CheckpointNow();
+      if (!status.ok()) {
+        failures.Errored("checkpoint shard " + std::to_string(s) + ": " +
+                         std::string(status.message()));
+      }
+    }
+    write_round(options.rounds);  // the extra (uncheckpointed) round
+    router->FlushSubscriptions();
+    router->shard(0).CrashWalForTest();
+    router.reset();
+
+    auto recovered =
+        std::make_unique<service::ShardedQueryService>(router_options);
+    report.records_replayed_shard0 =
+        recovered->shard(0).wal_recovery().records_replayed;
+    if (report.records_replayed_shard0 <= 0) {
+      failures.Diverged("shard 0 replayed no journal records after crash");
+    }
+    for (int s = 1; s < recovered->shard_count(); ++s) {
+      const wal::RecoveryReport& rec = recovered->shard(s).wal_recovery();
+      if (rec.records_replayed != 0) {
+        failures.Diverged("shard " + std::to_string(s) + " replayed " +
+                          std::to_string(rec.records_replayed) +
+                          " records despite checkpointing everything");
+      }
+      if (rec.snapshots_loaded <= 0) {
+        failures.Diverged("shard " + std::to_string(s) +
+                          " recovered no snapshots");
+      }
+    }
+    // Node-for-node equality against the oracle's final revision, then a
+    // full query pass: recovered answers must match the final digests.
+    for (int k = 0; k < docs; ++k) {
+      const std::string key = DocKey(k);
+      auto stored =
+          recovered->shard(recovered->ShardOf(key)).documents().Get(key);
+      if (stored == nullptr) {
+        failures.Diverged(key + ": missing after recovery");
+        continue;
+      }
+      std::string why;
+      if (!ExhaustiveEquals(stored->doc(),
+                            oracle_docs[static_cast<size_t>(k)], &why)) {
+        failures.Diverged(key + ": recovered tree diverges: " + why);
+      }
+    }
+    for (int k = 0; k < docs; ++k) {
+      for (int q = 0; q < kQueriesPerDoc; ++q) {
+        Result<service::ShardedQueryService::Answer> answer =
+            recovered->Submit(DocKey(k), DocQuery(k, q));
+        if (!answer.ok()) {
+          failures.Errored("post-recovery submit " + DocKey(k) + ": " +
+                           std::string(answer.status().message()));
+          continue;
+        }
+        ++report.reads;
+        const std::string got = AnswerDigest(answer->value);
+        const auto& rounds = digests[static_cast<size_t>(k)];
+        const std::string& want = rounds.back()[static_cast<size_t>(q)];
+        if (got != want) {
+          failures.Diverged("post-recovery " + DocKey(k) + " [" +
+                            DocQuery(k, q) + "]: got " + got + " want " +
+                            want);
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace gkx::testkit

@@ -1,0 +1,95 @@
+// Cross-shard isolation soak for ShardedQueryService: proves that churn on
+// one shard never bleeds into a sibling — not through the answer cache, not
+// through subscriptions, not through recovery.
+//
+// The corpus gives every document a private tag family (doc k's elements
+// are a<k>/b<k>/...), so every query and subscription footprint is disjoint
+// by construction and every oracle answer is exact. Churn targets exactly
+// the documents the router's own ShardMap places on shard 0; the oracle is
+// a single-threaded replay of the same precompiled edit chains with
+// xml::ApplyEdit, digested per round with the engine. The soak then
+// alternates write phases (threads apply disjoint per-document edit slices,
+// each document pinned to one thread) with read phases (threads submit
+// disjoint scatter-gather batches over the full corpus, twice, so the
+// second pass must be served from warm answer caches) and checks every
+// answer against the round's oracle digest.
+//
+// What a failure means:
+//   * a digest mismatch on a churned document  → lost/misapplied edit or a
+//     stale answer-cache serve on the churned shard;
+//   * a digest mismatch on an unchurned document → cross-shard cache
+//     poisoning (the defect this soak exists to catch);
+//   * non-zero invalidation/churn counters on an unchurned shard → the
+//     "shared-nothing" claim is false even if answers happen to be right;
+//   * a subscription event for an unchurned document (beyond the initial
+//     answer), or a replayed diff stream that does not reconstruct the
+//     final oracle node-set → subscription fan-in crossed shards or dropped
+//     a diff.
+//
+// With a non-empty wal_dir the soak ends with a one-shard recovery round:
+// every shard except 0 checkpoints, shard 0 takes one more churn round and
+// then crashes (CrashWalForTest — the in-memory tail is dropped exactly as
+// kill -9 would), the whole router is destroyed and rebuilt on the same
+// directory. Exactly shard 0 must replay journal records; every document
+// must come back node-for-node equal (ExhaustiveEquals) to the oracle's
+// final revision; and the recovered corpus must answer queries.
+//
+// Deterministic for a fixed (options, seed): all schedules are precomputed,
+// phases are barrier-separated, and per-document work is pinned to one
+// thread.
+
+#ifndef GKX_TESTKIT_SHARD_SOAK_HPP_
+#define GKX_TESTKIT_SHARD_SOAK_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/sharded_service.hpp"
+
+namespace gkx::testkit {
+
+struct ShardSoakOptions {
+  int shards = 2;
+  /// Corpus size; keys are "doc<k>". Must give every shard at least one
+  /// document (checked).
+  int documents = 24;
+  /// Write/read rounds.
+  int rounds = 3;
+  /// Threads per phase (writers in write phases, readers in read phases).
+  int threads = 2;
+  uint64_t seed = 0x5eedbeef;
+  /// Edits applied to each churned document per round.
+  int edits_per_doc_per_round = 4;
+  /// Non-empty = durable shards under <wal_dir>/shard<i> plus the final
+  /// crash/recovery round. The directory must be fresh (caller wipes it).
+  std::string wal_dir;
+  /// Per-shard service template (wal_dir is injected from above).
+  service::QueryService::Options service;
+  size_t max_failures_reported = 8;
+};
+
+struct ShardSoakReport {
+  uint64_t seed = 0;
+  int shards = 0;
+  int rounds = 0;
+  int64_t mutations = 0;          // edits acknowledged by the router
+  int64_t reads = 0;              // batch answers checked against the oracle
+  int64_t answer_cache_hits = 0;  // summed over shards at the end
+  int64_t subscription_events = 0;  // churn-driven events delivered
+  int64_t oracle_evaluations = 0;
+  int64_t divergences = 0;        // wrong answers / streams / counters
+  int64_t errors = 0;             // failed mutations, submits, recovery
+  bool recovery_ran = false;
+  int64_t records_replayed_shard0 = 0;
+  std::vector<std::string> failures;  // first max_failures_reported, w/ seed=
+
+  bool ok() const { return divergences == 0 && errors == 0; }
+  std::string Summary() const;
+};
+
+ShardSoakReport RunShardSoak(const ShardSoakOptions& options);
+
+}  // namespace gkx::testkit
+
+#endif  // GKX_TESTKIT_SHARD_SOAK_HPP_

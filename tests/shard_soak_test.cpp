@@ -1,0 +1,65 @@
+// testkit::RunShardSoak — cross-shard isolation under concurrent churn,
+// reads, and standing subscriptions (see src/testkit/shard_soak.hpp for
+// what each failure class means). The 2-shard variants are the TSan CI
+// targets; the durable variant adds the one-shard crash/recovery round.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "testkit/shard_soak.hpp"
+
+namespace gkx::testkit {
+namespace {
+
+std::string TempDirFor(const char* name) {
+  std::string dir = ::testing::TempDir() + "/shard_soak_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(ShardSoakTest, TwoShardsStayIsolatedUnderChurn) {
+  ShardSoakOptions options;
+  options.shards = 2;
+  options.documents = 16;
+  options.rounds = 3;
+  options.threads = 2;
+  options.seed = 0x600d5eed;
+  ShardSoakReport report = RunShardSoak(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.mutations, 0) << report.Summary();
+  EXPECT_GT(report.reads, 0) << report.Summary();
+  EXPECT_GT(report.subscription_events, 0) << report.Summary();
+  EXPECT_GT(report.answer_cache_hits, 0) << report.Summary();
+  EXPECT_FALSE(report.recovery_ran);
+}
+
+TEST(ShardSoakTest, FourShardsStayIsolatedUnderChurn) {
+  ShardSoakOptions options;
+  options.shards = 4;
+  options.documents = 16;
+  options.rounds = 2;
+  options.threads = 2;
+  options.seed = 0x40054d;
+  ShardSoakReport report = RunShardSoak(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(ShardSoakTest, OneShardCrashRecoversAloneAndExactly) {
+  ShardSoakOptions options;
+  options.shards = 2;
+  options.documents = 12;
+  options.rounds = 2;
+  options.threads = 2;
+  options.seed = 0xdead10cc;
+  options.wal_dir = TempDirFor("recovery");
+  ShardSoakReport report = RunShardSoak(options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.recovery_ran);
+  EXPECT_GT(report.records_replayed_shard0, 0) << report.Summary();
+  std::filesystem::remove_all(options.wal_dir);
+}
+
+}  // namespace
+}  // namespace gkx::testkit

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -58,7 +59,8 @@ int main(int argc, char** argv) {
   }
 
   for (const char* path :
-       {"service.requests", "service.failures", "service.tracing",
+       {"service.requests", "service.failures", "service.documents",
+        "service.tracing",
         "latency_ms.count", "latency_ms.p50", "latency_ms.p99",
         "latency_ms.p999", "latency_ms.max"}) {
     if (root.FindPath(path) == nullptr) {
@@ -162,8 +164,78 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("check_stats_json: %s ok (%zu bytes, tracing %s, wal %s)\n",
-              argv[1], text.size(), tracing ? "on" : "off",
-              wal != nullptr ? "on" : "off");
+  // Sharded exports (ShardedQueryService::ExportStats) carry the same
+  // aggregated document at top level plus a shards[] breakdown — one full
+  // per-shard document each. The aggregate is recomputed here from the
+  // breakdown: requests, failures, documents, latency samples, and every
+  // per-route segment counter must sum to the top-level figures exactly
+  // (scatter-gather may reorder work across shards but can neither invent
+  // nor drop any of it).
+  const auto* shards = root.Find("shards");
+  if (shards != nullptr) {
+    const auto* declared = root.FindPath("sharding.shards");
+    if (declared == nullptr) {
+      return Fail("\"shards\" breakdown without \"sharding.shards\"");
+    }
+    if (!shards->is_array() ||
+        declared->AsNumber() != static_cast<double>(shards->items().size())) {
+      return Fail("sharding.shards != len(shards)");
+    }
+    double shard_requests = 0, shard_failures = 0, shard_documents = 0,
+           shard_latency = 0;
+    std::map<std::string, double> shard_segments;
+    for (const auto& shard : shards->items()) {
+      for (const char* path :
+           {"shard", "service.requests", "service.failures",
+            "service.documents", "latency_ms.count"}) {
+        if (shard.FindPath(path) == nullptr) {
+          return Fail(std::string("shards[] entry missing \"") + path + "\"");
+        }
+      }
+      shard_requests += shard.FindPath("service.requests")->AsNumber();
+      shard_failures += shard.FindPath("service.failures")->AsNumber();
+      shard_documents += shard.FindPath("service.documents")->AsNumber();
+      shard_latency += shard.FindPath("latency_ms.count")->AsNumber();
+      const auto* segments = shard.Find("segment_route_counts");
+      if (segments == nullptr) {
+        return Fail("shards[] entry missing \"segment_route_counts\"");
+      }
+      for (const auto& [label, count] : segments->members()) {
+        shard_segments[label] += count.AsNumber();
+      }
+    }
+    if (shard_requests != requests) {
+      return Fail("sum(shards[].service.requests) != service.requests");
+    }
+    if (shard_failures != failures) {
+      return Fail("sum(shards[].service.failures) != service.failures");
+    }
+    if (shard_documents != root.FindPath("service.documents")->AsNumber()) {
+      return Fail("sum(shards[].service.documents) != service.documents");
+    }
+    if (shard_latency != latency_count) {
+      return Fail("sum(shards[].latency_ms.count) != latency_ms.count");
+    }
+    const auto& segments = *root.Find("segment_route_counts");
+    for (const auto& [label, count] : segments.members()) {
+      if (shard_segments[label] != count.AsNumber()) {
+        return Fail("sum(shards[].segment_route_counts." + label +
+                    ") != segment_route_counts." + label);
+      }
+      shard_segments.erase(label);
+    }
+    if (!shard_segments.empty()) {
+      return Fail("shards[] carry segment_route_counts." +
+                  shard_segments.begin()->first +
+                  " that the aggregate lacks");
+    }
+  }
+
+  std::printf(
+      "check_stats_json: %s ok (%zu bytes, tracing %s, wal %s, shards %s)\n",
+      argv[1], text.size(), tracing ? "on" : "off",
+      wal != nullptr ? "on" : "off",
+      shards != nullptr ? std::to_string(shards->items().size()).c_str()
+                        : "n/a");
   return 0;
 }
